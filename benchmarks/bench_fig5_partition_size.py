@@ -1,0 +1,77 @@
+"""Figure 5 — average query execution time for different partition size
+limits B (paper: 500 / 5 000 / 50 000 entities, weight 0.5), against the
+unpartitioned universal table.
+
+Paper findings this bench reproduces and asserts:
+
+* query time grows with decreasing selectivity on Cinderella partitions,
+  while the universal table is near-flat;
+* Cinderella achieves a significant speedup for selective queries
+  (selectivity < 0.2);
+* queries of low selectivity (> 0.3) run *slower* through Cinderella than
+  on the universal table (union/projection overhead);
+* a smaller B gives lower times for selective queries but more overhead
+  for unselective ones.
+"""
+
+from reporting_helpers import print_series_figure
+
+from conftest import B_VALUES, average_query_times_by_selectivity
+
+
+def test_fig5_query_time_vs_partition_size(
+    benchmark, cinderella_loads, universal_table, query_workload, cost_model
+):
+    weight = 0.5
+    loads = {b: cinderella_loads(b, weight) for b in B_VALUES}
+
+    series = {
+        f"B={b}": average_query_times_by_selectivity(
+            loads[b].table, query_workload, cost_model
+        )
+        for b in B_VALUES
+    }
+    series["universal table"] = average_query_times_by_selectivity(
+        universal_table, query_workload, cost_model
+    )
+
+    print_series_figure(
+        "Figure 5: avg query execution time vs selectivity (w = 0.5)",
+        series,
+        x_label="selectivity",
+        y_label="simulated ms",
+    )
+
+    # benchmark kernel: one selective query on the middle configuration
+    selective = min(query_workload, key=lambda s: (s.selectivity, s.query.attributes))
+    table = loads[B_VALUES[1]].table
+    benchmark(lambda: table.execute(selective.query))
+
+    universal = dict(series["universal table"])
+
+    def at(name: str, x: float) -> float:
+        return dict(series[name])[x]
+
+    selective_x = min(universal)
+    broad_x = max(universal)
+
+    # universal table is near-flat; Cinderella's curve rises with selectivity
+    flatness = max(universal.values()) / min(universal.values())
+    smallest_b = f"B={B_VALUES[0]}"
+    rise = at(smallest_b, broad_x) / at(smallest_b, selective_x)
+    assert rise > flatness, "partitioned curve must rise faster than universal"
+
+    for b in B_VALUES:
+        # every B beats the universal table on the selective end...
+        assert at(f"B={b}", selective_x) < universal[selective_x], f"B={b}"
+        # ...and pays union overhead on the unselective end
+        assert at(f"B={b}", broad_x) > universal[broad_x], f"B={b}"
+    # the two smaller limits achieve the *significant* speedup the paper
+    # reports for selectivity < 0.2 (the largest B benefits least)
+    for b in B_VALUES[:2]:
+        assert at(f"B={b}", selective_x) < 0.55 * universal[selective_x], f"B={b}"
+
+    # smaller B wins on the selective side
+    assert at(f"B={B_VALUES[0]}", selective_x) < at(f"B={B_VALUES[2]}", selective_x)
+    # larger B has the smaller overhead on the unselective side
+    assert at(f"B={B_VALUES[2]}", broad_x) < at(f"B={B_VALUES[0]}", broad_x)

@@ -1,0 +1,61 @@
+"""Figure 6 — average query execution time for different weights w
+(paper: B = 5 000), against the unpartitioned universal table.
+
+Paper findings this bench reproduces and asserts:
+
+* for very selective queries, a lower weight is beneficial;
+* queries of very low selectivity slightly profit from a higher weight;
+* all weights beat the universal table on the selective end and pay
+  overhead on the unselective end.
+"""
+
+from reporting_helpers import print_series_figure
+
+from conftest import B_DEFAULT, W_VALUES, average_query_times_by_selectivity
+
+
+def test_fig6_query_time_vs_weight(
+    benchmark, cinderella_loads, universal_table, query_workload, cost_model
+):
+    loads = {w: cinderella_loads(B_DEFAULT, w) for w in W_VALUES}
+
+    series = {
+        f"w={w}": average_query_times_by_selectivity(
+            loads[w].table, query_workload, cost_model
+        )
+        for w in W_VALUES
+    }
+    series["universal table"] = average_query_times_by_selectivity(
+        universal_table, query_workload, cost_model
+    )
+
+    print_series_figure(
+        f"Figure 6: avg query execution time vs selectivity (B = {B_DEFAULT})",
+        series,
+        x_label="selectivity",
+        y_label="simulated ms",
+    )
+
+    # benchmark kernel: a selective query at the paper's preferred weight
+    selective_spec = min(
+        query_workload, key=lambda s: (s.selectivity, s.query.attributes)
+    )
+    table = loads[0.2].table
+    benchmark(lambda: table.execute(selective_spec.query))
+
+    universal = dict(series["universal table"])
+
+    def at(w: float, x: float) -> float:
+        return dict(series[f"w={w}"])[x]
+
+    selective_x = min(universal)
+    broad_x = max(universal)
+
+    low, mid, high = W_VALUES
+    # low weight is best for very selective queries
+    assert at(low, selective_x) < at(high, selective_x)
+    # high weight has the smaller overhead for very unselective queries
+    assert at(high, broad_x) < at(low, broad_x)
+    for w in W_VALUES:
+        assert at(w, selective_x) < universal[selective_x], f"w={w}"
+        assert at(w, broad_x) > universal[broad_x], f"w={w}"

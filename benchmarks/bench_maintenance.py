@@ -1,0 +1,98 @@
+"""Maintenance extension bench — merge & re-org after heavy deletes.
+
+The paper's delete routine only drops *empty* partitions; its conclusions
+announce further work on managing large partition counts.  This bench
+quantifies the gap and the two maintenance remedies built in
+:mod:`repro.maintenance`:
+
+1. load the DBpedia data, then delete 70 % of the entities — the
+   partition count barely drops while fill rates collapse;
+2. ``merge_small_partitions`` folds compatible fragments together without
+   hurting Definition 1 efficiency;
+3. offline ``reorganize`` rebuilds from scratch as the quality reference.
+"""
+
+from repro.core.config import CinderellaConfig
+from repro.core.efficiency import catalog_efficiency
+from repro.core.partitioner import CinderellaPartitioner
+from repro.maintenance.merger import merge_small_partitions
+from repro.maintenance.reorganizer import reorganize
+from repro.reporting.tables import format_table
+
+from conftest import N_ENTITIES
+
+
+def test_maintenance_after_heavy_deletes(benchmark, dbpedia, query_workload):
+    dictionary = dbpedia.dictionary()
+    sample = dbpedia.entities[: min(N_ENTITIES, 10_000)]
+    queries = [spec.query.synopsis_mask(dictionary) for spec in query_workload]
+
+    partitioner = CinderellaPartitioner(
+        CinderellaConfig(max_partition_size=200, weight=0.3)
+    )
+    for entity in sample:
+        partitioner.insert(entity.entity_id, entity.synopsis_mask(dictionary))
+    loaded = (len(partitioner.catalog), catalog_efficiency(partitioner.catalog, queries))
+
+    # heavy deletions: 7 of 10 entities leave
+    for entity in sample:
+        if entity.entity_id % 10 < 7:
+            partitioner.delete(entity.entity_id)
+    after_delete = (
+        len(partitioner.catalog),
+        catalog_efficiency(partitioner.catalog, queries),
+    )
+    remaining = partitioner.catalog.entity_count
+    mean_fill_before = remaining / len(partitioner.catalog)
+
+    report = merge_small_partitions(partitioner, min_fill=0.4)
+    assert partitioner.check_invariants() == []
+    after_merge = (
+        len(partitioner.catalog),
+        catalog_efficiency(partitioner.catalog, queries),
+    )
+    mean_fill_after = remaining / len(partitioner.catalog)
+
+    reorg = reorganize(partitioner, query_masks=queries)
+    after_reorg = (reorg.partitions_after, reorg.efficiency_after)
+
+    print()
+    print(
+        format_table(
+            ["state", "partitions", "EFFICIENCY(P)", "mean fill"],
+            [
+                ["loaded (10k entities)", loaded[0], loaded[1], "-"],
+                ["after 70 % deletes", after_delete[0], after_delete[1],
+                 mean_fill_before],
+                [f"after merge ({report.merge_count} merges)", after_merge[0],
+                 after_merge[1], mean_fill_after],
+                ["after offline re-org", after_reorg[0], after_reorg[1], "-"],
+            ],
+            title="Maintenance after heavy deletes (B = 200, w = 0.3)",
+        )
+    )
+
+    # benchmark kernel: one merge pass over a fragmented copy
+    def fragmented_merge():
+        fresh = CinderellaPartitioner(
+            CinderellaConfig(max_partition_size=200, weight=0.3)
+        )
+        for entity in sample[:2000]:
+            fresh.insert(entity.entity_id, entity.synopsis_mask(dictionary))
+        for entity in sample[:2000]:
+            if entity.entity_id % 10 < 7:
+                fresh.delete(entity.entity_id)
+        return merge_small_partitions(fresh, min_fill=0.4)
+
+    benchmark.pedantic(fragmented_merge, rounds=1, iterations=1)
+
+    # deletes leave a far more fragmented catalog than a fresh run needs
+    assert after_delete[0] > 2 * after_reorg[0]
+    # merging reduces partitions drastically and raises the mean fill...
+    assert report.merge_count > 0
+    assert after_merge[0] < 0.5 * after_delete[0]
+    assert mean_fill_after > 2 * mean_fill_before
+    # ...without giving up much efficiency (merges are rating-gated)
+    assert after_merge[1] > 0.85 * after_delete[1]
+    # the offline re-org stays the quality reference point
+    assert after_reorg[1] >= after_merge[1] - 0.05

@@ -1,0 +1,112 @@
+"""Modification-mix bench — partitioning stability under sustained churn.
+
+The paper defines the update and delete routines (Section III) but its
+evaluation only measures bulk inserts.  This bench closes that gap: after
+a warm-up load, a long mixed trace of inserts, drift updates, churn
+updates (entities changing their latent type), and deletes streams
+through Cinderella while telemetry samples partitioning health.
+
+Asserted behaviour:
+
+* invariants hold through the whole trace;
+* Definition 1 efficiency stays within a band of the warm-up value —
+  the online algorithm keeps the partitioning good, it does not decay;
+* churn updates move entities (the update routine re-rates and
+  relocates), while pure drift updates mostly stay in place.
+"""
+
+from repro.core.config import CinderellaConfig
+from repro.core.partitioner import CinderellaPartitioner
+from repro.metrics.telemetry import TelemetryCollector
+from repro.reporting.chart import render_line_chart
+from repro.reporting.tables import format_table
+from repro.workloads.modifications import generate_trace
+
+from conftest import N_ENTITIES
+
+
+def test_partitioning_stability_under_churn(benchmark, dbpedia, query_workload):
+    dictionary = dbpedia.dictionary()
+    queries = [spec.query.synopsis_mask(dictionary) for spec in query_workload]
+    warmup = min(N_ENTITIES // 4, 5_000)
+    operations = warmup  # as many mixed ops as warm-up inserts
+    trace = generate_trace(
+        dbpedia,
+        operations=operations,
+        insert_share=0.4,
+        update_share=0.35,
+        churn_update_share=0.4,
+        warmup=warmup,
+        seed=5,
+    )
+
+    partitioner = CinderellaPartitioner(
+        CinderellaConfig(max_partition_size=200, weight=0.3)
+    )
+    telemetry = TelemetryCollector(
+        interval=max(1, (warmup + operations) // 20), query_masks=queries
+    )
+    moved_updates = 0
+    in_place_updates = 0
+    applied = {"insert": 0, "update": 0, "delete": 0}
+    efficiency_after_warmup = None
+    for position, operation in enumerate(trace):
+        if operation.kind == "insert":
+            partitioner.insert(
+                operation.entity_id, dictionary.encode(operation.attributes)
+            )
+        elif operation.kind == "update":
+            outcome = partitioner.update(
+                operation.entity_id, dictionary.encode(operation.attributes)
+            )
+            if outcome.in_place:
+                in_place_updates += 1
+            else:
+                moved_updates += 1
+        else:
+            partitioner.delete(operation.entity_id)
+        applied[operation.kind] += 1
+        telemetry.observe(partitioner)
+        if position + 1 == warmup:
+            from repro.core.efficiency import catalog_efficiency
+
+            efficiency_after_warmup = catalog_efficiency(
+                partitioner.catalog, queries
+            )
+
+    final = telemetry.sample_now(partitioner)
+    assert partitioner.check_invariants() == []
+
+    print()
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["operations applied", sum(applied.values())],
+            ["inserts / updates / deletes",
+             f"{applied['insert']} / {applied['update']} / {applied['delete']}"],
+            ["updates moved / in place", f"{moved_updates} / {in_place_updates}"],
+            ["efficiency after warm-up", efficiency_after_warmup],
+            ["efficiency at end", final.efficiency],
+            ["partitions at end", final.partition_count],
+            ["splits total", final.split_count],
+        ],
+        title="Partitioning stability under mixed modifications",
+    ))
+    print()
+    print(render_line_chart(
+        {"efficiency": telemetry.series("efficiency")},
+        title="Definition 1 efficiency over the trace",
+        height=10,
+    ))
+
+    # benchmark kernel: one churn update (re-rate, possibly move)
+    sample_update = next(op for op in reversed(trace) if op.kind == "update")
+    mask = dictionary.encode(sample_update.attributes)
+    benchmark(lambda: partitioner.update(sample_update.entity_id, mask))
+
+    # stability: efficiency stays within a band of the warm-up value
+    assert final.efficiency is not None
+    assert final.efficiency > 0.85 * efficiency_after_warmup
+    # churn updates do get relocated; drift updates mostly stay
+    assert moved_updates > 0
+    assert in_place_updates > 0

@@ -1,0 +1,113 @@
+"""Table I — query execution time on regularly structured data (TPC-H).
+
+Loads TPC-H into a Cinderella-partitioned universal table and runs the
+complete 22-query workload through schema-emulating views, against the
+standard per-table layout.
+
+Paper findings this bench reproduces and asserts:
+
+* Cinderella finds only partitions that exactly fit the TPC-H schema, in
+  every size-limit setting;
+* the total workload overhead over standard TPC-H is small (paper:
+  +8.9 % / +5.7 % / +1.3 % for B = 500 / 2 000 / 10 000);
+* a larger partition size limit decreases the union overhead.
+"""
+
+import time
+
+from repro.core.config import CinderellaConfig
+from repro.reporting.tables import format_table
+from repro.workloads.tpch.databases import (
+    CinderellaTPCHDatabase,
+    StandardTPCHDatabase,
+)
+from repro.workloads.tpch.dbgen import generate_tpch
+from repro.workloads.tpch.queries import QUERIES, run_query
+
+from conftest import TPCH_B_VALUES, TPCH_SF
+
+
+def run_workload(db, cost_model) -> tuple[float, float]:
+    """Run Q1-Q22; return (total wall s, total simulated ms)."""
+    db.pop_stats()
+    total_sim_ms = 0.0
+    started = time.perf_counter()
+    for number in sorted(QUERIES):
+        run_query(number, db)
+        total_sim_ms += cost_model.workload_time_ms(db.pop_stats())
+    return time.perf_counter() - started, total_sim_ms
+
+
+def test_table1_tpch_regular_data(benchmark, cost_model):
+    data = generate_tpch(scale_factor=TPCH_SF, seed=7)
+    standard = StandardTPCHDatabase(data)
+    scenarios: list[tuple[str, object]] = [("Standard TPC-H", standard)]
+    for b in TPCH_B_VALUES:
+        db = CinderellaTPCHDatabase(
+            data, CinderellaConfig(max_partition_size=b, weight=0.5)
+        )
+        scenarios.append((f"Cinderella B={b}", db))
+
+    results = {}
+    for name, db in scenarios:
+        wall_s, sim_ms = run_workload(db, cost_model)
+        results[name] = (wall_s, sim_ms)
+
+    base_wall, base_sim = results["Standard TPC-H"]
+    rows = []
+    for name, db in scenarios:
+        wall_s, sim_ms = results[name]
+        rows.append(
+            [
+                name,
+                "-" if name == "Standard TPC-H" else str(
+                    getattr(db, "partition_count", lambda: "-")()
+                ),
+                wall_s,
+                f"{100 * wall_s / base_wall:.2f} %",
+                sim_ms / 1000.0,
+                f"{100 * sim_ms / base_sim:.2f} %",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            [
+                "scenario",
+                "partitions",
+                "wall s",
+                "wall vs std",
+                "simulated s",
+                "sim vs std",
+            ],
+            rows,
+            title=(
+                f"Table I: total execution time of the 22 TPC-H queries "
+                f"(SF {TPCH_SF}, {data.total_rows()} rows)"
+            ),
+        )
+    )
+
+    # benchmark kernel: Q6 (pure lineitem scan) on the middle configuration
+    middle = scenarios[2][1]
+    benchmark.pedantic(
+        run_query, args=(6, middle), rounds=1, iterations=1
+    )
+    middle.pop_stats()
+
+    # Cinderella recovers the TPC-H schema exactly, in every setting
+    for name, db in scenarios[1:]:
+        assert db.schema_is_exact(), name
+
+    # overhead is modest and shrinks with a growing partition size limit.
+    # Absolute percentages run higher than the paper's 8.9/5.7/1.3 % —
+    # at harness scale the partition count per row is ~20x the paper's, so
+    # fragmentation and per-branch costs weigh proportionally more; the
+    # ordering and the "small, shrinking with B" shape are scale-free.
+    sims = [results[f"Cinderella B={b}"][1] for b in TPCH_B_VALUES]
+    for sim_ms in sims:
+        overhead = sim_ms / base_sim
+        assert 1.0 <= overhead < 1.4, f"simulated overhead {overhead:.2f}"
+    assert sims[0] >= sims[1] >= sims[2], "overhead must shrink with B"
+    # the largest limit comes closest to standard (paper: +1.3 %)
+    assert sims[2] / base_sim < 1.2

@@ -1,0 +1,166 @@
+"""Shared fixtures for the paper-reproduction benchmark harness.
+
+Every benchmark regenerates one figure or table of the evaluation section
+(see DESIGN.md's per-experiment index) and prints the same rows/series the
+paper reports, plus assertions on the qualitative shape (who wins, where
+the crossovers fall).
+
+Scaling
+-------
+The paper ran 100 000 DBpedia entities and TPC-H SF 0.5 on PostgreSQL; a
+pure-Python run of that size takes tens of minutes, so the default harness
+scale is 1/5 of the paper's with all size limits scaled alike (ratios,
+orderings, and crossovers are scale-free — asserted by the benches).  Set
+``REPRO_SCALE=paper`` for the full-size run.
+
+Loads are expensive and shared: the ``cinderella_loads`` fixture caches
+one physical table load per ``(B, w)`` configuration per session, together
+with the per-insert measurements Figure 8 needs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.core.config import CinderellaConfig
+from repro.cost.model import CostModel
+from repro.table.partitioned import CinderellaTable
+from repro.table.universal import UniversalTable
+from repro.workloads.dbpedia import generate_dbpedia_persons, validate_distribution
+from repro.workloads.querygen import (
+    QuerySpec,
+    build_query_workload,
+    representative_queries,
+)
+
+PAPER_SCALE = os.environ.get("REPRO_SCALE", "small") == "paper"
+
+#: number of DBpedia person entities (paper: 100 000)
+N_ENTITIES = 100_000 if PAPER_SCALE else 20_000
+#: partition size limits of Figures 5 and 8 (paper: 500 / 5 000 / 50 000)
+B_VALUES = (500, 5_000, 50_000) if PAPER_SCALE else (100, 1_000, 10_000)
+#: the middle limit, used by Figures 6 and 7 (paper: 5 000)
+B_DEFAULT = B_VALUES[1]
+#: weights of Figure 6
+W_VALUES = (0.2, 0.5, 0.8)
+#: weight sweep of Figure 7
+W_SWEEP = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+#: TPC-H scale factor of Table I (paper: 0.5)
+TPCH_SF = 0.05 if PAPER_SCALE else 0.005
+#: TPC-H partition size limits of Table I (paper: 500 / 2 000 / 10 000)
+TPCH_B_VALUES = (500, 2_000, 10_000) if PAPER_SCALE else (200, 800, 4_000)
+#: page size; small pages keep partitions multi-page at harness scale
+PAGE_SIZE = 8192 if PAPER_SCALE else 1024
+
+DATASET_SEED = 42
+
+
+@dataclass
+class LoadedCinderella:
+    """One Cinderella-partitioned load plus its per-insert measurements."""
+
+    config: CinderellaConfig
+    table: CinderellaTable
+    #: simulated per-insert times (cost model, ms) — Figure 8's histogram
+    insert_sim_ms: list[float] = field(default_factory=list)
+    #: wall-clock per-insert times (ms), secondary evidence
+    insert_wall_ms: list[float] = field(default_factory=list)
+    #: inserts that triggered at least one split
+    split_inserts: int = 0
+    load_wall_s: float = 0.0
+
+
+@pytest.fixture(scope="session")
+def dbpedia():
+    """The DBpedia person data set (validated against Figure 4)."""
+    dataset = generate_dbpedia_persons(n_entities=N_ENTITIES, seed=DATASET_SEED)
+    violations = validate_distribution(dataset)
+    assert violations == [], violations
+    return dataset
+
+
+@pytest.fixture(scope="session")
+def query_workload(dbpedia) -> list[QuerySpec]:
+    """The paper's representative selective-query workload."""
+    dictionary = dbpedia.dictionary()
+    masks = [entity.synopsis_mask(dictionary) for entity in dbpedia.entities]
+    specs = build_query_workload(masks, dictionary, max_triples=200)
+    return representative_queries(specs, bucket_width=0.05, per_bucket=3)
+
+
+@pytest.fixture(scope="session")
+def universal_table(dbpedia) -> UniversalTable:
+    table = UniversalTable(page_size=PAGE_SIZE)
+    for entity in dbpedia.entities:
+        table.insert(entity.attributes, entity_id=entity.entity_id)
+    return table
+
+
+@pytest.fixture(scope="session")
+def cost_model() -> CostModel:
+    return CostModel()
+
+
+@pytest.fixture(scope="session")
+def cinderella_loads(dbpedia):
+    """Factory caching one measured physical load per (B, w) setting."""
+    cache: dict[tuple[float, float], LoadedCinderella] = {}
+    model = CostModel()
+
+    def load(max_partition_size: float, weight: float) -> LoadedCinderella:
+        key = (max_partition_size, weight)
+        if key in cache:
+            return cache[key]
+        config = CinderellaConfig(
+            max_partition_size=max_partition_size, weight=weight
+        )
+        table = CinderellaTable(config, page_size=PAGE_SIZE)
+        loaded = LoadedCinderella(config=config, table=table)
+        partitioner = table.partitioner
+        started_load = time.perf_counter()
+        for entity in dbpedia.entities:
+            ratings_before = partitioner.ratings_computed
+            io_before = table.io.snapshot()
+            started = time.perf_counter()
+            outcome = table.insert(entity.attributes, entity_id=entity.entity_id)
+            loaded.insert_wall_ms.append((time.perf_counter() - started) * 1000)
+            io_delta = table.io.delta_since(io_before)
+            relocations = sum(1 for m in outcome.moves if m.from_pid is not None)
+            loaded.insert_sim_ms.append(
+                model.insert_time_ms(
+                    ratings_computed=partitioner.ratings_computed - ratings_before,
+                    records_moved=relocations,
+                    bytes_moved=io_delta.bytes_read,
+                    partitions_created=len(outcome.created_partitions),
+                )
+            )
+            if outcome.splits:
+                loaded.split_inserts += 1
+        loaded.load_wall_s = time.perf_counter() - started_load
+        cache[key] = loaded
+        return loaded
+
+    return load
+
+
+def average_query_times_by_selectivity(
+    table,
+    workload: list[QuerySpec],
+    model: CostModel,
+    bucket_width: float = 0.1,
+) -> list[tuple[float, float]]:
+    """(bucket centre, average simulated ms) series — a Figure 5/6 curve."""
+    buckets: dict[int, list[float]] = {}
+    for spec in workload:
+        stats = table.execute(spec.query).stats
+        buckets.setdefault(int(spec.selectivity / bucket_width), []).append(
+            model.query_time_ms(stats)
+        )
+    return [
+        ((index + 0.5) * bucket_width, sum(times) / len(times))
+        for index, times in sorted(buckets.items())
+    ]

@@ -1,0 +1,27 @@
+"""Pretty-printing helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.reporting.tables import format_table
+
+
+def print_series_figure(
+    title: str,
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    x_label: str = "x",
+    y_label: str = "y",
+) -> None:
+    """Print multiple (x, y) series as one aligned table (x on rows)."""
+    xs = sorted({x for points in series.values() for x, _y in points})
+    headers = [x_label] + [f"{name} [{y_label}]" for name in series]
+    rows = []
+    for x in xs:
+        row: list[object] = [f"{x:.2f}"]
+        for name in series:
+            value = dict(series[name]).get(x)
+            row.append(value if value is not None else "-")
+        rows.append(row)
+    print()
+    print(format_table(headers, rows, title=title))

@@ -1,0 +1,70 @@
+"""SQL interface — transparent access the way the prototype offered it.
+
+The paper's prototype "provides transparent data access […] as the user
+inserts data to the universal table using regular SQL statements".  This
+example drives the partitioned product catalog entirely through SQL,
+showing how WHERE clauses translate into partition pruning — including
+predicates the paper's synthetic workload doesn't cover (comparisons,
+LIKE, conjunctions).
+
+Run with::
+
+    python examples/sql_interface.py
+"""
+
+from repro import CinderellaConfig, CinderellaTable, CostModel
+from repro.sql import execute
+
+PRODUCTS = [
+    {"name": "Canon PowerShot S120", "resolution": 12.1, "aperture": 2.0,
+     "weight": 198, "price": 329},
+    {"name": "Sony SLT-A99", "resolution": 24, "aperture": 1.8,
+     "weight": 733, "price": 1998},
+    {"name": "Nikon D750", "resolution": 24.3, "aperture": 1.8,
+     "weight": 750, "price": 1896},
+    {"name": "WD4000FYYZ", "storage": "4TB", "rotation": 7200,
+     "weight": 150, "price": 219},
+    {"name": "WD2003FYYS", "storage": "2TB", "rotation": 7200,
+     "weight": 640, "price": 119},
+    {"name": "Samsung 860 EVO", "storage": "1TB", "weight": 50, "price": 99},
+    {"name": "LG 60LA7408", "resolution": "Full HD", "screen": 40,
+     "tuner": "DVB-T/C/S", "weight": 9800, "price": 1499},
+]
+
+STATEMENTS = [
+    "SELECT name, aperture FROM products WHERE aperture IS NOT NULL",
+    "SELECT name, price FROM products WHERE price < 300 ORDER BY price",
+    "SELECT name FROM products WHERE storage LIKE '%TB' AND rotation IS NULL",
+    "SELECT name, weight FROM products WHERE aperture IS NOT NULL "
+    "OR tuner IS NOT NULL ORDER BY weight DESC LIMIT 3",
+    "SELECT * FROM products WHERE rotation = 7200",
+]
+
+
+def main() -> None:
+    table = CinderellaTable(CinderellaConfig(max_partition_size=3, weight=0.3))
+    for product in PRODUCTS:
+        table.insert(product)
+    print(
+        f"{len(table)} products partitioned into "
+        f"{table.partition_count()} partitions\n"
+    )
+
+    model = CostModel()
+    for sql in STATEMENTS:
+        result = execute(sql, table)
+        print(f"SQL> {sql}")
+        print(
+            f"     {len(result.rows)} rows | "
+            f"{result.stats.partitions_pruned} of "
+            f"{result.stats.partitions_total} partitions pruned | "
+            f"{result.stats.entities_read} entities read | "
+            f"{model.query_time_ms(result.stats):.3f} ms simulated"
+        )
+        for row in result.rows:
+            print(f"     {row}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

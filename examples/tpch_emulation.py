@@ -1,0 +1,79 @@
+"""TPC-H scenario — the paper's regular-data experiment (Section V-C).
+
+Loads a TPC-H database into a Cinderella-partitioned universal table,
+shows that Cinderella recovers the TPC-H schema exactly, and runs part of
+the 22-query workload through the schema-emulating views against the
+standard per-table layout.
+
+Run with::
+
+    python examples/tpch_emulation.py [scale_factor]
+"""
+
+import sys
+import time
+
+from repro import CinderellaConfig, CostModel
+from repro.reporting import format_kv_block, format_table
+from repro.workloads.tpch import (
+    CinderellaTPCHDatabase,
+    StandardTPCHDatabase,
+    generate_tpch,
+    run_query,
+)
+
+
+def main(scale_factor: float = 0.002) -> None:
+    print(f"Generating TPC-H at scale factor {scale_factor} ...")
+    data = generate_tpch(scale_factor=scale_factor, seed=7)
+    print(f"  {data.total_rows()} rows: {data.row_counts()}")
+
+    print("\nLoading into a Cinderella universal table (B = 500, w = 0.5) ...")
+    started = time.perf_counter()
+    cinderella = CinderellaTPCHDatabase(
+        data, CinderellaConfig(max_partition_size=500, weight=0.5)
+    )
+    print(f"  loaded in {time.perf_counter() - started:.1f}s, "
+          f"{cinderella.partition_count()} partitions")
+
+    print("\nRecovered schema (one line per partition attribute set):")
+    seen = set()
+    for name, columns in sorted(cinderella.recovered_schema().items()):
+        signature = frozenset(columns)
+        if signature in seen:
+            continue
+        seen.add(signature)
+        prefix = columns[0].split("_")[0] if columns else "?"
+        print(f"  {prefix}_* table: {len(columns)} columns")
+    print(f"  schema exactly matches TPC-H: {cinderella.schema_is_exact()}")
+
+    standard = StandardTPCHDatabase(data)
+    model = CostModel()
+    rows = []
+    for number in (1, 3, 6, 12, 14):
+        result_std = run_query(number, standard)
+        sim_std = model.workload_time_ms(standard.pop_stats())
+        result_cin = run_query(number, cinderella)
+        sim_cin = model.workload_time_ms(cinderella.pop_stats())
+        assert len(result_std) == len(result_cin)
+        rows.append([f"Q{number}", len(result_std), sim_std, sim_cin,
+                     f"{100 * sim_cin / sim_std:.1f} %"])
+    print()
+    print(format_table(
+        ["query", "rows", "standard ms", "cinderella ms", "overhead"],
+        rows,
+        title="Query cost through schema-emulating views (simulated)",
+    ))
+    print()
+    print(format_kv_block(
+        "Takeaway (paper Table I)",
+        [
+            ("schema recovered exactly", cinderella.schema_is_exact()),
+            ("overhead source", "UNION ALL branches + projection"),
+            ("overhead shrinks with", "larger partition size limit B"),
+        ],
+    ))
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.002)

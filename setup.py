@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All project metadata lives in ``pyproject.toml``; this file only enables
+the legacy ``pip install -e .`` code path (``setup.py develop``), which the
+offline evaluation environment needs because PEP 660 editable installs
+require ``wheel``.
+"""
+
+from setuptools import setup
+
+setup()

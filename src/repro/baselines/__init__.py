@@ -1,0 +1,31 @@
+"""Baseline partitioners for comparison against Cinderella."""
+
+from repro.baselines.hash_partitioner import HashPartitioner
+from repro.baselines.offline_clustering import (
+    OfflineClusteringPartitioner,
+    jaccard,
+    leader_clusters,
+)
+from repro.baselines.oracle import OraclePartitioner
+from repro.baselines.round_robin import RoundRobinPartitioner
+from repro.baselines.vertical import (
+    HiddenSchemaPartitioner,
+    VerticalFragment,
+    attribute_jaccard,
+    horizontal_cell_efficiency,
+    masks_to_matrix,
+)
+
+__all__ = [
+    "HashPartitioner",
+    "HiddenSchemaPartitioner",
+    "VerticalFragment",
+    "attribute_jaccard",
+    "horizontal_cell_efficiency",
+    "masks_to_matrix",
+    "OfflineClusteringPartitioner",
+    "OraclePartitioner",
+    "RoundRobinPartitioner",
+    "jaccard",
+    "leader_clusters",
+]

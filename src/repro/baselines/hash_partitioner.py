@@ -1,0 +1,78 @@
+"""Hash partitioning — the web-scale default the paper contrasts with.
+
+"In web-scale databases, where load balancing over a large number of nodes
+is the main concern, hash partitioning is the common choice" (Section VI,
+refs [12]-[14]).  Hash partitioning balances load perfectly but is blind
+to schema properties, so partition synopses converge towards the full
+attribute universe and pruning stops working — the negative baseline for
+the efficiency benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.catalog.catalog import PartitionCatalog
+from repro.core.outcomes import ModificationOutcome, Move
+from repro.core.sizes import SizeModel, UniformSizeModel
+
+
+def _mix(eid: int) -> int:
+    """Deterministic 64-bit integer hash (builtin ``hash`` is salted for
+    strings but stable for ints; mix anyway so sequential ids spread)."""
+    value = (eid ^ (eid >> 33)) * 0xFF51AFD7ED558CCD & 0xFFFFFFFFFFFFFFFF
+    value = (value ^ (value >> 33)) * 0xC4CEB9FE1A85EC53 & 0xFFFFFFFFFFFFFFFF
+    return value ^ (value >> 33)
+
+
+class HashPartitioner:
+    """Online partitioner assigning entities by entity-id hash.
+
+    The partition count is fixed up front (as in Dynamo-style systems);
+    partitions are created lazily on first use.  The interface mirrors
+    :class:`~repro.core.partitioner.CinderellaPartitioner` so the
+    efficiency benchmark can drive all partitioners uniformly.
+    """
+
+    def __init__(
+        self,
+        num_partitions: int,
+        size_model: Optional[SizeModel] = None,
+    ) -> None:
+        if num_partitions < 1:
+            raise ValueError("need at least one partition")
+        self.num_partitions = num_partitions
+        self.size_model = size_model if size_model is not None else UniformSizeModel()
+        self.catalog = PartitionCatalog()
+        self._slot_to_pid: dict[int, int] = {}
+
+    def insert(self, eid: int, mask: int, payload_bytes: int = 0) -> ModificationOutcome:
+        slot = _mix(eid) % self.num_partitions
+        pid = self._slot_to_pid.get(slot)
+        outcome = ModificationOutcome(entity_id=eid)
+        if pid is None:
+            partition = self.catalog.create_partition()
+            pid = self._slot_to_pid[slot] = partition.pid
+            outcome.created_partitions.append(pid)
+        size = self.size_model.entity_size(mask, payload_bytes)
+        self.catalog.add_entity(pid, eid, mask, size)
+        outcome.partition_id = pid
+        outcome.moves.append(Move(eid, None, pid))
+        return outcome
+
+    def delete(self, eid: int) -> ModificationOutcome:
+        pid, _mask, _size = self.catalog.remove_entity(eid)
+        outcome = ModificationOutcome(entity_id=eid, partition_id=None)
+        if self.catalog.get(pid).is_empty():
+            self.catalog.drop_partition(pid)
+            for slot, slot_pid in list(self._slot_to_pid.items()):
+                if slot_pid == pid:
+                    del self._slot_to_pid[slot]
+            outcome.dropped_partitions.append(pid)
+        return outcome
+
+    def update(self, eid: int, mask: int, payload_bytes: int = 0) -> ModificationOutcome:
+        """Hash placement depends only on the id: always in place."""
+        size = self.size_model.entity_size(mask, payload_bytes)
+        pid = self.catalog.update_entity(eid, mask, size)
+        return ModificationOutcome(entity_id=eid, partition_id=pid, in_place=True)

@@ -1,0 +1,49 @@
+"""Oracle partitioner — the efficiency upper bound.
+
+Groups entities by their *exact* attribute-set signature and packs each
+group into partitions of at most ``B``.  Every partition is perfectly
+homogeneous (sparseness 0, like Cinderella at w = 0) while — unlike
+w = 0 — identical signatures are never scattered.  No entity-based
+partitioner can prune better, so this is the ceiling against which the
+efficiency benchmark scores Cinderella.  It is offline and needs a full
+pass plus unbounded working memory, which is exactly why the paper wants
+an online algorithm instead.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.catalog.catalog import PartitionCatalog
+from repro.core.sizes import SizeModel, UniformSizeModel
+
+
+class OraclePartitioner:
+    """Exact-signature grouping packed into fixed-size partitions."""
+
+    def __init__(
+        self,
+        max_partition_size: float,
+        size_model: SizeModel | None = None,
+    ) -> None:
+        if max_partition_size <= 0:
+            raise ValueError("max_partition_size must be positive")
+        self.max_partition_size = max_partition_size
+        self.size_model = size_model if size_model is not None else UniformSizeModel()
+        self.catalog = PartitionCatalog()
+
+    def fit(self, entities: Sequence[tuple[int, int]]) -> PartitionCatalog:
+        """Group by signature and build the partition catalog."""
+        if len(self.catalog):
+            raise RuntimeError("fit() may only be called once per instance")
+        groups: dict[int, list[int]] = {}
+        for eid, mask in entities:
+            groups.setdefault(mask, []).append(eid)
+        for mask in sorted(groups):
+            partition = self.catalog.create_partition()
+            for eid in groups[mask]:
+                size = self.size_model.entity_size(mask)
+                if partition.total_size + size > self.max_partition_size:
+                    partition = self.catalog.create_partition()
+                self.catalog.add_entity(partition.pid, eid, mask, size)
+        return self.catalog

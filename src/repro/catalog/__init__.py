@@ -1,0 +1,21 @@
+"""System catalog: attribute dictionary, partitions, and synopsis index."""
+
+from repro.catalog.catalog import (
+    EntityNotFoundError,
+    PartitionCatalog,
+    PartitionNotFoundError,
+)
+from repro.catalog.dictionary import AttributeDictionary, UnknownAttributeError
+from repro.catalog.partition import Partition, iter_attribute_ids
+from repro.catalog.synopsis_index import SynopsisIndex
+
+__all__ = [
+    "AttributeDictionary",
+    "EntityNotFoundError",
+    "Partition",
+    "PartitionCatalog",
+    "PartitionNotFoundError",
+    "SynopsisIndex",
+    "UnknownAttributeError",
+    "iter_attribute_ids",
+]

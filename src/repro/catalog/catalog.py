@@ -1,0 +1,217 @@
+"""The partition catalog — the system catalog of Algorithm 1.
+
+The catalog is what the paper's prototype kept in its single "catalog
+table": every partition's synopsis plus the bookkeeping needed to run the
+algorithm (which partition an entity lives in, the split starters, sizes).
+Algorithm 1's insert scans this catalog to rate each partition against the
+incoming entity.
+
+The catalog optionally carries a :class:`~repro.catalog.synopsis_index.SynopsisIndex`
+that restricts the scan to overlapping partitions (the paper's future-work
+extension); without it, :meth:`candidates` yields every partition, which is
+the literal Algorithm 1 behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.catalog.partition import Partition
+from repro.catalog.synopsis_index import SynopsisIndex
+
+
+class EntityNotFoundError(KeyError):
+    """Raised when an entity id is not present in any partition."""
+
+
+class PartitionNotFoundError(KeyError):
+    """Raised when a partition id is not present in the catalog."""
+
+
+class PartitionCatalog:
+    """All partitions of one universal table, addressable by id."""
+
+    def __init__(self, index: Optional[SynopsisIndex] = None) -> None:
+        self._partitions: dict[int, Partition] = {}
+        self._entity_to_pid: dict[int, int] = {}
+        self._next_pid = 0
+        self.index = index
+
+    # ------------------------------------------------------------------
+    # partitions
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._partitions)
+
+    def __iter__(self) -> Iterator[Partition]:
+        return iter(self._partitions.values())
+
+    def __contains__(self, pid: int) -> bool:
+        return pid in self._partitions
+
+    def partition_ids(self) -> tuple[int, ...]:
+        return tuple(self._partitions)
+
+    def get(self, pid: int) -> Partition:
+        try:
+            return self._partitions[pid]
+        except KeyError:
+            raise PartitionNotFoundError(pid) from None
+
+    def create_partition(self) -> Partition:
+        partition = Partition(self._next_pid)
+        self._next_pid += 1
+        self._partitions[partition.pid] = partition
+        if self.index is not None:
+            self.index.register(partition.pid, partition.mask)
+        return partition
+
+    def drop_partition(self, pid: int) -> None:
+        partition = self.get(pid)
+        if not partition.is_empty():
+            raise ValueError(
+                f"cannot drop partition {pid}: still holds {len(partition)} entities"
+            )
+        del self._partitions[pid]
+        if self.index is not None:
+            self.index.unregister(pid, partition.mask)
+
+    # ------------------------------------------------------------------
+    # entities
+    # ------------------------------------------------------------------
+    @property
+    def entity_count(self) -> int:
+        return len(self._entity_to_pid)
+
+    def partition_of(self, eid: int) -> int:
+        try:
+            return self._entity_to_pid[eid]
+        except KeyError:
+            raise EntityNotFoundError(eid) from None
+
+    def has_entity(self, eid: int) -> bool:
+        return eid in self._entity_to_pid
+
+    def add_entity(
+        self,
+        pid: int,
+        eid: int,
+        mask: int,
+        size: float,
+        observe_starters: bool = True,
+    ) -> None:
+        """Place an entity in a partition and maintain index + location map."""
+        if eid in self._entity_to_pid:
+            raise ValueError(
+                f"entity {eid} already placed in partition {self._entity_to_pid[eid]}"
+            )
+        partition = self.get(pid)
+        added_bits = partition.add(eid, mask, size, observe_starters=observe_starters)
+        self._entity_to_pid[eid] = pid
+        if self.index is not None:
+            self.index.on_bits_added(pid, added_bits)
+
+    def remove_entity(
+        self, eid: int, repair_starters: bool = True
+    ) -> tuple[int, int, float]:
+        """Remove an entity; return ``(pid, mask, size)`` it had."""
+        pid = self.partition_of(eid)
+        partition = self._partitions[pid]
+        mask, size, removed_bits = partition.remove(
+            eid, repair_starters=repair_starters
+        )
+        del self._entity_to_pid[eid]
+        if self.index is not None and removed_bits:
+            self.index.on_bits_removed(pid, removed_bits, partition.mask)
+        return pid, mask, size
+
+    def update_entity(self, eid: int, mask: int, size: float) -> int:
+        """Update an entity in place; return its (unchanged) partition id."""
+        pid = self.partition_of(eid)
+        partition = self._partitions[pid]
+        added_bits, removed_bits = partition.update_member(eid, mask, size)
+        if self.index is not None:
+            if added_bits:
+                self.index.on_bits_added(pid, added_bits)
+            if removed_bits:
+                self.index.on_bits_removed(pid, removed_bits, partition.mask)
+        return pid
+
+    # ------------------------------------------------------------------
+    # scans
+    # ------------------------------------------------------------------
+    def candidates(self, entity_mask: int, weight: float) -> Iterator[Partition]:
+        """Partitions to rate for an insert (Algorithm 1, lines 4–7).
+
+        Without an index this is every partition.  With the index, the scan
+        is restricted to partitions that can possibly rate non-negatively
+        (see :mod:`repro.catalog.synopsis_index` for the argument); at
+        ``weight == 1.0`` the restriction would be unsound, so the full
+        catalog is returned.
+        """
+        if self.index is None or weight >= 1.0:
+            return iter(self._partitions.values())
+        pids = self.index.candidate_pids(entity_mask)
+        return (self._partitions[pid] for pid in pids)
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> list[str]:
+        """Return a list of invariant violations (empty = healthy).
+
+        Checked invariants:
+
+        * every entity is located in exactly the partition the location map
+          says, and nowhere else;
+        * partition synopses equal the union of their members' masks;
+        * partition sizes equal the sum of their members' sizes;
+        * split starters are members of their partition;
+        * no empty partitions linger in the catalog;
+        * the synopsis index (if any) matches the partition synopses.
+        """
+        problems: list[str] = []
+        seen_entities: set[int] = set()
+        for partition in self._partitions.values():
+            union_mask = 0
+            total = 0.0
+            for eid, mask, size in partition.members():
+                union_mask |= mask
+                total += size
+                if self._entity_to_pid.get(eid) != partition.pid:
+                    problems.append(
+                        f"entity {eid} in partition {partition.pid} but location "
+                        f"map says {self._entity_to_pid.get(eid)}"
+                    )
+                if eid in seen_entities:
+                    problems.append(f"entity {eid} appears in multiple partitions")
+                seen_entities.add(eid)
+            if union_mask != partition.mask:
+                problems.append(
+                    f"partition {partition.pid} synopsis {partition.mask:#x} != "
+                    f"member union {union_mask:#x}"
+                )
+            if abs(total - partition.total_size) > 1e-9:
+                problems.append(
+                    f"partition {partition.pid} size {partition.total_size} != "
+                    f"member sum {total}"
+                )
+            starters = partition.starters
+            for starter_eid in (starters.eid_a, starters.eid_b):
+                if starter_eid is not None and starter_eid not in partition:
+                    problems.append(
+                        f"starter {starter_eid} not a member of partition "
+                        f"{partition.pid}"
+                    )
+            if partition.is_empty():
+                problems.append(f"empty partition {partition.pid} not dropped")
+        missing = set(self._entity_to_pid) - seen_entities
+        if missing:
+            problems.append(f"location map references missing entities {missing}")
+        if self.index is not None:
+            from repro.catalog.synopsis_index import verify_index_against_catalog
+
+            problems.extend(
+                verify_index_against_catalog(self.index, self._partitions.values())
+            )
+        return problems

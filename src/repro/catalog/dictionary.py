@@ -1,0 +1,123 @@
+"""Attribute dictionary: the table-wide mapping of attribute names to bits.
+
+A universal table hosts entities over a large, growing set of attributes.
+All synopses in this reproduction (entity, partition, and query synopses, see
+Sections II-IV of the paper) are integer bitmasks over a single, table-wide
+:class:`AttributeDictionary`.  The dictionary assigns each attribute name a
+stable bit position the first time the attribute is seen, which makes the
+set-algebraic synopsis operations the paper relies on (``|e ∧ p|``,
+``|e ⊕ p|``, ``|¬e ∧ p|``, ``|e ∨ p|``) cheap mask operations.
+
+The dictionary only ever grows.  Removing an attribute from the dictionary
+would invalidate every synopsis ever produced with it, so attributes whose
+last instance disappears simply keep their (now unused) bit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class UnknownAttributeError(KeyError):
+    """Raised when an attribute name or id is not in the dictionary."""
+
+
+class AttributeDictionary:
+    """Bidirectional mapping between attribute names and bit positions.
+
+    >>> d = AttributeDictionary()
+    >>> d.intern("name")
+    0
+    >>> d.intern("weight")
+    1
+    >>> d.intern("name")          # interning is idempotent
+    0
+    >>> d.encode(["weight"])      # bitmask with bit 1 set
+    2
+    >>> d.decode(3)
+    ('name', 'weight')
+    """
+
+    def __init__(self, names: Iterable[str] = ()) -> None:
+        self._name_to_id: dict[str, int] = {}
+        self._id_to_name: list[str] = []
+        for name in names:
+            self.intern(name)
+
+    def __len__(self) -> int:
+        return len(self._id_to_name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._name_to_id
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AttributeDictionary({len(self)} attributes)"
+
+    def intern(self, name: str) -> int:
+        """Return the bit position of *name*, registering it if new."""
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"attribute name must be a non-empty string, got {name!r}")
+        attr_id = self._name_to_id.get(name)
+        if attr_id is None:
+            attr_id = len(self._id_to_name)
+            self._name_to_id[name] = attr_id
+            self._id_to_name.append(name)
+        return attr_id
+
+    def id_of(self, name: str) -> int:
+        """Return the bit position of a known attribute name."""
+        try:
+            return self._name_to_id[name]
+        except KeyError:
+            raise UnknownAttributeError(name) from None
+
+    def name_of(self, attr_id: int) -> str:
+        """Return the attribute name registered at bit position *attr_id*."""
+        if 0 <= attr_id < len(self._id_to_name):
+            return self._id_to_name[attr_id]
+        raise UnknownAttributeError(attr_id)
+
+    def encode(self, names: Iterable[str]) -> int:
+        """Encode attribute *names* into a bitmask, interning new names."""
+        mask = 0
+        for name in names:
+            mask |= 1 << self.intern(name)
+        return mask
+
+    def encode_known(self, names: Iterable[str]) -> int:
+        """Encode *names* into a bitmask without interning.
+
+        Unknown names are ignored; this is the right behaviour for query
+        synopses, where an attribute that no entity has ever instantiated
+        cannot match anything anyway.
+        """
+        mask = 0
+        for name in names:
+            attr_id = self._name_to_id.get(name)
+            if attr_id is not None:
+                mask |= 1 << attr_id
+        return mask
+
+    def decode(self, mask: int) -> tuple[str, ...]:
+        """Decode a bitmask back into the sorted tuple of attribute names."""
+        if mask < 0:
+            raise ValueError("synopsis masks are non-negative integers")
+        names = []
+        attr_id = 0
+        while mask:
+            if mask & 1:
+                names.append(self.name_of(attr_id))
+            mask >>= 1
+            attr_id += 1
+        return tuple(names)
+
+    def universe_mask(self) -> int:
+        """Bitmask with every registered attribute set (the universal schema)."""
+        return (1 << len(self._id_to_name)) - 1
+
+    def names(self) -> tuple[str, ...]:
+        """All registered attribute names in bit order."""
+        return tuple(self._id_to_name)

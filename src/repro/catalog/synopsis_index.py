@@ -1,0 +1,133 @@
+"""Inverted synopsis index: attribute → partitions instantiating it.
+
+The paper's conclusions name "the management of a large number of partition
+synopses with specialized data structures" as the next research step.  This
+module is our implementation of that extension: an inverted index from
+attribute id to the set of partitions whose synopsis contains the
+attribute, so the insert-time rating scan touches only partitions that
+*overlap* the incoming entity instead of the whole catalog.
+
+The restriction is exact with respect to Algorithm 1's outcome:
+
+* a partition with zero synopsis overlap always rates negative (its local
+  rating is ``−(1−w)(SIZE(e)·|p| + SIZE(p)·|e|) < 0`` for ``w < 1``), so it
+  can never be the accepted best partition;
+* when *every* partition rates negative, Algorithm 1 opens a new partition
+  regardless of which negative rating was largest, so skipping zero-overlap
+  partitions never changes the decision;
+* the only zero-overlap pair rating non-negatively is an attribute-less
+  entity against an attribute-less partition (rating 0), which the index
+  covers with a dedicated posting list for empty-synopsis partitions;
+* for ``w = 1`` heterogeneity is ignored and zero-overlap partitions rate
+  exactly 0, tying with empty partitions — the index conservatively returns
+  the full catalog in that configuration.
+
+``bench_ablations.py`` verifies the equivalence empirically and measures
+the speedup; :mod:`tests.test_synopsis_index` proves it property-based.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, TYPE_CHECKING
+
+from repro.catalog.partition import iter_attribute_ids
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.catalog.partition import Partition
+
+
+class SynopsisIndex:
+    """Attribute-id → set of partition ids whose synopsis has the attribute."""
+
+    def __init__(self) -> None:
+        self._postings: dict[int, set[int]] = {}
+        self._empty_synopsis_pids: set[int] = set()
+        self._known_pids: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._known_pids)
+
+    def register(self, pid: int, mask: int) -> None:
+        """Start tracking a partition with its current synopsis mask."""
+        self._known_pids.add(pid)
+        if mask == 0:
+            self._empty_synopsis_pids.add(pid)
+        for attr_id in iter_attribute_ids(mask):
+            self._postings.setdefault(attr_id, set()).add(pid)
+
+    def unregister(self, pid: int, mask: int) -> None:
+        """Stop tracking a partition (e.g. dropped after a split)."""
+        self._known_pids.discard(pid)
+        self._empty_synopsis_pids.discard(pid)
+        for attr_id in iter_attribute_ids(mask):
+            postings = self._postings.get(attr_id)
+            if postings is not None:
+                postings.discard(pid)
+                if not postings:
+                    del self._postings[attr_id]
+
+    def on_bits_added(self, pid: int, added_bits: int) -> None:
+        """A partition's synopsis gained attributes (entity added/updated)."""
+        if added_bits:
+            self._empty_synopsis_pids.discard(pid)
+            for attr_id in iter_attribute_ids(added_bits):
+                self._postings.setdefault(attr_id, set()).add(pid)
+
+    def on_bits_removed(self, pid: int, removed_bits: int, new_mask: int) -> None:
+        """A partition's synopsis lost attributes (entity removed/updated)."""
+        for attr_id in iter_attribute_ids(removed_bits):
+            postings = self._postings.get(attr_id)
+            if postings is not None:
+                postings.discard(pid)
+                if not postings:
+                    del self._postings[attr_id]
+        if new_mask == 0 and pid in self._known_pids:
+            self._empty_synopsis_pids.add(pid)
+
+    def candidate_pids(self, entity_mask: int) -> set[int]:
+        """Partition ids that could rate non-negatively against the entity.
+
+        For a non-empty entity mask these are the partitions sharing at
+        least one attribute; for an empty mask, the attribute-less
+        partitions (see module docstring).
+        """
+        if entity_mask == 0:
+            return set(self._empty_synopsis_pids)
+        candidates: set[int] = set()
+        for attr_id in iter_attribute_ids(entity_mask):
+            postings = self._postings.get(attr_id)
+            if postings:
+                candidates.update(postings)
+        return candidates
+
+    def partitions_with_attribute(self, attr_id: int) -> frozenset[int]:
+        """Posting list for one attribute (used by query pruning)."""
+        return frozenset(self._postings.get(attr_id, ()))
+
+
+def verify_index_against_catalog(
+    index: SynopsisIndex, partitions: Iterable["Partition"]
+) -> list[str]:
+    """Cross-check index postings against the true partition synopses.
+
+    Returns a list of human-readable inconsistencies (empty = consistent).
+    Used by tests and by the catalog's ``check_invariants`` debugging hook.
+    """
+    problems: list[str] = []
+    expected_postings: dict[int, set[int]] = {}
+    expected_empty: set[int] = set()
+    for partition in partitions:
+        if partition.mask == 0:
+            expected_empty.add(partition.pid)
+        for attr_id in iter_attribute_ids(partition.mask):
+            expected_postings.setdefault(attr_id, set()).add(partition.pid)
+    if expected_postings != index._postings:
+        problems.append(
+            f"postings mismatch: expected {expected_postings}, got {index._postings}"
+        )
+    if expected_empty != index._empty_synopsis_pids:
+        problems.append(
+            "empty-synopsis set mismatch: "
+            f"expected {expected_empty}, got {index._empty_synopsis_pids}"
+        )
+    return problems

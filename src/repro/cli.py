@@ -1,0 +1,201 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo`` — partition the paper's Figure 1 product catalog and run a
+  pruned query, narrating every step.
+* ``dbpedia`` — generate the synthetic DBpedia person extract, load it
+  through Cinderella, and print the partitioning statistics (optionally
+  saving a snapshot).
+* ``tpch`` — load TPC-H into a Cinderella universal table, verify the
+  schema recovery, and optionally run one of the 22 queries.
+* ``advise`` — recommend B and w for a generated data sample.
+* ``inspect`` — print the partitioning statistics of a saved snapshot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.config import CinderellaConfig
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.query.query import AttributeQuery
+    from repro.table.partitioned import CinderellaTable
+
+    products = [
+        {"name": "Canon PowerShot S120", "resolution": 12.1, "aperture": 2.0},
+        {"name": "Sony SLT-A99", "resolution": 24, "aperture": 1.8},
+        {"name": "WD4000FYYZ", "storage": "4TB", "rotation": 7200},
+        {"name": "WD2003FYYS", "storage": "2TB", "rotation": 7200},
+        {"name": "LG 60LA7408", "screen": 40, "tuner": "DVB-T/C/S"},
+    ]
+    table = CinderellaTable(CinderellaConfig(max_partition_size=2, weight=0.3))
+    for product in products:
+        outcome = table.insert(product)
+        print(f"insert {product['name']!r} -> partition {outcome.partition_id}")
+    print(f"\n{table.partition_count()} partitions formed")
+    query = AttributeQuery(("aperture", "resolution"))
+    print(f"\n{query.sql()}")
+    result = table.execute(query)
+    print(result.plan.describe())
+    for row in result.rows:
+        print(f"  {row}")
+    return 0
+
+
+def _cmd_dbpedia(args: argparse.Namespace) -> int:
+    from repro.metrics.partition_stats import summarize_catalog
+    from repro.reporting.tables import format_kv_block
+    from repro.table.partitioned import CinderellaTable
+    from repro.workloads.dbpedia import generate_dbpedia_persons
+
+    dataset = generate_dbpedia_persons(n_entities=args.entities, seed=args.seed)
+    config = CinderellaConfig(
+        max_partition_size=args.partition_size, weight=args.weight
+    )
+    table = CinderellaTable(config)
+    for entity in dataset.entities:
+        table.insert(entity.attributes, entity_id=entity.entity_id)
+    summary = summarize_catalog(table.catalog)
+    print(format_kv_block(
+        f"Cinderella over {args.entities} DBpedia persons "
+        f"(B={args.partition_size:g}, w={args.weight})",
+        [
+            ("partitions", summary.partition_count),
+            ("splits", table.partitioner.split_count),
+            ("median entities/partition", summary.entities_summary.median),
+            ("median attributes/partition", summary.attributes_summary.median),
+            ("median sparseness/partition", summary.sparseness_summary.median),
+            ("dataset sparseness", dataset.sparseness()),
+        ],
+    ))
+    if args.snapshot:
+        from repro.storage.snapshot import save_table
+
+        save_table(table, args.snapshot)
+        print(f"snapshot written to {args.snapshot}")
+    return 0
+
+
+def _cmd_tpch(args: argparse.Namespace) -> int:
+    from repro.workloads.tpch.databases import CinderellaTPCHDatabase
+    from repro.workloads.tpch.dbgen import generate_tpch
+    from repro.workloads.tpch.queries import run_query
+
+    data = generate_tpch(scale_factor=args.scale_factor, seed=args.seed)
+    print(f"TPC-H SF {args.scale_factor}: {data.total_rows()} rows")
+    db = CinderellaTPCHDatabase(
+        data, CinderellaConfig(max_partition_size=args.partition_size, weight=0.5)
+    )
+    print(f"{db.partition_count()} partitions; "
+          f"schema recovered exactly: {db.schema_is_exact()}")
+    if args.query is not None:
+        rows = run_query(args.query, db)
+        print(f"\nQ{args.query}: {len(rows)} rows")
+        for row in rows[:10]:
+            print(f"  {row}")
+        if len(rows) > 10:
+            print(f"  ... ({len(rows) - 10} more)")
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from repro.reporting.tables import format_table
+    from repro.tuning.advisor import advise
+    from repro.workloads.dbpedia import generate_dbpedia_persons
+
+    dataset = generate_dbpedia_persons(n_entities=args.entities, seed=args.seed)
+    dictionary = dataset.dictionary()
+    masks = [entity.synopsis_mask(dictionary) for entity in dataset.entities]
+    report = advise(masks)
+    print(format_table(
+        ["w", "B", "efficiency", "partitions", "score"],
+        [
+            [t.weight, f"{t.max_partition_size:g}", t.efficiency,
+             t.partition_count, t.score]
+            for t in report.trials
+        ],
+        title=f"Advisor trials over {report.sample_size} entities",
+    ))
+    recommended = report.recommended
+    print(f"\nrecommended: B={recommended.max_partition_size:g} "
+          f"w={recommended.weight}")
+    print(f"rationale: {report.rationale}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.metrics.partition_stats import summarize_catalog
+    from repro.reporting.tables import format_kv_block
+    from repro.storage.snapshot import SnapshotFormatError, load_table
+
+    try:
+        table = load_table(args.snapshot)
+    except SnapshotFormatError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    summary = summarize_catalog(table.catalog)
+    print(format_kv_block(
+        f"Snapshot {args.snapshot}",
+        [
+            ("entities", summary.entity_count),
+            ("partitions", summary.partition_count),
+            ("B", f"{table.config.max_partition_size:g}"),
+            ("w", table.config.weight),
+            ("median entities/partition", summary.entities_summary.median),
+            ("median attributes/partition", summary.attributes_summary.median),
+        ],
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cinderella online partitioning — paper reproduction CLI",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("demo", help="partition the Figure 1 product catalog")
+
+    dbpedia = commands.add_parser("dbpedia", help="run the DBpedia scenario")
+    dbpedia.add_argument("--entities", type=int, default=10_000)
+    dbpedia.add_argument("--partition-size", type=float, default=500.0)
+    dbpedia.add_argument("--weight", type=float, default=0.2)
+    dbpedia.add_argument("--seed", type=int, default=42)
+    dbpedia.add_argument("--snapshot", help="save the loaded table here")
+
+    tpch = commands.add_parser("tpch", help="run the TPC-H scenario")
+    tpch.add_argument("--scale-factor", type=float, default=0.002)
+    tpch.add_argument("--partition-size", type=float, default=500.0)
+    tpch.add_argument("--seed", type=int, default=7)
+    tpch.add_argument("--query", type=int, choices=range(1, 23),
+                      metavar="1-22", help="also run this TPC-H query")
+
+    advise = commands.add_parser("advise", help="recommend B and w")
+    advise.add_argument("--entities", type=int, default=2_000)
+    advise.add_argument("--seed", type=int, default=42)
+
+    inspect = commands.add_parser("inspect", help="inspect a snapshot file")
+    inspect.add_argument("snapshot")
+
+    return parser
+
+
+_HANDLERS = {
+    "demo": _cmd_demo,
+    "dbpedia": _cmd_dbpedia,
+    "tpch": _cmd_tpch,
+    "advise": _cmd_advise,
+    "inspect": _cmd_inspect,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)

@@ -1,0 +1,41 @@
+"""Core of the reproduction: the Cinderella algorithm and its metrics."""
+
+from repro.core.config import CinderellaConfig
+from repro.core.efficiency import (
+    catalog_efficiency,
+    partitioning_efficiency,
+    universal_table_efficiency,
+)
+from repro.core.outcomes import ModificationOutcome, Move
+from repro.core.partitioner import CinderellaPartitioner
+from repro.core.rating import RatingBreakdown, rate, rate_fast
+from repro.core.sizes import (
+    AttributeCountSizeModel,
+    ByteSizeModel,
+    SizeModel,
+    UniformSizeModel,
+)
+from repro.catalog.starters import SplitStarters
+from repro.core.synopsis import Synopsis
+from repro.core.workload_mode import WorkloadBasedPartitioner, WorkloadSynopsisEncoder
+
+__all__ = [
+    "AttributeCountSizeModel",
+    "ByteSizeModel",
+    "CinderellaConfig",
+    "CinderellaPartitioner",
+    "ModificationOutcome",
+    "Move",
+    "RatingBreakdown",
+    "SizeModel",
+    "SplitStarters",
+    "Synopsis",
+    "UniformSizeModel",
+    "WorkloadBasedPartitioner",
+    "WorkloadSynopsisEncoder",
+    "catalog_efficiency",
+    "partitioning_efficiency",
+    "rate",
+    "rate_fast",
+    "universal_table_efficiency",
+]

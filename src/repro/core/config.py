@@ -1,0 +1,66 @@
+"""Configuration of the Cinderella partitioner.
+
+Cinderella has two main parameters (Section V): the partition size limit
+``B`` (``MAXSIZE`` in Algorithm 1) and the rating weight ``w`` balancing
+positive against negative evidence (Section IV).  The remaining knobs
+select the size model, the (optional) synopsis index extension mentioned in
+the paper's conclusions, and two ablation switches used by the benchmark
+harness (exact split starters, first-fit partition selection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+from repro.core.sizes import SizeModel, UniformSizeModel
+
+
+@dataclass(frozen=True)
+class CinderellaConfig:
+    """Parameters controlling :class:`repro.core.partitioner.CinderellaPartitioner`.
+
+    Attributes:
+        max_partition_size: the paper's ``B`` / ``MAXSIZE`` — a partition is
+            split when adding an entity would push its total size beyond
+            this limit.  With the default :class:`UniformSizeModel` the limit
+            is a number of entities, matching the paper's B = 500 … 50 000.
+        weight: the paper's ``w`` in ``r' = w·h⁺ − (1−w)(hₑ⁻+hₚ⁻)``.
+            ``w = 0`` only ever accepts perfectly homogeneous placements;
+            the paper finds 0.2–0.5 reasonable.
+        size_model: the ``SIZE()`` function used for ratings, capacity
+            checks, and the efficiency metric.
+        use_synopsis_index: enable the inverted attribute→partition index
+            (Section VII future work).  Off by default so the reference
+            behaviour is Algorithm 1's full catalog scan.
+        exact_starters: ablation — maintain split starters by exhaustive
+            pairwise search (quadratic) instead of the paper's incremental
+            heuristic.
+        selection: ablation — ``"best"`` scans the whole catalog for the
+            best rating (Algorithm 1); ``"first"`` greedily takes the first
+            non-negative rating.
+        normalize_rating: ablation — when False, partitions are compared
+            by the *local* rating ``r'`` instead of the global rating
+            ``r``.  Section IV argues ``r'`` "is not comparable between
+            partitions because the amount of data and size of the
+            attribute set varies"; disabling the normalisation
+            demonstrates why (large partitions dominate every comparison).
+    """
+
+    max_partition_size: float = 5000.0
+    weight: float = 0.5
+    size_model: SizeModel = field(default_factory=UniformSizeModel)
+    use_synopsis_index: bool = False
+    exact_starters: bool = False
+    selection: Literal["best", "first"] = "best"
+    normalize_rating: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.weight <= 1.0:
+            raise ValueError(f"weight must lie in [0, 1], got {self.weight}")
+        if self.max_partition_size <= 0:
+            raise ValueError(
+                f"max_partition_size must be positive, got {self.max_partition_size}"
+            )
+        if self.selection not in ("best", "first"):
+            raise ValueError(f"selection must be 'best' or 'first', got {self.selection!r}")

@@ -1,0 +1,57 @@
+"""Outcome records of Cinderella modification operations.
+
+Cinderella is a *logical* partitioner: it decides placements on synopses.
+The physical table layer (:mod:`repro.table.partitioned`) must mirror those
+decisions by moving serialized records between heap files.  Every
+modification therefore returns an outcome object describing exactly what
+happened — which partitions were created or dropped, which entities moved
+where, and how many splits occurred — in apply order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Move:
+    """One physical relocation: entity *eid* goes to partition *to_pid*.
+
+    ``from_pid`` is ``None`` when the entity enters the table for the first
+    time (a fresh insert) — there is nothing to delete at the source.
+    """
+
+    eid: int
+    from_pid: Optional[int]
+    to_pid: int
+
+
+@dataclass
+class ModificationOutcome:
+    """Everything a modification did to the partitioning.
+
+    Attributes:
+        entity_id: the entity the operation was about.
+        partition_id: the entity's partition after the operation
+            (``None`` after a delete).
+        created_partitions: partition ids opened, in creation order.
+        dropped_partitions: partition ids removed (split sources and
+            partitions emptied by deletes).
+        moves: physical relocations in the order they must be applied.
+        splits: number of partition splits triggered (cascades count each).
+        in_place: True when an update changed the entity without moving it.
+    """
+
+    entity_id: int
+    partition_id: Optional[int] = None
+    created_partitions: list[int] = field(default_factory=list)
+    dropped_partitions: list[int] = field(default_factory=list)
+    moves: list[Move] = field(default_factory=list)
+    splits: int = 0
+    in_place: bool = False
+
+    @property
+    def moved(self) -> bool:
+        """True when any physical relocation is required."""
+        return bool(self.moves)

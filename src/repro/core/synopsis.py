@@ -1,0 +1,146 @@
+"""Synopses: compact attribute-set summaries of entities, partitions, queries.
+
+The paper (Section II) describes entities, partitions, and queries uniformly
+through *synopses* — attribute sets on which the partitioning efficiency and
+the Cinderella rating are defined.  This module provides both a thin
+object-oriented wrapper (:class:`Synopsis`) and the raw mask-level functions
+used on hot paths (rating scans touch every partition for every insert, so
+the partitioner works on plain integers and calls these helpers).
+
+All cardinality operators of the paper map to population counts of mask
+combinations:
+
+=====================  ==========================================
+Paper notation         Mask expression
+=====================  ==========================================
+``|a ∧ b|``            ``(a & b).bit_count()``
+``|a ∨ b|``            ``(a | b).bit_count()``
+``|a ⊕ b|``            ``(a ^ b).bit_count()``
+``|¬a ∧ b|``           ``(b & ~a).bit_count()`` == ``|b| - |a ∧ b|``
+=====================  ==========================================
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.catalog.dictionary import AttributeDictionary
+
+
+def overlap(a: int, b: int) -> int:
+    """``|a ∧ b|`` — number of attributes shared by both synopses.
+
+    >>> overlap(0b0110, 0b0011)
+    1
+    """
+    return (a & b).bit_count()
+
+
+def union_count(a: int, b: int) -> int:
+    """``|a ∨ b|`` — number of distinct attributes across both synopses."""
+    return (a | b).bit_count()
+
+
+def difference(a: int, b: int) -> int:
+    """``|a ⊕ b|`` — the DIFF measure used for split starters (Section III)."""
+    return (a ^ b).bit_count()
+
+
+def missing_from(a: int, b: int) -> int:
+    """``|¬a ∧ b|`` — attributes present in *b* but absent from *a*."""
+    return (b & ~a).bit_count()
+
+
+def is_relevant(entity_or_partition: int, query: int) -> bool:
+    """``sgn(|x ∧ q|) = 1`` — the pruning predicate of Definition 1."""
+    return (entity_or_partition & query) != 0
+
+
+class Synopsis:
+    """An immutable attribute-set synopsis bound to a dictionary.
+
+    ``Synopsis`` is the public, name-aware face of the integer masks the
+    algorithm uses internally.  Set algebra is available through operators::
+
+        s1 & s2    # intersection
+        s1 | s2    # union
+        s1 ^ s2    # symmetric difference
+        len(s1)    # cardinality
+    """
+
+    __slots__ = ("_mask", "_dictionary")
+
+    def __init__(self, mask: int, dictionary: "AttributeDictionary") -> None:
+        if mask < 0:
+            raise ValueError("synopsis masks are non-negative integers")
+        self._mask = mask
+        self._dictionary = dictionary
+
+    @classmethod
+    def of(
+        cls, attributes: Iterable[str], dictionary: "AttributeDictionary"
+    ) -> "Synopsis":
+        """Build a synopsis from attribute names, interning new names."""
+        return cls(dictionary.encode(attributes), dictionary)
+
+    @property
+    def mask(self) -> int:
+        """The raw bitmask (what the partitioner's hot loop consumes)."""
+        return self._mask
+
+    @property
+    def dictionary(self) -> "AttributeDictionary":
+        return self._dictionary
+
+    def attributes(self) -> tuple[str, ...]:
+        """The attribute names this synopsis lists."""
+        return self._dictionary.decode(self._mask)
+
+    def __len__(self) -> int:
+        return self._mask.bit_count()
+
+    def __bool__(self) -> bool:
+        return self._mask != 0
+
+    def __contains__(self, name: str) -> bool:
+        if name not in self._dictionary:
+            return False
+        return bool(self._mask & (1 << self._dictionary.id_of(name)))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Synopsis):
+            return NotImplemented
+        return self._mask == other._mask and self._dictionary is other._dictionary
+
+    def __hash__(self) -> int:
+        return hash((self._mask, id(self._dictionary)))
+
+    def _check_compatible(self, other: "Synopsis") -> None:
+        if self._dictionary is not other._dictionary:
+            raise ValueError("synopses belong to different attribute dictionaries")
+
+    def __and__(self, other: "Synopsis") -> "Synopsis":
+        self._check_compatible(other)
+        return Synopsis(self._mask & other._mask, self._dictionary)
+
+    def __or__(self, other: "Synopsis") -> "Synopsis":
+        self._check_compatible(other)
+        return Synopsis(self._mask | other._mask, self._dictionary)
+
+    def __xor__(self, other: "Synopsis") -> "Synopsis":
+        self._check_compatible(other)
+        return Synopsis(self._mask ^ other._mask, self._dictionary)
+
+    def overlaps(self, other: "Synopsis") -> bool:
+        """True when ``|self ∧ other| > 0`` (the query-relevance test)."""
+        self._check_compatible(other)
+        return (self._mask & other._mask) != 0
+
+    def contains_all(self, other: "Synopsis") -> bool:
+        """True when every attribute of *other* is present in *self*."""
+        self._check_compatible(other)
+        return (self._mask & other._mask) == other._mask
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Synopsis({', '.join(self.attributes())})"

@@ -1,0 +1,5 @@
+"""Cost model translating I/O accounting into simulated execution time."""
+
+from repro.cost.model import CostModel
+
+__all__ = ["CostModel"]

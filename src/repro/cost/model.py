@@ -1,0 +1,112 @@
+"""Execution-time cost model — the stand-in for the paper's wall clock.
+
+The paper measures query and insert times on a PostgreSQL prototype.  Our
+substrate is a Python storage simulator, so raw wall-clock numbers would
+reflect interpreter overheads rather than the effects the paper studies.
+Instead, the benchmarks report a *simulated* execution time computed from
+the exact I/O accounting of the executor.  The model captures the three
+effects the paper's discussion identifies:
+
+1. **Scan volume.**  Reading pages and evaluating tuples dominates; the
+   universal table always pays for everything, partitioned execution only
+   for the surviving partitions (Definition 1's "data actually read").
+2. **UNION ALL overhead.**  "During the union operation, the database
+   system has to project all tuples of every involved partition to the
+   common schema" (Section V-B) — a per-tuple surcharge that only
+   partitioned execution pays, which is why low-selectivity queries run
+   *slower* with Cinderella than on the plain universal table.
+3. **Per-branch overhead.**  Each UNION branch is an extra relation to
+   open and plan; many small partitions make unselective queries pay for
+   it (the B = 500 curve in Figure 5 crossing above the others on the
+   right).
+
+The default coefficients are loosely calibrated to the prototype's
+hardware class (a few-ms queries on ~100 k entities) — absolute values are
+irrelevant to the reproduction; orderings and crossovers are what the
+benchmarks assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.query.executor import ExecutionStats
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Linear cost model over execution statistics (milliseconds)."""
+
+    #: per physical page read (sequential I/O + page interpretation)
+    page_read_ms: float = 0.05
+    #: per record deserialized and tested against the predicate
+    record_scan_ms: float = 0.001
+    #: per row placed in the result set
+    row_output_ms: float = 0.0005
+    #: per UNION ALL branch (open the partition relation, plan overhead)
+    branch_overhead_ms: float = 0.1
+    #: per record read inside a UNION ALL (projection to the common schema)
+    union_project_ms: float = 0.0008
+    #: fixed per-insert cost (trigger dispatch, record serialization)
+    insert_base_ms: float = 0.8
+    #: per partition rating computed during the catalog scan
+    rating_ms: float = 0.002
+    #: per record physically moved between partitions
+    record_move_ms: float = 0.05
+    #: per byte physically moved
+    byte_move_ms: float = 0.00002
+    #: per partition created (DDL in the prototype)
+    partition_create_ms: float = 2.0
+    #: per row consumed by downstream query processing (joins, grouping,
+    #: sorting) — identical work on both access paths; see workload_time_ms
+    engine_process_ms: float = 0.004
+
+    def query_time_ms(self, stats: "ExecutionStats") -> float:
+        """Simulated execution time of one query, in milliseconds."""
+        time_ms = (
+            self.page_read_ms * stats.pages_read
+            + self.record_scan_ms * stats.entities_read
+            + self.row_output_ms * stats.rows_returned
+        )
+        if stats.union_branches:
+            time_ms += self.branch_overhead_ms * stats.union_branches
+            time_ms += self.union_project_ms * stats.entities_read
+        return time_ms
+
+    def workload_time_ms(self, stats: "ExecutionStats") -> float:
+        """Simulated time of a *full relational query*, in milliseconds.
+
+        ``query_time_ms`` prices the access path only (scans, pruning,
+        union overhead), which is the right lens for Figures 5 and 6 where
+        the queries are pure projections.  The TPC-H workload of Table I
+        additionally performs joins, grouping, and sorting on every row
+        delivered by the access path — work that is identical on both
+        access paths and that the paper's totals therefore include.  This
+        method adds that engine-processing term.
+        """
+        return self.query_time_ms(stats) + self.engine_process_ms * (
+            stats.rows_returned
+        )
+
+    def insert_time_ms(
+        self,
+        ratings_computed: int,
+        records_moved: int,
+        bytes_moved: int,
+        partitions_created: int,
+    ) -> float:
+        """Simulated execution time of one insert, in milliseconds.
+
+        Models Section III's cost discussion: finding the best partition
+        is linear in the catalog (``ratings_computed``), while a split is
+        dominated by physically moving entities between partitions.
+        """
+        return (
+            self.rating_ms * ratings_computed
+            + self.record_move_ms * records_moved
+            + self.byte_move_ms * bytes_moved
+            + self.partition_create_ms * partitions_created
+            + self.insert_base_ms
+        )

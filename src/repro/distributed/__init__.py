@@ -1,0 +1,17 @@
+"""Distributed deployment simulation: partitions across cluster nodes."""
+
+from repro.distributed.cluster import Node, PlacementError, SimulatedCluster
+from repro.distributed.store import (
+    DistributedQueryStats,
+    DistributedUniversalStore,
+    NetworkCostModel,
+)
+
+__all__ = [
+    "DistributedQueryStats",
+    "DistributedUniversalStore",
+    "NetworkCostModel",
+    "Node",
+    "PlacementError",
+    "SimulatedCluster",
+]

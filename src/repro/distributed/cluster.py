@@ -1,0 +1,100 @@
+"""Simulated shared-nothing cluster hosting partitions on nodes.
+
+Section II names distributed databases as the most obvious home of the
+online partitioning problem: "partitions are distributed among the
+nodes".  This module simulates that deployment level: a fixed set of
+nodes, each hosting whole partitions, with capacity-balanced placement.
+The simulation is about *placement and communication*, not storage —
+partition contents stay in the coordinator's tables; the cluster tracks
+which node must be contacted for which partition and how much data lives
+where.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class PlacementError(RuntimeError):
+    """Raised on inconsistent placement operations."""
+
+
+@dataclass
+class Node:
+    """One cluster node: hosted partitions and their total size."""
+
+    node_id: int
+    partitions: set[int] = field(default_factory=set)
+    load: float = 0.0
+
+
+class SimulatedCluster:
+    """Nodes plus least-loaded placement of partitions.
+
+    Placement policy: a new partition lands on the currently least-loaded
+    node (ties broken by node id) — the standard balanced-placement
+    baseline of distributed stores.  Growing or shrinking a partition
+    adjusts its node's load in place; partitions never migrate unless
+    dropped and re-placed (Cinderella's splits do exactly that).
+    """
+
+    def __init__(self, node_count: int) -> None:
+        if node_count < 1:
+            raise ValueError("a cluster needs at least one node")
+        self.nodes = [Node(node_id) for node_id in range(node_count)]
+        self._node_of: dict[int, int] = {}
+        self._sizes: dict[int, float] = {}
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def partition_count(self) -> int:
+        return len(self._node_of)
+
+    def node_of(self, pid: int) -> int:
+        try:
+            return self._node_of[pid]
+        except KeyError:
+            raise PlacementError(f"partition {pid} is not placed") from None
+
+    def place_partition(self, pid: int, size: float = 0.0) -> int:
+        """Place a new partition on the least-loaded node; return node id."""
+        if pid in self._node_of:
+            raise PlacementError(f"partition {pid} already placed")
+        node = min(self.nodes, key=lambda n: (n.load, n.node_id))
+        node.partitions.add(pid)
+        node.load += size
+        self._node_of[pid] = node.node_id
+        self._sizes[pid] = size
+        return node.node_id
+
+    def drop_partition(self, pid: int) -> None:
+        node = self.nodes[self.node_of(pid)]
+        node.partitions.discard(pid)
+        node.load -= self._sizes.pop(pid)
+        del self._node_of[pid]
+
+    def resize_partition(self, pid: int, delta: float) -> None:
+        """Adjust a partition's size contribution on its node."""
+        self.nodes[self.node_of(pid)].load += delta
+        self._sizes[pid] += delta
+
+    def partition_size(self, pid: int) -> float:
+        self.node_of(pid)  # raise if unplaced
+        return self._sizes[pid]
+
+    def loads(self) -> list[float]:
+        return [node.load for node in self.nodes]
+
+    def imbalance(self) -> float:
+        """max/mean load ratio — 1.0 is perfectly balanced."""
+        loads = self.loads()
+        mean = sum(loads) / len(loads)
+        if mean == 0:
+            return 1.0
+        return max(loads) / mean
+
+    def nodes_for_partitions(self, pids) -> set[int]:
+        """The set of nodes a query over these partitions must contact."""
+        return {self.node_of(pid) for pid in pids}

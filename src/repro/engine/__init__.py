@@ -1,0 +1,39 @@
+"""Relational operator library used by the TPC-H experiment."""
+
+from repro.engine.aggregates import (
+    Aggregate,
+    Avg,
+    Count,
+    CountDistinct,
+    Max,
+    Min,
+    Sum,
+)
+from repro.engine.operators import (
+    extend,
+    group_by,
+    hash_join,
+    limit,
+    order_by,
+    order_by_many,
+    project,
+    select,
+)
+
+__all__ = [
+    "Aggregate",
+    "Avg",
+    "Count",
+    "CountDistinct",
+    "Max",
+    "Min",
+    "Sum",
+    "extend",
+    "group_by",
+    "hash_join",
+    "limit",
+    "order_by",
+    "order_by_many",
+    "project",
+    "select",
+]

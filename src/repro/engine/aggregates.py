@@ -1,0 +1,133 @@
+"""Aggregate functions for the relational operator library.
+
+Aggregates follow the classic init/step/final contract so
+:func:`repro.engine.operators.group_by` can fold them in one pass.  Each
+factory takes either a column name or a callable computing the input
+expression from a row — enough to express every TPC-H aggregate
+(``sum(l_extendedprice * (1 - l_discount))`` etc.).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Optional, Union
+
+Expr = Union[str, Callable[[Mapping[str, Any]], Any]]
+
+
+def compile_expr(expr: Expr) -> Callable[[Mapping[str, Any]], Any]:
+    """Turn a column name or callable into a row function."""
+    if callable(expr):
+        return expr
+    if isinstance(expr, str):
+        name = expr
+        return lambda row: row[name]
+    raise TypeError(f"expression must be a column name or callable, got {expr!r}")
+
+
+class Aggregate:
+    """Base class: subclasses implement ``step`` and ``result``."""
+
+    def step(self, row: Mapping[str, Any]) -> None:
+        raise NotImplementedError
+
+    def result(self) -> Any:
+        raise NotImplementedError
+
+
+class Sum(Aggregate):
+    """``SUM(expr)`` — 0 for an empty group (SQL would say NULL; TPC-H
+    groups are never empty, and 0 keeps arithmetic simple)."""
+
+    def __init__(self, expr: Expr) -> None:
+        self._expr = compile_expr(expr)
+        self._total = 0.0
+
+    def step(self, row: Mapping[str, Any]) -> None:
+        self._total += self._expr(row)
+
+    def result(self) -> float:
+        return self._total
+
+
+class Count(Aggregate):
+    """``COUNT(*)`` or, with an expression, ``COUNT(expr)`` counting
+    non-None values."""
+
+    def __init__(self, expr: Optional[Expr] = None) -> None:
+        self._expr = compile_expr(expr) if expr is not None else None
+        self._count = 0
+
+    def step(self, row: Mapping[str, Any]) -> None:
+        if self._expr is None or self._expr(row) is not None:
+            self._count += 1
+
+    def result(self) -> int:
+        return self._count
+
+
+class CountDistinct(Aggregate):
+    """``COUNT(DISTINCT expr)``."""
+
+    def __init__(self, expr: Expr) -> None:
+        self._expr = compile_expr(expr)
+        self._seen: set[Any] = set()
+
+    def step(self, row: Mapping[str, Any]) -> None:
+        self._seen.add(self._expr(row))
+
+    def result(self) -> int:
+        return len(self._seen)
+
+
+class Avg(Aggregate):
+    """``AVG(expr)`` — None for an empty group."""
+
+    def __init__(self, expr: Expr) -> None:
+        self._expr = compile_expr(expr)
+        self._total = 0.0
+        self._count = 0
+
+    def step(self, row: Mapping[str, Any]) -> None:
+        self._total += self._expr(row)
+        self._count += 1
+
+    def result(self) -> Optional[float]:
+        if self._count == 0:
+            return None
+        return self._total / self._count
+
+
+class Min(Aggregate):
+    """``MIN(expr)`` — None for an empty group."""
+
+    def __init__(self, expr: Expr) -> None:
+        self._expr = compile_expr(expr)
+        self._best: Any = None
+
+    def step(self, row: Mapping[str, Any]) -> None:
+        value = self._expr(row)
+        if self._best is None or value < self._best:
+            self._best = value
+
+    def result(self) -> Any:
+        return self._best
+
+
+class Max(Aggregate):
+    """``MAX(expr)`` — None for an empty group."""
+
+    def __init__(self, expr: Expr) -> None:
+        self._expr = compile_expr(expr)
+        self._best: Any = None
+
+    def step(self, row: Mapping[str, Any]) -> None:
+        value = self._expr(row)
+        if self._best is None or value > self._best:
+            self._best = value
+
+    def result(self) -> Any:
+        return self._best
+
+
+#: factory type used by ``group_by``: builds a fresh Aggregate per group
+AggregateFactory = Callable[[], Aggregate]

@@ -1,0 +1,182 @@
+"""Relational operators — the executor under the TPC-H experiment.
+
+A deliberately small but complete physical operator library working on
+iterables of ``dict`` rows: selection, projection, hash joins (inner,
+left-outer, semi, anti), grouping with streaming aggregates, sorting, and
+limiting.  All 22 TPC-H queries of :mod:`repro.workloads.tpch.queries`
+compose these operators; the same query code runs against regular tables
+and against Cinderella's schema-emulating views, which is what Table I
+compares.
+
+Rows are plain dicts; joins merge left and right rows, which is unambiguous
+for TPC-H since every table's columns carry a unique prefix.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence, Union
+
+from repro.engine.aggregates import Aggregate, compile_expr
+
+Row = dict[str, Any]
+KeySpec = Union[str, Sequence[str], Callable[[Mapping[str, Any]], Any]]
+
+
+def compile_key(key: KeySpec) -> Callable[[Mapping[str, Any]], Any]:
+    """Turn a column / column list / callable into a grouping-key function."""
+    if callable(key):
+        return key
+    if isinstance(key, str):
+        name = key
+        return lambda row: row[name]
+    names = tuple(key)
+    return lambda row: tuple(row[name] for name in names)
+
+
+def select(rows: Iterable[Row], predicate: Callable[[Row], bool]) -> Iterator[Row]:
+    """Filter: yield rows satisfying the predicate."""
+    return (row for row in rows if predicate(row))
+
+
+def project(
+    rows: Iterable[Row], columns: Mapping[str, Any] | Sequence[str]
+) -> Iterator[Row]:
+    """Projection: keep named columns, or compute ``{out: expr}`` columns."""
+    if isinstance(columns, Mapping):
+        compiled = {name: compile_expr(expr) for name, expr in columns.items()}
+        return ({name: fn(row) for name, fn in compiled.items()} for row in rows)
+    names = tuple(columns)
+    return ({name: row[name] for name in names} for row in rows)
+
+
+def extend(rows: Iterable[Row], **computed: Any) -> Iterator[Row]:
+    """Add derived columns, keeping the existing ones."""
+    compiled = {name: compile_expr(expr) for name, expr in computed.items()}
+    for row in rows:
+        enriched = dict(row)
+        for name, fn in compiled.items():
+            enriched[name] = fn(row)
+        yield enriched
+
+
+def hash_join(
+    left: Iterable[Row],
+    right: Iterable[Row],
+    left_key: KeySpec,
+    right_key: KeySpec,
+    how: str = "inner",
+) -> Iterator[Row]:
+    """Hash join: build on the right input, probe with the left.
+
+    ``how`` selects the flavour:
+
+    * ``inner`` — merged row per matching pair;
+    * ``left`` — additionally, unmatched left rows (right columns absent);
+    * ``semi`` — left rows with at least one match, unmerged;
+    * ``anti`` — left rows with no match, unmerged.
+    """
+    if how not in ("inner", "left", "semi", "anti"):
+        raise ValueError(f"unknown join flavour {how!r}")
+    probe_key = compile_key(left_key)
+    build_key = compile_key(right_key)
+    buckets: dict[Any, list[Row]] = {}
+    for row in right:
+        buckets.setdefault(build_key(row), []).append(row)
+    for row in left:
+        matches = buckets.get(probe_key(row))
+        if how == "semi":
+            if matches:
+                yield row
+        elif how == "anti":
+            if not matches:
+                yield row
+        elif matches:
+            for match in matches:
+                yield {**row, **match}
+        elif how == "left":
+            yield dict(row)
+
+
+def group_by(
+    rows: Iterable[Row],
+    key: KeySpec | None,
+    aggregates: Mapping[str, Callable[[], Aggregate]],
+    key_names: Sequence[str] | None = None,
+) -> list[Row]:
+    """Hash aggregation.
+
+    ``key=None`` aggregates everything into a single row (scalar
+    aggregate; the row is produced even for empty input, as in SQL).
+    When ``key`` is a column list, the key columns are carried into the
+    output under their own names; for callables pass ``key_names``.
+    """
+    if key is None:
+        totals = {name: factory() for name, factory in aggregates.items()}
+        for row in rows:
+            for aggregate in totals.values():
+                aggregate.step(row)
+        return [{name: aggregate.result() for name, aggregate in totals.items()}]
+
+    if key_names is None:
+        if isinstance(key, str):
+            key_names = (key,)
+        elif not callable(key):
+            key_names = tuple(key)
+        else:
+            raise ValueError("callable keys require key_names")
+    key_fn = compile_key(key)
+    groups: dict[Any, dict[str, Aggregate]] = {}
+    for row in rows:
+        group_key = key_fn(row)
+        group = groups.get(group_key)
+        if group is None:
+            group = groups[group_key] = {
+                name: factory() for name, factory in aggregates.items()
+            }
+        for aggregate in group.values():
+            aggregate.step(row)
+    results: list[Row] = []
+    for group_key, group in groups.items():
+        if len(key_names) == 1 and not isinstance(group_key, tuple):
+            out: Row = {key_names[0]: group_key}
+        else:
+            out = dict(zip(key_names, group_key))
+        for name, aggregate in group.items():
+            out[name] = aggregate.result()
+        results.append(out)
+    return results
+
+
+def order_by(
+    rows: Iterable[Row],
+    key: KeySpec,
+    reverse: bool = False,
+) -> list[Row]:
+    """Sort rows (stable, so chained sorts compose like SQL tie-breaks)."""
+    return sorted(rows, key=compile_key(key), reverse=reverse)
+
+
+def order_by_many(
+    rows: Iterable[Row], specs: Sequence[tuple[KeySpec, bool]]
+) -> list[Row]:
+    """Multi-key sort with per-key direction, e.g. TPC-H's
+    ``ORDER BY s_acctbal DESC, n_name, s_name``.
+
+    Implemented as stable sorts applied right-to-left.
+    """
+    result = list(rows)
+    for key, descending in reversed(list(specs)):
+        result.sort(key=compile_key(key), reverse=descending)
+    return result
+
+
+def limit(rows: Iterable[Row], n: int) -> list[Row]:
+    """Keep the first ``n`` rows."""
+    if n < 0:
+        raise ValueError("limit must be non-negative")
+    out: list[Row] = []
+    for row in rows:
+        if len(out) >= n:
+            break
+        out.append(row)
+    return out

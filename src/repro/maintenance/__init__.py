@@ -1,0 +1,11 @@
+"""Maintenance operations: partition merging and offline reorganization."""
+
+from repro.maintenance.merger import MergeReport, merge_small_partitions
+from repro.maintenance.reorganizer import ReorganizationReport, reorganize
+
+__all__ = [
+    "MergeReport",
+    "ReorganizationReport",
+    "merge_small_partitions",
+    "reorganize",
+]

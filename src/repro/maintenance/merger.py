@@ -1,0 +1,111 @@
+"""Partition merging — maintenance for delete-heavy workloads.
+
+Cinderella's delete routine (Section III) only drops partitions that
+become completely empty; sustained deletions therefore leave a long tail
+of under-filled partitions that inflate the catalog and the per-branch
+query overhead.  The paper's conclusions name continued work on managing
+"a large number of partitions"; this module is that maintenance step: an
+explicit, rating-driven merge of small partitions into compatible hosts.
+
+A merge is just Cinderella's own insert logic applied at partition
+granularity: the candidate partition is treated as one synthetic entity
+(its synopsis and total size) and rated against every other partition
+with the unchanged Section IV rating.  Only a non-negative rating — the
+same acceptance rule as Algorithm 1 — and sufficient capacity allow a
+merge, so merging can never introduce heterogeneity that an insert would
+have refused.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.outcomes import Move
+from repro.core.rating import rate_fast
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.partitioner import CinderellaPartitioner
+
+
+@dataclass
+class MergeReport:
+    """What one maintenance pass did."""
+
+    #: partitions examined as merge candidates (under-filled ones)
+    examined: int = 0
+    #: (source pid, target pid) pairs actually merged
+    merged: list[tuple[int, int]] = field(default_factory=list)
+    #: physical relocations, in apply order
+    moves: list[Move] = field(default_factory=list)
+    #: source partitions dropped after their members moved out
+    dropped_partitions: list[int] = field(default_factory=list)
+
+    @property
+    def merge_count(self) -> int:
+        return len(self.merged)
+
+
+def merge_small_partitions(
+    partitioner: "CinderellaPartitioner",
+    min_fill: float = 0.25,
+) -> MergeReport:
+    """Merge partitions filled below ``min_fill · B`` into rated hosts.
+
+    Candidates are processed smallest-first.  For each, the best-rated
+    host with enough remaining capacity is chosen using the configured
+    weight; a negative best rating leaves the candidate untouched (it is
+    small but schema-unique — exactly the case where merging would hurt
+    pruning).  Returns a :class:`MergeReport` whose ``moves`` the physical
+    table layer must replay.
+    """
+    if not 0.0 < min_fill <= 1.0:
+        raise ValueError(f"min_fill must lie in (0, 1], got {min_fill}")
+    config = partitioner.config
+    catalog = partitioner.catalog
+    threshold = min_fill * config.max_partition_size
+    report = MergeReport()
+
+    candidates = sorted(
+        (p.pid for p in catalog if p.total_size < threshold),
+        key=lambda pid: catalog.get(pid).total_size,
+    )
+    merged_away: set[int] = set()
+    for source_pid in candidates:
+        if source_pid in merged_away:
+            continue
+        source = catalog.get(source_pid)
+        report.examined += 1
+        best_pid = None
+        best_rating = -math.inf
+        for target in catalog:
+            if target.pid == source_pid or target.pid in merged_away:
+                continue
+            if target.total_size + source.total_size > config.max_partition_size:
+                continue
+            rating = rate_fast(
+                source.mask,
+                source.attr_count,
+                source.total_size,
+                target.mask,
+                target.attr_count,
+                target.total_size,
+                config.weight,
+            )
+            if rating > best_rating:
+                best_rating = rating
+                best_pid = target.pid
+        if best_pid is None or best_rating < 0.0:
+            continue
+        # relocate every member through the catalog API (keeps synopses,
+        # sizes, location map, and the synopsis index exact)
+        for eid, mask, size in list(source.members()):
+            catalog.remove_entity(eid, repair_starters=False)
+            catalog.add_entity(best_pid, eid, mask, size)
+            report.moves.append(Move(eid, source_pid, best_pid))
+        catalog.drop_partition(source_pid)
+        merged_away.add(source_pid)
+        report.merged.append((source_pid, best_pid))
+        report.dropped_partitions.append(source_pid)
+    return report

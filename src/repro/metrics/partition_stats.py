@@ -1,0 +1,111 @@
+"""Partitioning statistics — the quantities of Figure 7.
+
+For each weight setting the paper records (1) the number of partitions,
+(2) the number of entities per partition, (3) the number of attributes per
+partition, and (4) the sparseness per partition.  This module computes all
+four from a live :class:`~repro.catalog.catalog.PartitionCatalog`, plus
+the distribution summaries (min/quartiles/max) that the paper's box plots
+display.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.catalog.catalog import PartitionCatalog
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Five-number summary (plus mean) of a sample, for box-plot output."""
+
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    maximum: float
+    mean: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "DistributionSummary":
+        if not values:
+            raise ValueError("cannot summarize an empty sample")
+        ordered = sorted(values)
+        return cls(
+            minimum=ordered[0],
+            p25=percentile(ordered, 25.0),
+            median=percentile(ordered, 50.0),
+            p75=percentile(ordered, 75.0),
+            maximum=ordered[-1],
+            mean=sum(ordered) / len(ordered),
+        )
+
+    def row(self) -> tuple[float, float, float, float, float, float]:
+        return (self.minimum, self.p25, self.median, self.p75, self.maximum, self.mean)
+
+
+def percentile(ordered: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of an already *sorted* sample."""
+    if not ordered:
+        raise ValueError("cannot take a percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must lie in [0, 100], got {q}")
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = (len(ordered) - 1) * q / 100.0
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return float(ordered[lower])
+    fraction = position - lower
+    return float(ordered[lower]) * (1.0 - fraction) + float(ordered[upper]) * fraction
+
+
+@dataclass(frozen=True)
+class PartitioningSummary:
+    """The Figure-7 metrics of one partitioning."""
+
+    partition_count: int
+    entity_count: int
+    entities_per_partition: tuple[int, ...]
+    attributes_per_partition: tuple[int, ...]
+    sparseness_per_partition: tuple[float, ...]
+
+    @property
+    def entities_summary(self) -> DistributionSummary:
+        return DistributionSummary.of(self.entities_per_partition)
+
+    @property
+    def attributes_summary(self) -> DistributionSummary:
+        return DistributionSummary.of(self.attributes_per_partition)
+
+    @property
+    def sparseness_summary(self) -> DistributionSummary:
+        return DistributionSummary.of(self.sparseness_per_partition)
+
+    @property
+    def max_sparseness(self) -> float:
+        return max(self.sparseness_per_partition)
+
+
+def summarize_catalog(catalog: "PartitionCatalog") -> PartitioningSummary:
+    """Collect the Figure-7 metrics from a partition catalog."""
+    entities: list[int] = []
+    attributes: list[int] = []
+    sparseness: list[float] = []
+    for partition in catalog:
+        entities.append(len(partition))
+        attributes.append(partition.attr_count)
+        sparseness.append(partition.sparseness())
+    if not entities:
+        raise ValueError("catalog holds no partitions")
+    return PartitioningSummary(
+        partition_count=len(catalog),
+        entity_count=catalog.entity_count,
+        entities_per_partition=tuple(entities),
+        attributes_per_partition=tuple(attributes),
+        sparseness_per_partition=tuple(sparseness),
+    )

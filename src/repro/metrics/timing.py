@@ -1,0 +1,40 @@
+"""Wall-clock timing helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+
+class Timer:
+    """Context manager measuring elapsed wall time.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(100))
+    >>> t.elapsed_s >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed_s = 0.0
+        self._started = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed_s = time.perf_counter() - self._started
+
+    @property
+    def elapsed_ms(self) -> float:
+        return self.elapsed_s * 1000.0
+
+
+def time_call(fn: Callable[[], T]) -> tuple[T, float]:
+    """Call *fn*, returning ``(result, elapsed_seconds)``."""
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started

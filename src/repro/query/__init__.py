@@ -1,0 +1,23 @@
+"""Query layer: attribute queries, pruning, UNION ALL rewriting, execution."""
+
+from repro.query.executor import (
+    ExecutionResult,
+    ExecutionStats,
+    execute_full_scan,
+    execute_union_all,
+)
+from repro.query.pruning import is_prunable, split_by_pruning
+from repro.query.query import AttributeQuery
+from repro.query.rewrite import UnionAllPlan, rewrite
+
+__all__ = [
+    "AttributeQuery",
+    "ExecutionResult",
+    "ExecutionStats",
+    "UnionAllPlan",
+    "execute_full_scan",
+    "execute_union_all",
+    "is_prunable",
+    "rewrite",
+    "split_by_pruning",
+]

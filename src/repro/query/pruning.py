@@ -1,0 +1,57 @@
+"""Partition pruning — the whole point of the partitioning (Section II).
+
+"Based on the synopses, queries can easily prune partitions that contain
+only entities irrelevant to the query, i.e., partitions for which
+``|p ∧ q| = 0`` holds."
+
+Pruning is *sound* by construction: a partition synopsis is the union of
+its members' attribute sets, so ``|p ∧ q| = 0`` implies ``|e ∧ q| = 0``
+for every member ``e``.  It is not *complete*: a surviving partition may
+still contain individual irrelevant entities — that residue is exactly
+what Definition 1's efficiency measures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, TYPE_CHECKING
+
+from repro.query.query import AttributeQuery
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.catalog.catalog import PartitionCatalog
+    from repro.catalog.dictionary import AttributeDictionary
+    from repro.catalog.partition import Partition
+
+
+def is_prunable(
+    partition_mask: int, query: AttributeQuery, dictionary: "AttributeDictionary"
+) -> bool:
+    """Can the partition be skipped without looking at its entities?
+
+    * ``any`` mode: prunable iff ``|p ∧ q| = 0`` (Definition 1's test).
+    * ``all`` mode: prunable iff some referenced attribute is absent from
+      the partition synopsis — a qualifying entity instantiates all of
+      them, so its partition's synopsis must contain all of them.
+    """
+    query_mask = query.synopsis_mask(dictionary)
+    if query.mode == "any":
+        return (partition_mask & query_mask) == 0
+    if len(query.attributes) != query_mask.bit_count():
+        return True  # references an attribute no entity ever had
+    return (partition_mask & query_mask) != query_mask
+
+
+def split_by_pruning(
+    partitions: Iterable["Partition"],
+    query: AttributeQuery,
+    dictionary: "AttributeDictionary",
+) -> tuple[list["Partition"], list["Partition"]]:
+    """Partition the catalog into ``(surviving, pruned)`` for a query."""
+    surviving: list["Partition"] = []
+    pruned: list["Partition"] = []
+    for partition in partitions:
+        if is_prunable(partition.mask, query, dictionary):
+            pruned.append(partition)
+        else:
+            surviving.append(partition)
+    return surviving, pruned

@@ -1,0 +1,72 @@
+"""Query rewriting: universal-table queries become UNION ALL plans.
+
+The paper's prototype "uses the meta data to rewrite incoming queries to a
+UNION ALL over all partitions that contain the set of requested
+attributes".  :func:`rewrite` performs the same step against our partition
+catalog: it prunes, then emits a :class:`UnionAllPlan` whose branches are
+the surviving partitions.  The plan is a plain description — executable by
+the table layer, printable for humans, and inspectable by tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.query.pruning import split_by_pruning
+from repro.query.query import AttributeQuery
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.catalog.catalog import PartitionCatalog
+    from repro.catalog.dictionary import AttributeDictionary
+
+
+@dataclass(frozen=True)
+class UnionAllPlan:
+    """A pruned UNION ALL over partition scans.
+
+    Attributes:
+        query: the original attribute query.
+        branch_pids: partitions that must be scanned (the UNION branches).
+        pruned_pids: partitions eliminated by synopsis pruning.
+    """
+
+    query: AttributeQuery
+    branch_pids: tuple[int, ...]
+    pruned_pids: tuple[int, ...]
+
+    @property
+    def partitions_total(self) -> int:
+        return len(self.branch_pids) + len(self.pruned_pids)
+
+    @property
+    def pruning_ratio(self) -> float:
+        """Fraction of partitions eliminated before touching data."""
+        total = self.partitions_total
+        return len(self.pruned_pids) / total if total else 0.0
+
+    def describe(self) -> str:
+        """Human-readable plan, in the prototype's UNION ALL shape."""
+        if not self.branch_pids:
+            return f"-- all {self.partitions_total} partitions pruned: empty result"
+        branches = "\nUNION ALL\n".join(
+            self.query.sql(f"partition_{pid}") for pid in self.branch_pids
+        )
+        return (
+            f"-- {len(self.pruned_pids)} of {self.partitions_total} "
+            f"partitions pruned\n{branches}"
+        )
+
+
+def rewrite(
+    query: AttributeQuery,
+    catalog: "PartitionCatalog",
+    dictionary: "AttributeDictionary",
+) -> UnionAllPlan:
+    """Prune the catalog and build the UNION ALL plan for *query*."""
+    surviving, pruned = split_by_pruning(catalog, query, dictionary)
+    return UnionAllPlan(
+        query=query,
+        branch_pids=tuple(p.pid for p in surviving),
+        pruned_pids=tuple(p.pid for p in pruned),
+    )

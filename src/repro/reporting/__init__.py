@@ -1,0 +1,11 @@
+"""Reporting: ASCII renderers for the benchmark harness output."""
+
+from repro.reporting.chart import render_line_chart
+from repro.reporting.tables import format_kv_block, format_series, format_table
+
+__all__ = [
+    "format_kv_block",
+    "format_series",
+    "format_table",
+    "render_line_chart",
+]

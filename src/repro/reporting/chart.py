@@ -1,0 +1,58 @@
+"""Minimal ASCII line charts for benchmark output.
+
+Enough to show a trend in a terminal without any plotting dependency:
+each series is resampled onto a fixed-width grid and drawn with its own
+marker character; axes are annotated with min/max.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+_MARKERS = "*o+x#@%&"
+
+
+def render_line_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Render (x, y) series as an ASCII chart with a legend.
+
+    Series may have different x grids; each point is nearest-neighbour
+    mapped onto the character grid.  Empty input renders a placeholder.
+    """
+    points_exist = any(series_points for series_points in series.values())
+    if not points_exist:
+        return "(no data)"
+    xs = [x for pts in series.values() for x, _y in pts]
+    ys = [y for pts in series.values() for _x, y in pts]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = x_high - x_low or 1.0
+    y_span = y_high - y_low or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, (name, pts) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"{marker} {name}")
+        for x, y in pts:
+            column = round((x - x_low) / x_span * (width - 1))
+            row = height - 1 - round((y - y_low) / y_span * (height - 1))
+            grid[row][column] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_high:>12.4g} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 12 + " │" + "".join(row))
+    lines.append(f"{y_low:>12.4g} ┤" + "".join(grid[-1]))
+    lines.append(" " * 14 + "└" + "─" * width)
+    lines.append(
+        " " * 14 + f"{x_low:<.4g}" + " " * max(1, width - 16) + f"{x_high:.4g}"
+    )
+    lines.append("  " + "   ".join(legend))
+    return "\n".join(lines)

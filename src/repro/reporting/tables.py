@@ -1,0 +1,66 @@
+"""ASCII table and series renderers for the benchmark harness.
+
+Every benchmark prints the rows/series of its paper figure or table
+through these helpers, so the harness output is uniform and diffable
+(EXPERIMENTS.md embeds it verbatim).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str = "",
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render rows as a fixed-width ASCII table.
+
+    Floats are formatted with *float_format*; all other values via
+    ``str``.  Column widths adapt to the content.
+    """
+    rendered_rows = [
+        [
+            float_format.format(cell) if isinstance(cell, float) else str(cell)
+            for cell in row
+        ]
+        for row in rows
+    ]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append(" | ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, points: Sequence[tuple[float, float]], value_unit: str = ""
+) -> str:
+    """Render one (x, y) series as a compact line, for figure benches."""
+    rendered = "  ".join(f"({x:.2f}, {y:.3f}{value_unit})" for x, y in points)
+    return f"{name}: {rendered}"
+
+
+def format_kv_block(title: str, pairs: Sequence[tuple[str, Any]]) -> str:
+    """Render labelled values, one per line, under a title."""
+    width = max(len(key) for key, _ in pairs) if pairs else 0
+    lines = [title]
+    for key, value in pairs:
+        if isinstance(value, float):
+            value = f"{value:.4g}"
+        lines.append(f"  {key.ljust(width)} : {value}")
+    return "\n".join(lines)

@@ -1,0 +1,19 @@
+"""SQL front-end: the prototype's "regular SQL statements" interface."""
+
+from repro.sql.ast import SelectStatement
+from repro.sql.compiler import compile_predicate, pruning_clauses
+from repro.sql.executor import SqlResult, execute, execute_statement
+from repro.sql.lexer import SqlSyntaxError, tokenize
+from repro.sql.parser import parse
+
+__all__ = [
+    "SelectStatement",
+    "SqlResult",
+    "SqlSyntaxError",
+    "compile_predicate",
+    "execute",
+    "execute_statement",
+    "parse",
+    "pruning_clauses",
+    "tokenize",
+]

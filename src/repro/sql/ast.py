@@ -1,0 +1,93 @@
+"""Abstract syntax tree of the universal-table SQL dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Union
+
+
+@dataclass(frozen=True)
+class Column:
+    """A bare column reference."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant: number, string, boolean, or NULL."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``column <op> literal`` with op ∈ {=, !=, <, <=, >, >=}."""
+
+    column: str
+    op: str
+    value: Any
+
+
+@dataclass(frozen=True)
+class LikePredicate:
+    """``column LIKE 'pattern'`` (optionally negated)."""
+
+    column: str
+    pattern: str
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class NullPredicate:
+    """``column IS [NOT] NULL`` — the paper's instantiation test.
+
+    In the universal-table model an attribute the entity does not
+    instantiate is SQL NULL, so ``IS NOT NULL`` is exactly "the entity has
+    this attribute".
+    """
+
+    column: str
+    negated: bool  # True = IS NOT NULL
+
+
+@dataclass(frozen=True)
+class And:
+    left: "Expression"
+    right: "Expression"
+
+
+@dataclass(frozen=True)
+class Or:
+    left: "Expression"
+    right: "Expression"
+
+
+@dataclass(frozen=True)
+class Not:
+    operand: "Expression"
+
+
+Expression = Union[Comparison, LikePredicate, NullPredicate, And, Or, Not]
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ``ORDER BY`` key with its direction."""
+
+    column: str
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """A parsed ``SELECT`` over the universal table.
+
+    ``columns is None`` means ``SELECT *`` (all dictionary attributes).
+    """
+
+    columns: Optional[tuple[str, ...]]
+    table: str
+    where: Optional[Expression] = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None

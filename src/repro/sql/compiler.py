@@ -1,0 +1,144 @@
+"""Compilation of WHERE expressions: row predicates and pruning clauses.
+
+Two artefacts are compiled from one parsed expression:
+
+* a **row predicate** — a Python callable evaluating the expression
+  against an entity's attribute mapping (SQL semantics: an attribute the
+  entity does not instantiate is NULL; comparisons against NULL are not
+  true);
+* **pruning clauses** — a conjunction of attribute alternatives such that
+  any row satisfying the expression instantiates at least one attribute
+  of *every* clause.  A partition whose synopsis misses a whole clause
+  can therefore be pruned before touching data — the generalisation of
+  the paper's ``|p ∧ q| = 0`` rule to arbitrary predicates.
+
+Pruning clauses are deliberately conservative: constructs that can be
+satisfied by *absent* attributes (``IS NULL``, ``NOT LIKE``, ``NOT …``)
+contribute no clause, so pruning stays sound for every expression.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Mapping
+
+from repro.sql.ast import (
+    And,
+    Comparison,
+    Expression,
+    LikePredicate,
+    Not,
+    NullPredicate,
+    Or,
+)
+
+RowPredicate = Callable[[Mapping[str, Any]], bool]
+
+#: clause-count cap before OR-distribution falls back to one union clause
+_MAX_CLAUSES = 32
+
+
+def _like_matcher(pattern: str) -> Callable[[str], bool]:
+    regex = re.compile(
+        ".*".join(re.escape(part) for part in pattern.split("%")), re.DOTALL
+    )
+    return lambda value: regex.fullmatch(value) is not None
+
+
+_COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def compile_predicate(expression: Expression) -> RowPredicate:
+    """Compile an expression into a row predicate.
+
+    Three-valued logic is folded into two values the way SQL folds it at
+    the top of a WHERE clause: UNKNOWN (comparisons involving NULL, type
+    mismatches) is not true, hence False.  ``NOT`` negates that folded
+    value — exact for the instantiation tests universal-table workloads
+    use, and documented behaviour for exotic nestings.
+    """
+    if isinstance(expression, Comparison):
+        compare = _COMPARATORS[expression.op]
+        column, constant = expression.column, expression.value
+
+        def predicate(row: Mapping[str, Any]) -> bool:
+            value = row.get(column)
+            if value is None or constant is None:
+                return False
+            try:
+                return bool(compare(value, constant))
+            except TypeError:
+                return False
+
+        return predicate
+    if isinstance(expression, LikePredicate):
+        matcher = _like_matcher(expression.pattern)
+        column, negated = expression.column, expression.negated
+
+        def predicate(row: Mapping[str, Any]) -> bool:
+            value = row.get(column)
+            if not isinstance(value, str):
+                return False
+            return matcher(value) != negated
+
+        return predicate
+    if isinstance(expression, NullPredicate):
+        column, negated = expression.column, expression.negated
+        if negated:  # IS NOT NULL: instantiated with a non-NULL value
+            return lambda row: row.get(column) is not None
+        return lambda row: row.get(column) is None
+    if isinstance(expression, And):
+        left = compile_predicate(expression.left)
+        right = compile_predicate(expression.right)
+        return lambda row: left(row) and right(row)
+    if isinstance(expression, Or):
+        left = compile_predicate(expression.left)
+        right = compile_predicate(expression.right)
+        return lambda row: left(row) or right(row)
+    if isinstance(expression, Not):
+        operand = compile_predicate(expression.operand)
+        return lambda row: not operand(row)
+    raise TypeError(f"not an expression node: {expression!r}")
+
+
+def pruning_clauses(expression: Expression) -> list[frozenset[str]]:
+    """Derive the conjunction of attribute alternatives (see module doc).
+
+    An empty list means "no pruning possible" (the expression may hold on
+    entities without any particular attribute).
+    """
+    if isinstance(expression, Comparison):
+        return [frozenset((expression.column,))]
+    if isinstance(expression, LikePredicate):
+        # both LIKE and NOT LIKE require a present string value (the
+        # compiled predicate is False on NULL either way, as in SQL)
+        return [frozenset((expression.column,))]
+    if isinstance(expression, NullPredicate):
+        if expression.negated:  # IS NOT NULL requires the attribute
+            return [frozenset((expression.column,))]
+        return []  # IS NULL is satisfied by absence: never prune
+    if isinstance(expression, And):
+        return pruning_clauses(expression.left) + pruning_clauses(expression.right)
+    if isinstance(expression, Or):
+        left = pruning_clauses(expression.left)
+        right = pruning_clauses(expression.right)
+        if not left or not right:
+            return []  # one side may hold without any attribute
+        if len(left) * len(right) > _MAX_CLAUSES:
+            union = frozenset().union(*left, *right)
+            return [union]
+        return [
+            clause_left | clause_right
+            for clause_left in left
+            for clause_right in right
+        ]
+    if isinstance(expression, Not):
+        return []  # conservatively unprunable
+    raise TypeError(f"not an expression node: {expression!r}")

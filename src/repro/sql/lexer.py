@@ -1,0 +1,107 @@
+"""Tokenizer for the universal-table SQL dialect.
+
+The paper's prototype provides "transparent data access […] using regular
+SQL statements"; this lexer feeds the small SQL front-end that recreates
+that interface.  It understands exactly what universal-table queries need:
+identifiers, keywords, numeric/string literals, comparison operators,
+parentheses, commas, and ``*``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+KEYWORDS = frozenset(
+    {
+        "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "IS", "NULL",
+        "LIKE", "TRUE", "FALSE", "ORDER", "BY", "ASC", "DESC", "LIMIT",
+    }
+)
+
+_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">")
+_PUNCTUATION = {"(": "LPAREN", ")": "RPAREN", ",": "COMMA", "*": "STAR"}
+
+
+class SqlSyntaxError(ValueError):
+    """Raised on any lexical or grammatical problem, with a position."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: kind, raw text, and source offset."""
+
+    kind: str  # KEYWORD | IDENT | NUMBER | STRING | OP | LPAREN | ... | EOF
+    text: str
+    position: int
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize *sql*; raises :class:`SqlSyntaxError` on invalid input."""
+    tokens: list[Token] = []
+    index = 0
+    length = len(sql)
+    while index < length:
+        char = sql[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char in _PUNCTUATION:
+            tokens.append(Token(_PUNCTUATION[char], char, index))
+            index += 1
+            continue
+        matched_op = next(
+            (op for op in _OPERATORS if sql.startswith(op, index)), None
+        )
+        if matched_op:
+            tokens.append(Token("OP", matched_op, index))
+            index += len(matched_op)
+            continue
+        if char == "'":
+            end = index + 1
+            chunks: list[str] = []
+            while True:
+                if end >= length:
+                    raise SqlSyntaxError("unterminated string literal", index)
+                if sql[end] == "'":
+                    if end + 1 < length and sql[end + 1] == "'":
+                        chunks.append("'")  # doubled quote escapes a quote
+                        end += 2
+                        continue
+                    break
+                chunks.append(sql[end])
+                end += 1
+            tokens.append(Token("STRING", "".join(chunks), index))
+            index = end + 1
+            continue
+        if char.isdigit() or (
+            char in "+-" and index + 1 < length and sql[index + 1].isdigit()
+        ):
+            end = index + 1
+            seen_dot = False
+            while end < length and (
+                sql[end].isdigit() or (sql[end] == "." and not seen_dot)
+            ):
+                seen_dot = seen_dot or sql[end] == "."
+                end += 1
+            tokens.append(Token("NUMBER", sql[index:end], index))
+            index = end
+            continue
+        if char.isalpha() or char == "_":
+            end = index + 1
+            while end < length and (sql[end].isalnum() or sql[end] == "_"):
+                end += 1
+            word = sql[index:end]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token("KEYWORD", word.upper(), index))
+            else:
+                tokens.append(Token("IDENT", word, index))
+            index = end
+            continue
+        raise SqlSyntaxError(f"unexpected character {char!r}", index)
+    tokens.append(Token("EOF", "", length))
+    return tokens

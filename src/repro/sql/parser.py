@@ -1,0 +1,196 @@
+"""Recursive-descent parser for the universal-table SQL dialect.
+
+Grammar (keywords case-insensitive)::
+
+    select    := SELECT columns FROM ident [WHERE expr]
+                 [ORDER BY order (, order)*] [LIMIT number]
+    columns   := '*' | ident (',' ident)*
+    order     := ident [ASC | DESC]
+    expr      := and_expr (OR and_expr)*
+    and_expr  := not_expr (AND not_expr)*
+    not_expr  := NOT not_expr | primary
+    primary   := '(' expr ')' | predicate
+    predicate := ident IS [NOT] NULL
+               | ident [NOT] LIKE string
+               | ident op literal
+    op        := = | != | <> | < | <= | > | >=
+    literal   := number | string | TRUE | FALSE | NULL
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.sql.ast import (
+    And,
+    Comparison,
+    Expression,
+    LikePredicate,
+    Not,
+    NullPredicate,
+    Or,
+    OrderItem,
+    SelectStatement,
+)
+from repro.sql.lexer import SqlSyntaxError, Token, tokenize
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # ------------------------------------------------------------------
+    # token plumbing
+    # ------------------------------------------------------------------
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._current
+        self._index += 1
+        return token
+
+    def _check_keyword(self, *keywords: str) -> bool:
+        token = self._current
+        return token.kind == "KEYWORD" and token.text in keywords
+
+    def _accept_keyword(self, *keywords: str) -> Optional[str]:
+        if self._check_keyword(*keywords):
+            return self._advance().text
+        return None
+
+    def _expect_keyword(self, keyword: str) -> None:
+        if not self._accept_keyword(keyword):
+            raise SqlSyntaxError(
+                f"expected {keyword}, found {self._current.text or 'end of input'!r}",
+                self._current.position,
+            )
+
+    def _expect(self, kind: str) -> Token:
+        if self._current.kind != kind:
+            raise SqlSyntaxError(
+                f"expected {kind}, found {self._current.text or 'end of input'!r}",
+                self._current.position,
+            )
+        return self._advance()
+
+    # ------------------------------------------------------------------
+    # grammar
+    # ------------------------------------------------------------------
+    def parse_select(self) -> SelectStatement:
+        self._expect_keyword("SELECT")
+        columns: Optional[tuple[str, ...]]
+        if self._current.kind == "STAR":
+            self._advance()
+            columns = None
+        else:
+            names = [self._expect("IDENT").text]
+            while self._current.kind == "COMMA":
+                self._advance()
+                names.append(self._expect("IDENT").text)
+            if len(set(names)) != len(names):
+                raise SqlSyntaxError(
+                    "duplicate column in select list", self._current.position
+                )
+            columns = tuple(names)
+        self._expect_keyword("FROM")
+        table = self._expect("IDENT").text
+
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self._parse_expr()
+
+        order_by: list[OrderItem] = []
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            while True:
+                column = self._expect("IDENT").text
+                direction = self._accept_keyword("ASC", "DESC")
+                order_by.append(OrderItem(column, descending=direction == "DESC"))
+                if self._current.kind != "COMMA":
+                    break
+                self._advance()
+
+        limit = None
+        if self._accept_keyword("LIMIT"):
+            token = self._expect("NUMBER")
+            if "." in token.text:
+                raise SqlSyntaxError("LIMIT must be an integer", token.position)
+            limit = int(token.text)
+            if limit < 0:
+                raise SqlSyntaxError("LIMIT must be non-negative", token.position)
+
+        if self._current.kind != "EOF":
+            raise SqlSyntaxError(
+                f"unexpected trailing input {self._current.text!r}",
+                self._current.position,
+            )
+        return SelectStatement(
+            columns=columns,
+            table=table,
+            where=where,
+            order_by=tuple(order_by),
+            limit=limit,
+        )
+
+    def _parse_expr(self) -> Expression:
+        left = self._parse_and()
+        while self._accept_keyword("OR"):
+            left = Or(left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expression:
+        left = self._parse_not()
+        while self._accept_keyword("AND"):
+            left = And(left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> Expression:
+        if self._accept_keyword("NOT"):
+            return Not(self._parse_not())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expression:
+        if self._current.kind == "LPAREN":
+            self._advance()
+            expression = self._parse_expr()
+            self._expect("RPAREN")
+            return expression
+        column = self._expect("IDENT").text
+        if self._accept_keyword("IS"):
+            negated = bool(self._accept_keyword("NOT"))
+            self._expect_keyword("NULL")
+            return NullPredicate(column, negated=negated)
+        if self._accept_keyword("NOT"):
+            self._expect_keyword("LIKE")
+            pattern = self._expect("STRING").text
+            return LikePredicate(column, pattern, negated=True)
+        if self._accept_keyword("LIKE"):
+            pattern = self._expect("STRING").text
+            return LikePredicate(column, pattern)
+        op_token = self._expect("OP")
+        op = "!=" if op_token.text == "<>" else op_token.text
+        return Comparison(column, op, self._parse_literal())
+
+    def _parse_literal(self) -> Any:
+        token = self._current
+        if token.kind == "NUMBER":
+            self._advance()
+            return float(token.text) if "." in token.text else int(token.text)
+        if token.kind == "STRING":
+            self._advance()
+            return token.text
+        if token.kind == "KEYWORD" and token.text in ("TRUE", "FALSE", "NULL"):
+            self._advance()
+            return {"TRUE": True, "FALSE": False, "NULL": None}[token.text]
+        raise SqlSyntaxError(
+            f"expected a literal, found {token.text or 'end of input'!r}",
+            token.position,
+        )
+
+
+def parse(sql: str) -> SelectStatement:
+    """Parse one SELECT statement; raises :class:`SqlSyntaxError` on error."""
+    return _Parser(tokenize(sql)).parse_select()

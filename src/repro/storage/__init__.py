@@ -1,0 +1,26 @@
+"""Storage substrate: sparse records, slotted pages, heap files, buffering."""
+
+from repro.storage.buffer import BufferPool
+from repro.storage.entity import Entity
+from repro.storage.heap import HeapFile, RecordId
+from repro.storage.iostats import IOStats
+from repro.storage.page import DEFAULT_PAGE_SIZE, Page, PageFullError
+from repro.storage.record import (
+    RecordFormatError,
+    deserialize_record,
+    serialize_record,
+)
+
+__all__ = [
+    "BufferPool",
+    "DEFAULT_PAGE_SIZE",
+    "Entity",
+    "HeapFile",
+    "IOStats",
+    "Page",
+    "PageFullError",
+    "RecordFormatError",
+    "RecordId",
+    "deserialize_record",
+    "serialize_record",
+]

@@ -1,0 +1,64 @@
+"""A buffer pool with LRU replacement.
+
+The paper's conclusions list caching among the physical-design aspects to
+fold into Cinderella next.  This buffer pool provides that extension: heap
+file scans route page accesses through it, so repeated touches of hot
+partitions become buffer hits instead of physical reads.  The pool is
+shared table-wide and purely an accounting device — pages live in memory
+either way; what changes is which accesses count as physical I/O.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class BufferPool:
+    """LRU cache of ``(file_id, page_number)`` frames.
+
+    ``capacity_pages <= 0`` disables caching: every access is a miss,
+    which models a cold scan (the paper's measurements are cold: neither
+    the partitions nor the universal table had indexes or warmed caches).
+    """
+
+    def __init__(self, capacity_pages: int = 0) -> None:
+        self.capacity_pages = capacity_pages
+        self._frames: OrderedDict[tuple[int, int], None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def access(self, file_id: int, page_number: int) -> bool:
+        """Touch a page; return True on a hit, False on a physical read."""
+        if self.capacity_pages <= 0:
+            self.misses += 1
+            return False
+        key = (file_id, page_number)
+        if key in self._frames:
+            self._frames.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._frames[key] = None
+        if len(self._frames) > self.capacity_pages:
+            self._frames.popitem(last=False)
+            self.evictions += 1
+        return False
+
+    def invalidate_file(self, file_id: int) -> None:
+        """Drop all frames of a heap file (called when a partition is freed)."""
+        stale = [key for key in self._frames if key[0] == file_id]
+        for key in stale:
+            del self._frames[key]
+
+    def reset(self) -> None:
+        """Empty the pool and zero the statistics."""
+        self._frames.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

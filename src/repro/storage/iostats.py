@@ -1,0 +1,79 @@
+"""I/O statistics — the currency of the paper's cost arguments.
+
+"In I/O bound systems the performance will be dominated by the moving of
+the actual entities from partition to partition" (Section III), and query
+cost is "how much data is actually read" (Definition 1).  Every storage
+operation in this reproduction is accounted here, so benchmarks can report
+exact, deterministic I/O volumes alongside wall-clock time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class IOStats:
+    """Mutable counter block shared by heap files and the buffer pool."""
+
+    pages_read: int = 0
+    pages_written: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    records_read: int = 0
+    records_written: int = 0
+    records_deleted: int = 0
+    buffer_hits: int = 0
+    buffer_misses: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.pages_read = 0
+        self.pages_written = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.records_read = 0
+        self.records_written = 0
+        self.records_deleted = 0
+        self.buffer_hits = 0
+        self.buffer_misses = 0
+
+    def snapshot(self) -> "IOStats":
+        """An independent copy of the current counters."""
+        return IOStats(
+            pages_read=self.pages_read,
+            pages_written=self.pages_written,
+            bytes_read=self.bytes_read,
+            bytes_written=self.bytes_written,
+            records_read=self.records_read,
+            records_written=self.records_written,
+            records_deleted=self.records_deleted,
+            buffer_hits=self.buffer_hits,
+            buffer_misses=self.buffer_misses,
+        )
+
+    def delta_since(self, earlier: "IOStats") -> "IOStats":
+        """Counters accumulated since an earlier :meth:`snapshot`."""
+        return IOStats(
+            pages_read=self.pages_read - earlier.pages_read,
+            pages_written=self.pages_written - earlier.pages_written,
+            bytes_read=self.bytes_read - earlier.bytes_read,
+            bytes_written=self.bytes_written - earlier.bytes_written,
+            records_read=self.records_read - earlier.records_read,
+            records_written=self.records_written - earlier.records_written,
+            records_deleted=self.records_deleted - earlier.records_deleted,
+            buffer_hits=self.buffer_hits - earlier.buffer_hits,
+            buffer_misses=self.buffer_misses - earlier.buffer_misses,
+        )
+
+    def merge(self, other: "IOStats") -> None:
+        """Add *other*'s counters into this block."""
+        self.pages_read += other.pages_read
+        self.pages_written += other.pages_written
+        self.bytes_read += other.bytes_read
+        self.bytes_written += other.bytes_written
+        self.records_read += other.records_read
+        self.records_written += other.records_written
+        self.records_deleted += other.records_deleted
+        self.buffer_hits += other.buffer_hits
+        self.buffer_misses += other.buffer_misses

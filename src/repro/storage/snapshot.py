@@ -1,0 +1,154 @@
+"""Snapshot persistence for Cinderella-partitioned tables.
+
+Saves a :class:`~repro.table.partitioned.CinderellaTable` — configuration,
+attribute dictionary, and the exact partition membership with all entity
+payloads — to a single JSON file, and restores it without re-running the
+partitioning algorithm.  Restoring replays each partition's members in
+stored order, so the split-starter pairs are rebuilt deterministically
+with the same incremental rule the online algorithm uses (the pair after
+restore equals the pair a fresh partition would reach when fed its
+members in that order; the *placement* of every entity is preserved
+exactly).
+
+The format is versioned; loaders reject unknown versions and malformed
+payloads with :class:`SnapshotFormatError` rather than guessing.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from pathlib import Path
+from typing import Any, Union
+
+from repro.core.config import CinderellaConfig
+from repro.core.sizes import (
+    AttributeCountSizeModel,
+    ByteSizeModel,
+    SizeModel,
+    UniformSizeModel,
+)
+
+FORMAT_VERSION = 1
+
+_SIZE_MODELS: dict[str, type[SizeModel]] = {
+    "UniformSizeModel": UniformSizeModel,
+    "AttributeCountSizeModel": AttributeCountSizeModel,
+    "ByteSizeModel": ByteSizeModel,
+}
+
+
+class SnapshotFormatError(ValueError):
+    """Raised when a snapshot file cannot be interpreted."""
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, (bytes, bytearray)):
+        return {"$bytes": base64.b64encode(bytes(value)).decode("ascii")}
+    return value
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        if set(value) == {"$bytes"}:
+            return base64.b64decode(value["$bytes"])
+        raise SnapshotFormatError(f"unexpected nested object value: {value!r}")
+    return value
+
+
+def save_table(table, path: Union[str, Path]) -> None:
+    """Write a snapshot of *table* to *path* (JSON, atomic via temp file)."""
+    config = table.config
+    size_model_name = type(config.size_model).__name__
+    if size_model_name not in _SIZE_MODELS:
+        raise SnapshotFormatError(
+            f"cannot persist custom size model {size_model_name}"
+        )
+    partitions = []
+    for partition in table.catalog:
+        members = []
+        for eid, _mask, _size in partition.members():
+            entity = table.get(eid)
+            members.append(
+                {
+                    "eid": eid,
+                    "attributes": {
+                        name: _encode_value(value)
+                        for name, value in entity.attributes.items()
+                    },
+                }
+            )
+        partitions.append({"members": members})
+    document = {
+        "format": "repro-cinderella-snapshot",
+        "version": FORMAT_VERSION,
+        "config": {
+            "max_partition_size": config.max_partition_size,
+            "weight": config.weight,
+            "size_model": size_model_name,
+            "use_synopsis_index": config.use_synopsis_index,
+            "selection": config.selection,
+            "exact_starters": config.exact_starters,
+        },
+        "page_size": table.page_size,
+        "dictionary": list(table.dictionary.names()),
+        "partitions": partitions,
+    }
+    target = Path(path)
+    temporary = target.with_suffix(target.suffix + ".tmp")
+    temporary.write_text(json.dumps(document), encoding="utf-8")
+    temporary.replace(target)
+
+
+def load_table(path: Union[str, Path]):
+    """Restore a :class:`CinderellaTable` from a snapshot file.
+
+    Partition membership is restored exactly (partition ids are freshly
+    assigned); no rating or splitting runs during the load.
+    """
+    from repro.catalog.dictionary import AttributeDictionary
+    from repro.table.partitioned import CinderellaTable
+
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise SnapshotFormatError(f"cannot read snapshot {path}: {error}") from error
+    if not isinstance(document, dict) or document.get("format") != (
+        "repro-cinderella-snapshot"
+    ):
+        raise SnapshotFormatError(f"{path} is not a Cinderella snapshot")
+    if document.get("version") != FORMAT_VERSION:
+        raise SnapshotFormatError(
+            f"unsupported snapshot version {document.get('version')!r}"
+        )
+    try:
+        config_doc = document["config"]
+        size_model_cls = _SIZE_MODELS[config_doc["size_model"]]
+        config = CinderellaConfig(
+            max_partition_size=config_doc["max_partition_size"],
+            weight=config_doc["weight"],
+            size_model=size_model_cls(),
+            use_synopsis_index=config_doc["use_synopsis_index"],
+            selection=config_doc["selection"],
+            exact_starters=config_doc["exact_starters"],
+        )
+        dictionary = AttributeDictionary(document["dictionary"])
+        table = CinderellaTable(
+            config=config, dictionary=dictionary, page_size=document["page_size"]
+        )
+        for partition_doc in document["partitions"]:
+            table._restore_partition(
+                [
+                    (
+                        member["eid"],
+                        {
+                            name: _decode_value(value)
+                            for name, value in member["attributes"].items()
+                        },
+                    )
+                    for member in partition_doc["members"]
+                ]
+            )
+    except (KeyError, TypeError) as error:
+        raise SnapshotFormatError(f"malformed snapshot {path}: {error}") from error
+    return table

@@ -1,0 +1,7 @@
+"""Table layer: universal table, Cinderella-partitioned table, views."""
+
+from repro.table.partitioned import CinderellaTable
+from repro.table.universal import UniversalTable
+from repro.table.views import TableView
+
+__all__ = ["CinderellaTable", "TableView", "UniversalTable"]

@@ -1,0 +1,117 @@
+"""The unpartitioned universal table — the paper's baseline.
+
+One sparse table holds every entity (Figure 1).  Queries must scan it in
+full regardless of their selectivity, which is exactly the flat curve the
+paper measures for the "universal table" series in Figures 5 and 6.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping, Optional
+
+from repro.catalog.dictionary import AttributeDictionary
+from repro.query.executor import ExecutionResult, execute_full_scan
+from repro.query.query import AttributeQuery
+from repro.storage.buffer import BufferPool
+from repro.storage.entity import Entity
+from repro.storage.heap import HeapFile, RecordId
+from repro.storage.iostats import IOStats
+from repro.storage.page import DEFAULT_PAGE_SIZE
+from repro.storage.record import deserialize_record, serialize_record
+
+
+class UniversalTable:
+    """A single heap file of irregularly structured entities."""
+
+    def __init__(
+        self,
+        dictionary: Optional[AttributeDictionary] = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        buffer_pool: Optional[BufferPool] = None,
+    ) -> None:
+        self.dictionary = dictionary if dictionary is not None else AttributeDictionary()
+        self.io = IOStats()
+        self.heap = HeapFile(page_size=page_size, io=self.io, buffer_pool=buffer_pool)
+        self._rids: dict[int, RecordId] = {}
+        self._masks: dict[int, int] = {}
+        self._next_eid = 0
+
+    # ------------------------------------------------------------------
+    # data manipulation
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rids)
+
+    def __contains__(self, eid: int) -> bool:
+        return eid in self._rids
+
+    def insert(
+        self, attributes: Mapping[str, Any], entity_id: Optional[int] = None
+    ) -> int:
+        """Insert an entity; returns its (assigned or given) entity id."""
+        eid = self._claim_eid(entity_id)
+        record = serialize_record(eid, attributes, self.dictionary)
+        self._rids[eid] = self.heap.insert(record)
+        self._masks[eid] = self.dictionary.encode(attributes)
+        return eid
+
+    def delete(self, eid: int) -> None:
+        rid = self._rids.pop(eid)
+        del self._masks[eid]
+        self.heap.delete(rid)
+
+    def update(self, eid: int, attributes: Mapping[str, Any]) -> None:
+        record = serialize_record(eid, attributes, self.dictionary)
+        self._rids[eid] = self.heap.replace(self._rids[eid], record)
+        self._masks[eid] = self.dictionary.encode(attributes)
+
+    def get(self, eid: int) -> Entity:
+        """Random-access read of one entity."""
+        record = self.heap.read(self._rids[eid])
+        entity_id, attributes = deserialize_record(record, self.dictionary)
+        return Entity(entity_id, attributes)
+
+    def _claim_eid(self, entity_id: Optional[int]) -> int:
+        if entity_id is None:
+            entity_id = self._next_eid
+        if entity_id in self._rids:
+            raise ValueError(f"entity {entity_id} already exists")
+        self._next_eid = max(self._next_eid, entity_id) + 1
+        return entity_id
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def scan(self) -> Iterator[Entity]:
+        """Full-table scan in physical order."""
+        for _rid, record in self.heap.scan():
+            entity_id, attributes = deserialize_record(record, self.dictionary)
+            yield Entity(entity_id, attributes)
+
+    def execute(self, query: AttributeQuery) -> ExecutionResult:
+        """Run an attribute query: always a full scan, never pruned."""
+        return execute_full_scan(query, self.heap, self.dictionary)
+
+    # ------------------------------------------------------------------
+    # metadata
+    # ------------------------------------------------------------------
+    def entity_ids(self) -> tuple[int, ...]:
+        return tuple(self._rids)
+
+    def entity_masks(self) -> dict[int, int]:
+        """Entity synopsis masks, for the efficiency metric and baselines."""
+        return dict(self._masks)
+
+    def data_bytes(self) -> int:
+        return self.heap.data_bytes()
+
+    def sparseness(self) -> float:
+        """Fraction of unset cells in the full entity × attribute grid.
+
+        The paper reports 0.94 for the DBpedia person extract.
+        """
+        attr_count = len(self.dictionary)
+        if not self._masks or attr_count == 0:
+            return 0.0
+        instantiated = sum(mask.bit_count() for mask in self._masks.values())
+        return 1.0 - instantiated / (len(self._masks) * attr_count)

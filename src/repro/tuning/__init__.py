@@ -1,0 +1,5 @@
+"""Parameter tuning: the offline B/w advisor."""
+
+from repro.tuning.advisor import AdvisorReport, Trial, advise
+
+__all__ = ["AdvisorReport", "Trial", "advise"]

@@ -1,0 +1,33 @@
+"""Evaluation workloads: DBpedia persons, query workload, and TPC-H."""
+
+from repro.workloads.dbpedia import (
+    DBpediaDataset,
+    generate_dbpedia_persons,
+    validate_distribution,
+)
+from repro.workloads.modifications import (
+    Operation,
+    generate_trace,
+    replay,
+    replay_logical,
+)
+from repro.workloads.querygen import (
+    QuerySpec,
+    build_query_workload,
+    representative_queries,
+    top_frequent_attributes,
+)
+
+__all__ = [
+    "DBpediaDataset",
+    "Operation",
+    "generate_trace",
+    "replay",
+    "replay_logical",
+    "QuerySpec",
+    "build_query_workload",
+    "generate_dbpedia_persons",
+    "representative_queries",
+    "top_frequent_attributes",
+    "validate_distribution",
+]

@@ -1,0 +1,128 @@
+"""Synthetic selective query workload (Section V-B).
+
+"We generated a synthetic workload since there is no common or
+standardized DBpedia workload. […] We created multiple sets of attributes.
+Each of the individual attributes forms an attribute set.  Additionally,
+we combined the 20 most frequent attributes to pairs and triples.  For
+each of these attribute sets we generated a query of the form
+``SELECT a₁, a₂, … WHERE a₁ IS NOT NULL OR a₂ IS NOT NULL …``."
+
+This module builds exactly that workload over any entity-mask collection,
+computes each query's true selectivity, and picks the paper's
+"representative queries […] three representative queries for each
+selectivity" via selectivity bucketing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterable, Sequence
+
+from repro.catalog.dictionary import AttributeDictionary
+from repro.query.query import AttributeQuery
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """A workload query together with its measured selectivity."""
+
+    query: AttributeQuery
+    #: fraction of entities the query returns (OR semantics)
+    selectivity: float
+
+    @property
+    def arity(self) -> int:
+        return len(self.query.attributes)
+
+
+def _selectivity(query_mask: int, entity_masks: Sequence[int]) -> float:
+    if not entity_masks:
+        return 0.0
+    matched = sum(1 for mask in entity_masks if mask & query_mask)
+    return matched / len(entity_masks)
+
+
+def top_frequent_attributes(
+    entity_masks: Sequence[int], dictionary: AttributeDictionary, k: int = 20
+) -> list[str]:
+    """The ``k`` most frequent attribute names, most frequent first."""
+    counts = [0] * len(dictionary)
+    for mask in entity_masks:
+        remaining = mask
+        while remaining:
+            low = remaining & -remaining
+            counts[low.bit_length() - 1] += 1
+            remaining ^= low
+    ranked = sorted(range(len(counts)), key=lambda i: (-counts[i], i))
+    return [dictionary.name_of(i) for i in ranked[:k] if counts[i] > 0]
+
+
+def build_query_workload(
+    entity_masks: Sequence[int],
+    dictionary: AttributeDictionary,
+    top_k: int = 20,
+    max_triples: int = 300,
+    seed: int = 7,
+) -> list[QuerySpec]:
+    """Generate the paper's synthetic workload over a data set.
+
+    Singles over *every* attribute, all pairs of the ``top_k`` most
+    frequent attributes, and a deterministic sample of ``max_triples``
+    triples of them.  Queries that match nothing are kept (selectivity 0 —
+    the best case for pruning).
+    """
+    specs: list[QuerySpec] = []
+    for name in dictionary.names():
+        query = AttributeQuery((name,))
+        specs.append(
+            QuerySpec(query, _selectivity(query.synopsis_mask(dictionary), entity_masks))
+        )
+    top = top_frequent_attributes(entity_masks, dictionary, top_k)
+    for pair in combinations(top, 2):
+        query = AttributeQuery(pair)
+        specs.append(
+            QuerySpec(query, _selectivity(query.synopsis_mask(dictionary), entity_masks))
+        )
+    triples = list(combinations(top, 3))
+    if len(triples) > max_triples:
+        rng = random.Random(seed)
+        triples = rng.sample(triples, max_triples)
+    for triple in triples:
+        query = AttributeQuery(triple)
+        specs.append(
+            QuerySpec(query, _selectivity(query.synopsis_mask(dictionary), entity_masks))
+        )
+    return specs
+
+
+def representative_queries(
+    specs: Iterable[QuerySpec],
+    bucket_width: float = 0.05,
+    per_bucket: int = 3,
+) -> list[QuerySpec]:
+    """Pick the paper's representative queries covering all selectivities.
+
+    Queries are bucketed by selectivity (default 5 %-wide buckets) and up
+    to ``per_bucket`` queries per bucket are kept ("three representative
+    queries for each selectivity"), chosen deterministically as the ones
+    closest to the bucket centre.  Result is sorted by selectivity.
+    """
+    if bucket_width <= 0:
+        raise ValueError("bucket_width must be positive")
+    buckets: dict[int, list[QuerySpec]] = {}
+    for spec in specs:
+        buckets.setdefault(int(spec.selectivity / bucket_width), []).append(spec)
+    chosen: list[QuerySpec] = []
+    for bucket_index, bucket in sorted(buckets.items()):
+        centre = (bucket_index + 0.5) * bucket_width
+        bucket.sort(
+            key=lambda spec: (
+                abs(spec.selectivity - centre),
+                spec.query.attributes,
+            )
+        )
+        chosen.extend(bucket[:per_bucket])
+    chosen.sort(key=lambda spec: (spec.selectivity, spec.query.attributes))
+    return chosen

@@ -1,0 +1,23 @@
+"""TPC-H substrate: schema, dbgen, queries, and access-path adapters."""
+
+from repro.workloads.tpch.databases import (
+    CinderellaTPCHDatabase,
+    StandardTPCHDatabase,
+)
+from repro.workloads.tpch.dbgen import TPCHData, date_add, generate_tpch
+from repro.workloads.tpch.queries import QUERIES, run_query, sql_like
+from repro.workloads.tpch.schema import TABLES, TABLE_BY_NAME, TableSchema
+
+__all__ = [
+    "CinderellaTPCHDatabase",
+    "QUERIES",
+    "StandardTPCHDatabase",
+    "TABLES",
+    "TABLE_BY_NAME",
+    "TPCHData",
+    "TableSchema",
+    "date_add",
+    "generate_tpch",
+    "run_query",
+    "sql_like",
+]

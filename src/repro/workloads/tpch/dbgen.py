@@ -1,0 +1,285 @@
+"""Deterministic pure-Python TPC-H data generator.
+
+A from-scratch stand-in for the official ``dbgen`` tool: generates all
+eight tables at a configurable scale factor, with the value distributions
+the 22 queries depend on (date ranges, discount/quantity ranges, brand and
+type vocabularies, phone country codes, comment keywords, …).  The output
+is *spec-shaped*, not byte-identical to dbgen — the Table I experiment
+only needs regular relational data whose queries exercise realistic
+selectivities, and absolute row contents are irrelevant to the
+partitioning behaviour being studied.
+
+Dates are ISO-8601 strings; they compare correctly as strings, which keeps
+rows plain and serializable by the sparse record format.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from typing import Any, Callable
+
+from repro.workloads.tpch import schema as s
+
+Row = dict[str, Any]
+
+_EPOCH = datetime.date(1992, 1, 1)
+_LAST = datetime.date(1998, 12, 31)
+_DAYS = (_LAST - _EPOCH).days
+
+#: filler vocabulary for comment columns
+_COMMENT_WORDS = (
+    "carefully", "quickly", "furiously", "slyly", "blithely", "deposits",
+    "packages", "requests", "instructions", "accounts", "theodolites",
+    "pinto", "beans", "foxes", "ideas", "dependencies", "platelets",
+    "asymptotes", "courts", "dolphins", "express", "final", "ironic",
+    "pending", "regular", "special", "unusual", "bold", "even", "silent",
+)
+
+
+def _date(rng: random.Random, min_offset: int = 0, max_offset: int = _DAYS) -> str:
+    return (_EPOCH + datetime.timedelta(days=rng.randint(min_offset, max_offset))).isoformat()
+
+
+def date_add(iso_date: str, days: int) -> str:
+    """ISO date arithmetic helper shared with the queries."""
+    return (datetime.date.fromisoformat(iso_date) + datetime.timedelta(days=days)).isoformat()
+
+
+def _comment(rng: random.Random, min_words: int = 3, max_words: int = 8) -> str:
+    count = rng.randint(min_words, max_words)
+    return " ".join(rng.choice(_COMMENT_WORDS) for _ in range(count))
+
+
+def _phone(nation_key: int, rng: random.Random) -> str:
+    country_code = 10 + nation_key
+    return (
+        f"{country_code}-{rng.randint(100, 999)}-{rng.randint(100, 999)}-"
+        f"{rng.randint(1000, 9999)}"
+    )
+
+
+class TPCHData:
+    """All eight generated tables, addressable by name."""
+
+    def __init__(self, tables: dict[str, list[Row]], scale_factor: float, seed: int):
+        self._tables = tables
+        self.scale_factor = scale_factor
+        self.seed = seed
+
+    def table(self, name: str) -> list[Row]:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise KeyError(f"no TPC-H table {name!r}") from None
+
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(self._tables)
+
+    def row_counts(self) -> dict[str, int]:
+        return {name: len(rows) for name, rows in self._tables.items()}
+
+    def total_rows(self) -> int:
+        return sum(len(rows) for rows in self._tables.values())
+
+
+def generate_tpch(scale_factor: float = 0.01, seed: int = 7) -> TPCHData:
+    """Generate a complete TPC-H database.
+
+    At scale factor 0.01 this yields ~100 suppliers, 1 500 customers,
+    2 000 parts, 8 000 partsupps, 15 000 orders, and ~60 000 lineitems.
+    """
+    if scale_factor <= 0:
+        raise ValueError("scale_factor must be positive")
+    rng = random.Random(seed)
+    tables: dict[str, list[Row]] = {}
+
+    tables["region"] = [
+        {
+            "r_regionkey": key,
+            "r_name": name,
+            "r_comment": _comment(rng),
+        }
+        for key, name in enumerate(s.REGIONS)
+    ]
+
+    tables["nation"] = [
+        {
+            "n_nationkey": key,
+            "n_name": name,
+            "n_regionkey": region,
+            "n_comment": _comment(rng),
+        }
+        for key, (name, region) in enumerate(s.NATIONS)
+    ]
+
+    n_suppliers = s.SUPPLIER.scaled_cardinality(scale_factor)
+    suppliers: list[Row] = []
+    for key in range(1, n_suppliers + 1):
+        nation = rng.randrange(len(s.NATIONS))
+        # clause 4.2.3: ~5 per 10 000 suppliers complain, ~5 recommend
+        roll = rng.random()
+        if roll < 0.02:
+            comment = f"{_comment(rng, 2, 4)} Customer Complaints {_comment(rng, 1, 2)}"
+        elif roll < 0.04:
+            comment = f"{_comment(rng, 2, 4)} Customer Recommends {_comment(rng, 1, 2)}"
+        else:
+            comment = _comment(rng)
+        suppliers.append(
+            {
+                "s_suppkey": key,
+                "s_name": f"Supplier#{key:09d}",
+                "s_address": f"{rng.randint(1, 999)} {_comment(rng, 1, 2)} street",
+                "s_nationkey": nation,
+                "s_phone": _phone(nation, rng),
+                "s_acctbal": round(rng.uniform(-999.99, 9999.99), 2),
+                "s_comment": comment,
+            }
+        )
+    tables["supplier"] = suppliers
+
+    n_customers = s.CUSTOMER.scaled_cardinality(scale_factor)
+    customers: list[Row] = []
+    for key in range(1, n_customers + 1):
+        nation = rng.randrange(len(s.NATIONS))
+        customers.append(
+            {
+                "c_custkey": key,
+                "c_name": f"Customer#{key:09d}",
+                "c_address": f"{rng.randint(1, 999)} {_comment(rng, 1, 2)} avenue",
+                "c_nationkey": nation,
+                "c_phone": _phone(nation, rng),
+                "c_acctbal": round(rng.uniform(-999.99, 9999.99), 2),
+                "c_mktsegment": rng.choice(s.MARKET_SEGMENTS),
+                "c_comment": _comment(rng),
+            }
+        )
+    tables["customer"] = customers
+
+    n_parts = s.PART.scaled_cardinality(scale_factor)
+    parts: list[Row] = []
+    for key in range(1, n_parts + 1):
+        manufacturer = rng.randint(1, 5)
+        brand = manufacturer * 10 + rng.randint(1, 5)
+        part_type = (
+            f"{rng.choice(s.TYPE_SYLLABLE_1)} {rng.choice(s.TYPE_SYLLABLE_2)} "
+            f"{rng.choice(s.TYPE_SYLLABLE_3)}"
+        )
+        retail = round(
+            90000 + (key / 10.0) % 20001 + 100 * (key % 1000), 2
+        ) / 100.0  # clause 4.2.3 price formula
+        parts.append(
+            {
+                "p_partkey": key,
+                "p_name": " ".join(rng.sample(s.PART_NAME_WORDS, 5)),
+                "p_mfgr": f"Manufacturer#{manufacturer}",
+                "p_brand": f"Brand#{brand}",
+                "p_type": part_type,
+                "p_size": rng.randint(1, 50),
+                "p_container": rng.choice(s.CONTAINERS),
+                "p_retailprice": round(retail, 2),
+                "p_comment": _comment(rng, 1, 3),
+            }
+        )
+    tables["part"] = parts
+
+    partsupp: list[Row] = []
+    for part in parts:
+        for offset in range(4):
+            supp = ((part["p_partkey"] + offset * (n_suppliers // 4 + 1)) % n_suppliers) + 1
+            partsupp.append(
+                {
+                    "ps_partkey": part["p_partkey"],
+                    "ps_suppkey": supp,
+                    "ps_availqty": rng.randint(1, 9999),
+                    "ps_supplycost": round(rng.uniform(1.0, 1000.0), 2),
+                    "ps_comment": _comment(rng),
+                }
+            )
+    tables["partsupp"] = partsupp
+
+    n_orders = s.ORDERS.scaled_cardinality(scale_factor)
+    orders: list[Row] = []
+    lineitems: list[Row] = []
+    retail_by_part = {part["p_partkey"]: part["p_retailprice"] for part in parts}
+    for key in range(1, n_orders + 1):
+        # clause 4.2.3: orders never reference custkeys divisible by 3,
+        # so a third of the customers have no orders (feeds Q13 and Q22)
+        custkey = rng.randint(1, n_customers)
+        while custkey % 3 == 0:
+            custkey = rng.randint(1, n_customers)
+        # o_orderdate ∈ [START_DATE, END_DATE - 151 days]
+        orderdate = _date(rng, 0, _DAYS - 151)
+        n_lines = rng.randint(1, 7)
+        total = 0.0
+        all_filled = True
+        any_filled = False
+        for line_number in range(1, n_lines + 1):
+            partkey = rng.randint(1, n_parts)
+            quantity = rng.randint(1, 50)
+            extended = round(quantity * retail_by_part[partkey], 2)
+            discount = round(rng.randint(0, 10) / 100.0, 2)
+            tax = round(rng.randint(0, 8) / 100.0, 2)
+            shipdate = date_add(orderdate, rng.randint(1, 121))
+            commitdate = date_add(orderdate, rng.randint(30, 90))
+            receiptdate = date_add(shipdate, rng.randint(1, 30))
+            if receiptdate <= s.CURRENT_DATE:
+                returnflag = "R" if rng.random() < 0.25 else ("A" if rng.random() < 0.5 else "N")
+            else:
+                returnflag = "N"
+            linestatus = "F" if shipdate <= s.CURRENT_DATE else "O"
+            if linestatus == "F":
+                any_filled = True
+            else:
+                all_filled = False
+            supp_offset = rng.randrange(4)
+            suppkey = ((partkey + supp_offset * (n_suppliers // 4 + 1)) % n_suppliers) + 1
+            lineitems.append(
+                {
+                    "l_orderkey": key,
+                    "l_partkey": partkey,
+                    "l_suppkey": suppkey,
+                    "l_linenumber": line_number,
+                    "l_quantity": float(quantity),
+                    "l_extendedprice": extended,
+                    "l_discount": discount,
+                    "l_tax": tax,
+                    "l_returnflag": returnflag,
+                    "l_linestatus": linestatus,
+                    "l_shipdate": shipdate,
+                    "l_commitdate": commitdate,
+                    "l_receiptdate": receiptdate,
+                    "l_shipinstruct": rng.choice(s.SHIP_INSTRUCTIONS),
+                    "l_shipmode": rng.choice(s.SHIP_MODES),
+                    "l_comment": _comment(rng, 2, 4),
+                }
+            )
+            total += extended * (1 + tax) * (1 - discount)
+        if all_filled:
+            status = "F"
+        elif any_filled:
+            status = "P"
+        else:
+            status = "O"
+        # ~1 % of order comments carry the Q13 'special … requests' pattern
+        if rng.random() < 0.01:
+            comment = f"{_comment(rng, 1, 2)} special {_comment(rng, 0, 2)} requests"
+        else:
+            comment = _comment(rng)
+        orders.append(
+            {
+                "o_orderkey": key,
+                "o_custkey": custkey,
+                "o_orderstatus": status,
+                "o_totalprice": round(total, 2),
+                "o_orderdate": orderdate,
+                "o_orderpriority": rng.choice(s.ORDER_PRIORITIES),
+                "o_clerk": f"Clerk#{rng.randint(1, max(1, n_orders // 1000)):09d}",
+                "o_shippriority": 0,
+                "o_comment": comment,
+            }
+        )
+    tables["orders"] = orders
+    tables["lineitem"] = lineitems
+
+    return TPCHData(tables, scale_factor, seed)

@@ -1,0 +1,249 @@
+"""TPC-H schema definition (TPC Benchmark H, revision 2.16.0).
+
+All eight tables with their full column lists, the per-table cardinality
+scaling rules, and the reference data (region/nation names, segments,
+priorities, …) the generator and the queries share.  Every column is
+NOT NULL in TPC-H, which is what lets the schema-emulating views use the
+full column set as their membership discriminator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """One TPC-H table: name, ordered columns, base cardinality at SF 1.
+
+    ``cardinality_sf1 = 0`` marks fixed-size tables (nation, region);
+    lineitem's cardinality is approximate (1–7 lines per order).
+    """
+
+    name: str
+    columns: tuple[str, ...]
+    cardinality_sf1: int
+
+    def scaled_cardinality(self, scale_factor: float) -> int:
+        if self.cardinality_sf1 == 0:
+            return len(REGIONS) if self.name == "region" else len(NATIONS)
+        return max(1, round(self.cardinality_sf1 * scale_factor))
+
+
+REGION = TableSchema("region", ("r_regionkey", "r_name", "r_comment"), 0)
+
+NATION = TableSchema(
+    "nation", ("n_nationkey", "n_name", "n_regionkey", "n_comment"), 0
+)
+
+SUPPLIER = TableSchema(
+    "supplier",
+    (
+        "s_suppkey",
+        "s_name",
+        "s_address",
+        "s_nationkey",
+        "s_phone",
+        "s_acctbal",
+        "s_comment",
+    ),
+    10_000,
+)
+
+CUSTOMER = TableSchema(
+    "customer",
+    (
+        "c_custkey",
+        "c_name",
+        "c_address",
+        "c_nationkey",
+        "c_phone",
+        "c_acctbal",
+        "c_mktsegment",
+        "c_comment",
+    ),
+    150_000,
+)
+
+PART = TableSchema(
+    "part",
+    (
+        "p_partkey",
+        "p_name",
+        "p_mfgr",
+        "p_brand",
+        "p_type",
+        "p_size",
+        "p_container",
+        "p_retailprice",
+        "p_comment",
+    ),
+    200_000,
+)
+
+PARTSUPP = TableSchema(
+    "partsupp",
+    ("ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost", "ps_comment"),
+    800_000,
+)
+
+ORDERS = TableSchema(
+    "orders",
+    (
+        "o_orderkey",
+        "o_custkey",
+        "o_orderstatus",
+        "o_totalprice",
+        "o_orderdate",
+        "o_orderpriority",
+        "o_clerk",
+        "o_shippriority",
+        "o_comment",
+    ),
+    1_500_000,
+)
+
+LINEITEM = TableSchema(
+    "lineitem",
+    (
+        "l_orderkey",
+        "l_partkey",
+        "l_suppkey",
+        "l_linenumber",
+        "l_quantity",
+        "l_extendedprice",
+        "l_discount",
+        "l_tax",
+        "l_returnflag",
+        "l_linestatus",
+        "l_shipdate",
+        "l_commitdate",
+        "l_receiptdate",
+        "l_shipinstruct",
+        "l_shipmode",
+        "l_comment",
+    ),
+    6_000_000,
+)
+
+#: all tables, FK-dependency order (parents before children)
+TABLES: tuple[TableSchema, ...] = (
+    REGION,
+    NATION,
+    SUPPLIER,
+    CUSTOMER,
+    PART,
+    PARTSUPP,
+    ORDERS,
+    LINEITEM,
+)
+
+TABLE_BY_NAME: dict[str, TableSchema] = {table.name: table for table in TABLES}
+
+# ----------------------------------------------------------------------
+# reference data (TPC-H specification, clause 4.2.3)
+# ----------------------------------------------------------------------
+REGIONS: tuple[str, ...] = ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")
+
+#: (nation name, region index) — the spec's 25 nations
+NATIONS: tuple[tuple[str, int], ...] = (
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+)
+
+MARKET_SEGMENTS: tuple[str, ...] = (
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+)
+
+ORDER_PRIORITIES: tuple[str, ...] = (
+    "1-URGENT",
+    "2-HIGH",
+    "3-MEDIUM",
+    "4-NOT SPECIFIED",
+    "5-LOW",
+)
+
+SHIP_MODES: tuple[str, ...] = ("REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB")
+
+SHIP_INSTRUCTIONS: tuple[str, ...] = (
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+)
+
+CONTAINERS: tuple[str, ...] = tuple(
+    f"{size} {kind}"
+    for size in ("SM", "LG", "MED", "JUMBO", "WRAP")
+    for kind in ("CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM")
+)
+
+#: p_type = "<syllable1> <syllable2> <syllable3>"
+TYPE_SYLLABLE_1: tuple[str, ...] = (
+    "STANDARD",
+    "SMALL",
+    "MEDIUM",
+    "LARGE",
+    "ECONOMY",
+    "PROMO",
+)
+TYPE_SYLLABLE_2: tuple[str, ...] = (
+    "ANODIZED",
+    "BURNISHED",
+    "PLATED",
+    "POLISHED",
+    "BRUSHED",
+)
+TYPE_SYLLABLE_3: tuple[str, ...] = ("TIN", "NICKEL", "BRASS", "STEEL", "COPPER")
+
+#: p_name draws five of these colour words
+PART_NAME_WORDS: tuple[str, ...] = (
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+    "chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream", "cyan",
+    "dark", "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest",
+    "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+    "hot", "indian", "ivory", "khaki", "lace",
+    "lavender", "lawn", "lemon", "light", "lime", "linen", "magenta", "maroon",
+    "medium", "metallic", "midnight", "mint", "misty", "moccasin", "navajo",
+    "navy", "olive", "orange", "orchid", "pale", "papaya", "peach", "peru",
+    "pink", "plum", "powder", "puff", "purple", "red", "rose", "rosy", "royal",
+    "saddle", "salmon", "sandy", "seashell", "sienna", "sky", "slate", "smoke",
+    "snow", "spring", "steel", "tan", "thistle", "tomato", "turquoise", "violet",
+    "wheat", "white", "yellow",
+)
+
+#: Q22 selects customers by these phone country-code prefixes
+Q22_COUNTRY_CODES: tuple[str, ...] = ("13", "31", "23", "29", "30", "18", "17")
+
+#: date range of the business universe
+START_DATE = "1992-01-01"
+END_DATE = "1998-12-31"
+CURRENT_DATE = "1995-06-17"

@@ -1,0 +1,134 @@
+"""Tests for the partition catalog."""
+
+import pytest
+
+from repro.catalog.catalog import (
+    EntityNotFoundError,
+    PartitionCatalog,
+    PartitionNotFoundError,
+)
+from repro.catalog.synopsis_index import SynopsisIndex
+
+
+class TestPartitionLifecycle:
+    def test_create_assigns_increasing_pids(self):
+        c = PartitionCatalog()
+        assert c.create_partition().pid == 0
+        assert c.create_partition().pid == 1
+        assert len(c) == 2
+        assert c.partition_ids() == (0, 1)
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(PartitionNotFoundError):
+            PartitionCatalog().get(3)
+
+    def test_drop_empty_partition(self):
+        c = PartitionCatalog()
+        p = c.create_partition()
+        c.drop_partition(p.pid)
+        assert len(c) == 0
+        assert p.pid not in c
+
+    def test_drop_nonempty_partition_rejected(self):
+        c = PartitionCatalog()
+        p = c.create_partition()
+        c.add_entity(p.pid, 1, 0b1, 1.0)
+        with pytest.raises(ValueError):
+            c.drop_partition(p.pid)
+
+    def test_pids_never_reused_after_drop(self):
+        c = PartitionCatalog()
+        p = c.create_partition()
+        c.drop_partition(p.pid)
+        assert c.create_partition().pid == 1
+
+
+class TestEntityPlacement:
+    def test_add_and_locate(self):
+        c = PartitionCatalog()
+        p = c.create_partition()
+        c.add_entity(p.pid, 7, 0b11, 1.0)
+        assert c.partition_of(7) == p.pid
+        assert c.has_entity(7)
+        assert c.entity_count == 1
+
+    def test_double_placement_rejected(self):
+        c = PartitionCatalog()
+        p1 = c.create_partition()
+        p2 = c.create_partition()
+        c.add_entity(p1.pid, 7, 0b1, 1.0)
+        with pytest.raises(ValueError):
+            c.add_entity(p2.pid, 7, 0b1, 1.0)
+
+    def test_remove_returns_placement(self):
+        c = PartitionCatalog()
+        p = c.create_partition()
+        c.add_entity(p.pid, 7, 0b101, 2.0)
+        assert c.remove_entity(7) == (p.pid, 0b101, 2.0)
+        assert not c.has_entity(7)
+
+    def test_locate_unknown_raises(self):
+        with pytest.raises(EntityNotFoundError):
+            PartitionCatalog().partition_of(9)
+
+    def test_update_entity_in_place(self):
+        c = PartitionCatalog()
+        p = c.create_partition()
+        c.add_entity(p.pid, 7, 0b01, 1.0)
+        assert c.update_entity(7, 0b10, 3.0) == p.pid
+        assert p.mask == 0b10
+        assert p.total_size == 3.0
+
+
+class TestCandidates:
+    def test_without_index_scans_everything(self):
+        c = PartitionCatalog()
+        p1 = c.create_partition()
+        p2 = c.create_partition()
+        c.add_entity(p1.pid, 1, 0b01, 1.0)
+        c.add_entity(p2.pid, 2, 0b10, 1.0)
+        assert {p.pid for p in c.candidates(0b01, 0.5)} == {p1.pid, p2.pid}
+
+    def test_with_index_restricts_to_overlapping(self):
+        c = PartitionCatalog(index=SynopsisIndex())
+        p1 = c.create_partition()
+        p2 = c.create_partition()
+        c.add_entity(p1.pid, 1, 0b01, 1.0)
+        c.add_entity(p2.pid, 2, 0b10, 1.0)
+        assert {p.pid for p in c.candidates(0b01, 0.5)} == {p1.pid}
+
+    def test_with_index_weight_one_falls_back_to_full_scan(self):
+        c = PartitionCatalog(index=SynopsisIndex())
+        p1 = c.create_partition()
+        p2 = c.create_partition()
+        c.add_entity(p1.pid, 1, 0b01, 1.0)
+        c.add_entity(p2.pid, 2, 0b10, 1.0)
+        assert {p.pid for p in c.candidates(0b01, 1.0)} == {p1.pid, p2.pid}
+
+    def test_empty_entity_finds_empty_synopsis_partitions(self):
+        c = PartitionCatalog(index=SynopsisIndex())
+        p1 = c.create_partition()
+        p2 = c.create_partition()
+        c.add_entity(p1.pid, 1, 0, 1.0)
+        c.add_entity(p2.pid, 2, 0b1, 1.0)
+        assert {p.pid for p in c.candidates(0, 0.5)} == {p1.pid}
+
+
+class TestInvariants:
+    def test_healthy_catalog_reports_nothing(self):
+        c = PartitionCatalog(index=SynopsisIndex())
+        p = c.create_partition()
+        c.add_entity(p.pid, 1, 0b11, 1.0)
+        assert c.check_invariants() == []
+
+    def test_lingering_empty_partition_reported(self):
+        c = PartitionCatalog()
+        c.create_partition()
+        assert any("empty partition" in p for p in c.check_invariants())
+
+    def test_corrupted_synopsis_reported(self):
+        c = PartitionCatalog()
+        p = c.create_partition()
+        c.add_entity(p.pid, 1, 0b1, 1.0)
+        p.mask = 0b111  # corrupt
+        assert any("synopsis" in msg for msg in c.check_invariants())

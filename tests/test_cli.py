@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDemo:
+    def test_runs_and_prints_plan(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "partitions formed" in out
+        assert "SELECT aperture, resolution" in out
+        assert "pruned" in out
+
+
+class TestDBpedia:
+    def test_prints_partition_stats(self, capsys):
+        assert main(["dbpedia", "--entities", "500", "--partition-size", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "partitions" in out
+        assert "median entities/partition" in out
+
+    def test_saves_snapshot(self, tmp_path, capsys):
+        snapshot = tmp_path / "table.json"
+        code = main([
+            "dbpedia", "--entities", "300", "--partition-size", "40",
+            "--snapshot", str(snapshot),
+        ])
+        assert code == 0
+        assert snapshot.exists()
+        assert "snapshot written" in capsys.readouterr().out
+
+
+class TestTpch:
+    def test_reports_schema_recovery(self, capsys):
+        assert main(["tpch", "--scale-factor", "0.001"]) == 0
+        out = capsys.readouterr().out
+        assert "schema recovered exactly: True" in out
+
+    def test_runs_a_query(self, capsys):
+        assert main(["tpch", "--scale-factor", "0.001", "--query", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Q1:" in out
+
+
+class TestAdvise:
+    def test_prints_recommendation(self, capsys):
+        assert main(["advise", "--entities", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "recommended: B=" in out
+        assert "Advisor trials" in out
+
+
+class TestInspect:
+    def test_inspects_snapshot(self, tmp_path, capsys):
+        snapshot = tmp_path / "table.json"
+        main([
+            "dbpedia", "--entities", "300", "--partition-size", "40",
+            "--snapshot", str(snapshot),
+        ])
+        capsys.readouterr()
+        assert main(["inspect", str(snapshot)]) == 0
+        out = capsys.readouterr().out
+        assert "entities" in out and "partitions" in out
+
+    def test_bad_snapshot_is_an_error(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("{}")
+        assert main(["inspect", str(bogus)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestParser:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_command_is_required(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_query_range_enforced(self):
+        with pytest.raises(SystemExit):
+            main(["tpch", "--query", "23"])

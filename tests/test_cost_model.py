@@ -1,0 +1,89 @@
+"""Dedicated tests for the cost model (workload term included)."""
+
+import pytest
+
+from repro.cost.model import CostModel
+from repro.query.executor import ExecutionStats
+
+
+class TestQueryTime:
+    def test_linear_in_each_component(self):
+        model = CostModel()
+        base = ExecutionStats(pages_read=10, entities_read=100, rows_returned=5)
+        doubled_pages = ExecutionStats(
+            pages_read=20, entities_read=100, rows_returned=5
+        )
+        delta = model.query_time_ms(doubled_pages) - model.query_time_ms(base)
+        assert delta == pytest.approx(10 * model.page_read_ms)
+
+    def test_branch_overhead_scales_with_branches(self):
+        model = CostModel()
+        one = ExecutionStats(entities_read=100, union_branches=1)
+        five = ExecutionStats(entities_read=100, union_branches=5)
+        assert model.query_time_ms(five) - model.query_time_ms(one) == (
+            pytest.approx(4 * model.branch_overhead_ms)
+        )
+
+    def test_union_projection_charged_per_entity(self):
+        model = CostModel()
+        few = ExecutionStats(entities_read=100, union_branches=1)
+        many = ExecutionStats(entities_read=1100, union_branches=1)
+        delta = model.query_time_ms(many) - model.query_time_ms(few)
+        assert delta == pytest.approx(
+            1000 * (model.record_scan_ms + model.union_project_ms)
+        )
+
+    def test_no_union_costs_without_branches(self):
+        model = CostModel(branch_overhead_ms=100.0, union_project_ms=100.0)
+        plain = ExecutionStats(pages_read=1, entities_read=10)
+        assert model.query_time_ms(plain) == pytest.approx(
+            model.page_read_ms + 10 * model.record_scan_ms
+        )
+
+
+class TestWorkloadTime:
+    def test_adds_engine_processing_per_row(self):
+        model = CostModel()
+        stats = ExecutionStats(entities_read=100, rows_returned=40)
+        assert model.workload_time_ms(stats) == pytest.approx(
+            model.query_time_ms(stats) + 40 * model.engine_process_ms
+        )
+
+    def test_identical_rows_mean_identical_engine_term(self):
+        """The engine term cancels when comparing access paths that
+        deliver the same rows — exactly the Table I setup."""
+        model = CostModel()
+        standard = ExecutionStats(entities_read=1000, rows_returned=500)
+        partitioned = ExecutionStats(
+            entities_read=1000, rows_returned=500, union_branches=4
+        )
+        difference = model.workload_time_ms(partitioned) - model.workload_time_ms(
+            standard
+        )
+        assert difference == pytest.approx(
+            model.query_time_ms(partitioned) - model.query_time_ms(standard)
+        )
+
+
+class TestInsertTime:
+    def test_split_cost_dominated_by_moves(self):
+        model = CostModel()
+        plain = model.insert_time_ms(
+            ratings_computed=50, records_moved=0, bytes_moved=0,
+            partitions_created=0,
+        )
+        split = model.insert_time_ms(
+            ratings_computed=50, records_moved=5000, bytes_moved=350_000,
+            partitions_created=2,
+        )
+        assert split > 50 * plain
+
+    def test_catalog_scan_term(self):
+        model = CostModel()
+        small = model.insert_time_ms(10, 0, 0, 0)
+        large = model.insert_time_ms(1000, 0, 0, 0)
+        assert large - small == pytest.approx(990 * model.rating_ms)
+
+    def test_custom_coefficients(self):
+        model = CostModel(insert_base_ms=0.0, rating_ms=1.0)
+        assert model.insert_time_ms(3, 0, 0, 0) == pytest.approx(3.0)

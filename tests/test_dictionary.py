@@ -1,0 +1,112 @@
+"""Tests for the attribute dictionary."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.catalog.dictionary import AttributeDictionary, UnknownAttributeError
+
+attr_names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestIntern:
+    def test_assigns_sequential_ids(self):
+        d = AttributeDictionary()
+        assert d.intern("name") == 0
+        assert d.intern("weight") == 1
+        assert d.intern("screen") == 2
+
+    def test_is_idempotent(self):
+        d = AttributeDictionary()
+        assert d.intern("name") == d.intern("name") == 0
+        assert len(d) == 1
+
+    def test_rejects_empty_name(self):
+        d = AttributeDictionary()
+        with pytest.raises(ValueError):
+            d.intern("")
+
+    def test_rejects_non_string(self):
+        d = AttributeDictionary()
+        with pytest.raises(ValueError):
+            d.intern(42)
+
+    def test_constructor_seeds_names(self):
+        d = AttributeDictionary(["a", "b", "c"])
+        assert d.id_of("b") == 1
+        assert len(d) == 3
+
+
+class TestLookup:
+    def test_id_of_known(self):
+        d = AttributeDictionary(["x"])
+        assert d.id_of("x") == 0
+
+    def test_id_of_unknown_raises(self):
+        d = AttributeDictionary()
+        with pytest.raises(UnknownAttributeError):
+            d.id_of("missing")
+
+    def test_name_of(self):
+        d = AttributeDictionary(["x", "y"])
+        assert d.name_of(1) == "y"
+
+    def test_name_of_out_of_range_raises(self):
+        d = AttributeDictionary(["x"])
+        with pytest.raises(UnknownAttributeError):
+            d.name_of(5)
+
+    def test_contains(self):
+        d = AttributeDictionary(["x"])
+        assert "x" in d
+        assert "y" not in d
+
+    def test_iter_in_bit_order(self):
+        d = AttributeDictionary(["b", "a", "c"])
+        assert list(d) == ["b", "a", "c"]
+        assert d.names() == ("b", "a", "c")
+
+
+class TestEncodeDecode:
+    def test_encode_sets_bits(self):
+        d = AttributeDictionary(["a", "b", "c"])
+        assert d.encode(["a", "c"]) == 0b101
+
+    def test_encode_interns_new(self):
+        d = AttributeDictionary()
+        mask = d.encode(["p", "q"])
+        assert mask == 0b11
+        assert len(d) == 2
+
+    def test_encode_known_ignores_unknown(self):
+        d = AttributeDictionary(["a"])
+        assert d.encode_known(["a", "nope"]) == 0b1
+        assert len(d) == 1
+
+    def test_decode_roundtrip(self):
+        d = AttributeDictionary(["a", "b", "c", "d"])
+        assert d.decode(d.encode(["d", "a"])) == ("a", "d")
+
+    def test_decode_zero(self):
+        d = AttributeDictionary(["a"])
+        assert d.decode(0) == ()
+
+    def test_decode_negative_raises(self):
+        d = AttributeDictionary()
+        with pytest.raises(ValueError):
+            d.decode(-1)
+
+    def test_universe_mask(self):
+        d = AttributeDictionary(["a", "b", "c"])
+        assert d.universe_mask() == 0b111
+
+    @given(st.lists(attr_names, max_size=20))
+    def test_roundtrip_property(self, names):
+        d = AttributeDictionary()
+        mask = d.encode(names)
+        assert set(d.decode(mask)) == set(names)
+        assert mask.bit_count() == len(set(names))

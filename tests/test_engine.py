@@ -1,0 +1,164 @@
+"""Tests for the relational operator library and aggregates."""
+
+import pytest
+
+from repro.engine.aggregates import Avg, Count, CountDistinct, Max, Min, Sum
+from repro.engine.operators import (
+    extend,
+    group_by,
+    hash_join,
+    limit,
+    order_by,
+    order_by_many,
+    project,
+    select,
+)
+
+PEOPLE = [
+    {"id": 1, "city": "Dresden", "age": 30},
+    {"id": 2, "city": "Dresden", "age": 40},
+    {"id": 3, "city": "Chicago", "age": 20},
+]
+ORDERS = [
+    {"oid": 10, "person": 1, "total": 5.0},
+    {"oid": 11, "person": 1, "total": 7.0},
+    {"oid": 12, "person": 3, "total": 2.0},
+]
+
+
+class TestSelectProjectExtend:
+    def test_select(self):
+        assert [r["id"] for r in select(PEOPLE, lambda r: r["age"] > 25)] == [1, 2]
+
+    def test_project_columns(self):
+        assert list(project(PEOPLE, ("id",))) == [{"id": 1}, {"id": 2}, {"id": 3}]
+
+    def test_project_expressions(self):
+        rows = list(project(PEOPLE, {"double_age": lambda r: r["age"] * 2}))
+        assert rows[0] == {"double_age": 60}
+
+    def test_extend_keeps_existing_columns(self):
+        rows = list(extend(PEOPLE, is_old=lambda r: r["age"] >= 40))
+        assert rows[1]["is_old"] is True
+        assert rows[1]["city"] == "Dresden"
+
+
+class TestHashJoin:
+    def test_inner_join(self):
+        rows = list(hash_join(ORDERS, PEOPLE, "person", "id"))
+        assert len(rows) == 3
+        assert rows[0]["city"] == "Dresden"
+
+    def test_left_join_keeps_unmatched(self):
+        rows = list(hash_join(PEOPLE, ORDERS, "id", "person", how="left"))
+        unmatched = [r for r in rows if "oid" not in r]
+        assert [r["id"] for r in unmatched] == [2]
+        assert len(rows) == 4
+
+    def test_semi_join(self):
+        rows = list(hash_join(PEOPLE, ORDERS, "id", "person", how="semi"))
+        assert [r["id"] for r in rows] == [1, 3]
+        assert all("oid" not in r for r in rows)
+
+    def test_anti_join(self):
+        rows = list(hash_join(PEOPLE, ORDERS, "id", "person", how="anti"))
+        assert [r["id"] for r in rows] == [2]
+
+    def test_composite_keys(self):
+        left = [{"a": 1, "b": 2, "x": "L"}]
+        right = [{"c": 1, "d": 2, "y": "R"}]
+        rows = list(hash_join(left, right, ("a", "b"), ("c", "d")))
+        assert rows == [{"a": 1, "b": 2, "x": "L", "c": 1, "d": 2, "y": "R"}]
+
+    def test_unknown_flavour_rejected(self):
+        with pytest.raises(ValueError):
+            list(hash_join([], [], "a", "b", how="outer"))
+
+
+class TestGroupBy:
+    def test_group_by_column(self):
+        rows = group_by(PEOPLE, "city", {"n": lambda: Count(), "total_age": lambda: Sum("age")})
+        by_city = {r["city"]: r for r in rows}
+        assert by_city["Dresden"] == {"city": "Dresden", "n": 2, "total_age": 70.0}
+        assert by_city["Chicago"]["n"] == 1
+
+    def test_group_by_tuple_key(self):
+        rows = group_by(PEOPLE, ("city", "age"), {"n": lambda: Count()})
+        assert len(rows) == 3
+        assert all("city" in r and "age" in r for r in rows)
+
+    def test_scalar_aggregate_over_empty_input(self):
+        rows = group_by([], None, {"n": lambda: Count(), "avg": lambda: Avg("x")})
+        assert rows == [{"n": 0, "avg": None}]
+
+    def test_callable_key_requires_names(self):
+        with pytest.raises(ValueError):
+            group_by(PEOPLE, lambda r: r["city"], {"n": lambda: Count()})
+        rows = group_by(
+            PEOPLE, lambda r: r["city"], {"n": lambda: Count()}, key_names=("city",)
+        )
+        assert {r["city"] for r in rows} == {"Dresden", "Chicago"}
+
+
+class TestAggregates:
+    def test_sum_with_expression(self):
+        agg = Sum(lambda r: r["age"] * 2)
+        for row in PEOPLE:
+            agg.step(row)
+        assert agg.result() == 180.0
+
+    def test_count_with_expression_skips_none(self):
+        agg = Count(lambda r: r.get("maybe"))
+        agg.step({"maybe": 1})
+        agg.step({})
+        assert agg.result() == 1
+
+    def test_count_distinct(self):
+        agg = CountDistinct("city")
+        for row in PEOPLE:
+            agg.step(row)
+        assert agg.result() == 2
+
+    def test_min_max(self):
+        low, high = Min("age"), Max("age")
+        for row in PEOPLE:
+            low.step(row)
+            high.step(row)
+        assert (low.result(), high.result()) == (20, 40)
+
+    def test_avg(self):
+        agg = Avg("age")
+        for row in PEOPLE:
+            agg.step(row)
+        assert agg.result() == pytest.approx(30.0)
+
+    def test_empty_min_max_avg_are_none(self):
+        assert Min("x").result() is None
+        assert Max("x").result() is None
+        assert Avg("x").result() is None
+
+
+class TestOrderAndLimit:
+    def test_order_by(self):
+        rows = order_by(PEOPLE, "age", reverse=True)
+        assert [r["age"] for r in rows] == [40, 30, 20]
+
+    def test_order_by_many_mixed_directions(self):
+        rows = order_by_many(PEOPLE, [("city", False), ("age", True)])
+        assert [(r["city"], r["age"]) for r in rows] == [
+            ("Chicago", 20), ("Dresden", 40), ("Dresden", 30),
+        ]
+
+    def test_limit(self):
+        assert limit(PEOPLE, 2) == PEOPLE[:2]
+        assert limit(PEOPLE, 0) == []
+        with pytest.raises(ValueError):
+            limit(PEOPLE, -1)
+
+    def test_limit_short_circuits_generators(self):
+        def endless():
+            i = 0
+            while True:
+                yield {"i": i}
+                i += 1
+        assert len(limit(endless(), 5)) == 5

@@ -1,0 +1,101 @@
+"""Property-based tests for the relational operator library.
+
+Each operator is checked against an independent brute-force reference
+implementation over randomly generated row sets.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.aggregates import Avg, Count, Max, Min, Sum
+from repro.engine.operators import group_by, hash_join, order_by_many
+
+keys = st.integers(min_value=0, max_value=6)
+values = st.integers(min_value=-100, max_value=100)
+
+left_rows = st.lists(
+    st.fixed_dictionaries({"lk": keys, "lv": values}), max_size=25
+)
+right_rows = st.lists(
+    st.fixed_dictionaries({"rk": keys, "rv": values}), max_size=25
+)
+
+
+class TestHashJoinAgainstNestedLoop:
+    @given(left_rows, right_rows)
+    def test_inner_join(self, left, right):
+        result = sorted(
+            map(repr, hash_join(left, right, "lk", "rk"))
+        )
+        reference = sorted(
+            repr({**l, **r}) for l in left for r in right if l["lk"] == r["rk"]
+        )
+        assert result == reference
+
+    @given(left_rows, right_rows)
+    def test_left_join(self, left, right):
+        result = list(hash_join(left, right, "lk", "rk", how="left"))
+        matched = sum(
+            1 for l in left for r in right if l["lk"] == r["rk"]
+        )
+        unmatched = sum(
+            1 for l in left if not any(l["lk"] == r["rk"] for r in right)
+        )
+        assert len(result) == matched + unmatched
+        # unmatched rows carry no right columns
+        assert sum(1 for row in result if "rk" not in row) == unmatched
+
+    @given(left_rows, right_rows)
+    def test_semi_plus_anti_partition_the_left_input(self, left, right):
+        semi = list(hash_join(left, right, "lk", "rk", how="semi"))
+        anti = list(hash_join(left, right, "lk", "rk", how="anti"))
+        assert len(semi) + len(anti) == len(left)
+        right_keys = {r["rk"] for r in right}
+        assert all(row["lk"] in right_keys for row in semi)
+        assert all(row["lk"] not in right_keys for row in anti)
+
+
+class TestGroupByAgainstManualFold:
+    @given(left_rows)
+    def test_sum_count_min_max_avg(self, rows):
+        result = group_by(
+            rows,
+            "lk",
+            {
+                "total": lambda: Sum("lv"),
+                "n": lambda: Count(),
+                "low": lambda: Min("lv"),
+                "high": lambda: Max("lv"),
+                "mean": lambda: Avg("lv"),
+            },
+        )
+        reference: dict[int, list[int]] = {}
+        for row in rows:
+            reference.setdefault(row["lk"], []).append(row["lv"])
+        assert len(result) == len(reference)
+        for out in result:
+            values_for_key = reference[out["lk"]]
+            assert out["total"] == sum(values_for_key)
+            assert out["n"] == len(values_for_key)
+            assert out["low"] == min(values_for_key)
+            assert out["high"] == max(values_for_key)
+            assert out["mean"] == sum(values_for_key) / len(values_for_key)
+
+    @given(left_rows)
+    def test_groups_are_a_partition_of_the_input(self, rows):
+        result = group_by(rows, "lk", {"n": lambda: Count()})
+        assert sum(r["n"] for r in result) == len(rows)
+        assert len({r["lk"] for r in result}) == len(result)
+
+
+class TestOrderByMany:
+    @given(left_rows)
+    def test_matches_python_sorted_with_composite_key(self, rows):
+        result = order_by_many(rows, [("lk", False), ("lv", True)])
+        reference = sorted(rows, key=lambda r: (r["lk"], -r["lv"]))
+        assert result == reference
+
+    @given(left_rows)
+    def test_is_a_permutation(self, rows):
+        result = order_by_many(rows, [("lv", True)])
+        assert sorted(map(repr, result)) == sorted(map(repr, rows))

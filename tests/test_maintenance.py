@@ -1,0 +1,134 @@
+"""Tests for partition merging and offline reorganization."""
+
+import pytest
+
+from repro.core.config import CinderellaConfig
+from repro.core.partitioner import CinderellaPartitioner
+from repro.maintenance.merger import merge_small_partitions
+from repro.maintenance.reorganizer import reorganize
+from repro.table.partitioned import CinderellaTable
+
+
+def fragmented_partitioner(weight: float = 0.4) -> CinderellaPartitioner:
+    """Two schema families, then heavy deletes leave small fragments."""
+    p = CinderellaPartitioner(CinderellaConfig(max_partition_size=10, weight=weight))
+    for eid in range(60):
+        p.insert(eid, 0b0011 if eid % 2 else 0b1100)
+    # delete most entities: partitions shrink but never empty out entirely
+    for eid in range(60):
+        if eid % 5:
+            p.delete(eid)
+    return p
+
+
+class TestMergeSmallPartitions:
+    def test_merges_compatible_fragments(self):
+        p = fragmented_partitioner()
+        before = len(p.catalog)
+        report = merge_small_partitions(p, min_fill=0.5)
+        assert report.merge_count > 0
+        assert len(p.catalog) == before - report.merge_count
+        assert p.check_invariants() == []
+
+    def test_never_mixes_incompatible_schemas(self):
+        p = fragmented_partitioner(weight=0.4)
+        merge_small_partitions(p, min_fill=0.5)
+        for partition in p.catalog:
+            masks = {mask for _eid, mask, _size in partition.members()}
+            # the two families must remain separated
+            assert not ({0b0011, 0b1100} <= masks)
+
+    def test_respects_capacity(self):
+        p = fragmented_partitioner()
+        merge_small_partitions(p, min_fill=0.9)
+        limit = p.config.max_partition_size
+        for partition in p.catalog:
+            assert partition.total_size <= limit
+
+    def test_moves_are_reported_in_apply_order(self):
+        p = fragmented_partitioner()
+        locations = {
+            eid: p.catalog.partition_of(eid)
+            for partition in p.catalog
+            for eid in partition.entity_ids()
+        }
+        report = merge_small_partitions(p, min_fill=0.5)
+        for move in report.moves:
+            assert locations[move.eid] == move.from_pid
+            locations[move.eid] = move.to_pid
+        for eid, pid in locations.items():
+            assert p.catalog.partition_of(eid) == pid
+
+    def test_unique_schema_fragment_left_alone(self):
+        p = CinderellaPartitioner(CinderellaConfig(max_partition_size=10, weight=0.3))
+        p.insert(1, 0b0011)
+        p.insert(2, 0b0011)
+        p.insert(3, 0b1111_0000_0000)  # lonely, schema-unique
+        report = merge_small_partitions(p, min_fill=1.0)
+        # the unique fragment rates negative against the other partition
+        assert p.catalog.partition_of(3) not in (
+            pid for pid, _target in report.merged
+        )
+        assert len(p.catalog) == 2
+
+    def test_invalid_min_fill(self):
+        with pytest.raises(ValueError):
+            merge_small_partitions(CinderellaPartitioner(), min_fill=0.0)
+
+    def test_physical_merge_on_table(self):
+        table = CinderellaTable(CinderellaConfig(max_partition_size=6, weight=0.4))
+        for eid in range(24):
+            table.insert(
+                {"a": 1, "b": 2} if eid % 2 else {"c": 3, "d": 4}, entity_id=eid
+            )
+        for eid in range(24):
+            if eid % 4:
+                table.delete(eid)
+        before = table.partition_count()
+        report = table.merge_small_partitions(min_fill=0.9)
+        assert report.merge_count > 0
+        assert table.partition_count() < before
+        assert table.check_consistency() == []
+        # data still retrievable
+        assert table.get(0).attributes == {"c": 3, "d": 4}
+
+
+class TestReorganize:
+    def test_reduces_fragment_count(self):
+        p = fragmented_partitioner()
+        report = reorganize(p, query_masks=[0b0001, 0b0100])
+        assert report.partitions_after <= report.partitions_before
+        assert report.partitioner.check_invariants() == []
+        assert report.partitioner.catalog.entity_count == p.catalog.entity_count
+
+    def test_efficiency_never_drops_on_fragmented_input(self):
+        p = fragmented_partitioner()
+        report = reorganize(p, query_masks=[0b0001, 0b0100])
+        assert report.efficiency_after >= report.efficiency_before - 1e-9
+        assert report.efficiency_gain is not None
+
+    def test_new_config_applies(self):
+        p = fragmented_partitioner()
+        new_config = CinderellaConfig(max_partition_size=50, weight=0.2)
+        report = reorganize(p, config=new_config)
+        assert report.partitioner.config is new_config
+        assert report.efficiency_gain is None  # no workload given
+
+    def test_stored_order(self):
+        p = fragmented_partitioner()
+        report = reorganize(p, order="stored")
+        assert report.partitioner.catalog.entity_count == p.catalog.entity_count
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            reorganize(fragmented_partitioner(), order="random")
+
+    def test_original_left_untouched(self):
+        p = fragmented_partitioner()
+        signature = sorted(
+            tuple(sorted(part.entity_ids())) for part in p.catalog
+        )
+        reorganize(p)
+        assert signature == sorted(
+            tuple(sorted(part.entity_ids())) for part in p.catalog
+        )

@@ -1,0 +1,101 @@
+"""Tests for the modification-trace generator and replays."""
+
+import pytest
+
+from repro.core.config import CinderellaConfig
+from repro.core.partitioner import CinderellaPartitioner
+from repro.table.partitioned import CinderellaTable
+from repro.workloads.dbpedia import generate_dbpedia_persons
+from repro.workloads.modifications import (
+    Operation,
+    generate_trace,
+    replay,
+    replay_logical,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dbpedia_persons(600, seed=12)
+
+
+class TestGenerateTrace:
+    def test_warmup_is_pure_inserts(self, dataset):
+        trace = generate_trace(dataset, operations=50, warmup=100, seed=2)
+        assert all(op.kind == "insert" for op in trace[:100])
+        assert len(trace) >= 100
+
+    def test_operation_mix_roughly_matches_shares(self, dataset):
+        trace = generate_trace(
+            dataset, operations=400, insert_share=0.5, update_share=0.3,
+            warmup=100, seed=2,
+        )
+        mixed = trace[100:]
+        counts = {"insert": 0, "update": 0, "delete": 0}
+        for op in mixed:
+            counts[op.kind] += 1
+        total = sum(counts.values())
+        assert counts["insert"] / total == pytest.approx(0.5, abs=0.12)
+        assert counts["update"] / total == pytest.approx(0.3, abs=0.12)
+
+    def test_trace_is_valid(self, dataset):
+        """Inserts never duplicate; updates/deletes only touch live ids."""
+        trace = generate_trace(dataset, operations=300, warmup=50, seed=3)
+        live = set()
+        for op in trace:
+            if op.kind == "insert":
+                assert op.entity_id not in live
+                assert op.attributes
+                live.add(op.entity_id)
+            elif op.kind == "update":
+                assert op.entity_id in live
+                assert op.attributes
+            else:
+                assert op.entity_id in live
+                live.remove(op.entity_id)
+
+    def test_deterministic(self, dataset):
+        a = generate_trace(dataset, operations=100, warmup=20, seed=9)
+        b = generate_trace(dataset, operations=100, warmup=20, seed=9)
+        assert a == b
+
+    def test_validation(self, dataset):
+        with pytest.raises(ValueError):
+            generate_trace(dataset, operations=10, insert_share=1.5)
+        with pytest.raises(ValueError):
+            generate_trace(dataset, operations=10, insert_share=0.7,
+                           update_share=0.7)
+        with pytest.raises(ValueError):
+            generate_trace(dataset, operations=10, warmup=10_000)
+
+    def test_survives_data_exhaustion(self, dataset):
+        trace = generate_trace(
+            dataset, operations=3000, insert_share=0.9, update_share=0.05,
+            warmup=0, seed=4,
+        )
+        inserts = sum(1 for op in trace if op.kind == "insert")
+        assert inserts <= len(dataset.entities)
+
+
+class TestReplay:
+    def test_replay_against_physical_table(self, dataset):
+        trace = generate_trace(dataset, operations=150, warmup=80, seed=6)
+        table = CinderellaTable(CinderellaConfig(max_partition_size=40, weight=0.3))
+        counts = replay(trace, table)
+        assert sum(counts.values()) == len(trace)
+        assert table.check_consistency() == []
+        live = counts["insert"] - counts["delete"]
+        assert len(table) == live
+
+    def test_replay_logical_matches_physical_placement(self, dataset):
+        trace = generate_trace(dataset, operations=150, warmup=80, seed=6)
+        table = CinderellaTable(CinderellaConfig(max_partition_size=40, weight=0.3))
+        partitioner = CinderellaPartitioner(
+            CinderellaConfig(max_partition_size=40, weight=0.3)
+        )
+        replay(trace, table)
+        replay_logical(trace, partitioner, table.dictionary)
+        signature = lambda catalog: sorted(
+            tuple(sorted(p.entity_ids())) for p in catalog
+        )
+        assert signature(table.catalog) == signature(partitioner.catalog)

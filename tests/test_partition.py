@@ -1,0 +1,149 @@
+"""Tests for partition catalog entries (exact synopses, sizes, starters)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.catalog.partition import Partition, iter_attribute_ids
+
+masks = st.integers(min_value=0, max_value=2**50 - 1)
+
+
+class TestIterAttributeIds:
+    def test_yields_set_bits(self):
+        assert list(iter_attribute_ids(0b1011)) == [0, 1, 3]
+
+    def test_zero_mask(self):
+        assert list(iter_attribute_ids(0)) == []
+
+    @given(masks)
+    def test_matches_bit_count(self, mask):
+        ids = list(iter_attribute_ids(mask))
+        assert len(ids) == mask.bit_count()
+        assert all(mask >> i & 1 for i in ids)
+
+
+class TestMembership:
+    def test_add_updates_synopsis_and_size(self):
+        p = Partition(0)
+        p.add(1, 0b011, 1.0)
+        p.add(2, 0b110, 1.0)
+        assert p.mask == 0b111
+        assert p.attr_count == 3
+        assert p.total_size == 2.0
+        assert len(p) == 2
+        assert 1 in p and 3 not in p
+
+    def test_add_returns_new_bits(self):
+        p = Partition(0)
+        assert p.add(1, 0b011, 1.0) == 0b011
+        assert p.add(2, 0b010, 1.0) == 0  # nothing new
+        assert p.add(3, 0b110, 1.0) == 0b100
+
+    def test_duplicate_add_rejected(self):
+        p = Partition(0)
+        p.add(1, 0b1, 1.0)
+        with pytest.raises(ValueError):
+            p.add(1, 0b1, 1.0)
+
+    def test_members_iteration(self):
+        p = Partition(0)
+        p.add(5, 0b1, 2.0)
+        assert list(p.members()) == [(5, 0b1, 2.0)]
+        assert p.member(5) == (0b1, 2.0)
+        assert p.entity_ids() == (5,)
+
+
+class TestExactSynopsisShrinking:
+    def test_remove_clears_last_instance_bits(self):
+        p = Partition(0)
+        p.add(1, 0b011, 1.0)
+        p.add(2, 0b010, 1.0)
+        mask, size, removed = p.remove(1)
+        assert (mask, size) == (0b011, 1.0)
+        assert removed == 0b001  # bit 0 had its only instance removed
+        assert p.mask == 0b010
+        assert p.attr_count == 1
+
+    def test_remove_keeps_shared_bits(self):
+        p = Partition(0)
+        p.add(1, 0b01, 1.0)
+        p.add(2, 0b01, 1.0)
+        _, _, removed = p.remove(1)
+        assert removed == 0
+        assert p.mask == 0b01
+
+    def test_remove_repairs_starters(self):
+        p = Partition(0)
+        p.add(1, 0b001, 1.0)
+        p.add(2, 0b110, 1.0)
+        assert p.starters.is_starter(1)
+        p.remove(1)
+        assert not p.starters.is_starter(1)
+        assert p.starters.eid_a == 2
+
+    def test_remove_without_repair_leaves_starters(self):
+        p = Partition(0)
+        p.add(1, 0b001, 1.0)
+        p.add(2, 0b110, 1.0)
+        p.remove(1, repair_starters=False)
+        assert p.starters.is_starter(1)  # caller promised to discard p
+
+    @given(st.lists(st.tuples(st.integers(0, 50), masks), min_size=1, max_size=30))
+    def test_synopsis_always_union_of_members(self, entries):
+        p = Partition(0)
+        live: dict[int, int] = {}
+        for eid, mask in entries:
+            if eid in live:
+                p.remove(eid)
+                del live[eid]
+            else:
+                p.add(eid, mask, 1.0)
+                live[eid] = mask
+            union = 0
+            for member_mask in live.values():
+                union |= member_mask
+            assert p.mask == union
+            assert p.total_size == pytest.approx(len(live))
+
+
+class TestUpdateMember:
+    def test_update_changes_synopsis_both_ways(self):
+        p = Partition(0)
+        p.add(1, 0b011, 1.0)
+        p.add(2, 0b010, 1.0)
+        added, removed = p.update_member(1, 0b110, 2.0)
+        assert added == 0b100
+        assert removed == 0b001
+        assert p.mask == 0b110
+        assert p.total_size == 3.0
+
+    def test_update_refreshes_starter_mask(self):
+        p = Partition(0)
+        p.add(1, 0b01, 1.0)
+        p.add(2, 0b10, 1.0)
+        p.update_member(1, 0b11, 1.0)
+        assert p.starters.mask_a == 0b11 or p.starters.mask_b == 0b11
+
+
+class TestSparseness:
+    def test_perfectly_dense_partition(self):
+        p = Partition(0)
+        p.add(1, 0b11, 1.0)
+        p.add(2, 0b11, 1.0)
+        assert p.sparseness() == 0.0
+
+    def test_half_sparse_partition(self):
+        p = Partition(0)
+        p.add(1, 0b01, 1.0)
+        p.add(2, 0b10, 1.0)
+        # grid: 2 entities x 2 attributes, 2 of 4 cells filled
+        assert p.sparseness() == pytest.approx(0.5)
+
+    def test_empty_partition_is_dense_by_definition(self):
+        assert Partition(0).sparseness() == 0.0
+
+    def test_attributeless_partition_is_dense(self):
+        p = Partition(0)
+        p.add(1, 0, 1.0)
+        assert p.sparseness() == 0.0

@@ -1,0 +1,294 @@
+"""Tests for the Cinderella partitioner (Algorithm 1 and Section III)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.dictionary import AttributeDictionary
+from repro.core.config import CinderellaConfig
+from repro.core.partitioner import CinderellaPartitioner
+from repro.core.sizes import AttributeCountSizeModel
+
+masks = st.integers(min_value=0, max_value=2**24 - 1)
+
+
+def make(max_size=10.0, weight=0.5, **kwargs) -> CinderellaPartitioner:
+    return CinderellaPartitioner(
+        CinderellaConfig(max_partition_size=max_size, weight=weight, **kwargs)
+    )
+
+
+class TestBasicInsert:
+    """The Figure 2 scenarios."""
+
+    def test_first_entity_opens_a_partition(self):
+        p = make()
+        outcome = p.insert(1, 0b111)
+        assert outcome.created_partitions == [outcome.partition_id]
+        assert len(p.catalog) == 1
+        # the entity becomes split starter A (Algorithm 1, line 12)
+        assert p.catalog.get(outcome.partition_id).starters.eid_a == 1
+
+    def test_similar_entity_joins_existing_partition(self):
+        p = make()
+        pid = p.insert(1, 0b0111).partition_id
+        outcome = p.insert(2, 0b0111)
+        assert outcome.partition_id == pid
+        assert outcome.created_partitions == []
+        assert len(p.catalog) == 1
+
+    def test_dissimilar_entity_opens_new_partition(self):
+        """Negative best rating ⇒ CREATENEWPARTITION (lines 9-13)."""
+        p = make()
+        pid_camera = p.insert(1, 0b0000_1111).partition_id
+        outcome = p.insert(2, 0b1111_0000)
+        assert outcome.partition_id != pid_camera
+        assert outcome.created_partitions == [outcome.partition_id]
+
+    def test_entity_joins_best_rated_partition(self):
+        p = make(weight=0.5)
+        pid_a = p.insert(1, 0b00111).partition_id
+        pid_b = p.insert(2, 0b11000).partition_id
+        # 2/3 overlap with A's synopsis, none with B
+        outcome = p.insert(3, 0b00110)
+        assert outcome.partition_id == pid_a
+        assert pid_a != pid_b
+
+    def test_duplicate_insert_rejected(self):
+        p = make()
+        p.insert(1, 0b1)
+        with pytest.raises(ValueError):
+            p.insert(1, 0b1)
+
+    def test_empty_mask_entities_group_together(self):
+        p = make()
+        pid = p.insert(1, 0).partition_id
+        assert p.insert(2, 0).partition_id == pid
+        # and attribute-bearing entities do not join them
+        assert p.insert(3, 0b1).partition_id != pid
+
+    def test_load_bulk_inserts(self):
+        p = make()
+        outcomes = p.load([(1, 0b11), (2, 0b11), (3, 0b11)])
+        assert len(outcomes) == 3
+        assert p.catalog.entity_count == 3
+
+
+class TestSplit:
+    def test_split_triggers_at_capacity(self):
+        p = make(max_size=3)
+        for eid in range(3):
+            p.insert(eid, 0b11)
+        assert p.split_count == 0
+        outcome = p.insert(3, 0b11)
+        assert outcome.splits == 1
+        assert p.split_count == 1
+        # the overfull partition is gone, replaced by (at least) two new ones
+        assert len(outcome.created_partitions) >= 2
+        assert len(outcome.dropped_partitions) == 1
+        assert p.catalog.entity_count == 4
+
+    def test_split_separates_starter_families(self):
+        """Entities with two distinct schemas end up in distinct partitions."""
+        p = make(max_size=4, weight=0.9)  # high weight: everything piles up
+        family_a = 0b0000_0011
+        family_b = 0b1100_0000
+        p.insert(0, family_a)
+        p.insert(1, family_a)
+        p.insert(2, family_b)  # w=0.9 tolerates this heterogeneity
+        p.insert(3, family_b)
+        if len(p.catalog) == 1:
+            p.insert(4, family_a)  # forces the split
+            assert p.split_count >= 1
+            by_family = {}
+            for partition in p.catalog:
+                for eid, mask, _size in partition.members():
+                    by_family.setdefault(mask, set()).add(partition.pid)
+            # each family now lives apart from the other
+            assert by_family[family_a].isdisjoint(by_family[family_b])
+
+    def test_split_respects_capacity_afterwards(self):
+        p = make(max_size=5)
+        for eid in range(50):
+            p.insert(eid, 0b1111)
+        assert p.check_invariants() == []
+        for partition in p.catalog:
+            assert partition.total_size <= 5
+
+    def test_triggering_entity_is_placed_exactly_once(self):
+        p = make(max_size=2)
+        for eid in range(20):
+            outcome = p.insert(eid, 0b11)
+            placements = [m for m in outcome.moves if m.eid == eid]
+            assert placements, "triggering entity must be physically placed"
+            assert placements[0].from_pid is None
+            assert p.catalog.partition_of(eid) == outcome.partition_id
+
+    def test_moves_are_replayable(self):
+        """The move list must describe a consistent physical relocation
+        sequence: every move's source is where the entity currently is."""
+        p = make(max_size=3)
+        locations: dict[int, int] = {}
+        for eid in range(40):
+            outcome = p.insert(eid, 0b1 << (eid % 3))
+            for move in outcome.moves:
+                assert locations.get(move.eid) == move.from_pid
+                locations[move.eid] = move.to_pid
+            for pid in outcome.dropped_partitions:
+                assert pid not in locations.values()
+        assert locations == {
+            eid: p.catalog.partition_of(eid) for eid in range(40)
+        }
+
+
+class TestDelete:
+    def test_delete_keeps_partitioning(self):
+        p = make()
+        p.insert(1, 0b11)
+        p.insert(2, 0b11)
+        outcome = p.delete(1)
+        assert outcome.partition_id is None
+        assert outcome.dropped_partitions == []
+        assert len(p.catalog) == 1
+
+    def test_delete_drops_empty_partition(self):
+        p = make()
+        pid = p.insert(1, 0b11).partition_id
+        outcome = p.delete(1)
+        assert outcome.dropped_partitions == [pid]
+        assert len(p.catalog) == 0
+
+    def test_delete_unknown_raises(self):
+        with pytest.raises(KeyError):
+            make().delete(404)
+
+
+class TestUpdate:
+    def test_unchanged_entity_stays_in_place(self):
+        p = make()
+        pid = p.insert(1, 0b111).partition_id
+        p.insert(2, 0b111)
+        outcome = p.update(1, 0b111)
+        assert outcome.in_place
+        assert outcome.partition_id == pid
+        assert outcome.moves == []
+
+    def test_changed_entity_moves_to_better_partition(self):
+        p = make()
+        pid_a = p.insert(1, 0b000111).partition_id
+        pid_b = p.insert(2, 0b111000).partition_id
+        p.insert(3, 0b000111)  # entity 3 sits with family A
+        outcome = p.update(3, 0b111000)
+        assert not outcome.in_place
+        assert outcome.partition_id == pid_b
+        assert outcome.moves[0].from_pid == pid_a
+
+    def test_update_to_unique_schema_opens_partition(self):
+        p = make()
+        p.insert(1, 0b11)
+        p.insert(2, 0b11)
+        outcome = p.update(2, 0b11 << 20)
+        assert outcome.created_partitions == [outcome.partition_id]
+
+    def test_update_emptying_source_drops_it(self):
+        p = make()
+        pid_a = p.insert(1, 0b11).partition_id
+        p.insert(2, 0b11 << 10)
+        outcome = p.update(1, 0b11 << 10)
+        assert pid_a in outcome.dropped_partitions
+
+    def test_update_synopsis_reflected_in_catalog(self):
+        p = make()
+        pid = p.insert(1, 0b01).partition_id
+        p.update(1, 0b10)
+        assert p.catalog.get(p.catalog.partition_of(1)).mask == 0b10
+
+
+class TestSizeModels:
+    def test_attribute_count_capacity(self):
+        p = CinderellaPartitioner(
+            CinderellaConfig(
+                max_partition_size=6,
+                weight=0.5,
+                size_model=AttributeCountSizeModel(),
+            )
+        )
+        p.insert(1, 0b111)  # size 3
+        p.insert(2, 0b111)  # size 3 -> partition at capacity 6
+        outcome = p.insert(3, 0b111)  # would be 9 > 6: split
+        assert outcome.splits == 1
+
+    def test_single_oversized_entity_allowed(self):
+        p = CinderellaPartitioner(
+            CinderellaConfig(
+                max_partition_size=2,
+                weight=0.5,
+                size_model=AttributeCountSizeModel(),
+            )
+        )
+        outcome = p.insert(1, 0b11111)  # size 5 > B, alone in its partition
+        assert len(p.catalog.get(outcome.partition_id)) == 1
+        assert p.check_invariants() == []
+
+
+class TestAblations:
+    def test_first_fit_selection_differs_from_best_fit(self):
+        best = make(weight=0.5)
+        first = make(weight=0.5, selection="first")
+        # one loose partition then a perfect one; first-fit settles early
+        for p in (best, first):
+            p.insert(1, 0b0011)
+            p.insert(2, 0b1111)
+        # entity matching partition 2 exactly
+        assert best.insert(3, 0b1111).partition_id == best.catalog.partition_of(2)
+        # first-fit just needs *a* non-negative rating; either answer is
+        # legal, but the scan must have stopped early:
+        first.insert(3, 0b1111)
+        assert first.ratings_computed <= best.ratings_computed
+
+    def test_exact_starters_config_accepted(self):
+        p = make(exact_starters=True)
+        for eid in range(30):
+            p.insert(eid, 0b1 << (eid % 4))
+        assert p.check_invariants() == []
+
+
+class TestInvariantsUnderRandomWorkloads:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "insert", "delete", "update"]),
+                st.integers(0, 25),
+                masks,
+            ),
+            max_size=80,
+        ),
+        st.floats(0.0, 1.0),
+        st.integers(1, 8),
+    )
+    def test_catalog_always_consistent(self, ops, weight, capacity):
+        p = make(max_size=capacity, weight=weight)
+        live: set[int] = set()
+        for kind, eid, mask in ops:
+            if kind == "insert" and eid not in live:
+                p.insert(eid, mask)
+                live.add(eid)
+            elif kind == "delete" and eid in live:
+                p.delete(eid)
+                live.discard(eid)
+            elif kind == "update" and eid in live:
+                p.update(eid, mask)
+        assert p.check_invariants() == []
+        assert p.catalog.entity_count == len(live)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(masks, min_size=1, max_size=60), st.floats(0.0, 1.0))
+    def test_every_entity_in_exactly_one_partition(self, entity_masks, weight):
+        p = make(max_size=7, weight=weight)
+        for eid, mask in enumerate(entity_masks):
+            p.insert(eid, mask)
+        placed = [
+            eid for partition in p.catalog for eid, _m, _s in partition.members()
+        ]
+        assert sorted(placed) == list(range(len(entity_masks)))

@@ -1,0 +1,158 @@
+"""Tests for attribute queries, pruning, rewriting, and the cost model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.dictionary import AttributeDictionary
+from repro.core.config import CinderellaConfig
+from repro.core.partitioner import CinderellaPartitioner
+from repro.cost.model import CostModel
+from repro.query.executor import ExecutionStats
+from repro.query.pruning import is_prunable, split_by_pruning
+from repro.query.query import AttributeQuery
+from repro.query.rewrite import rewrite
+
+masks = st.integers(min_value=0, max_value=2**16 - 1)
+
+
+class TestAttributeQuery:
+    def test_any_mode_matches_on_single_attribute(self):
+        q = AttributeQuery(("a", "b"))
+        assert q.matches({"a": 1})
+        assert q.matches({"b": None})  # instantiated-with-NULL still counts
+        assert not q.matches({"c": 1})
+
+    def test_all_mode_requires_every_attribute(self):
+        q = AttributeQuery(("a", "b"), mode="all")
+        assert q.matches({"a": 1, "b": 2, "c": 3})
+        assert not q.matches({"a": 1})
+
+    def test_projection(self):
+        q = AttributeQuery(("a", "b"))
+        assert q.project({"a": 1, "c": 9}) == {"a": 1, "b": None}
+
+    def test_sql_rendering(self):
+        q = AttributeQuery(("a", "b"))
+        assert q.sql() == (
+            "SELECT a, b FROM universalTable "
+            "WHERE a IS NOT NULL OR b IS NOT NULL"
+        )
+        q_all = AttributeQuery(("a",), mode="all")
+        assert "AND" not in q_all.sql() and "a IS NOT NULL" in q_all.sql()
+
+    def test_synopsis_mask_ignores_unknown(self):
+        d = AttributeDictionary(["a"])
+        assert AttributeQuery(("a", "zz")).synopsis_mask(d) == 0b1
+
+    def test_matches_mask(self):
+        d = AttributeDictionary(["a", "b"])
+        q_any = AttributeQuery(("a",))
+        assert q_any.matches_mask(0b01, d)
+        assert not q_any.matches_mask(0b10, d)
+        q_all = AttributeQuery(("a", "b"), mode="all")
+        assert q_all.matches_mask(0b11, d)
+        assert not q_all.matches_mask(0b01, d)
+
+    def test_all_mode_with_unknown_attribute_matches_nothing(self):
+        d = AttributeDictionary(["a"])
+        q = AttributeQuery(("a", "never"), mode="all")
+        assert not q.matches_mask(0b1, d)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AttributeQuery(())
+        with pytest.raises(ValueError):
+            AttributeQuery(("a", "a"))
+        with pytest.raises(ValueError):
+            AttributeQuery(("a",), mode="some")
+
+
+class TestPruning:
+    def test_any_mode_prunes_on_zero_overlap(self):
+        d = AttributeDictionary(["a", "b", "c"])
+        q = AttributeQuery(("a",))
+        assert is_prunable(0b110, q, d)  # partition has only b, c
+        assert not is_prunable(0b001, q, d)
+
+    def test_all_mode_prunes_on_any_missing_attribute(self):
+        d = AttributeDictionary(["a", "b", "c"])
+        q = AttributeQuery(("a", "b"), mode="all")
+        assert is_prunable(0b001, q, d)  # b missing from the synopsis
+        assert not is_prunable(0b011, q, d)
+
+    def test_all_mode_with_unknown_attribute_prunes_everything(self):
+        d = AttributeDictionary(["a"])
+        q = AttributeQuery(("a", "ghost"), mode="all")
+        assert is_prunable(0b1, q, d)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(masks, min_size=1, max_size=40), masks.filter(bool))
+    def test_pruning_is_sound(self, entity_masks, query_mask):
+        """No pruned partition may contain a relevant entity."""
+        d = AttributeDictionary(f"a{i}" for i in range(16))
+        query = AttributeQuery(d.decode(query_mask) or ("a0",))
+        p = CinderellaPartitioner(CinderellaConfig(max_partition_size=6, weight=0.4))
+        for eid, mask in enumerate(entity_masks):
+            p.insert(eid, mask)
+        _surviving, pruned = split_by_pruning(p.catalog, query, d)
+        qmask = query.synopsis_mask(d)
+        for partition in pruned:
+            for _eid, mask, _size in partition.members():
+                assert mask & qmask == 0
+
+
+class TestRewrite:
+    def test_union_all_plan(self):
+        d = AttributeDictionary(["a", "b", "c", "d"])
+        p = CinderellaPartitioner(CinderellaConfig(max_partition_size=10, weight=0.4))
+        p.insert(1, d.encode(["a", "b"]))
+        p.insert(2, d.encode(["c", "d"]))
+        plan = rewrite(AttributeQuery(("a",)), p.catalog, d)
+        assert len(plan.branch_pids) == 1
+        assert len(plan.pruned_pids) == 1
+        assert plan.partitions_total == 2
+        assert plan.pruning_ratio == 0.5
+        assert "UNION ALL" not in plan.describe()  # single branch
+        assert "pruned" in plan.describe()
+
+    def test_fully_pruned_plan(self):
+        d = AttributeDictionary(["a", "z"])
+        p = CinderellaPartitioner(CinderellaConfig(max_partition_size=10, weight=0.4))
+        p.insert(1, d.encode(["a"]))
+        plan = rewrite(AttributeQuery(("z",)), p.catalog, d)
+        assert plan.branch_pids == ()
+        assert "empty result" in plan.describe()
+
+    def test_multi_branch_plan_renders_union(self):
+        d = AttributeDictionary(["a", "b"])
+        p = CinderellaPartitioner(CinderellaConfig(max_partition_size=1, weight=0.4))
+        p.insert(1, d.encode(["a"]))
+        p.insert(2, d.encode(["a"]))
+        plan = rewrite(AttributeQuery(("a",)), p.catalog, d)
+        assert len(plan.branch_pids) == 2
+        assert "UNION ALL" in plan.describe()
+
+
+class TestCostModel:
+    def test_more_pages_cost_more(self):
+        model = CostModel()
+        small = ExecutionStats(pages_read=10, entities_read=100)
+        big = ExecutionStats(pages_read=100, entities_read=100)
+        assert model.query_time_ms(big) > model.query_time_ms(small)
+
+    def test_union_overhead_only_for_branches(self):
+        model = CostModel()
+        plain = ExecutionStats(pages_read=10, entities_read=1000)
+        unioned = ExecutionStats(pages_read=10, entities_read=1000, union_branches=5)
+        assert model.query_time_ms(unioned) > model.query_time_ms(plain)
+
+    def test_zero_stats_cost_zero(self):
+        assert CostModel().query_time_ms(ExecutionStats()) == 0.0
+
+    def test_insert_time_components(self):
+        model = CostModel()
+        base = model.insert_time_ms(0, 0, 0, 0)
+        with_split = model.insert_time_ms(100, 500, 10_000, 2)
+        assert with_split > base
+        assert base == model.insert_base_ms

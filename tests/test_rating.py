@@ -1,0 +1,123 @@
+"""Tests for the Cinderella rating (Section IV formulas)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.rating import (
+    entity_heterogeneity_score,
+    global_rating,
+    homogeneity_score,
+    local_rating,
+    partition_heterogeneity_score,
+    rate,
+    rate_fast,
+)
+
+masks = st.integers(min_value=0, max_value=2**60 - 1)
+sizes = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_subnormal=False
+)
+weights = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestScoreFormulas:
+    def test_homogeneity(self):
+        # h+ = (SIZE(p) + SIZE(e)) * |e ∧ p|
+        assert homogeneity_score(10.0, 1.0, 3) == 33.0
+
+    def test_entity_heterogeneity(self):
+        # he- = SIZE(e) * |¬e ∧ p|
+        assert entity_heterogeneity_score(2.0, 4) == 8.0
+
+    def test_partition_heterogeneity(self):
+        # hp- = SIZE(p) * |e ∧ ¬p|
+        assert partition_heterogeneity_score(10.0, 2) == 20.0
+
+    def test_local_rating_balances_evidence(self):
+        # r' = w*h+ - (1-w)(he- + hp-)
+        assert local_rating(0.5, 30.0, 4.0, 6.0) == 0.5 * 30 - 0.5 * 10
+
+    def test_local_rating_weight_zero_is_pure_negative(self):
+        assert local_rating(0.0, 100.0, 1.0, 0.0) == -1.0
+
+    def test_local_rating_weight_one_ignores_heterogeneity(self):
+        assert local_rating(1.0, 5.0, 100.0, 100.0) == 5.0
+
+    def test_global_rating_normalizes(self):
+        assert global_rating(10.0, 4.0, 1.0, 2) == 10.0 / 10.0
+
+    def test_global_rating_zero_denominator_is_zero(self):
+        assert global_rating(0.0, 0.0, 0.0, 0) == 0.0
+
+
+class TestWorkedExample:
+    """Hand-computed example: entity {a,b,c} against partition {a,b,d,e}."""
+
+    E_MASK = 0b00111  # a, b, c
+    P_MASK = 0b11011  # a, b, d, e
+
+    def test_breakdown(self):
+        breakdown = rate(self.E_MASK, self.P_MASK, 1.0, 10.0, 0.5)
+        # |e ∧ p| = 2 (a, b); |¬e ∧ p| = 2 (d, e); |e ∧ ¬p| = 1 (c)
+        assert breakdown.homogeneity == (10 + 1) * 2
+        assert breakdown.entity_heterogeneity == 1 * 2
+        assert breakdown.partition_heterogeneity == 10 * 1
+        assert breakdown.local == 0.5 * 22 - 0.5 * 12
+        # |e ∨ p| = 5
+        assert breakdown.global_ == pytest.approx(5.0 / (11 * 5))
+
+
+class TestRateFastEquivalence:
+    @given(masks, masks, sizes, sizes, weights)
+    def test_matches_reference(self, e_mask, p_mask, size_e, size_p, weight):
+        reference = rate(e_mask, p_mask, size_e, size_p, weight).global_
+        fast = rate_fast(
+            e_mask,
+            e_mask.bit_count(),
+            size_e,
+            p_mask,
+            p_mask.bit_count(),
+            size_p,
+            weight,
+        )
+        assert fast == pytest.approx(reference, rel=1e-9, abs=1e-9)
+
+
+class TestRatingProperties:
+    @given(masks, sizes, sizes, weights)
+    def test_identical_synopses_rate_non_negative(self, mask, size_e, size_p, weight):
+        breakdown = rate(mask, mask, size_e, size_p, weight)
+        assert breakdown.global_ >= 0.0
+
+    @given(masks, masks, sizes, sizes)
+    def test_weight_zero_negative_iff_any_heterogeneity(
+        self, e_mask, p_mask, size_e, size_p
+    ):
+        breakdown = rate(e_mask, p_mask, size_e, size_p, 0.0)
+        heterogeneity = (
+            breakdown.entity_heterogeneity + breakdown.partition_heterogeneity
+        )
+        if heterogeneity > 0:
+            assert breakdown.global_ < 0.0
+        else:
+            assert breakdown.global_ == 0.0
+
+    @given(masks, masks, weights)
+    def test_global_rating_bounded(self, e_mask, p_mask, weight):
+        """|r| is bounded: numerator terms are each ≤ (SIZE sum)·|e∨p|."""
+        value = rate(e_mask, p_mask, 1.0, 7.0, weight).global_
+        assert -1.0 <= value <= 1.0
+
+    def test_disjoint_synopses_rate_negative(self):
+        assert rate(0b11, 0b1100, 1.0, 5.0, 0.5).global_ < 0.0
+
+    def test_empty_entity_against_empty_partition_is_perfect(self):
+        assert rate(0, 0, 1.0, 3.0, 0.5).global_ == 0.0
+
+    def test_higher_weight_never_lowers_rating(self):
+        low = rate(0b111, 0b110, 1.0, 5.0, 0.2).global_
+        high = rate(0b111, 0b110, 1.0, 5.0, 0.8).global_
+        assert high >= low

@@ -1,0 +1,103 @@
+"""Tests for the sparse interpreted record format."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.catalog.dictionary import AttributeDictionary
+from repro.storage.record import (
+    RecordFormatError,
+    deserialize_record,
+    serialize_record,
+)
+
+values = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**61), max_value=2**61),
+    st.floats(allow_nan=False),
+    st.text(max_size=40),
+    st.binary(max_size=40),
+)
+attributes = st.dictionaries(
+    st.text(min_size=1, max_size=10).filter(bool), values, max_size=15
+)
+
+
+class TestRoundtrip:
+    def test_simple_record(self):
+        d = AttributeDictionary()
+        record = serialize_record(7, {"name": "Canon", "weight": 198}, d)
+        eid, attrs = deserialize_record(record, d)
+        assert eid == 7
+        assert attrs == {"name": "Canon", "weight": 198}
+
+    def test_all_value_types(self):
+        d = AttributeDictionary()
+        original = {
+            "null": None,
+            "true": True,
+            "false": False,
+            "int": -12345,
+            "float": 3.5,
+            "str": "héllo wörld",
+            "bytes": b"\x00\x01\xff",
+        }
+        _, attrs = deserialize_record(serialize_record(1, original, d), d)
+        assert attrs == original
+
+    def test_empty_attribute_set(self):
+        d = AttributeDictionary()
+        eid, attrs = deserialize_record(serialize_record(3, {}, d), d)
+        assert (eid, attrs) == (3, {})
+
+    def test_deterministic_bytes(self):
+        d = AttributeDictionary()
+        a = serialize_record(1, {"x": 1, "y": 2}, d)
+        b = serialize_record(1, {"y": 2, "x": 1}, d)
+        assert a == b
+
+    @given(st.integers(0, 2**40), attributes)
+    def test_roundtrip_property(self, eid, attrs):
+        d = AttributeDictionary()
+        eid_out, attrs_out = deserialize_record(serialize_record(eid, attrs, d), d)
+        assert eid_out == eid
+        assert set(attrs_out) == set(attrs)
+        for key, value in attrs.items():
+            out = attrs_out[key]
+            if isinstance(value, float):
+                assert out == value or (math.isinf(value) and out == value)
+            else:
+                assert out == value
+
+    def test_sparse_records_are_compact(self):
+        """A 1-attribute record must not pay for a 100-attribute universe."""
+        d = AttributeDictionary(f"attr{i}" for i in range(100))
+        record = serialize_record(1, {"attr0": 1}, d)
+        assert len(record) < 10
+
+
+class TestErrors:
+    def test_unsupported_type_rejected(self):
+        d = AttributeDictionary()
+        with pytest.raises(RecordFormatError):
+            serialize_record(1, {"x": object()}, d)
+
+    def test_huge_int_rejected(self):
+        d = AttributeDictionary()
+        with pytest.raises(RecordFormatError):
+            serialize_record(1, {"x": 2**80}, d)
+
+    def test_truncated_record_rejected(self):
+        d = AttributeDictionary()
+        record = serialize_record(1, {"name": "long-enough-value"}, d)
+        with pytest.raises(RecordFormatError):
+            deserialize_record(record[:-3], d)
+
+    def test_trailing_bytes_rejected(self):
+        d = AttributeDictionary()
+        record = serialize_record(1, {"x": 1}, d)
+        with pytest.raises(RecordFormatError):
+            deserialize_record(record + b"\x00", d)

@@ -1,0 +1,51 @@
+"""Tests for the ASCII reporting helpers."""
+
+import pytest
+
+from repro.reporting.tables import format_kv_block, format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        text = format_table(
+            ["name", "time"],
+            [["standard", 24.23], ["cinderella", 26.38]],
+            title="Table I",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Table I"
+        assert "name" in lines[1] and "time" in lines[1]
+        assert "-" in lines[2]
+        assert "24.230" in text and "26.380" in text
+
+    def test_column_width_adapts(self):
+        text = format_table(["x"], [["a-very-long-cell"]])
+        assert "a-very-long-cell" in text
+
+    def test_row_arity_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_custom_float_format(self):
+        text = format_table(["v"], [[1.23456]], float_format="{:.1f}")
+        assert "1.2" in text and "1.23" not in text
+
+    def test_non_float_cells_via_str(self):
+        text = format_table(["v"], [[42], [None]])
+        assert "42" in text and "None" in text
+
+
+class TestFormatSeries:
+    def test_points_rendered(self):
+        text = format_series("B=500", [(0.1, 12.0), (0.5, 48.0)], value_unit="ms")
+        assert text.startswith("B=500:")
+        assert "(0.10, 12.000ms)" in text
+
+
+class TestFormatKvBlock:
+    def test_alignment_and_floats(self):
+        text = format_kv_block("Summary", [("partitions", 63), ("efficiency", 0.75)])
+        lines = text.splitlines()
+        assert lines[0] == "Summary"
+        assert any("partitions" in line and "63" in line for line in lines)
+        assert any("0.75" in line for line in lines)

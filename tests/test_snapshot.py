@@ -1,0 +1,128 @@
+"""Tests for snapshot persistence of Cinderella tables."""
+
+import json
+
+import pytest
+
+from repro.core.config import CinderellaConfig
+from repro.core.sizes import AttributeCountSizeModel
+from repro.query.query import AttributeQuery
+from repro.storage.snapshot import SnapshotFormatError, load_table, save_table
+from repro.table.partitioned import CinderellaTable
+from repro.workloads.dbpedia import generate_dbpedia_persons
+
+
+def build_table() -> CinderellaTable:
+    table = CinderellaTable(CinderellaConfig(max_partition_size=30, weight=0.3))
+    dataset = generate_dbpedia_persons(300, seed=8)
+    for entity in dataset.entities:
+        table.insert(entity.attributes, entity_id=entity.entity_id)
+    return table
+
+
+class TestRoundtrip:
+    def test_partition_membership_preserved(self, tmp_path):
+        table = build_table()
+        path = tmp_path / "snap.json"
+        save_table(table, path)
+        restored = load_table(path)
+
+        signature = lambda t: sorted(
+            tuple(sorted(p.entity_ids())) for p in t.catalog
+        )
+        assert signature(restored) == signature(table)
+        assert restored.check_consistency() == []
+
+    def test_entity_payloads_preserved(self, tmp_path):
+        table = build_table()
+        path = tmp_path / "snap.json"
+        save_table(table, path)
+        restored = load_table(path)
+        for eid in list(table.entity_masks())[:25]:
+            assert restored.get(eid).attributes == table.get(eid).attributes
+
+    def test_query_results_identical(self, tmp_path):
+        table = build_table()
+        path = tmp_path / "snap.json"
+        save_table(table, path)
+        restored = load_table(path)
+        query = AttributeQuery(("occupation", "team"))
+        assert sorted(map(repr, restored.execute(query).rows)) == sorted(
+            map(repr, table.execute(query).rows)
+        )
+
+    def test_config_preserved(self, tmp_path):
+        table = CinderellaTable(
+            CinderellaConfig(
+                max_partition_size=7,
+                weight=0.25,
+                size_model=AttributeCountSizeModel(),
+                use_synopsis_index=True,
+            )
+        )
+        table.insert({"a": 1})
+        path = tmp_path / "snap.json"
+        save_table(table, path)
+        restored = load_table(path)
+        assert restored.config.max_partition_size == 7
+        assert restored.config.weight == 0.25
+        assert isinstance(restored.config.size_model, AttributeCountSizeModel)
+        assert restored.config.use_synopsis_index
+
+    def test_restored_table_accepts_new_inserts(self, tmp_path):
+        table = build_table()
+        path = tmp_path / "snap.json"
+        save_table(table, path)
+        restored = load_table(path)
+        outcome = restored.insert({"name": "new person", "occupation": "tester"})
+        assert outcome.entity_id not in table  # fresh id beyond the old range
+        assert restored.check_consistency() == []
+
+    def test_value_types_survive(self, tmp_path):
+        table = CinderellaTable(CinderellaConfig(max_partition_size=10, weight=0.5))
+        original = {
+            "s": "text", "i": -5, "f": 2.5, "t": True,
+            "n": None, "b": b"\x01\x02",
+        }
+        eid = table.insert(original).entity_id
+        path = tmp_path / "snap.json"
+        save_table(table, path)
+        assert load_table(path).get(eid).attributes == original
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SnapshotFormatError):
+            load_table(tmp_path / "missing.json")
+
+    def test_not_a_snapshot(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"hello": "world"}))
+        with pytest.raises(SnapshotFormatError):
+            load_table(path)
+
+    def test_wrong_version(self, tmp_path):
+        table = build_table()
+        path = tmp_path / "snap.json"
+        save_table(table, path)
+        document = json.loads(path.read_text())
+        document["version"] = 99
+        path.write_text(json.dumps(document))
+        with pytest.raises(SnapshotFormatError):
+            load_table(path)
+
+    def test_malformed_body(self, tmp_path):
+        table = build_table()
+        path = tmp_path / "snap.json"
+        save_table(table, path)
+        document = json.loads(path.read_text())
+        del document["config"]["weight"]
+        path.write_text(json.dumps(document))
+        with pytest.raises(SnapshotFormatError):
+            load_table(path)
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_text("{not json")
+        with pytest.raises(SnapshotFormatError):
+            load_table(path)

@@ -1,0 +1,135 @@
+"""Targeted tests for Algorithm 1's split machinery edge paths.
+
+The split's recursive restricted insert (line 32) has two rare but
+specified behaviours: it can *cascade* (a new partition fills up and
+splits again during the drain) and it can open a *fresh partition* when
+an entity rates negatively against both split results.  These paths need
+engineered inputs; random workloads only occasionally reach them.
+"""
+
+import pytest
+
+from repro.core.config import CinderellaConfig
+from repro.core.outcomes import ModificationOutcome
+from repro.core.partitioner import CinderellaPartitioner
+from repro.core.sizes import AttributeCountSizeModel
+
+
+class TestSplitCascade:
+    def test_drain_overflow_cascades(self):
+        """A tiny starter leaves one split child so small that the drained
+        big entities overflow the other child: the split must cascade."""
+        partitioner = CinderellaPartitioner(
+            CinderellaConfig(
+                max_partition_size=10,
+                weight=1.0,  # heterogeneity ignored: everything co-locates
+                size_model=AttributeCountSizeModel(),
+            )
+        )
+        tiny = 0b0001          # size 1, shares bit 0 with the bigs
+        big = 0b0111           # size 3
+        partitioner.insert(0, tiny)
+        partitioner.insert(1, big)
+        partitioner.insert(2, big)
+        partitioner.insert(3, big)   # partition now at size 10 = B
+        assert len(partitioner.catalog) == 1
+        # starters are (tiny, a big): DIFF(tiny, big) = 2 beats DIFF(big, big)
+        outcome = partitioner.insert(4, big)  # 10 + 3 > 10: split
+        # the bigs (3 + 3 drained + 3 trigger = 12 > 10) overflow the big
+        # child: a cascade split must have fired
+        assert outcome.splits >= 2
+        assert partitioner.check_invariants() == []
+        assert partitioner.catalog.entity_count == 5
+        # every move in the cascade is replayable in order
+        locations: dict[int, int] = {}
+        for move in outcome.moves:
+            if move.from_pid is None:
+                assert move.eid not in locations or True
+            assert locations.get(move.eid) == move.from_pid or (
+                move.from_pid is not None and move.eid not in locations
+            )
+            locations[move.eid] = move.to_pid
+
+    def test_cascade_reports_all_created_and_dropped_partitions(self):
+        partitioner = CinderellaPartitioner(
+            CinderellaConfig(
+                max_partition_size=10,
+                weight=1.0,
+                size_model=AttributeCountSizeModel(),
+            )
+        )
+        for eid, mask in enumerate((0b0001, 0b0111, 0b0111, 0b0111)):
+            partitioner.insert(eid, mask)
+        outcome = partitioner.insert(4, 0b0111)
+        live_pids = set(partitioner.catalog.partition_ids())
+        assert set(outcome.created_partitions) - set(outcome.dropped_partitions) <= (
+            live_pids
+        )
+        for pid in outcome.dropped_partitions:
+            assert pid not in live_pids
+
+
+class TestRestrictedInsertOpensNewPartition:
+    def test_drained_entity_rejecting_both_children(self):
+        """White-box: a restricted insert (the drain path of line 32) whose
+        entity rates negatively against both split results must open a
+        fresh partition, which joins the live restriction list."""
+        partitioner = CinderellaPartitioner(
+            CinderellaConfig(max_partition_size=10, weight=0.3)
+        )
+        pid_a = partitioner.insert(1, 0b0000_0011).partition_id
+        pid_b = partitioner.insert(2, 0b0000_1100).partition_id
+        assert pid_a != pid_b
+        targets = [partitioner.catalog.get(pid_a), partitioner.catalog.get(pid_b)]
+        outcome = ModificationOutcome(entity_id=9)
+        final_pid = partitioner._insert(
+            9, 0b1111_0000, 1.0, targets, None, outcome
+        )
+        assert final_pid not in (pid_a, pid_b)
+        assert outcome.created_partitions == [final_pid]
+        # the fresh partition joined the restriction list (Algorithm 1's
+        # drain would keep routing entities to it)
+        assert any(p.pid == final_pid for p in targets)
+        assert partitioner.check_invariants() == []
+
+    def test_restricted_insert_prefers_best_of_targets(self):
+        partitioner = CinderellaPartitioner(
+            CinderellaConfig(max_partition_size=10, weight=0.5)
+        )
+        pid_a = partitioner.insert(1, 0b0011).partition_id
+        pid_b = partitioner.insert(2, 0b1100).partition_id
+        targets = [partitioner.catalog.get(pid_a), partitioner.catalog.get(pid_b)]
+        outcome = ModificationOutcome(entity_id=9)
+        final_pid = partitioner._insert(9, 0b1100, 1.0, targets, None, outcome)
+        assert final_pid == pid_b
+
+
+class TestStarterDrivenSplitSeeding:
+    def test_triggering_entity_can_seed_a_split(self):
+        """Lines 15-24 run before the capacity check, so the incoming
+        entity may replace a starter and seed one of the new partitions."""
+        partitioner = CinderellaPartitioner(
+            CinderellaConfig(max_partition_size=2, weight=0.9)
+        )
+        partitioner.insert(1, 0b0011)
+        partitioner.insert(2, 0b0111)  # starters now (1, 2), DIFF = 1
+        # the trigger is maximally different from entity 1: it becomes a
+        # starter and must seed one of the split partitions directly
+        outcome = partitioner.insert(3, 0b1100)
+        assert outcome.splits == 1
+        seed_moves = [m for m in outcome.moves if m.eid == 3]
+        assert len(seed_moves) == 1
+        assert seed_moves[0].from_pid is None
+        home = partitioner.catalog.get(outcome.partition_id)
+        assert home.starters.is_starter(3) or len(home) == 1
+
+    def test_split_separates_the_two_starter_schemas(self):
+        partitioner = CinderellaPartitioner(
+            CinderellaConfig(max_partition_size=2, weight=0.9)
+        )
+        partitioner.insert(1, 0b0011)
+        partitioner.insert(2, 0b0111)
+        partitioner.insert(3, 0b1100)
+        pid_1 = partitioner.catalog.partition_of(1)
+        pid_3 = partitioner.catalog.partition_of(3)
+        assert pid_1 != pid_3

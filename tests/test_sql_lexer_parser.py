@@ -1,0 +1,129 @@
+"""Tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.sql.ast import (
+    And,
+    Comparison,
+    LikePredicate,
+    Not,
+    NullPredicate,
+    Or,
+    OrderItem,
+)
+from repro.sql.lexer import SqlSyntaxError, tokenize
+from repro.sql.parser import parse
+
+
+class TestLexer:
+    def test_tokenizes_a_full_statement(self):
+        tokens = tokenize("SELECT a, b FROM t WHERE a = 1")
+        kinds = [t.kind for t in tokens]
+        assert kinds == [
+            "KEYWORD", "IDENT", "COMMA", "IDENT", "KEYWORD", "IDENT",
+            "KEYWORD", "IDENT", "OP", "NUMBER", "EOF",
+        ]
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select A from T")
+        assert tokens[0].text == "SELECT"
+        assert tokens[1].text == "A"  # identifiers keep their case
+
+    def test_string_literals_with_escaped_quote(self):
+        tokens = tokenize("SELECT a FROM t WHERE a = 'it''s'")
+        assert tokens[-2].kind == "STRING"
+        assert tokens[-2].text == "it's"
+
+    def test_numbers(self):
+        tokens = tokenize("SELECT a FROM t WHERE a > 3.5")
+        assert tokens[-2] .text == "3.5"
+
+    def test_multi_char_operators(self):
+        assert [t.text for t in tokenize("a <= 1 <> >= !=")[:5]] == [
+            "a", "<=", "1", "<>", ">=",
+        ]
+
+    def test_unterminated_string_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT a FROM t WHERE a = 'oops")
+
+    def test_unexpected_character_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT a; DROP TABLE t")
+
+
+class TestParser:
+    def test_simple_select(self):
+        statement = parse("SELECT a, b FROM universalTable")
+        assert statement.columns == ("a", "b")
+        assert statement.table == "universalTable"
+        assert statement.where is None
+
+    def test_select_star(self):
+        assert parse("SELECT * FROM t").columns is None
+
+    def test_the_papers_query_form(self):
+        statement = parse(
+            "SELECT a1, a2 FROM universalTable "
+            "WHERE a1 IS NOT NULL OR a2 IS NOT NULL"
+        )
+        where = statement.where
+        assert isinstance(where, Or)
+        assert where.left == NullPredicate("a1", negated=True)
+        assert where.right == NullPredicate("a2", negated=True)
+
+    def test_precedence_and_binds_tighter_than_or(self):
+        where = parse("SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3").where
+        assert isinstance(where, Or)
+        assert isinstance(where.right, And)
+
+    def test_parentheses_override_precedence(self):
+        where = parse("SELECT a FROM t WHERE (a = 1 OR b = 2) AND c = 3").where
+        assert isinstance(where, And)
+        assert isinstance(where.left, Or)
+
+    def test_not_and_comparisons(self):
+        where = parse("SELECT a FROM t WHERE NOT a >= 10").where
+        assert where == Not(Comparison("a", ">=", 10))
+
+    def test_like_and_not_like(self):
+        assert parse("SELECT a FROM t WHERE a LIKE 'x%'").where == LikePredicate(
+            "a", "x%"
+        )
+        assert parse(
+            "SELECT a FROM t WHERE a NOT LIKE '%y'"
+        ).where == LikePredicate("a", "%y", negated=True)
+
+    def test_literals(self):
+        assert parse("SELECT a FROM t WHERE a = 'str'").where.value == "str"
+        assert parse("SELECT a FROM t WHERE a = 5").where.value == 5
+        assert parse("SELECT a FROM t WHERE a = 5.5").where.value == 5.5
+        assert parse("SELECT a FROM t WHERE a = TRUE").where.value is True
+        assert parse("SELECT a FROM t WHERE a = NULL").where.value is None
+        assert parse("SELECT a FROM t WHERE a <> 1").where.op == "!="
+
+    def test_order_by_and_limit(self):
+        statement = parse(
+            "SELECT a, b FROM t ORDER BY a DESC, b ASC LIMIT 10"
+        )
+        assert statement.order_by == (
+            OrderItem("a", descending=True),
+            OrderItem("b", descending=False),
+        )
+        assert statement.limit == 10
+
+    def test_errors(self):
+        for bad in (
+            "SELECT FROM t",
+            "SELECT a t",
+            "SELECT a FROM t WHERE",
+            "SELECT a FROM t WHERE a",
+            "SELECT a FROM t WHERE a IS",
+            "SELECT a FROM t LIMIT 1.5",
+            "SELECT a FROM t LIMIT -1",
+            "SELECT a, a FROM t",
+            "SELECT a FROM t garbage",
+            "SELECT a FROM t WHERE a = ",
+        ):
+            with pytest.raises(SqlSyntaxError):
+                parse(bad)

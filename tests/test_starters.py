@@ -1,0 +1,127 @@
+"""Tests for split-starter maintenance (Algorithm 1, lines 12/15-24)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.catalog.starters import SplitStarters
+
+masks = st.integers(min_value=0, max_value=2**40 - 1)
+
+
+def diff(a: int, b: int) -> int:
+    return (a ^ b).bit_count()
+
+
+class TestInitialPair:
+    def test_first_entity_becomes_starter_a(self):
+        s = SplitStarters()
+        s.observe(1, 0b1)
+        assert s.eid_a == 1 and s.eid_b is None
+        assert not s.complete
+
+    def test_second_entity_becomes_starter_b(self):
+        s = SplitStarters()
+        s.observe(1, 0b1)
+        s.observe(2, 0b10)
+        assert (s.eid_a, s.eid_b) == (1, 2)
+        assert s.complete
+        assert s.current_diff() == 2
+
+    def test_re_observing_a_starter_is_a_no_op(self):
+        s = SplitStarters()
+        s.observe(1, 0b1)
+        s.observe(1, 0b1)
+        assert s.eid_b is None
+        s.observe(2, 0b10)
+        s.observe(2, 0b10)
+        assert (s.eid_a, s.eid_b) == (1, 2)
+
+
+class TestReplacementRule:
+    def test_entity_replaces_b_when_pair_with_a_wins(self):
+        s = SplitStarters()
+        s.observe(1, 0b0011)  # A
+        s.observe(2, 0b0111)  # B, diff(A,B) = 1
+        s.observe(3, 0b1100)  # diff(e,A) = 4 is max -> replaces B
+        assert (s.eid_a, s.eid_b) == (1, 3)
+        assert s.current_diff() == 4
+
+    def test_entity_replaces_a_when_pair_with_b_wins(self):
+        s = SplitStarters()
+        s.observe(1, 0b0111)  # A
+        s.observe(2, 0b0011)  # B, diff = 1
+        s.observe(3, 0b1100)  # diff(e,A)=3, diff(e,B)=4 -> replaces A
+        assert (s.eid_a, s.eid_b) == (3, 2)
+        assert s.current_diff() == 4
+
+    def test_entity_ignored_when_current_pair_already_best(self):
+        s = SplitStarters()
+        s.observe(1, 0b1111_0000)
+        s.observe(2, 0b0000_1111)  # diff = 8
+        s.observe(3, 0b1111_0011)  # diff to A = 2, to B = 6 -> keep pair
+        assert (s.eid_a, s.eid_b) == (1, 2)
+
+    @given(st.lists(st.tuples(st.integers(0, 10_000), masks), min_size=1, max_size=40))
+    def test_pair_diff_never_decreases(self, observations):
+        s = SplitStarters()
+        best = 0
+        seen: set[int] = set()
+        for eid, mask in observations:
+            if eid in seen:
+                continue
+            seen.add(eid)
+            s.observe(eid, mask)
+            assert s.current_diff() >= best
+            best = s.current_diff()
+
+    @given(st.lists(masks, min_size=2, max_size=30, unique=True))
+    def test_incremental_never_beats_exact(self, unique_masks):
+        members = list(enumerate(unique_masks))
+        incremental = SplitStarters()
+        incremental.replay(members)
+        exact = SplitStarters()
+        exact.rebuild_exact(members)
+        assert incremental.current_diff() <= exact.current_diff()
+
+
+class TestMaintenance:
+    def test_replay_rebuilds_pair(self):
+        s = SplitStarters()
+        s.replay([(1, 0b01), (2, 0b10), (3, 0b01)])
+        assert s.complete
+        assert s.current_diff() == 2
+
+    def test_replay_empty_clears(self):
+        s = SplitStarters()
+        s.observe(1, 0b1)
+        s.replay([])
+        assert s.eid_a is None and s.eid_b is None
+
+    def test_rebuild_exact_finds_most_differential_pair(self):
+        members = [(1, 0b0001), (2, 0b0011), (3, 0b1110), (4, 0b0111)]
+        s = SplitStarters()
+        s.rebuild_exact(members)
+        # best pair is (1, 3) with diff 4
+        assert {s.eid_a, s.eid_b} == {1, 3}
+
+    def test_rebuild_exact_single_member(self):
+        s = SplitStarters()
+        s.rebuild_exact([(7, 0b1)])
+        assert s.eid_a == 7 and s.eid_b is None
+
+    def test_refresh_mask_updates_stored_mask(self):
+        s = SplitStarters()
+        s.observe(1, 0b01)
+        s.observe(2, 0b10)
+        s.refresh_mask(1, 0b11)
+        assert s.mask_a == 0b11
+        s.refresh_mask(2, 0b0)
+        assert s.mask_b == 0
+        s.refresh_mask(99, 0b111)  # unknown id: no effect
+        assert (s.mask_a, s.mask_b) == (0b11, 0)
+
+    def test_is_starter(self):
+        s = SplitStarters()
+        s.observe(1, 0b1)
+        assert s.is_starter(1)
+        assert not s.is_starter(2)

@@ -1,0 +1,214 @@
+"""Tests for pages, heap files, the buffer pool, and I/O accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.buffer import BufferPool
+from repro.storage.heap import HeapFile, RecordId
+from repro.storage.iostats import IOStats
+from repro.storage.page import Page, PageFullError
+
+
+class TestPage:
+    def test_insert_and_read(self):
+        page = Page(128)
+        slot = page.insert(b"hello")
+        assert page.read(slot) == b"hello"
+        assert len(page) == 1
+
+    def test_capacity_enforced(self):
+        page = Page(32)
+        page.insert(b"x" * 20)
+        assert not page.fits(b"y" * 20)
+        with pytest.raises(PageFullError):
+            page.insert(b"y" * 20)
+
+    def test_delete_tombstones_and_reuses_slot(self):
+        page = Page(128)
+        slot_a = page.insert(b"aaa")
+        page.insert(b"bbb")
+        assert page.delete(slot_a) == b"aaa"
+        with pytest.raises(KeyError):
+            page.read(slot_a)
+        assert page.insert(b"ccc") == slot_a  # tombstone reused
+        assert len(page) == 2
+
+    def test_replace_in_place(self):
+        page = Page(128)
+        slot = page.insert(b"aaa")
+        page.replace(slot, b"bbbbbb")
+        assert page.read(slot) == b"bbbbbb"
+
+    def test_replace_overflow_rejected(self):
+        page = Page(32)
+        slot = page.insert(b"aaaa")
+        with pytest.raises(PageFullError):
+            page.replace(slot, b"b" * 100)
+
+    def test_records_iterates_live_only(self):
+        page = Page(128)
+        a = page.insert(b"a")
+        page.insert(b"b")
+        page.delete(a)
+        assert [record for _slot, record in page.records()] == [b"b"]
+
+    def test_free_bytes_accounting(self):
+        page = Page(100)
+        before = page.free_bytes
+        page.insert(b"12345")
+        assert before - page.free_bytes == 5 + 8  # payload + slot overhead
+
+    def test_tiny_page_size_rejected(self):
+        with pytest.raises(ValueError):
+            Page(4)
+
+
+class TestHeapFile:
+    def test_insert_read_delete(self):
+        heap = HeapFile(page_size=64)
+        rid = heap.insert(b"record-1")
+        assert heap.read(rid) == b"record-1"
+        heap.delete(rid)
+        assert len(heap) == 0
+
+    def test_spills_to_new_pages(self):
+        heap = HeapFile(page_size=64)
+        for i in range(20):
+            heap.insert(b"x" * 30)
+        assert heap.page_count > 1
+        assert len(heap) == 20
+
+    def test_scan_returns_everything(self):
+        heap = HeapFile(page_size=64)
+        payloads = {bytes([65 + i]) * 10 for i in range(10)}
+        for payload in payloads:
+            heap.insert(payload)
+        scanned = {record for _rid, record in heap.scan()}
+        assert scanned == payloads
+
+    def test_oversized_record_rejected(self):
+        heap = HeapFile(page_size=64)
+        with pytest.raises(PageFullError):
+            heap.insert(b"z" * 100)
+
+    def test_replace_relocates_when_needed(self):
+        heap = HeapFile(page_size=64)
+        rid = heap.insert(b"a" * 40)
+        heap.insert(b"b" * 10)
+        new_rid = heap.replace(rid, b"c" * 45)
+        assert heap.read(new_rid) == b"c" * 45
+        assert len(heap) == 2
+
+    def test_deleted_space_is_reused(self):
+        heap = HeapFile(page_size=64)
+        rids = [heap.insert(b"x" * 30) for _ in range(10)]
+        pages_before = heap.page_count
+        for rid in rids[:5]:
+            heap.delete(rid)
+        for _ in range(5):
+            heap.insert(b"y" * 30)
+        assert heap.page_count == pages_before
+
+    def test_free_resets_everything(self):
+        heap = HeapFile(page_size=64)
+        heap.insert(b"abc")
+        heap.free()
+        assert len(heap) == 0
+        assert heap.page_count == 0
+
+    def test_data_bytes_tracks_live_payload(self):
+        heap = HeapFile(page_size=128)
+        rid = heap.insert(b"x" * 10)
+        heap.insert(b"y" * 20)
+        assert heap.data_bytes() == 10 + 20 + 2 * 8
+        heap.delete(rid)
+        assert heap.data_bytes() == 20 + 8
+
+
+class TestIOAccounting:
+    def test_scan_charges_pages_and_bytes(self):
+        io = IOStats()
+        heap = HeapFile(page_size=64, io=io)
+        for _ in range(10):
+            heap.insert(b"r" * 20)
+        list(heap.scan())
+        assert io.pages_read == heap.page_count
+        assert io.records_read == 10
+        assert io.bytes_read > 0
+
+    def test_writes_counted(self):
+        io = IOStats()
+        heap = HeapFile(page_size=64, io=io)
+        heap.insert(b"abcde")
+        assert io.records_written == 1
+        assert io.bytes_written == 5
+
+    def test_snapshot_and_delta(self):
+        io = IOStats()
+        heap = HeapFile(page_size=64, io=io)
+        heap.insert(b"x" * 10)
+        before = io.snapshot()
+        list(heap.scan())
+        delta = io.delta_since(before)
+        assert delta.records_written == 0
+        assert delta.records_read == 1
+        assert delta.pages_read == 1
+
+    def test_merge_and_reset(self):
+        a = IOStats(pages_read=2, bytes_read=100)
+        b = IOStats(pages_read=3, bytes_read=50, records_read=7)
+        a.merge(b)
+        assert (a.pages_read, a.bytes_read, a.records_read) == (5, 150, 7)
+        a.reset()
+        assert a.pages_read == 0
+
+
+class TestBufferPool:
+    def test_disabled_pool_always_misses(self):
+        pool = BufferPool(0)
+        assert not pool.access(1, 0)
+        assert not pool.access(1, 0)
+        assert pool.misses == 2 and pool.hits == 0
+
+    def test_hit_on_second_access(self):
+        pool = BufferPool(4)
+        assert not pool.access(1, 0)
+        assert pool.access(1, 0)
+        assert pool.hit_rate == 0.5
+
+    def test_lru_eviction(self):
+        pool = BufferPool(2)
+        pool.access(1, 0)
+        pool.access(1, 1)
+        pool.access(1, 2)  # evicts (1, 0)
+        assert pool.evictions == 1
+        assert not pool.access(1, 0)  # miss again
+
+    def test_recency_updated_on_hit(self):
+        pool = BufferPool(2)
+        pool.access(1, 0)
+        pool.access(1, 1)
+        pool.access(1, 0)  # refresh
+        pool.access(1, 2)  # evicts (1, 1), not (1, 0)
+        assert pool.access(1, 0)
+
+    def test_invalidate_file(self):
+        pool = BufferPool(4)
+        pool.access(1, 0)
+        pool.access(2, 0)
+        pool.invalidate_file(1)
+        assert not pool.access(1, 0)
+        assert pool.access(2, 0)
+
+    def test_heap_scans_use_pool(self):
+        io = IOStats()
+        pool = BufferPool(16)
+        heap = HeapFile(page_size=64, io=io, buffer_pool=pool)
+        for _ in range(5):
+            heap.insert(b"x" * 20)
+        list(heap.scan())  # cold
+        cold_reads = io.pages_read
+        list(heap.scan())  # warm
+        assert io.pages_read == cold_reads  # all hits
+        assert io.buffer_hits > 0

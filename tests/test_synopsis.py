@@ -1,0 +1,102 @@
+"""Tests for synopsis mask algebra and the Synopsis wrapper."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.catalog.dictionary import AttributeDictionary
+from repro.core.synopsis import (
+    Synopsis,
+    difference,
+    is_relevant,
+    missing_from,
+    overlap,
+    union_count,
+)
+
+masks = st.integers(min_value=0, max_value=2**80 - 1)
+
+
+def as_set(mask: int) -> set[int]:
+    return {i for i in range(mask.bit_length()) if mask >> i & 1}
+
+
+class TestMaskFunctions:
+    @given(masks, masks)
+    def test_overlap_matches_set_intersection(self, a, b):
+        assert overlap(a, b) == len(as_set(a) & as_set(b))
+
+    @given(masks, masks)
+    def test_union_matches_set_union(self, a, b):
+        assert union_count(a, b) == len(as_set(a) | as_set(b))
+
+    @given(masks, masks)
+    def test_difference_matches_symmetric_difference(self, a, b):
+        assert difference(a, b) == len(as_set(a) ^ as_set(b))
+
+    @given(masks, masks)
+    def test_missing_from_matches_set_difference(self, a, b):
+        assert missing_from(a, b) == len(as_set(b) - as_set(a))
+
+    @given(masks, masks)
+    def test_inclusion_exclusion(self, a, b):
+        assert union_count(a, b) == (
+            a.bit_count() + b.bit_count() - overlap(a, b)
+        )
+
+    @given(masks, masks)
+    def test_is_relevant_iff_shared_attribute(self, a, b):
+        assert is_relevant(a, b) == bool(as_set(a) & as_set(b))
+
+
+class TestSynopsisWrapper:
+    @pytest.fixture
+    def dictionary(self):
+        return AttributeDictionary(["name", "weight", "screen", "aperture"])
+
+    def test_of_builds_from_names(self, dictionary):
+        s = Synopsis.of(["name", "screen"], dictionary)
+        assert s.mask == 0b101
+        assert s.attributes() == ("name", "screen")
+
+    def test_len_and_bool(self, dictionary):
+        assert len(Synopsis.of(["name", "weight"], dictionary)) == 2
+        assert not Synopsis(0, dictionary)
+        assert Synopsis(1, dictionary)
+
+    def test_contains(self, dictionary):
+        s = Synopsis.of(["name"], dictionary)
+        assert "name" in s
+        assert "weight" not in s
+        assert "never-seen" not in s
+
+    def test_set_operators(self, dictionary):
+        a = Synopsis.of(["name", "weight"], dictionary)
+        b = Synopsis.of(["weight", "screen"], dictionary)
+        assert (a & b).attributes() == ("weight",)
+        assert set((a | b).attributes()) == {"name", "weight", "screen"}
+        assert set((a ^ b).attributes()) == {"name", "screen"}
+
+    def test_overlaps_and_contains_all(self, dictionary):
+        a = Synopsis.of(["name", "weight"], dictionary)
+        b = Synopsis.of(["weight"], dictionary)
+        c = Synopsis.of(["screen"], dictionary)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+        assert a.contains_all(b)
+        assert not b.contains_all(a)
+
+    def test_equality_and_hash(self, dictionary):
+        a = Synopsis.of(["name"], dictionary)
+        b = Synopsis.of(["name"], dictionary)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_cross_dictionary_operations_rejected(self, dictionary):
+        other = AttributeDictionary(["name"])
+        with pytest.raises(ValueError):
+            Synopsis.of(["name"], dictionary) & Synopsis.of(["name"], other)
+
+    def test_negative_mask_rejected(self, dictionary):
+        with pytest.raises(ValueError):
+            Synopsis(-1, dictionary)

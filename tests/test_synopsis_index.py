@@ -1,0 +1,129 @@
+"""Tests for the inverted synopsis index and its exactness guarantee."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.synopsis_index import SynopsisIndex, verify_index_against_catalog
+from repro.core.config import CinderellaConfig
+from repro.core.partitioner import CinderellaPartitioner
+
+masks = st.integers(min_value=0, max_value=2**24 - 1)
+
+
+class TestPostings:
+    def test_register_and_candidates(self):
+        index = SynopsisIndex()
+        index.register(0, 0b011)
+        index.register(1, 0b100)
+        assert index.candidate_pids(0b001) == {0}
+        assert index.candidate_pids(0b100) == {1}
+        assert index.candidate_pids(0b111) == {0, 1}
+        assert index.candidate_pids(0b1000) == set()
+
+    def test_empty_synopsis_posting(self):
+        index = SynopsisIndex()
+        index.register(0, 0)
+        index.register(1, 0b1)
+        assert index.candidate_pids(0) == {0}
+
+    def test_unregister_removes_postings(self):
+        index = SynopsisIndex()
+        index.register(0, 0b11)
+        index.unregister(0, 0b11)
+        assert index.candidate_pids(0b11) == set()
+        assert len(index) == 0
+
+    def test_bits_added_and_removed(self):
+        index = SynopsisIndex()
+        index.register(0, 0b01)
+        index.on_bits_added(0, 0b10)
+        assert index.candidate_pids(0b10) == {0}
+        index.on_bits_removed(0, 0b01, 0b10)
+        assert index.candidate_pids(0b01) == set()
+        index.on_bits_removed(0, 0b10, 0)
+        assert index.candidate_pids(0) == {0}  # now empty-synopsis
+
+    def test_partitions_with_attribute(self):
+        index = SynopsisIndex()
+        index.register(3, 0b100)
+        assert index.partitions_with_attribute(2) == frozenset({3})
+        assert index.partitions_with_attribute(0) == frozenset()
+
+
+def _drive(partitioner: CinderellaPartitioner, operations):
+    """Apply a random operation trace to a partitioner."""
+    live: set[int] = set()
+    for kind, eid, mask in operations:
+        if kind == "insert" and eid not in live:
+            partitioner.insert(eid, mask)
+            live.add(eid)
+        elif kind == "delete" and eid in live:
+            partitioner.delete(eid)
+            live.discard(eid)
+        elif kind == "update" and eid in live:
+            partitioner.update(eid, mask)
+
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "insert", "insert", "delete", "update"]),
+        st.integers(0, 30),
+        masks,
+    ),
+    max_size=60,
+)
+
+
+class TestIndexedPartitionerEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(operations, st.floats(0.0, 0.9), st.integers(2, 12))
+    def test_same_partitioning_with_and_without_index(self, ops, weight, capacity):
+        config = CinderellaConfig(max_partition_size=capacity, weight=weight)
+        indexed_config = CinderellaConfig(
+            max_partition_size=capacity, weight=weight, use_synopsis_index=True
+        )
+        plain = CinderellaPartitioner(config)
+        indexed = CinderellaPartitioner(indexed_config)
+        _drive(plain, ops)
+        _drive(indexed, ops)
+        signature = lambda p: sorted(
+            tuple(sorted(part.entity_ids())) for part in p.catalog
+        )
+        assert signature(plain) == signature(indexed)
+        assert indexed.check_invariants() == []
+
+    @settings(max_examples=40, deadline=None)
+    @given(operations)
+    def test_index_stays_consistent_under_modifications(self, ops):
+        partitioner = CinderellaPartitioner(
+            CinderellaConfig(max_partition_size=5, weight=0.4, use_synopsis_index=True)
+        )
+        _drive(partitioner, ops)
+        assert (
+            verify_index_against_catalog(
+                partitioner.catalog.index, list(partitioner.catalog)
+            )
+            == []
+        )
+
+    def test_index_reduces_rating_work(self):
+        rng = random.Random(3)
+        # two disjoint families of synopses: the index should never rate a
+        # partition of the other family
+        def make(family: int) -> int:
+            base = 0
+            for _ in range(4):
+                base |= 1 << (family * 16 + rng.randrange(16))
+            return base
+
+        plain = CinderellaPartitioner(CinderellaConfig(max_partition_size=20, weight=0.4))
+        indexed = CinderellaPartitioner(
+            CinderellaConfig(max_partition_size=20, weight=0.4, use_synopsis_index=True)
+        )
+        for eid in range(600):
+            mask = make(eid % 2)
+            plain.insert(eid, mask)
+            indexed.insert(eid, mask)
+        assert indexed.ratings_computed < plain.ratings_computed

@@ -1,0 +1,201 @@
+"""Tests for the universal table, the Cinderella table, and views."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import CinderellaConfig
+from repro.query.query import AttributeQuery
+from repro.storage.buffer import BufferPool
+from repro.table.partitioned import CinderellaTable
+from repro.table.universal import UniversalTable
+from repro.table.views import TableView
+
+
+def product_catalog() -> list[dict]:
+    """The Figure 1 electronics example."""
+    return [
+        {"name": "Canon PowerShot S120", "resolution": 12.1, "aperture": 2.0,
+         "screen": 3, "weight": 198},
+        {"name": "Sony SLT-A99", "resolution": 24, "screen": 3, "weight": 733},
+        {"name": "Samsung Galaxy S4", "resolution": 13, "screen": 4.3,
+         "storage": "32GB", "weight": 133},
+        {"name": "Apple iPod touch", "resolution": 5, "screen": 4,
+         "storage": "64GB", "weight": 88},
+        {"name": "LG 60LA7408", "resolution": "Full HD", "screen": 40,
+         "tuner": "DVB-T/C/S", "weight": 9800},
+        {"name": "WD4000FYYZ", "storage": "4TB", "rotation": 7200,
+         "form_factor": '3.5"', "weight": 150},
+        {"name": "Garmin Dakota 20", "screen": 2.6, "weight": 150},
+    ]
+
+
+class TestUniversalTable:
+    def test_insert_get_roundtrip(self):
+        t = UniversalTable()
+        eid = t.insert({"name": "Canon", "weight": 198})
+        entity = t.get(eid)
+        assert entity.attributes == {"name": "Canon", "weight": 198}
+        assert len(t) == 1 and eid in t
+
+    def test_explicit_entity_ids(self):
+        t = UniversalTable()
+        assert t.insert({"a": 1}, entity_id=42) == 42
+        assert t.insert({"a": 1}) == 43
+        with pytest.raises(ValueError):
+            t.insert({"a": 1}, entity_id=42)
+
+    def test_delete_and_update(self):
+        t = UniversalTable()
+        eid = t.insert({"a": 1})
+        t.update(eid, {"b": 2})
+        assert t.get(eid).attributes == {"b": 2}
+        t.delete(eid)
+        assert eid not in t
+
+    def test_query_is_full_scan(self):
+        t = UniversalTable()
+        for row in product_catalog():
+            t.insert(row)
+        result = t.execute(AttributeQuery(("aperture",)))
+        assert len(result.rows) == 1
+        assert result.stats.entities_read == 7  # everything was read
+        assert result.stats.union_branches == 0
+
+    def test_scan_yields_all(self):
+        t = UniversalTable()
+        for row in product_catalog():
+            t.insert(row)
+        assert len(list(t.scan())) == 7
+
+    def test_sparseness(self):
+        t = UniversalTable()
+        t.insert({"a": 1})
+        t.insert({"b": 1})
+        assert t.sparseness() == pytest.approx(0.5)
+
+
+class TestCinderellaTable:
+    def make(self, b=3, w=0.4) -> CinderellaTable:
+        return CinderellaTable(CinderellaConfig(max_partition_size=b, weight=w))
+
+    def test_insert_and_get(self):
+        t = self.make()
+        outcome = t.insert({"name": "Canon", "aperture": 2.0})
+        assert t.get(outcome.entity_id).attributes["name"] == "Canon"
+
+    def test_splits_propagate_to_storage(self):
+        t = self.make(b=2)
+        for row in product_catalog():
+            t.insert(row)
+        assert t.partitioner.split_count >= 1
+        assert t.check_consistency() == []
+        assert len(list(t.scan())) == 7
+
+    def test_query_prunes_partitions(self):
+        t = self.make(b=4)
+        for row in product_catalog():
+            t.insert(row)
+        result = t.execute(AttributeQuery(("rotation",)))
+        assert [row["rotation"] for row in result.rows] == [7200]
+        assert result.stats.partitions_pruned >= 1
+        assert result.stats.entities_read < 7
+
+    def test_delete_and_update_keep_physical_consistency(self):
+        t = self.make(b=3)
+        outcomes = [t.insert(row) for row in product_catalog()]
+        t.delete(outcomes[0].entity_id)
+        t.update(outcomes[5].entity_id, {"name": "WD", "aperture": 9.9})
+        assert t.check_consistency() == []
+        assert len(t) == 6
+        # the Canon (with aperture) was deleted; the updated WD now has one
+        result = t.execute(AttributeQuery(("aperture",)))
+        assert result.rows == [{"aperture": 9.9}]
+
+    def test_update_in_place(self):
+        t = self.make(b=5)
+        eid = t.insert({"a": 1, "b": 2}).entity_id
+        t.insert({"a": 9, "b": 9})
+        outcome = t.update(eid, {"a": 7, "b": 8})
+        assert outcome.in_place
+        assert t.get(eid).attributes == {"a": 7, "b": 8}
+
+    def test_unknown_entity_operations_raise(self):
+        t = self.make()
+        with pytest.raises(KeyError):
+            t.delete(404)
+        with pytest.raises(KeyError):
+            t.update(404, {"a": 1})
+
+    def test_buffer_pool_integration(self):
+        pool = BufferPool(64)
+        t = CinderellaTable(
+            CinderellaConfig(max_partition_size=10, weight=0.4), buffer_pool=pool
+        )
+        for row in product_catalog():
+            t.insert(row)
+        query = AttributeQuery(("weight",))
+        cold = t.execute(query)
+        warm = t.execute(query)
+        assert warm.stats.pages_read < max(1, cold.stats.pages_read + 1)
+        assert pool.hits > 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.integers(0, 2**12 - 1), min_size=1, max_size=50),
+           st.integers(0, 2**12 - 1))
+    def test_results_match_universal_table(self, entity_masks, query_mask):
+        """Partitioned execution must return exactly the full-scan answer."""
+        attrs = [f"a{i}" for i in range(12)]
+        def to_row(mask):
+            return {attrs[i]: i for i in range(12) if mask >> i & 1}
+        cin = CinderellaTable(CinderellaConfig(max_partition_size=6, weight=0.4))
+        uni = UniversalTable()
+        for eid, mask in enumerate(entity_masks):
+            cin.insert(to_row(mask), entity_id=eid)
+            uni.insert(to_row(mask), entity_id=eid)
+        query_attrs = tuple(attrs[i] for i in range(12) if query_mask >> i & 1)
+        if not query_attrs:
+            query_attrs = ("a0",)
+        query = AttributeQuery(query_attrs)
+        rows_cin = sorted(map(repr, cin.execute(query).rows))
+        rows_uni = sorted(map(repr, uni.execute(query).rows))
+        assert rows_cin == rows_uni
+
+
+class TestTableView:
+    def test_view_selects_entities_with_all_columns(self):
+        t = CinderellaTable(CinderellaConfig(max_partition_size=10, weight=0.4))
+        t.insert({"x_id": 1, "x_val": "a"})
+        t.insert({"x_id": 2, "x_val": "b"})
+        t.insert({"y_id": 1, "y_other": "z"})
+        view = TableView("x", ("x_id", "x_val"), t)
+        rows = sorted(view.rows(), key=lambda r: r["x_id"])
+        assert rows == [{"x_id": 1, "x_val": "a"}, {"x_id": 2, "x_val": "b"}]
+        assert view.last_stats is not None
+        assert view.last_stats.partitions_pruned >= 1
+
+    def test_view_plan_prunes_foreign_partitions(self):
+        t = CinderellaTable(CinderellaConfig(max_partition_size=10, weight=0.4))
+        t.insert({"x_id": 1})
+        t.insert({"y_id": 1})
+        view = TableView("x", ("x_id",), t)
+        plan = view.plan()
+        assert len(plan.branch_pids) == 1
+
+    def test_view_requires_columns(self):
+        t = CinderellaTable()
+        with pytest.raises(ValueError):
+            TableView("x", (), t)
+
+    def test_key_columns_override(self):
+        t = CinderellaTable(CinderellaConfig(max_partition_size=10, weight=0.4))
+        t.insert({"x_id": 1, "x_opt": "present"})
+        t.insert({"x_id": 2})
+        view = TableView("x", ("x_id", "x_opt"), t, key_columns=("x_id",))
+        rows = sorted(view.rows(), key=lambda r: r["x_id"])
+        assert rows == [
+            {"x_id": 1, "x_opt": "present"},
+            {"x_id": 2, "x_opt": None},
+        ]

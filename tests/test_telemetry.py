@@ -1,0 +1,77 @@
+"""Tests for the telemetry collector and the ASCII chart renderer."""
+
+from repro.core.config import CinderellaConfig
+from repro.core.partitioner import CinderellaPartitioner
+from repro.metrics.telemetry import TelemetryCollector
+from repro.reporting.chart import render_line_chart
+
+
+class TestTelemetryCollector:
+    def test_samples_at_interval(self):
+        collector = TelemetryCollector(interval=5)
+        p = CinderellaPartitioner(CinderellaConfig(max_partition_size=4, weight=0.4))
+        for eid in range(12):
+            p.insert(eid, 0b11)
+            collector.observe(p)
+        assert [s.operations for s in collector.samples] == [5, 10]
+        assert collector.samples[-1].entity_count == 10
+
+    def test_sample_now_forces_a_point(self):
+        collector = TelemetryCollector(interval=100)
+        p = CinderellaPartitioner()
+        p.insert(1, 0b1)
+        sample = collector.sample_now(p)
+        assert sample.partition_count == 1
+        assert sample.mean_fill == 1.0
+        assert sample.efficiency is None  # no workload configured
+
+    def test_efficiency_tracked_with_workload(self):
+        collector = TelemetryCollector(interval=1, query_masks=[0b1])
+        p = CinderellaPartitioner(CinderellaConfig(max_partition_size=10, weight=0.4))
+        p.insert(1, 0b1)
+        collector.observe(p)
+        assert collector.samples[0].efficiency == 1.0
+
+    def test_series_extraction(self):
+        collector = TelemetryCollector(interval=2)
+        p = CinderellaPartitioner(CinderellaConfig(max_partition_size=4, weight=0.4))
+        for eid in range(6):
+            p.insert(eid, 0b11)
+            collector.observe(p)
+        series = collector.series("partition_count")
+        assert [x for x, _y in series] == [2.0, 4.0, 6.0]
+        assert collector.series("efficiency") == []  # all None: dropped
+
+    def test_split_count_propagates(self):
+        collector = TelemetryCollector(interval=1)
+        p = CinderellaPartitioner(CinderellaConfig(max_partition_size=2, weight=0.5))
+        for eid in range(6):
+            p.insert(eid, 0b11)
+            collector.observe(p)
+        assert collector.samples[-1].split_count == p.split_count
+
+
+class TestRenderLineChart:
+    def test_renders_markers_and_legend(self):
+        text = render_line_chart(
+            {"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]},
+            width=20,
+            height=6,
+            title="demo",
+        )
+        assert text.startswith("demo")
+        assert "* a" in text and "o b" in text
+        assert "└" in text
+
+    def test_empty_series(self):
+        assert render_line_chart({}) == "(no data)"
+        assert render_line_chart({"a": []}) == "(no data)"
+
+    def test_flat_series_does_not_crash(self):
+        text = render_line_chart({"flat": [(0, 5), (10, 5)]}, width=10, height=4)
+        assert "*" in text
+
+    def test_axis_labels_show_extent(self):
+        text = render_line_chart({"a": [(2, 10), (8, 42)]}, width=16, height=5)
+        assert "42" in text and "10" in text
+        assert "2" in text and "8" in text

@@ -1,0 +1,276 @@
+"""Cross-validation of TPC-H queries against naive reference versions.
+
+For a selection of structurally diverse queries, this module implements
+an independent, deliberately brute-force version straight from the SQL
+text and compares results with the operator-pipeline implementations in
+:mod:`repro.workloads.tpch.queries`.
+"""
+
+import math
+
+import pytest
+
+from repro.workloads.tpch.dbgen import generate_tpch
+from repro.workloads.tpch.queries import run_query, sql_like
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate_tpch(scale_factor=0.002, seed=11)
+
+
+def close(a, b):
+    if isinstance(a, float) or isinstance(b, float):
+        return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-6)
+    return a == b
+
+
+class TestQ3Reference:
+    def test_matches_naive(self, data):
+        customers = {
+            c["c_custkey"]
+            for c in data.table("customer")
+            if c["c_mktsegment"] == "BUILDING"
+        }
+        orders = {
+            o["o_orderkey"]: o
+            for o in data.table("orders")
+            if o["o_orderdate"] < "1995-03-15" and o["o_custkey"] in customers
+        }
+        revenue: dict[tuple, float] = {}
+        for line in data.table("lineitem"):
+            order = orders.get(line["l_orderkey"])
+            if order is None or line["l_shipdate"] <= "1995-03-15":
+                continue
+            key = (
+                line["l_orderkey"], order["o_orderdate"], order["o_shippriority"]
+            )
+            revenue[key] = revenue.get(key, 0.0) + line["l_extendedprice"] * (
+                1 - line["l_discount"]
+            )
+        expected = sorted(
+            revenue.items(), key=lambda item: (-item[1], item[0][1])
+        )[:10]
+        actual = run_query(3, data)
+        assert len(actual) == len(expected)
+        for row, ((orderkey, orderdate, priority), rev) in zip(actual, expected):
+            assert row["l_orderkey"] == orderkey
+            assert row["o_orderdate"] == orderdate
+            assert close(row["revenue"], rev)
+
+
+class TestQ10Reference:
+    def test_matches_naive(self, data):
+        orders = {
+            o["o_orderkey"]: o["o_custkey"]
+            for o in data.table("orders")
+            if "1993-10-01" <= o["o_orderdate"] < "1994-01-01"
+        }
+        revenue: dict[int, float] = {}
+        for line in data.table("lineitem"):
+            if line["l_returnflag"] != "R":
+                continue
+            custkey = orders.get(line["l_orderkey"])
+            if custkey is None:
+                continue
+            revenue[custkey] = revenue.get(custkey, 0.0) + line[
+                "l_extendedprice"
+            ] * (1 - line["l_discount"])
+        expected = sorted(revenue.items(), key=lambda item: -item[1])[:20]
+        actual = run_query(10, data)
+        assert [row["c_custkey"] for row in actual] == [
+            custkey for custkey, _rev in expected
+        ]
+        for row, (_custkey, rev) in zip(actual, expected):
+            assert close(row["revenue"], rev)
+
+
+class TestQ12Reference:
+    def test_matches_naive(self, data):
+        priorities = {}
+        for o in data.table("orders"):
+            priorities[o["o_orderkey"]] = o["o_orderpriority"]
+        expected = {"MAIL": [0, 0], "SHIP": [0, 0]}
+        for line in data.table("lineitem"):
+            if line["l_shipmode"] not in ("MAIL", "SHIP"):
+                continue
+            if not (
+                line["l_shipdate"] < line["l_commitdate"] < line["l_receiptdate"]
+            ):
+                continue
+            if not "1994-01-01" <= line["l_receiptdate"] < "1995-01-01":
+                continue
+            is_high = priorities[line["l_orderkey"]] in ("1-URGENT", "2-HIGH")
+            expected[line["l_shipmode"]][0 if is_high else 1] += 1
+        actual = {row["l_shipmode"]: row for row in run_query(12, data)}
+        for mode, (high, low) in expected.items():
+            if high or low:
+                assert actual[mode]["high_line_count"] == high
+                assert actual[mode]["low_line_count"] == low
+
+
+class TestQ14Reference:
+    def test_matches_naive(self, data):
+        types = {p["p_partkey"]: p["p_type"] for p in data.table("part")}
+        promo = 0.0
+        total = 0.0
+        for line in data.table("lineitem"):
+            if not "1995-09-01" <= line["l_shipdate"] < "1995-10-01":
+                continue
+            amount = line["l_extendedprice"] * (1 - line["l_discount"])
+            total += amount
+            if types[line["l_partkey"]].startswith("PROMO"):
+                promo += amount
+        expected = 100.0 * promo / total if total else 0.0
+        actual = run_query(14, data)[0]["promo_revenue"]
+        assert close(actual, expected)
+
+
+class TestQ16Reference:
+    def test_matches_naive(self, data):
+        sizes = {49, 14, 23, 45, 19, 3, 36, 9}
+        qualifying_parts = {
+            p["p_partkey"]: (p["p_brand"], p["p_type"], p["p_size"])
+            for p in data.table("part")
+            if p["p_brand"] != "Brand#45"
+            and not p["p_type"].startswith("MEDIUM POLISHED")
+            and p["p_size"] in sizes
+        }
+        complainers = {
+            s["s_suppkey"]
+            for s in data.table("supplier")
+            if sql_like(s["s_comment"], "%Customer%Complaints%")
+        }
+        suppliers: dict[tuple, set[int]] = {}
+        for ps in data.table("partsupp"):
+            meta = qualifying_parts.get(ps["ps_partkey"])
+            if meta is None or ps["ps_suppkey"] in complainers:
+                continue
+            suppliers.setdefault(meta, set()).add(ps["ps_suppkey"])
+        actual = {
+            (row["p_brand"], row["p_type"], row["p_size"]): row["supplier_cnt"]
+            for row in run_query(16, data)
+        }
+        assert actual == {meta: len(s) for meta, s in suppliers.items()}
+
+
+class TestQ21Reference:
+    def test_matches_naive(self, data):
+        saudi = {
+            s["s_suppkey"]: s["s_name"]
+            for s in data.table("supplier")
+            if s["s_nationkey"] == 20  # SAUDI ARABIA in the schema's order
+        }
+        nation_names = {n["n_name"]: n["n_nationkey"] for n in data.table("nation")}
+        assert nation_names["SAUDI ARABIA"] == 20
+        failed = {
+            o["o_orderkey"]
+            for o in data.table("orders")
+            if o["o_orderstatus"] == "F"
+        }
+        by_order: dict[int, set[int]] = {}
+        late_by_order: dict[int, set[int]] = {}
+        for line in data.table("lineitem"):
+            if line["l_orderkey"] not in failed:
+                continue
+            by_order.setdefault(line["l_orderkey"], set()).add(line["l_suppkey"])
+            if line["l_receiptdate"] > line["l_commitdate"]:
+                late_by_order.setdefault(line["l_orderkey"], set()).add(
+                    line["l_suppkey"]
+                )
+        expected: dict[str, int] = {}
+        for orderkey, late in late_by_order.items():
+            if len(late) == 1 and len(by_order[orderkey]) >= 2:
+                (suppkey,) = late
+                name = saudi.get(suppkey)
+                if name:
+                    expected[name] = expected.get(name, 0) + 1
+        actual = {row["s_name"]: row["numwait"] for row in run_query(21, data)}
+        assert actual == expected
+
+
+class TestQ5Reference:
+    def test_matches_naive(self, data):
+        regions = {r["r_regionkey"] for r in data.table("region")
+                   if r["r_name"] == "ASIA"}
+        nations = {
+            n["n_nationkey"]: n["n_name"]
+            for n in data.table("nation")
+            if n["n_regionkey"] in regions
+        }
+        customers = {
+            c["c_custkey"]: c["c_nationkey"]
+            for c in data.table("customer")
+            if c["c_nationkey"] in nations
+        }
+        orders = {
+            o["o_orderkey"]: customers[o["o_custkey"]]
+            for o in data.table("orders")
+            if "1994-01-01" <= o["o_orderdate"] < "1995-01-01"
+            and o["o_custkey"] in customers
+        }
+        suppliers = {
+            s["s_suppkey"]: s["s_nationkey"] for s in data.table("supplier")
+        }
+        revenue: dict[str, float] = {}
+        for line in data.table("lineitem"):
+            cust_nation = orders.get(line["l_orderkey"])
+            if cust_nation is None:
+                continue
+            if suppliers.get(line["l_suppkey"]) != cust_nation:
+                continue
+            name = nations[cust_nation]
+            revenue[name] = revenue.get(name, 0.0) + line["l_extendedprice"] * (
+                1 - line["l_discount"]
+            )
+        actual = {row["n_name"]: row["revenue"] for row in run_query(5, data)}
+        assert set(actual) == set(revenue)
+        for name, value in revenue.items():
+            assert close(actual[name], value)
+
+
+class TestQ9Reference:
+    def test_matches_naive(self, data):
+        green_parts = {
+            p["p_partkey"] for p in data.table("part")
+            if "green" in p["p_name"]
+        }
+        nations = {n["n_nationkey"]: n["n_name"] for n in data.table("nation")}
+        suppliers = {
+            s["s_suppkey"]: nations[s["s_nationkey"]]
+            for s in data.table("supplier")
+        }
+        costs = {
+            (ps["ps_partkey"], ps["ps_suppkey"]): ps["ps_supplycost"]
+            for ps in data.table("partsupp")
+        }
+        years = {o["o_orderkey"]: o["o_orderdate"][:4] for o in data.table("orders")}
+        profit: dict[tuple, float] = {}
+        for line in data.table("lineitem"):
+            if line["l_partkey"] not in green_parts:
+                continue
+            key = (suppliers[line["l_suppkey"]], years[line["l_orderkey"]])
+            amount = line["l_extendedprice"] * (1 - line["l_discount"]) - costs[
+                (line["l_partkey"], line["l_suppkey"])
+            ] * line["l_quantity"]
+            profit[key] = profit.get(key, 0.0) + amount
+        actual = {
+            (row["nation"], row["o_year"]): row["sum_profit"]
+            for row in run_query(9, data)
+        }
+        assert set(actual) == set(profit)
+        for key, value in profit.items():
+            assert close(actual[key], value)
+
+    def test_ordering(self, data):
+        """Q9 orders by nation ascending, then year descending."""
+        rows = run_query(9, data)
+        keys = [(row["nation"], row["o_year"]) for row in rows]
+        assert [nation for nation, _year in keys] == sorted(
+            nation for nation, _year in keys
+        )
+        by_nation: dict[str, list[str]] = {}
+        for nation, year in keys:
+            by_nation.setdefault(nation, []).append(year)
+        for years_list in by_nation.values():
+            assert years_list == sorted(years_list, reverse=True)

@@ -1,0 +1,152 @@
+"""Tests for the TPC-H data generator."""
+
+import pytest
+
+from repro.workloads.tpch.dbgen import date_add, generate_tpch
+from repro.workloads.tpch.schema import (
+    MARKET_SEGMENTS,
+    NATIONS,
+    ORDER_PRIORITIES,
+    REGIONS,
+    SHIP_MODES,
+    TABLES,
+    TABLE_BY_NAME,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate_tpch(scale_factor=0.002, seed=7)
+
+
+class TestCardinalities:
+    def test_fixed_tables(self, data):
+        assert len(data.table("region")) == 5
+        assert len(data.table("nation")) == 25
+
+    def test_scaled_tables(self, data):
+        assert len(data.table("supplier")) == 20
+        assert len(data.table("customer")) == 300
+        assert len(data.table("part")) == 400
+        assert len(data.table("partsupp")) == 1600
+        assert len(data.table("orders")) == 3000
+
+    def test_lineitem_one_to_seven_per_order(self, data):
+        n_orders = len(data.table("orders"))
+        n_lines = len(data.table("lineitem"))
+        assert n_orders <= n_lines <= 7 * n_orders
+
+    def test_scale_factor_scales(self):
+        small = generate_tpch(scale_factor=0.001, seed=1)
+        assert len(small.table("supplier")) == 10
+        assert len(small.table("orders")) == 1500
+
+    def test_invalid_scale_factor(self):
+        with pytest.raises(ValueError):
+            generate_tpch(scale_factor=0)
+
+    def test_unknown_table(self, data):
+        with pytest.raises(KeyError):
+            data.table("warehouse")
+
+
+class TestSchemaConformance:
+    def test_every_row_has_exactly_the_schema_columns(self, data):
+        for schema in TABLES:
+            for row in data.table(schema.name):
+                assert tuple(sorted(row)) == tuple(sorted(schema.columns))
+
+    def test_no_null_values(self, data):
+        """TPC-H columns are all NOT NULL."""
+        for schema in TABLES:
+            for row in data.table(schema.name):
+                assert all(value is not None for value in row.values())
+
+
+class TestReferentialIntegrity:
+    def test_nation_region_fk(self, data):
+        region_keys = {r["r_regionkey"] for r in data.table("region")}
+        assert all(n["n_regionkey"] in region_keys for n in data.table("nation"))
+
+    def test_supplier_and_customer_nation_fk(self, data):
+        nation_keys = {n["n_nationkey"] for n in data.table("nation")}
+        assert all(s["s_nationkey"] in nation_keys for s in data.table("supplier"))
+        assert all(c["c_nationkey"] in nation_keys for c in data.table("customer"))
+
+    def test_partsupp_fks(self, data):
+        part_keys = {p["p_partkey"] for p in data.table("part")}
+        supp_keys = {s["s_suppkey"] for s in data.table("supplier")}
+        for ps in data.table("partsupp"):
+            assert ps["ps_partkey"] in part_keys
+            assert ps["ps_suppkey"] in supp_keys
+
+    def test_lineitem_references_valid_partsupp(self, data):
+        pairs = {
+            (ps["ps_partkey"], ps["ps_suppkey"]) for ps in data.table("partsupp")
+        }
+        for line in data.table("lineitem"):
+            assert (line["l_partkey"], line["l_suppkey"]) in pairs
+
+    def test_orders_skip_custkeys_divisible_by_three(self, data):
+        assert all(o["o_custkey"] % 3 != 0 for o in data.table("orders"))
+
+    def test_lineitem_order_fk(self, data):
+        order_keys = {o["o_orderkey"] for o in data.table("orders")}
+        assert all(
+            line["l_orderkey"] in order_keys for line in data.table("lineitem")
+        )
+
+
+class TestValueDomains:
+    def test_region_and_nation_names(self, data):
+        assert {r["r_name"] for r in data.table("region")} == set(REGIONS)
+        assert {n["n_name"] for n in data.table("nation")} == {
+            name for name, _region in NATIONS
+        }
+
+    def test_categorical_columns(self, data):
+        assert {c["c_mktsegment"] for c in data.table("customer")} <= set(
+            MARKET_SEGMENTS
+        )
+        assert {o["o_orderpriority"] for o in data.table("orders")} <= set(
+            ORDER_PRIORITIES
+        )
+        assert {l["l_shipmode"] for l in data.table("lineitem")} <= set(SHIP_MODES)
+
+    def test_lineitem_numeric_ranges(self, data):
+        for line in data.table("lineitem"):
+            assert 1 <= line["l_quantity"] <= 50
+            assert 0.0 <= line["l_discount"] <= 0.10
+            assert 0.0 <= line["l_tax"] <= 0.08
+
+    def test_lineitem_date_ordering(self, data):
+        for line in data.table("lineitem"):
+            assert line["l_shipdate"] < line["l_receiptdate"]
+
+    def test_phone_country_codes_encode_nation(self, data):
+        for c in data.table("customer"):
+            assert int(c["c_phone"][:2]) == 10 + c["c_nationkey"]
+
+    def test_brands_reference_manufacturers(self, data):
+        for p in data.table("part"):
+            mfgr = int(p["p_mfgr"].split("#")[1])
+            brand = int(p["p_brand"].split("#")[1])
+            assert brand // 10 == mfgr
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = generate_tpch(scale_factor=0.001, seed=5)
+        b = generate_tpch(scale_factor=0.001, seed=5)
+        assert a.table("lineitem") == b.table("lineitem")
+
+    def test_different_seed_different_data(self):
+        a = generate_tpch(scale_factor=0.001, seed=5)
+        b = generate_tpch(scale_factor=0.001, seed=6)
+        assert a.table("lineitem") != b.table("lineitem")
+
+
+class TestDateHelper:
+    def test_date_add(self):
+        assert date_add("1994-01-01", 90) == "1994-04-01"
+        assert date_add("1994-01-01", -1) == "1993-12-31"

@@ -1,0 +1,185 @@
+"""Tests for the 22 TPC-H queries and the access-path adapters."""
+
+import math
+
+import pytest
+
+from repro.core.config import CinderellaConfig
+from repro.workloads.tpch.databases import (
+    CinderellaTPCHDatabase,
+    StandardTPCHDatabase,
+)
+from repro.workloads.tpch.dbgen import generate_tpch
+from repro.workloads.tpch.queries import QUERIES, run_query, sql_like
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate_tpch(scale_factor=0.002, seed=7)
+
+
+@pytest.fixture(scope="module")
+def standard(data):
+    return StandardTPCHDatabase(data)
+
+
+@pytest.fixture(scope="module")
+def cinderella(data):
+    return CinderellaTPCHDatabase(
+        data, CinderellaConfig(max_partition_size=2000, weight=0.5)
+    )
+
+
+def rows_equal(a, b, rel=1e-9):
+    """Row-list equality tolerant of float summation order."""
+    if len(a) != len(b):
+        return False
+    for row_a, row_b in zip(a, b):
+        if set(row_a) != set(row_b):
+            return False
+        for key in row_a:
+            va, vb = row_a[key], row_b[key]
+            if isinstance(va, float) and isinstance(vb, float):
+                if not math.isclose(va, vb, rel_tol=rel, abs_tol=1e-6):
+                    return False
+            elif va != vb:
+                return False
+    return True
+
+
+class TestSqlLike:
+    def test_suffix(self):
+        assert sql_like("LARGE BRASS", "%BRASS")
+        assert not sql_like("LARGE STEEL", "%BRASS")
+
+    def test_prefix(self):
+        assert sql_like("PROMO PLATED TIN", "PROMO%")
+
+    def test_infix_multi(self):
+        assert sql_like("a special deposit requests b", "%special%requests%")
+        assert not sql_like("special", "%special%requests%")
+
+    def test_exact(self):
+        assert sql_like("abc", "abc")
+        assert not sql_like("abcd", "abc")
+
+
+class TestAllQueriesRun:
+    @pytest.mark.parametrize("number", sorted(QUERIES))
+    def test_query_runs_on_generated_data(self, data, number):
+        rows = run_query(number, data)
+        assert isinstance(rows, list)
+        for row in rows:
+            assert isinstance(row, dict)
+
+    def test_unknown_query_number(self, data):
+        with pytest.raises(ValueError):
+            run_query(23, data)
+
+
+class TestQuerySemantics:
+    def test_q1_groups_and_totals(self, data):
+        rows = run_query(1, data)
+        assert 1 <= len(rows) <= 6  # at most |returnflag| x |linestatus|
+        keys = [(r["l_returnflag"], r["l_linestatus"]) for r in rows]
+        assert keys == sorted(keys)
+        for row in rows:
+            assert row["count_order"] > 0
+            assert row["avg_qty"] == pytest.approx(row["sum_qty"] / row["count_order"])
+
+    def test_q1_only_shipped_lines(self, data):
+        rows = run_query(1, data)
+        total = sum(r["count_order"] for r in rows)
+        expected = sum(
+            1 for l in data.table("lineitem") if l["l_shipdate"] <= "1998-09-02"
+        )
+        assert total == expected
+
+    def test_q3_is_top10_by_revenue(self, data):
+        rows = run_query(3, data)
+        assert len(rows) <= 10
+        revenues = [r["revenue"] for r in rows]
+        assert revenues == sorted(revenues, reverse=True)
+
+    def test_q4_counts_match_manual(self, data):
+        rows = run_query(4, data)
+        late_orders = {
+            l["l_orderkey"]
+            for l in data.table("lineitem")
+            if l["l_commitdate"] < l["l_receiptdate"]
+        }
+        expected = sum(
+            1
+            for o in data.table("orders")
+            if "1993-07-01" <= o["o_orderdate"] < "1993-10-01"
+            and o["o_orderkey"] in late_orders
+        )
+        assert sum(r["order_count"] for r in rows) == expected
+
+    def test_q6_matches_manual_sum(self, data):
+        rows = run_query(6, data)
+        expected = sum(
+            l["l_extendedprice"] * l["l_discount"]
+            for l in data.table("lineitem")
+            if "1994-01-01" <= l["l_shipdate"] < "1995-01-01"
+            and 0.05 <= l["l_discount"] <= 0.07
+            and l["l_quantity"] < 24
+        )
+        assert rows[0]["revenue"] == pytest.approx(expected)
+
+    def test_q13_includes_zero_order_customers(self, data):
+        rows = run_query(13, data)
+        zero = [r for r in rows if r["c_count"] == 0]
+        assert zero and zero[0]["custdist"] > 0
+
+    def test_q13_customer_total(self, data):
+        rows = run_query(13, data)
+        assert sum(r["custdist"] for r in rows) == len(data.table("customer"))
+
+    def test_q14_is_percentage(self, data):
+        value = run_query(14, data)[0]["promo_revenue"]
+        assert 0.0 <= value <= 100.0
+
+    def test_q15_returns_the_max_revenue_supplier(self, data):
+        rows = run_query(15, data)
+        assert len(rows) >= 1
+        assert all(
+            r["total_revenue"] == rows[0]["total_revenue"] for r in rows
+        )
+
+    def test_q18_threshold(self, data):
+        for row in run_query(18, data):
+            assert row["sum_qty"] > 300
+
+    def test_q22_customers_have_no_orders(self, data):
+        rows = run_query(22, data)
+        assert rows, "Q22 should find customers at this scale"
+        codes = {r["cntrycode"] for r in rows}
+        assert codes <= {"13", "31", "23", "29", "30", "18", "17"}
+
+
+class TestAccessPathEquivalence:
+    """The Table I property: views return the same answers as tables."""
+
+    @pytest.mark.parametrize("number", sorted(QUERIES))
+    def test_same_result_through_views(self, standard, cinderella, number):
+        rows_std = run_query(number, standard)
+        rows_cin = run_query(number, cinderella)
+        standard.pop_stats()
+        cinderella.pop_stats()
+        assert rows_equal(rows_std, rows_cin)
+
+    def test_cinderella_recovers_exact_schema(self, cinderella):
+        assert cinderella.schema_is_exact()
+
+    def test_views_prune_foreign_partitions(self, cinderella):
+        list(cinderella.table("region"))
+        stats = cinderella.pop_stats()
+        # region is 5 rows; the scan must not have read lineitems
+        assert stats.entities_read == 5
+
+    def test_stats_accumulate_and_reset(self, standard):
+        list(standard.table("nation"))
+        stats = standard.pop_stats()
+        assert stats.entities_read == 25
+        assert standard.pop_stats().entities_read == 0

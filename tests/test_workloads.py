@@ -1,0 +1,154 @@
+"""Tests for the DBpedia generator and the synthetic query workload."""
+
+import pytest
+
+from repro.query.query import AttributeQuery
+from repro.workloads.dbpedia import generate_dbpedia_persons, validate_distribution
+from repro.workloads.querygen import (
+    build_query_workload,
+    representative_queries,
+    top_frequent_attributes,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dbpedia_persons(n_entities=8000, seed=42)
+
+
+class TestDBpediaGenerator:
+    def test_size_and_ids(self, dataset):
+        assert len(dataset) == 8000
+        assert [e.entity_id for e in dataset.entities[:3]] == [0, 1, 2]
+
+    def test_matches_figure4_distribution(self, dataset):
+        assert validate_distribution(dataset) == []
+
+    def test_two_near_universal_attributes(self, dataset):
+        frequencies = sorted(
+            dataset.attribute_frequencies().values(), reverse=True
+        )
+        assert frequencies[0] >= 0.9 and frequencies[1] >= 0.9
+
+    def test_long_tail(self, dataset):
+        frequencies = dataset.attribute_frequencies().values()
+        rare = sum(1 for f in frequencies if f < 0.10)
+        assert rare >= 0.78 * len(dataset.attribute_names)
+
+    def test_every_entity_has_an_attribute(self, dataset):
+        assert all(entity.attributes for entity in dataset.entities)
+
+    def test_sparseness_near_paper_value(self, dataset):
+        assert 0.85 <= dataset.sparseness() <= 0.97
+
+    def test_deterministic(self):
+        a = generate_dbpedia_persons(500, seed=3)
+        b = generate_dbpedia_persons(500, seed=3)
+        assert [e.attributes for e in a.entities] == [
+            e.attributes for e in b.entities
+        ]
+
+    def test_different_seeds_differ(self):
+        a = generate_dbpedia_persons(500, seed=3)
+        b = generate_dbpedia_persons(500, seed=4)
+        assert [e.attributes for e in a.entities] != [
+            e.attributes for e in b.entities
+        ]
+
+    def test_dictionary_contains_all_attributes(self, dataset):
+        d = dataset.dictionary()
+        assert len(d) == len(dataset.attribute_names)
+
+    def test_validation_guards(self):
+        with pytest.raises(ValueError):
+            generate_dbpedia_persons(10, n_attributes=5)
+        with pytest.raises(ValueError):
+            generate_dbpedia_persons(10, n_types=1)
+
+    def test_entity_types_recorded(self, dataset):
+        assert len(dataset.entity_types) == len(dataset)
+        assert all(0 <= t < 20 for t in dataset.entity_types)
+
+
+class TestQueryWorkload:
+    @pytest.fixture(scope="class")
+    def workload(self, dataset):
+        d = dataset.dictionary()
+        masks = [e.synopsis_mask(d) for e in dataset.entities]
+        return d, masks, build_query_workload(masks, d, max_triples=50)
+
+    def test_contains_singles_for_every_attribute(self, dataset, workload):
+        _d, _masks, specs = workload
+        singles = {s.query.attributes[0] for s in specs if s.arity == 1}
+        assert singles == set(dataset.attribute_names)
+
+    def test_pairs_and_triples_use_top20(self, workload):
+        d, masks, specs = workload
+        top = set(top_frequent_attributes(masks, d, 20))
+        for spec in specs:
+            if spec.arity > 1:
+                assert set(spec.query.attributes) <= top
+
+    def test_selectivity_is_true_match_fraction(self, workload):
+        d, masks, specs = workload
+        for spec in specs[:40]:
+            qmask = spec.query.synopsis_mask(d)
+            expected = sum(1 for m in masks if m & qmask) / len(masks)
+            assert spec.selectivity == pytest.approx(expected)
+
+    def test_selectivity_monotone_in_attributes(self, workload):
+        """OR semantics: adding attributes can only widen the result."""
+        d, masks, specs = workload
+        by_attrs = {s.query.attributes: s.selectivity for s in specs}
+        for attrs, selectivity in by_attrs.items():
+            if len(attrs) == 2:
+                for single in attrs:
+                    assert selectivity >= by_attrs[(single,)] - 1e-12
+
+    def test_top_frequent_ranking(self, workload):
+        d, masks, _specs = workload
+        top = top_frequent_attributes(masks, d, 5)
+        counts = []
+        for name in top:
+            bit = 1 << d.id_of(name)
+            counts.append(sum(1 for m in masks if m & bit))
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestRepresentativeQueries:
+    def test_at_most_three_per_bucket(self, dataset):
+        d = dataset.dictionary()
+        masks = [e.synopsis_mask(d) for e in dataset.entities]
+        specs = build_query_workload(masks, d, max_triples=50)
+        reps = representative_queries(specs, bucket_width=0.05, per_bucket=3)
+        buckets: dict[int, int] = {}
+        for spec in reps:
+            key = int(spec.selectivity / 0.05)
+            buckets[key] = buckets.get(key, 0) + 1
+        assert all(count <= 3 for count in buckets.values())
+
+    def test_sorted_by_selectivity(self, dataset):
+        d = dataset.dictionary()
+        masks = [e.synopsis_mask(d) for e in dataset.entities]
+        specs = build_query_workload(masks, d, max_triples=50)
+        reps = representative_queries(specs)
+        selectivities = [s.selectivity for s in reps]
+        assert selectivities == sorted(selectivities)
+
+    def test_covers_high_and_low_selectivity(self, dataset):
+        d = dataset.dictionary()
+        masks = [e.synopsis_mask(d) for e in dataset.entities]
+        reps = representative_queries(build_query_workload(masks, d, max_triples=50))
+        assert reps[0].selectivity < 0.1
+        assert reps[-1].selectivity > 0.8
+
+    def test_invalid_bucket_width(self):
+        with pytest.raises(ValueError):
+            representative_queries([], bucket_width=0)
+
+    def test_deterministic(self, dataset):
+        d = dataset.dictionary()
+        masks = [e.synopsis_mask(d) for e in dataset.entities]
+        a = representative_queries(build_query_workload(masks, d, max_triples=50))
+        b = representative_queries(build_query_workload(masks, d, max_triples=50))
+        assert [s.query.attributes for s in a] == [s.query.attributes for s in b]
