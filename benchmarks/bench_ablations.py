@@ -92,14 +92,16 @@ def test_ablations(benchmark, dbpedia, query_workload):
     exact, _ = loaded["exact split starters"]
     first_fit, _ = loaded["first-fit selection"]
 
-    signature = lambda p: sorted(
-        tuple(sorted(part.entity_ids())) for part in p.catalog
-    )
+    def signature(p):
+        return sorted(tuple(sorted(part.entity_ids())) for part in p.catalog)
+
     # 1. the index is an exact optimization
     assert signature(indexed) == signature(reference)
     assert indexed.ratings_computed < reference.ratings_computed
 
-    eff = lambda p: catalog_efficiency(p.catalog, queries)
+    def eff(p):
+        return catalog_efficiency(p.catalog, queries)
+
     # 2. the incremental starter heuristic is close to the exact pair
     assert eff(reference) > 0.85 * eff(exact)
     # 3. best-fit never loses to first-fit

@@ -13,7 +13,6 @@ with and without a buffer pool:
 """
 
 from repro.core.config import CinderellaConfig
-from repro.query.query import AttributeQuery
 from repro.reporting.tables import format_table
 from repro.storage.buffer import BufferPool
 from repro.table.partitioned import CinderellaTable

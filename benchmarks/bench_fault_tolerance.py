@@ -1,0 +1,132 @@
+"""Fault-tolerance bench: availability and latency vs replication factor.
+
+The paper's cluster setting (Section II) assumed reliable nodes; this
+bench quantifies what the fault-tolerance subsystem buys when they are
+not.  A seeded failure schedule crashes and recovers nodes while a
+DBpedia-derived workload streams in; the same schedule is replayed
+against replication factors 1, 2, and 3 and against a schedule with no
+failures at all.
+
+Asserted behaviour:
+
+* with no failures, availability is exactly 1.0 at every replication
+  factor — replication costs capacity, never correctness;
+* under failures, availability increases monotonically with the
+  replication factor, and rf >= 2 keeps the overwhelming share of
+  queries complete while rf = 1 visibly degrades;
+* failover is not free: the mean query latency under failures exceeds
+  the failure-free baseline (timeouts and retries are priced in);
+* every run ends with a healthy replication report and a clean
+  placement check after the final repair pass.
+"""
+
+import random
+
+from repro.core.config import CinderellaConfig
+from repro.core.partitioner import CinderellaPartitioner
+from repro.distributed.failures import FailureSchedule
+from repro.distributed.replication import replication_report
+from repro.distributed.store import DistributedUniversalStore
+from repro.reporting.tables import format_table
+
+from conftest import N_ENTITIES
+
+NODES = 8
+OPERATIONS = min(N_ENTITIES, 1_500)
+SCHEDULE_SEED = 29
+WORKLOAD_SEED = 4242
+CRASH_RATE = 0.01
+
+
+def run_chaos(dbpedia, dictionary, replication_factor, schedule):
+    store = DistributedUniversalStore(
+        NODES,
+        CinderellaPartitioner(CinderellaConfig(max_partition_size=100, weight=0.3)),
+        replication_factor=replication_factor,
+    )
+    rng = random.Random(WORKLOAD_SEED)
+    latencies = []
+    for op_index in range(OPERATIONS):
+        if schedule is not None:
+            for event in schedule.events_at(op_index):
+                store.apply_event(event)
+        entity = dbpedia.entities[op_index]
+        store.insert(entity.entity_id, entity.synopsis_mask(dictionary))
+        if op_index % 5 == 1:
+            latencies.append(store.route_query(rng.getrandbits(16) | 0b1).latency_ms)
+        if op_index % 25 == 24:
+            store.re_replicate()
+    store.re_replicate()
+    assert replication_report(store.cluster).healthy
+    assert store.check_placement() == []
+    counters = store.counters
+    return {
+        "rf": replication_factor,
+        "availability": counters.availability(),
+        "degraded": counters.queries_degraded,
+        "retries": counters.retries,
+        "mean_latency_ms": sum(latencies) / len(latencies),
+        "replicas_created": counters.replicas_created,
+    }
+
+
+def test_availability_vs_replication_factor(benchmark, dbpedia):
+    dictionary = dbpedia.dictionary()
+    schedule = FailureSchedule.random(
+        NODES, OPERATIONS, seed=SCHEDULE_SEED, crash_rate=CRASH_RATE,
+        mean_downtime=60,
+    )
+    assert schedule.crash_count >= 5
+
+    calm = {
+        rf: run_chaos(dbpedia, dictionary, rf, schedule=None) for rf in (1, 2, 3)
+    }
+    chaos = {
+        rf: run_chaos(dbpedia, dictionary, rf, schedule) for rf in (1, 2, 3)
+    }
+
+    print()
+    print(format_table(
+        ["schedule", "rf", "availability", "degraded queries", "retries",
+         "mean latency ms", "replicas created"],
+        [
+            [label, row["rf"], row["availability"], row["degraded"],
+             row["retries"], row["mean_latency_ms"], row["replicas_created"]]
+            for label, results in (("calm", calm), ("chaos", chaos))
+            for row in results.values()
+        ],
+        title=f"Availability under {schedule.crash_count} node crashes "
+              f"({OPERATIONS} ops, {NODES} nodes, crash rate {CRASH_RATE})",
+    ))
+
+    # benchmark kernel: one repair pass over a freshly wounded cluster
+    probe = DistributedUniversalStore(
+        NODES,
+        CinderellaPartitioner(CinderellaConfig(max_partition_size=100, weight=0.3)),
+        replication_factor=2,
+    )
+    for entity in dbpedia.entities[:OPERATIONS]:
+        probe.insert(entity.entity_id, entity.synopsis_mask(dictionary))
+
+    def repair_round():
+        probe.crash_node(0)
+        probe.re_replicate()
+        probe.recover_node(0)
+        probe.re_replicate()
+
+    benchmark(repair_round)
+
+    # no failures -> perfect availability at every replication factor
+    for row in calm.values():
+        assert row["availability"] == 1.0
+        assert row["retries"] == 0
+    # availability is monotone in the replication factor under failures
+    assert (chaos[1]["availability"] <= chaos[2]["availability"]
+            <= chaos[3]["availability"])
+    # rf >= 2 keeps almost every query complete; rf = 1 visibly degrades
+    assert chaos[2]["availability"] > 0.9
+    assert chaos[1]["availability"] < chaos[2]["availability"]
+    # failover is priced in: chaos runs pay timeout + backoff latency
+    assert chaos[2]["mean_latency_ms"] > calm[2]["mean_latency_ms"]
+    # repair actually did work under chaos
+    assert chaos[2]["replicas_created"] > 0

@@ -13,7 +13,6 @@ Run with::
 import sys
 
 from repro import (
-    AttributeQuery,
     CinderellaConfig,
     CinderellaTable,
     CostModel,

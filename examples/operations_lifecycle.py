@@ -18,7 +18,6 @@ import tempfile
 from pathlib import Path
 
 from repro import CinderellaTable
-from repro.maintenance import merge_small_partitions
 from repro.metrics import summarize_catalog
 from repro.reporting import format_kv_block, format_table
 from repro.storage.snapshot import load_table, save_table

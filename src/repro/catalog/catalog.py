@@ -66,6 +66,36 @@ class PartitionCatalog:
             self.index.register(partition.pid, partition.mask)
         return partition
 
+    def create_partition_with_id(self, pid: int) -> Partition:
+        """Recreate a partition under a known id (snapshot restore only).
+
+        Keeps ``_next_pid`` ahead of every restored id so future
+        partitions never collide; the caller is responsible for also
+        restoring ``_next_pid`` when the pre-crash catalog had dropped
+        higher ids.
+        """
+        if pid in self._partitions:
+            raise ValueError(f"partition {pid} already exists")
+        partition = Partition(pid)
+        self._partitions[pid] = partition
+        self._next_pid = max(self._next_pid, pid + 1)
+        if self.index is not None:
+            self.index.register(partition.pid, partition.mask)
+        return partition
+
+    @property
+    def next_partition_id(self) -> int:
+        """The id the next created partition will receive."""
+        return self._next_pid
+
+    @next_partition_id.setter
+    def next_partition_id(self, value: int) -> None:
+        if value < self._next_pid:
+            raise ValueError(
+                f"next partition id {value} would reuse ids below {self._next_pid}"
+            )
+        self._next_pid = value
+
     def drop_partition(self, pid: int) -> None:
         partition = self.get(pid)
         if not partition.is_empty():

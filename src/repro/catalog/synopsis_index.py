@@ -28,7 +28,7 @@ the speedup; :mod:`tests.test_synopsis_index` proves it property-based.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, TYPE_CHECKING
+from typing import Iterable, TYPE_CHECKING
 
 from repro.catalog.partition import iter_attribute_ids
 

@@ -11,6 +11,8 @@ Commands:
   schema recovery, and optionally run one of the 22 queries.
 * ``advise`` — recommend B and w for a generated data sample.
 * ``inspect`` — print the partitioning statistics of a saved snapshot.
+* ``chaos`` — run a mixed workload on the simulated cluster under a
+  seeded node-failure schedule and report fault-tolerance counters.
 """
 
 from __future__ import annotations
@@ -153,6 +155,74 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import random
+
+    from repro.core.partitioner import CinderellaPartitioner
+    from repro.distributed.failures import FailureSchedule
+    from repro.distributed.replication import replication_report
+    from repro.distributed.store import DistributedUniversalStore
+    from repro.reporting.tables import format_kv_block
+
+    schedule = FailureSchedule.random(
+        args.nodes,
+        args.ops,
+        seed=args.seed,
+        crash_rate=args.crash_rate,
+        degrade_rate=args.crash_rate / 3,
+    )
+    store = DistributedUniversalStore(
+        args.nodes,
+        CinderellaPartitioner(CinderellaConfig(
+            max_partition_size=args.partition_size, weight=args.weight
+        )),
+        replication_factor=args.replication_factor,
+    )
+    rng = random.Random(args.seed)
+    live: list[int] = []
+    next_eid = 0
+    for op_index in range(args.ops):
+        for event in schedule.events_at(op_index):
+            store.apply_event(event)
+        kind = rng.choice(("insert", "insert", "insert", "delete", "update"))
+        if kind == "insert" or not live:
+            store.insert(next_eid, rng.getrandbits(14) | 0b1)
+            live.append(next_eid)
+            next_eid += 1
+        elif kind == "delete":
+            store.delete(live.pop(rng.randrange(len(live))))
+        else:
+            store.update(rng.choice(live), rng.getrandbits(14) | 0b1)
+        if op_index % 10 == 3:
+            store.route_query(rng.getrandbits(14) | 0b1)
+        if op_index % 25 == 24:
+            store.re_replicate()
+    store.re_replicate()
+    counters = store.counters.as_dict()
+    report = replication_report(store.cluster)
+    print(format_kv_block(
+        f"Chaos run: {args.ops} ops, {args.nodes} nodes, "
+        f"rf={args.replication_factor}, seed={args.seed}",
+        [
+            ("partitions", store.cluster.partition_count),
+            ("node crashes", counters["node_crashes"]),
+            ("node recoveries", counters["node_recoveries"]),
+            ("queries", counters["queries_total"]),
+            ("degraded queries", counters["queries_degraded"]),
+            ("availability", f"{counters['availability']:.4f}"),
+            ("retries", counters["retries"]),
+            ("failovers", counters["failovers"]),
+            ("repair passes", counters["re_replication_passes"]),
+            ("replicas created", counters["replicas_created"]),
+            ("replication healthy", report.healthy),
+        ],
+    ))
+    problems = store.check_placement()
+    for problem in problems:
+        print(f"placement problem: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -183,6 +253,17 @@ def build_parser() -> argparse.ArgumentParser:
     inspect = commands.add_parser("inspect", help="inspect a snapshot file")
     inspect.add_argument("snapshot")
 
+    chaos = commands.add_parser(
+        "chaos", help="run a workload under injected node failures"
+    )
+    chaos.add_argument("--ops", type=int, default=1_000)
+    chaos.add_argument("--nodes", type=int, default=6)
+    chaos.add_argument("--replication-factor", type=int, default=2)
+    chaos.add_argument("--crash-rate", type=float, default=0.01)
+    chaos.add_argument("--partition-size", type=float, default=10.0)
+    chaos.add_argument("--weight", type=float, default=0.4)
+    chaos.add_argument("--seed", type=int, default=42)
+
     return parser
 
 
@@ -192,6 +273,7 @@ _HANDLERS = {
     "tpch": _cmd_tpch,
     "advise": _cmd_advise,
     "inspect": _cmd_inspect,
+    "chaos": _cmd_chaos,
 }
 
 

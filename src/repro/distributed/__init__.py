@@ -1,6 +1,14 @@
-"""Distributed deployment simulation: partitions across cluster nodes."""
+"""Distributed deployment simulation: partitions across cluster nodes,
+with replication, failure injection, failover routing, and repair."""
 
 from repro.distributed.cluster import Node, PlacementError, SimulatedCluster
+from repro.distributed.failures import FailureEvent, FailureSchedule, NodeState
+from repro.distributed.replication import (
+    ReplicaSet,
+    ReplicationReport,
+    choose_replica_targets,
+    replication_report,
+)
 from repro.distributed.store import (
     DistributedQueryStats,
     DistributedUniversalStore,
@@ -10,8 +18,15 @@ from repro.distributed.store import (
 __all__ = [
     "DistributedQueryStats",
     "DistributedUniversalStore",
+    "FailureEvent",
+    "FailureSchedule",
     "NetworkCostModel",
     "Node",
+    "NodeState",
     "PlacementError",
+    "ReplicaSet",
+    "ReplicationReport",
     "SimulatedCluster",
+    "choose_replica_targets",
+    "replication_report",
 ]

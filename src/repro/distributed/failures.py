@@ -1,0 +1,151 @@
+"""Failure injection for the simulated cluster.
+
+Distributed deployments — the paper's Section II setting — do not stay
+healthy: nodes crash, come back, or limp along half-broken.  This module
+defines the failure model used by the fault-tolerance subsystem:
+
+* :class:`NodeState` — every node is UP, DOWN, or DEGRADED (reachable
+  but slow and possibly flaky);
+* :class:`FailureEvent` — one state transition pinned to an operation
+  index of the driving workload;
+* :class:`FailureSchedule` — an ordered, replayable sequence of events.
+  :meth:`FailureSchedule.random` generates a schedule from a seed, so
+  chaos runs are deterministic and failures can be replayed exactly
+  (the write-ahead log relies on this).
+
+The schedule is expressed in *operation time*, not wall-clock time: an
+event fires before the workload operation with the same index.  This
+keeps chaos tests independent of machine speed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator, Sequence
+
+
+class NodeState(Enum):
+    """Health of one cluster node."""
+
+    UP = "up"
+    DOWN = "down"
+    DEGRADED = "degraded"
+
+
+#: Actions a :class:`FailureEvent` can carry.
+ACTIONS = ("crash", "recover", "degrade")
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One node state transition at a workload operation index.
+
+    ``slowdown`` and ``drop_every`` only matter for ``degrade`` events:
+    the node serves requests ``slowdown`` times slower and times out on
+    every ``drop_every``-th request it receives (0 = never drops).
+    """
+
+    at_op: int
+    action: str
+    node_id: int
+    slowdown: float = 1.0
+    drop_every: int = 0
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise ValueError(f"unknown failure action {self.action!r}")
+        if self.at_op < 0:
+            raise ValueError("event operation index must be >= 0")
+        if self.slowdown < 1.0:
+            raise ValueError("slowdown must be >= 1.0")
+        if self.drop_every < 0:
+            raise ValueError("drop_every must be >= 0")
+
+
+class FailureSchedule:
+    """An ordered sequence of failure events, addressable by op index."""
+
+    def __init__(self, events: Sequence[FailureEvent] = ()) -> None:
+        self.events = tuple(sorted(events, key=lambda e: e.at_op))
+        self._by_op: dict[int, list[FailureEvent]] = {}
+        for event in self.events:
+            self._by_op.setdefault(event.at_op, []).append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FailureEvent]:
+        return iter(self.events)
+
+    @property
+    def crash_count(self) -> int:
+        return sum(1 for event in self.events if event.action == "crash")
+
+    def events_at(self, op_index: int) -> tuple[FailureEvent, ...]:
+        """Events that fire just before workload operation *op_index*."""
+        return tuple(self._by_op.get(op_index, ()))
+
+    @classmethod
+    def random(
+        cls,
+        node_count: int,
+        n_ops: int,
+        seed: int = 0,
+        crash_rate: float = 0.01,
+        mean_downtime: int = 50,
+        degrade_rate: float = 0.0,
+        slowdown: float = 4.0,
+        drop_every: int = 3,
+        min_up: int = 1,
+    ) -> "FailureSchedule":
+        """Generate a deterministic random schedule from *seed*.
+
+        At every operation index each healthy node population is
+        examined: with probability *crash_rate* one random up node
+        crashes (never dropping the up count below *min_up*) and is
+        scheduled to recover after an exponentially distributed
+        downtime; with probability *degrade_rate* one random up node
+        degrades until its own recovery fires.  The same seed always
+        yields the same schedule.
+        """
+        if node_count < 1:
+            raise ValueError("node_count must be >= 1")
+        if min_up < 1:
+            raise ValueError("min_up must be >= 1")
+        rng = random.Random(seed)
+        events: list[FailureEvent] = []
+        #: node id -> op index at which its recovery fires
+        down: dict[int, int] = {}
+        degraded: dict[int, int] = {}
+        for op_index in range(n_ops):
+            for nid, recover_at in sorted(down.items()):
+                if recover_at <= op_index:
+                    events.append(FailureEvent(op_index, "recover", nid))
+                    del down[nid]
+            for nid, recover_at in sorted(degraded.items()):
+                if recover_at <= op_index:
+                    events.append(FailureEvent(op_index, "recover", nid))
+                    del degraded[nid]
+            healthy = [
+                nid for nid in range(node_count)
+                if nid not in down and nid not in degraded
+            ]
+            if rng.random() < crash_rate and len(healthy) > min_up:
+                nid = rng.choice(healthy)
+                downtime = max(1, int(rng.expovariate(1.0 / mean_downtime)))
+                events.append(FailureEvent(op_index, "crash", nid))
+                down[nid] = op_index + downtime
+                healthy.remove(nid)
+            if degrade_rate and rng.random() < degrade_rate and len(healthy) > min_up:
+                nid = rng.choice(healthy)
+                duration = max(1, int(rng.expovariate(1.0 / mean_downtime)))
+                events.append(
+                    FailureEvent(
+                        op_index, "degrade", nid,
+                        slowdown=slowdown, drop_every=drop_every,
+                    )
+                )
+                degraded[nid] = op_index + duration
+        return cls(events)

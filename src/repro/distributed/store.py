@@ -4,23 +4,36 @@ Binds a logical partitioner (Cinderella or a baseline) to a
 :class:`~repro.distributed.cluster.SimulatedCluster`:
 
 * every partition the partitioner creates is placed on the least-loaded
-  node; drops free the node; size changes (inserts, deletes, splits,
-  moves) adjust node loads;
+  live nodes (``replication_factor`` copies on distinct nodes); drops
+  free the nodes; size changes (inserts, deletes, splits, moves) adjust
+  node loads;
 * queries are routed by synopsis pruning — only nodes hosting a
   non-prunable partition are contacted, the distributed payoff of the
   paper's Section II setting;
-* a simple network cost model (per-contact round trip, per-byte result
-  transfer) turns routing into simulated latency.
+* routing is *failover-aware*: a request to a crashed or flaky node
+  times out (cost accounted by the :class:`NetworkCostModel`) and is
+  retried against the next replica with exponential backoff.  Only when
+  every copy of a needed partition is unreachable does the query
+  degrade — explicitly, via ``degraded=True`` and the unreachable
+  partition set in its stats — rather than silently losing rows;
+* every state-mutating operation can be journaled to a
+  :class:`~repro.storage.wal.WriteAheadLog`, so a crashed coordinator
+  recovers the exact pre-crash catalog and placement from
+  ``snapshot + WAL`` (see :meth:`DistributedUniversalStore.checkpoint`
+  and :meth:`DistributedUniversalStore.recover`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from pathlib import Path
+from typing import Optional, Union
 
 from repro.core.config import CinderellaConfig
 from repro.core.partitioner import CinderellaPartitioner
 from repro.distributed.cluster import SimulatedCluster
+from repro.distributed.failures import FailureEvent, NodeState
+from repro.metrics.telemetry import FaultToleranceCounters
 
 
 @dataclass(frozen=True)
@@ -33,6 +46,13 @@ class NetworkCostModel:
     remote_scan_ms: float = 0.001
     #: per relevant entity shipped back to the coordinator
     transfer_ms: float = 0.002
+    #: time before the coordinator declares a request dead
+    timeout_ms: float = 5.0
+    #: base of the exponential backoff between retries
+    retry_backoff_ms: float = 0.5
+    #: how many times the coordinator cycles a partition's replica list
+    #: before giving up on flaky nodes
+    max_retry_rounds: int = 2
 
     def query_latency_ms(
         self, per_node_scanned: dict[int, float], per_node_returned: dict[int, float]
@@ -47,10 +67,20 @@ class NetworkCostModel:
         )
         return self.round_trip_ms + slowest
 
+    def retry_penalty_ms(self, attempt: int) -> float:
+        """Cost of the *attempt*-th failed request: timeout + backoff."""
+        return self.timeout_ms + self.retry_backoff_ms * (2 ** attempt)
+
 
 @dataclass
 class DistributedQueryStats:
-    """Routing outcome of one distributed query."""
+    """Routing outcome of one distributed query.
+
+    ``degraded`` is the explicit incomplete-result marker: True when at
+    least one non-prunable partition had no reachable copy, in which
+    case ``unreachable_partitions`` lists exactly which ones and the
+    scanned/returned figures cover only the reachable partitions.
+    """
 
     nodes_total: int
     nodes_contacted: int
@@ -59,6 +89,10 @@ class DistributedQueryStats:
     entities_scanned: float
     entities_returned: float
     latency_ms: float
+    degraded: bool = False
+    unreachable_partitions: tuple[int, ...] = ()
+    retries: int = 0
+    failovers: int = 0
 
 
 class DistributedUniversalStore:
@@ -76,6 +110,8 @@ class DistributedUniversalStore:
         node_count: int,
         partitioner=None,
         network: Optional[NetworkCostModel] = None,
+        replication_factor: int = 1,
+        wal=None,
     ) -> None:
         self.partitioner = (
             partitioner
@@ -84,12 +120,26 @@ class DistributedUniversalStore:
         )
         if len(self.partitioner.catalog):
             raise ValueError("the partitioner must start empty")
-        self.cluster = SimulatedCluster(node_count)
+        self.cluster = SimulatedCluster(
+            node_count, replication_factor=replication_factor
+        )
         self.network = network if network is not None else NetworkCostModel()
+        self.counters = FaultToleranceCounters()
+        self.wal = wal
+        self._replaying = False
 
     @property
     def catalog(self):
         return self.partitioner.catalog
+
+    # ------------------------------------------------------------------
+    # write-ahead logging
+    # ------------------------------------------------------------------
+    def _log(self, op: str, payload: dict) -> None:
+        """Journal one operation *before* applying it (write-ahead)."""
+        if self.wal is not None and not self._replaying:
+            self.wal.append(op, payload)
+            self.counters.wal_records_appended += 1
 
     # ------------------------------------------------------------------
     # modifications (placement mirrored from partitioner outcomes)
@@ -128,11 +178,13 @@ class DistributedUniversalStore:
             self.cluster.drop_partition(pid)
 
     def insert(self, eid: int, mask: int):
+        self._log("insert", {"eid": eid, "mask": mask})
         outcome = self.partitioner.insert(eid, mask)
         self._sync_placement(outcome)
         return outcome
 
     def delete(self, eid: int):
+        self._log("delete", {"eid": eid})
         pid = self.catalog.partition_of(eid)
         _mask, size = self.catalog.get(pid).member(eid)
         outcome = self.partitioner.delete(eid)
@@ -143,6 +195,7 @@ class DistributedUniversalStore:
         return outcome
 
     def update(self, eid: int, mask: int):
+        self._log("update", {"eid": eid, "mask": mask})
         pid = self.catalog.partition_of(eid)
         _old_mask, old_size = self.catalog.get(pid).member(eid)
         outcome = self.partitioner.update(eid, mask)
@@ -158,34 +211,134 @@ class DistributedUniversalStore:
         return outcome
 
     # ------------------------------------------------------------------
+    # failure events and repair
+    # ------------------------------------------------------------------
+    def crash_node(self, node_id: int) -> None:
+        self._log("crash", {"node": node_id})
+        self.cluster.crash_node(node_id)
+        self.counters.node_crashes += 1
+
+    def recover_node(self, node_id: int) -> None:
+        self._log("recover", {"node": node_id})
+        self.cluster.recover_node(node_id)
+        self.counters.node_recoveries += 1
+
+    def degrade_node(
+        self, node_id: int, slowdown: float = 4.0, drop_every: int = 0
+    ) -> None:
+        self._log(
+            "degrade",
+            {"node": node_id, "slowdown": slowdown, "drop_every": drop_every},
+        )
+        self.cluster.degrade_node(node_id, slowdown=slowdown, drop_every=drop_every)
+        self.counters.node_degradations += 1
+
+    def apply_event(self, event: FailureEvent) -> None:
+        """Apply one :class:`FailureEvent` from a schedule."""
+        if event.action == "crash":
+            self.crash_node(event.node_id)
+        elif event.action == "recover":
+            self.recover_node(event.node_id)
+        elif event.action == "degrade":
+            self.degrade_node(
+                event.node_id,
+                slowdown=event.slowdown,
+                drop_every=event.drop_every,
+            )
+        else:  # pragma: no cover - FailureEvent validates its action
+            raise ValueError(f"unknown failure action {event.action!r}")
+
+    def re_replicate(self) -> list[tuple[int, int]]:
+        """Run the repair pass (see ``SimulatedCluster.re_replicate``);
+        returns the (pid, node) copies it created."""
+        self._log("re_replicate", {})
+        created = self.cluster.re_replicate()
+        self.counters.re_replication_passes += 1
+        self.counters.replicas_created += len(created)
+        return created
+
+    # ------------------------------------------------------------------
     # query routing
     # ------------------------------------------------------------------
+    def _attempt_hosts(self, pid: int) -> tuple[Optional[int], float, int]:
+        """Find a copy of *pid* that answers; model timeouts on the way.
+
+        Walks the replica list primary-first, cycling up to
+        ``max_retry_rounds`` times (a DEGRADED node may drop one request
+        and serve the next).  Returns ``(serving node or None,
+        accumulated penalty ms, failed attempts)``.
+        """
+        hosts = self.cluster.replica_nodes(pid)
+        if not hosts:
+            return None, 0.0, 0
+        penalty = 0.0
+        attempt = 0
+        for _round in range(self.network.max_retry_rounds):
+            for node_id in hosts:
+                node = self.cluster.nodes[node_id]
+                if node.state is NodeState.DOWN:
+                    penalty += self.network.retry_penalty_ms(attempt)
+                    attempt += 1
+                    continue
+                node.requests_served += 1
+                if (
+                    node.state is NodeState.DEGRADED
+                    and node.drop_every > 0
+                    and node.requests_served % node.drop_every == 0
+                ):
+                    penalty += self.network.retry_penalty_ms(attempt)
+                    attempt += 1
+                    continue
+                return node_id, penalty, attempt
+            if all(
+                self.cluster.nodes[nid].state is NodeState.DOWN for nid in hosts
+            ):
+                break  # every copy is down; further rounds cannot succeed
+        return None, penalty, attempt
+
     def route_query(self, query_mask: int) -> DistributedQueryStats:
-        """Prune by synopsis, contact only the hosting nodes."""
+        """Prune by synopsis, contact surviving replicas of the rest."""
         per_node_scanned: dict[int, float] = {}
         per_node_returned: dict[int, float] = {}
         scanned = 0
         pruned = 0
         entities_scanned = 0.0
         entities_returned = 0.0
+        penalty_ms = 0.0
+        retries = 0
+        failovers = 0
+        unreachable: list[int] = []
         for partition in self.catalog:
             if partition.mask & query_mask == 0:
                 pruned += 1
                 continue
             scanned += 1
-            node = self.cluster.node_of(partition.pid)
+            node_id, penalty, attempts = self._attempt_hosts(partition.pid)
+            penalty_ms += penalty
+            retries += attempts
+            if node_id is None:
+                unreachable.append(partition.pid)
+                continue
+            hosts = self.cluster.replica_nodes(partition.pid)
+            if node_id != hosts[0]:
+                failovers += 1
+            node = self.cluster.nodes[node_id]
             relevant = sum(
                 size
                 for _eid, mask, size in partition.members()
                 if mask & query_mask
             )
-            per_node_scanned[node] = (
-                per_node_scanned.get(node, 0.0) + partition.total_size
+            per_node_scanned[node_id] = (
+                per_node_scanned.get(node_id, 0.0)
+                + partition.total_size * node.slowdown
             )
-            per_node_returned[node] = per_node_returned.get(node, 0.0) + relevant
+            per_node_returned[node_id] = (
+                per_node_returned.get(node_id, 0.0) + relevant
+            )
             entities_scanned += partition.total_size
             entities_returned += relevant
-        return DistributedQueryStats(
+        degraded = bool(unreachable)
+        stats = DistributedQueryStats(
             nodes_total=len(self.cluster),
             nodes_contacted=len(per_node_scanned),
             partitions_scanned=scanned,
@@ -194,15 +347,111 @@ class DistributedUniversalStore:
             entities_returned=entities_returned,
             latency_ms=self.network.query_latency_ms(
                 per_node_scanned, per_node_returned
-            ),
+            ) + penalty_ms,
+            degraded=degraded,
+            unreachable_partitions=tuple(unreachable),
+            retries=retries,
+            failovers=failovers,
         )
+        counters = self.counters
+        counters.queries_total += 1
+        counters.retries += retries
+        counters.failovers += failovers
+        if degraded:
+            counters.queries_degraded += 1
+            counters.unreachable_partition_hits += len(unreachable)
+        return stats
 
+    # ------------------------------------------------------------------
+    # durability: checkpoint, replay, recovery
+    # ------------------------------------------------------------------
+    def checkpoint(self, snapshot_path: Union[str, Path]) -> None:
+        """Snapshot the full coordinator state and truncate the WAL.
+
+        After a checkpoint, recovery needs only this snapshot plus the
+        WAL records appended since.
+        """
+        from repro.storage.snapshot import save_store
+
+        save_store(self, snapshot_path)
+        if self.wal is not None:
+            self.wal.reset(basis_seq=self.wal.last_seq)
+
+    def replay_wal(self, records) -> int:
+        """Re-apply journaled operations; returns the count applied.
+
+        Used by :meth:`recover`; records are not re-journaled.
+        """
+        from repro.storage.wal import WALFormatError
+
+        self._replaying = True
+        try:
+            for record in records:
+                payload = record.payload
+                if record.op == "insert":
+                    self.insert(payload["eid"], payload["mask"])
+                elif record.op == "delete":
+                    self.delete(payload["eid"])
+                elif record.op == "update":
+                    self.update(payload["eid"], payload["mask"])
+                elif record.op == "crash":
+                    self.crash_node(payload["node"])
+                elif record.op == "recover":
+                    self.recover_node(payload["node"])
+                elif record.op == "degrade":
+                    self.degrade_node(
+                        payload["node"],
+                        slowdown=payload.get("slowdown", 4.0),
+                        drop_every=payload.get("drop_every", 0),
+                    )
+                elif record.op == "re_replicate":
+                    self.re_replicate()
+                else:
+                    raise WALFormatError(f"unknown WAL op {record.op!r}")
+                self.counters.wal_records_replayed += 1
+        finally:
+            self._replaying = False
+        return self.counters.wal_records_replayed
+
+    @classmethod
+    def recover(
+        cls,
+        snapshot_path: Union[str, Path],
+        wal_path: Union[str, Path],
+        network: Optional[NetworkCostModel] = None,
+    ) -> "DistributedUniversalStore":
+        """Rebuild a crashed coordinator from ``snapshot + WAL``.
+
+        Loads the store snapshot, verifies that the WAL's basis matches
+        the snapshot's journal position, replays the tail, and attaches
+        the WAL for further appends.  The result has the exact catalog
+        and placement the coordinator had before it crashed.
+        """
+        from repro.storage.snapshot import load_store
+        from repro.storage.wal import WALFormatError, WriteAheadLog
+
+        store, wal_seq = load_store(snapshot_path, network=network)
+        wal = WriteAheadLog(wal_path)
+        if wal.basis_seq != wal_seq:
+            raise WALFormatError(
+                f"WAL basis {wal.basis_seq} does not match snapshot "
+                f"journal position {wal_seq}"
+            )
+        store.replay_wal(wal.records())
+        store.wal = wal
+        return store
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
     def check_placement(self) -> list[str]:
         """Cross-check cluster placement against the catalog."""
         problems = []
-        placed = set()
-        for node in self.cluster.nodes:
-            placed.update(node.partitions)
+        cluster = self.cluster
+        hosted: set[int] = set()
+        for node in cluster.nodes:
+            hosted.update(node.partitions)
+        placed = hosted | set(cluster.unhosted_partitions())
         catalog_pids = set(self.catalog.partition_ids())
         if placed != catalog_pids:
             problems.append(
@@ -210,10 +459,34 @@ class DistributedUniversalStore:
             )
         for pid in catalog_pids:
             expected = self.catalog.get(pid).total_size
-            actual = self.cluster.partition_size(pid)
+            try:
+                actual = cluster.partition_size(pid)
+            except Exception as error:
+                problems.append(f"partition {pid} untracked: {error}")
+                continue
             if abs(expected - actual) > 1e-9:
                 problems.append(
                     f"partition {pid} size drift: cluster {actual} vs "
                     f"catalog {expected}"
+                )
+            hosts = cluster.replica_nodes(pid)
+            if len(set(hosts)) != len(hosts):
+                problems.append(
+                    f"partition {pid} has duplicate replica nodes {hosts}"
+                )
+            for nid in hosts:
+                if pid not in cluster.nodes[nid].partitions:
+                    problems.append(
+                        f"partition {pid} maps to node {nid} but the node "
+                        f"does not host it"
+                    )
+        for node in cluster.nodes:
+            expected_load = sum(
+                cluster.partition_size(pid) for pid in node.partitions
+            )
+            if abs(node.load - expected_load) > 1e-6:
+                problems.append(
+                    f"node {node.node_id} load drift: {node.load} vs "
+                    f"hosted sum {expected_load}"
                 )
         return problems

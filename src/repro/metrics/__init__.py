@@ -7,11 +7,16 @@ from repro.metrics.partition_stats import (
     percentile,
     summarize_catalog,
 )
-from repro.metrics.telemetry import TelemetryCollector, TelemetrySample
+from repro.metrics.telemetry import (
+    FaultToleranceCounters,
+    TelemetryCollector,
+    TelemetrySample,
+)
 from repro.metrics.timing import Timer, time_call
 
 __all__ = [
     "DistributionSummary",
+    "FaultToleranceCounters",
     "HistogramBucket",
     "LogHistogram",
     "PartitioningSummary",

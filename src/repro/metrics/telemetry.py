@@ -5,6 +5,11 @@ partitioning must stay good while modifications stream in.  This module
 samples a partitioner at a fixed operation cadence and records the series
 (partition count, efficiency, mean fill, split count), so benchmarks and
 examples can show convergence and stability instead of just end states.
+
+For distributed deployments it additionally defines
+:class:`FaultToleranceCounters` — the failure/retry/recovery event
+counts a :class:`~repro.distributed.store.DistributedUniversalStore`
+accumulates while nodes crash and recover around it.
 """
 
 from __future__ import annotations
@@ -28,6 +33,51 @@ class TelemetrySample:
     mean_fill: float
     split_count: int
     efficiency: Optional[float]
+
+
+@dataclass
+class FaultToleranceCounters:
+    """Failure, retry, and recovery event counts of a distributed store.
+
+    ``queries_degraded`` counts queries that returned with
+    ``degraded=True`` (at least one needed partition had no reachable
+    copy); :meth:`availability` is the complement, the headline metric
+    of the fault-tolerance benchmark.
+    """
+
+    node_crashes: int = 0
+    node_recoveries: int = 0
+    node_degradations: int = 0
+    queries_total: int = 0
+    queries_degraded: int = 0
+    retries: int = 0
+    failovers: int = 0
+    unreachable_partition_hits: int = 0
+    re_replication_passes: int = 0
+    replicas_created: int = 0
+    wal_records_appended: int = 0
+    wal_records_replayed: int = 0
+
+    def availability(self) -> float:
+        """Fraction of queries answered completely (1.0 when none ran)."""
+        if self.queries_total == 0:
+            return 1.0
+        return 1.0 - self.queries_degraded / self.queries_total
+
+    def as_dict(self) -> dict[str, float]:
+        """All counters plus availability, for reports and CLIs."""
+        result = {
+            name: getattr(self, name)
+            for name in (
+                "node_crashes", "node_recoveries", "node_degradations",
+                "queries_total", "queries_degraded", "retries", "failovers",
+                "unreachable_partition_hits", "re_replication_passes",
+                "replicas_created", "wal_records_appended",
+                "wal_records_replayed",
+            )
+        }
+        result["availability"] = self.availability()
+        return result
 
 
 @dataclass

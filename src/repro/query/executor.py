@@ -11,8 +11,8 @@ wall-clock measurements.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Any, Iterable, Optional, TYPE_CHECKING
+from dataclasses import dataclass
+from typing import Any, Optional, TYPE_CHECKING
 
 from repro.query.query import AttributeQuery
 from repro.query.rewrite import UnionAllPlan

@@ -18,7 +18,6 @@ from typing import Iterable, TYPE_CHECKING
 from repro.query.query import AttributeQuery
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.catalog.catalog import PartitionCatalog
     from repro.catalog.dictionary import AttributeDictionary
     from repro.catalog.partition import Partition
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Optional, Union
+from typing import Any, Union
 
 from repro.query.executor import ExecutionStats
 from repro.sql.ast import OrderItem, SelectStatement

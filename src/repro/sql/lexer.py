@@ -10,7 +10,6 @@ parentheses, commas, and ``*``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
 
 KEYWORDS = frozenset(
     {

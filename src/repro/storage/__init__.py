@@ -1,4 +1,5 @@
-"""Storage substrate: sparse records, slotted pages, heap files, buffering."""
+"""Storage substrate: sparse records, slotted pages, heap files,
+buffering, snapshots, and the coordinator write-ahead log."""
 
 from repro.storage.buffer import BufferPool
 from repro.storage.entity import Entity
@@ -10,6 +11,14 @@ from repro.storage.record import (
     deserialize_record,
     serialize_record,
 )
+from repro.storage.snapshot import (
+    SnapshotFormatError,
+    load_store,
+    load_table,
+    save_store,
+    save_table,
+)
+from repro.storage.wal import WALFormatError, WALRecord, WriteAheadLog, read_wal
 
 __all__ = [
     "BufferPool",
@@ -21,6 +30,15 @@ __all__ = [
     "PageFullError",
     "RecordFormatError",
     "RecordId",
+    "SnapshotFormatError",
+    "WALFormatError",
+    "WALRecord",
+    "WriteAheadLog",
     "deserialize_record",
+    "load_store",
+    "load_table",
+    "read_wal",
+    "save_store",
+    "save_table",
     "serialize_record",
 ]

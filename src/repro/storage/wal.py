@@ -1,0 +1,198 @@
+"""Write-ahead log for the distributed coordinator.
+
+The coordinator's catalog is the single source of truth for the
+partitioning; losing it to a coordinator crash would be fatal.  The
+write-ahead log complements :mod:`repro.storage.snapshot`: every
+state-mutating operation (insert/delete/update *and* cluster events —
+crashes, recoveries, degradations, re-replication passes) is appended
+to the journal *before* it is applied, so a crashed coordinator replays
+``snapshot + WAL tail`` and arrives at the exact pre-crash catalog and
+placement.  Replay is exact because every logged operation is
+deterministic (see ``DistributedUniversalStore.replay_wal``).
+
+File format — one checksummed JSON line per record::
+
+    <crc32 hex8> {"seq": 0, "op": "header", "payload": {"format": ...}}
+    <crc32 hex8> {"seq": 5, "op": "insert", "payload": {"eid": 1, ...}}
+
+The header's ``basis_seq`` is the sequence number already covered by
+the companion snapshot; a checkpoint rewrites the log to just a header
+with ``basis_seq = last_seq``.  Recovery semantics follow the classic
+WAL rules: a torn *tail* (half-written last record, the normal result
+of crashing mid-append) is silently truncated; corruption anywhere
+*before* the tail means the file cannot be trusted and raises
+:class:`WALFormatError`.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Union
+
+WAL_FORMAT = "repro-wal"
+WAL_VERSION = 1
+
+
+class WALFormatError(ValueError):
+    """Raised when a write-ahead log cannot be interpreted."""
+
+
+@dataclass(frozen=True)
+class WALRecord:
+    """One journaled operation."""
+
+    seq: int
+    op: str
+    payload: dict[str, Any]
+
+
+def _encode_line(seq: int, op: str, payload: dict[str, Any]) -> str:
+    body = json.dumps(
+        {"seq": seq, "op": op, "payload": payload}, separators=(",", ":")
+    )
+    checksum = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+    return f"{checksum:08x} {body}\n"
+
+
+def _decode_line(line: str) -> WALRecord:
+    """Decode one line; raises WALFormatError on any inconsistency."""
+    if len(line) < 10 or line[8] != " ":
+        raise WALFormatError("malformed WAL line framing")
+    stated, body = line[:8], line[9:]
+    try:
+        checksum = int(stated, 16)
+    except ValueError:
+        raise WALFormatError("malformed WAL checksum") from None
+    if zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF != checksum:
+        raise WALFormatError("WAL checksum mismatch")
+    try:
+        document = json.loads(body)
+        return WALRecord(document["seq"], document["op"], document["payload"])
+    except (json.JSONDecodeError, KeyError, TypeError) as error:
+        raise WALFormatError(f"malformed WAL record: {error}") from error
+
+
+def read_wal(path: Union[str, Path]) -> tuple[int, list[WALRecord], int]:
+    """Read a WAL file; return ``(basis_seq, records, torn_lines)``.
+
+    ``torn_lines`` counts trailing lines dropped as a torn tail (0 or
+    1 — only the final line may be torn).  Corruption before the final
+    line raises :class:`WALFormatError`.
+    """
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as error:
+        raise WALFormatError(f"cannot read WAL {path}: {error}") from error
+    except UnicodeDecodeError:
+        text = Path(path).read_bytes().decode("utf-8", errors="replace")
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines:
+        raise WALFormatError(f"WAL {path} is empty")
+    records: list[WALRecord] = []
+    torn = 0
+    for index, line in enumerate(lines):
+        try:
+            record = _decode_line(line)
+        except WALFormatError:
+            if index == len(lines) - 1:
+                torn = 1
+                break
+            raise
+        records.append(record)
+    if not records:
+        raise WALFormatError(f"WAL {path} has no intact header")
+    header = records.pop(0)
+    if header.op != "header" or header.payload.get("format") != WAL_FORMAT:
+        raise WALFormatError(f"{path} is not a write-ahead log")
+    if header.payload.get("version") != WAL_VERSION:
+        raise WALFormatError(
+            f"unsupported WAL version {header.payload.get('version')!r}"
+        )
+    basis_seq = header.payload.get("basis_seq")
+    if not isinstance(basis_seq, int):
+        raise WALFormatError("WAL header lacks a basis_seq")
+    expected = basis_seq
+    for record in records:
+        expected += 1
+        if record.seq != expected:
+            raise WALFormatError(
+                f"WAL sequence gap: expected {expected}, found {record.seq}"
+            )
+    return basis_seq, records, torn
+
+
+class WriteAheadLog:
+    """Append-only journal with checkpoint truncation.
+
+    Opening an existing file resumes appending after its last intact
+    record (a torn tail is truncated on open).  ``append`` flushes to
+    the OS on every record — the write-ahead guarantee this simulation
+    models.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.torn_records_dropped = 0
+        if self.path.exists() and self.path.stat().st_size:
+            basis, records, torn = read_wal(self.path)
+            self.basis_seq = basis
+            self.last_seq = records[-1].seq if records else basis
+            self.torn_records_dropped = torn
+            if torn:
+                self._rewrite(basis, records)
+        else:
+            self.basis_seq = 0
+            self.last_seq = 0
+            self._rewrite(0, [])
+        self._handle = self.path.open("a", encoding="utf-8")
+
+    def _rewrite(
+        self, basis_seq: int, records: list[WALRecord]
+    ) -> None:
+        """Atomically rewrite the log (open, torn-tail repair, reset)."""
+        temporary = self.path.with_suffix(self.path.suffix + ".tmp")
+        with temporary.open("w", encoding="utf-8") as handle:
+            handle.write(_encode_line(0, "header", {
+                "format": WAL_FORMAT,
+                "version": WAL_VERSION,
+                "basis_seq": basis_seq,
+            }))
+            for record in records:
+                handle.write(_encode_line(record.seq, record.op, record.payload))
+        temporary.replace(self.path)
+
+    def append(self, op: str, payload: dict[str, Any]) -> int:
+        """Journal one operation; returns its sequence number."""
+        seq = self.last_seq + 1
+        self._handle.write(_encode_line(seq, op, payload))
+        self._handle.flush()
+        self.last_seq = seq
+        return seq
+
+    def records(self) -> list[WALRecord]:
+        """All intact records currently in the file (excludes header)."""
+        _basis, records, _torn = read_wal(self.path)
+        return records
+
+    def reset(self, basis_seq: int) -> None:
+        """Checkpoint truncation: drop all records, remember that the
+        companion snapshot covers everything up to *basis_seq*."""
+        self._handle.close()
+        self._rewrite(basis_seq, [])
+        self.basis_seq = basis_seq
+        self.last_seq = basis_seq
+        self._handle = self.path.open("a", encoding="utf-8")
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

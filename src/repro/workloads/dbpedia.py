@@ -30,7 +30,6 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Optional, Sequence
 
 from repro.catalog.dictionary import AttributeDictionary
 from repro.storage.entity import Entity

@@ -18,7 +18,7 @@ wall-clock and cost-model times per query and in total.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Iterator
 
 from repro.core.config import CinderellaConfig
 from repro.query.executor import ExecutionStats

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import datetime
 import random
-from typing import Any, Callable
+from typing import Any
 
 from repro.workloads.tpch import schema as s
 

@@ -19,9 +19,9 @@ Dates are ISO-8601 strings throughout and compare correctly as strings.
 from __future__ import annotations
 
 import re
-from typing import Any, Callable, Iterable, Protocol
+from typing import Callable, Iterable, Protocol
 
-from repro.engine.aggregates import Avg, Count, CountDistinct, Max, Min, Sum
+from repro.engine.aggregates import Avg, Count, CountDistinct, Min, Sum
 from repro.engine.operators import (
     Row,
     extend,

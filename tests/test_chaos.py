@@ -1,0 +1,226 @@
+"""Chaos harness: random workloads under random failure schedules.
+
+The acceptance bar of the fault-tolerance subsystem: under a seeded
+schedule of node crashes and recoveries during a mixed insert/delete/
+update workload with replication factor 2,
+
+* no query ever silently loses rows — every result is either complete
+  or explicitly marked ``degraded`` with the unreachable partition set
+  accounting for exactly the missing rows;
+* every repair pass restores the reachable replication target;
+* placement and catalog invariants hold after every operation window;
+* a coordinator kill + replay from snapshot + WAL reproduces the exact
+  catalog (same partition ids, members, starters) and placement as the
+  uncrashed coordinator.
+"""
+
+import random
+
+import pytest
+
+from repro.core.config import CinderellaConfig
+from repro.core.partitioner import CinderellaPartitioner
+from repro.distributed.failures import FailureSchedule
+from repro.distributed.replication import replication_report
+from repro.distributed.store import DistributedUniversalStore
+from repro.storage.wal import WriteAheadLog
+
+NODES = 6
+REPLICATION_FACTOR = 2
+OPERATIONS = 1_000
+SCHEDULE_SEED = 20_14
+WORKLOAD_SEED = 777
+
+
+def build_schedule():
+    schedule = FailureSchedule.random(
+        NODES,
+        OPERATIONS,
+        seed=SCHEDULE_SEED,
+        crash_rate=0.012,
+        mean_downtime=60,
+        degrade_rate=0.004,
+        drop_every=3,
+    )
+    assert schedule.crash_count >= 5, "the seed must produce a real chaos run"
+    return schedule
+
+
+def expected_returned(store, query_mask, excluding=()):
+    """Size-weighted result the catalog says the query should return."""
+    total = 0.0
+    for partition in store.catalog:
+        if partition.mask & query_mask == 0 or partition.pid in excluding:
+            continue
+        total += sum(
+            size for _eid, mask, size in partition.members() if mask & query_mask
+        )
+    return total
+
+
+def check_no_silent_loss(store, query_mask):
+    """Results are complete, or explicitly degraded by exactly the
+    unreachable partitions — never silently short."""
+    stats = store.route_query(query_mask)
+    if stats.degraded:
+        assert stats.unreachable_partitions, "degraded must name partitions"
+        reachable = expected_returned(
+            store, query_mask, excluding=set(stats.unreachable_partitions)
+        )
+        assert stats.entities_returned == pytest.approx(reachable)
+    else:
+        assert stats.unreachable_partitions == ()
+        assert stats.entities_returned == pytest.approx(
+            expected_returned(store, query_mask)
+        )
+    return stats
+
+
+def drive_chaos(store, schedule, check_queries=True, repair_interval=25):
+    """Run the mixed workload under *schedule*; returns ops applied."""
+    rng = random.Random(WORKLOAD_SEED)
+    live: set[int] = set()
+    next_eid = 0
+    for op_index in range(OPERATIONS):
+        for event in schedule.events_at(op_index):
+            store.apply_event(event)
+        if check_queries and op_index % 10 == 3:
+            check_no_silent_loss(store, rng.getrandbits(14) | 0b1)
+        kind = rng.choice(("insert", "insert", "insert", "delete", "update"))
+        if kind == "insert" or not live:
+            store.insert(next_eid, rng.getrandbits(14) | 0b1)
+            live.add(next_eid)
+            next_eid += 1
+        elif kind == "delete":
+            eid = rng.choice(sorted(live))
+            store.delete(eid)
+            live.discard(eid)
+        else:
+            eid = rng.choice(sorted(live))
+            store.update(eid, rng.getrandbits(14) | 0b1)
+        if op_index % repair_interval == repair_interval - 1:
+            store.re_replicate()
+            report = replication_report(store.cluster)
+            assert report.healthy, (
+                f"repair pass at op {op_index} left partitions "
+                f"under-replicated: {report}"
+            )
+        if op_index % 50 == 49:
+            assert store.check_placement() == []
+            assert store.partitioner.check_invariants() == []
+    return OPERATIONS
+
+
+def make_store(wal=None):
+    return DistributedUniversalStore(
+        NODES,
+        CinderellaPartitioner(CinderellaConfig(max_partition_size=8, weight=0.4)),
+        replication_factor=REPLICATION_FACTOR,
+        wal=wal,
+    )
+
+
+def store_signature(store):
+    """Everything the acceptance bar compares: catalog + placement."""
+    return (
+        sorted(
+            (
+                partition.pid,
+                partition.mask,
+                tuple(partition.members()),
+                (
+                    partition.starters.eid_a, partition.starters.mask_a,
+                    partition.starters.eid_b, partition.starters.mask_b,
+                ),
+            )
+            for partition in store.catalog
+        ),
+        {
+            pid: store.cluster.replica_nodes(pid)
+            for pid in store.cluster.partition_ids()
+        },
+        sorted(store.cluster.unhosted_partitions()),
+        store.catalog.next_partition_id,
+        store.partitioner.split_count,
+        [node.state.value for node in store.cluster.nodes],
+    )
+
+
+class TestChaos:
+    def test_invariants_hold_under_chaos(self):
+        schedule = build_schedule()
+        store = make_store()
+        drive_chaos(store, schedule)
+        counters = store.counters
+        assert counters.node_crashes >= 5
+        assert counters.node_recoveries >= 1
+        assert counters.queries_total >= 90
+        assert counters.retries > 0, "chaos must actually exercise failover"
+        # the run ends healthy after the final repair pass
+        store.re_replicate()
+        assert replication_report(store.cluster).healthy
+        assert store.check_placement() == []
+
+    def test_coordinator_kill_and_replay_is_exact(self, tmp_path):
+        """Snapshot + WAL replay reproduces the uncrashed coordinator."""
+        schedule = build_schedule()
+        wal = WriteAheadLog(tmp_path / "coordinator.wal")
+        store = make_store(wal=wal)
+
+        rng = random.Random(WORKLOAD_SEED)
+        live: set[int] = set()
+        next_eid = 0
+        for op_index in range(OPERATIONS):
+            for event in schedule.events_at(op_index):
+                store.apply_event(event)
+            kind = rng.choice(("insert", "insert", "insert", "delete", "update"))
+            if kind == "insert" or not live:
+                store.insert(next_eid, rng.getrandbits(14) | 0b1)
+                live.add(next_eid)
+                next_eid += 1
+            elif kind == "delete":
+                eid = rng.choice(sorted(live))
+                store.delete(eid)
+                live.discard(eid)
+            else:
+                eid = rng.choice(sorted(live))
+                store.update(eid, rng.getrandbits(14) | 0b1)
+            if op_index % 25 == 24:
+                store.re_replicate()
+            if op_index == OPERATIONS // 2:
+                store.checkpoint(tmp_path / "coordinator.snap.json")
+
+        # kill: the in-memory coordinator is gone; rebuild from disk
+        recovered = DistributedUniversalStore.recover(
+            tmp_path / "coordinator.snap.json", tmp_path / "coordinator.wal"
+        )
+        assert store_signature(recovered) == store_signature(store)
+        assert recovered.check_placement() == []
+        assert recovered.partitioner.check_invariants() == []
+        # and the recovered coordinator serves queries correctly
+        check_no_silent_loss(recovered, 0b111)
+
+    def test_higher_replication_factor_improves_availability(self):
+        schedule = build_schedule()
+        availability = {}
+        for rf in (1, 2, 3):
+            store = DistributedUniversalStore(
+                NODES,
+                CinderellaPartitioner(
+                    CinderellaConfig(max_partition_size=8, weight=0.4)
+                ),
+                replication_factor=rf,
+            )
+            rng = random.Random(WORKLOAD_SEED)
+            for op_index in range(400):
+                for event in schedule.events_at(op_index):
+                    store.apply_event(event)
+                store.insert(op_index, rng.getrandbits(14) | 0b1)
+                if op_index % 5 == 1:
+                    store.route_query(rng.getrandbits(14) | 0b1)
+                if op_index % 25 == 24:
+                    store.re_replicate()
+            availability[rf] = store.counters.availability()
+        assert availability[1] < availability[2] <= availability[3]
+        assert availability[2] > 0.9
+        assert availability[3] == 1.0

@@ -71,6 +71,27 @@ class TestInspect:
         assert "error:" in capsys.readouterr().err
 
 
+class TestChaos:
+    def test_reports_counters_and_stays_consistent(self, capsys):
+        assert main(["chaos", "--ops", "400", "--seed", "11"]) == 0
+        out = capsys.readouterr().out
+        assert "Chaos run: 400 ops" in out
+        assert "availability" in out
+        assert "replication healthy : True" in out
+
+    def test_deterministic_per_seed(self, capsys):
+        main(["chaos", "--ops", "300", "--seed", "5"])
+        first = capsys.readouterr().out
+        main(["chaos", "--ops", "300", "--seed", "5"])
+        assert capsys.readouterr().out == first
+
+    def test_no_crashes_means_full_availability(self, capsys):
+        assert main(["chaos", "--ops", "200", "--crash-rate", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "availability        : 1.0000" in out
+        assert "node crashes        : 0" in out
+
+
 class TestParser:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):

@@ -36,6 +36,26 @@ class TestSimulatedCluster:
         assert cluster.loads() == [5.0]
         assert cluster.partition_size(0) == 5.0
 
+    def test_resize_below_zero_rejected(self):
+        cluster = SimulatedCluster(2)
+        cluster.place_partition(0, 2.0)
+        with pytest.raises(PlacementError):
+            cluster.resize_partition(0, -3.0)
+        # the failed resize must not have touched size or load
+        assert cluster.partition_size(0) == 2.0
+        assert sorted(cluster.loads()) == [0.0, 2.0]
+
+    def test_resize_unknown_partition_rejected(self):
+        with pytest.raises(PlacementError):
+            SimulatedCluster(1).resize_partition(9, 1.0)
+
+    def test_resize_to_exactly_zero_allowed(self):
+        cluster = SimulatedCluster(1)
+        cluster.place_partition(0, 2.0)
+        cluster.resize_partition(0, -2.0)
+        assert cluster.partition_size(0) == 0.0
+        assert cluster.loads() == [0.0]
+
     def test_double_placement_rejected(self):
         cluster = SimulatedCluster(1)
         cluster.place_partition(0)
@@ -120,6 +140,41 @@ class TestDistributedStore:
             elif kind == "update" and eid in live:
                 store.update(eid, mask)
         assert store.check_placement() == []
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "insert", "delete", "update", "query"]),
+                st.integers(0, 20),
+                masks,
+            ),
+            max_size=60,
+        )
+    )
+    def test_placement_consistent_after_every_step(self, operations):
+        """The placement invariants hold after *each* operation, not
+        just at the end — with replication in play."""
+        store = DistributedUniversalStore(
+            3,
+            CinderellaPartitioner(
+                CinderellaConfig(max_partition_size=4, weight=0.5)
+            ),
+            replication_factor=2,
+        )
+        live: set[int] = set()
+        for kind, eid, mask in operations:
+            if kind == "insert" and eid not in live:
+                store.insert(eid, mask)
+                live.add(eid)
+            elif kind == "delete" and eid in live:
+                store.delete(eid)
+                live.discard(eid)
+            elif kind == "update" and eid in live:
+                store.update(eid, mask)
+            elif kind == "query":
+                store.route_query(mask)
+            assert store.check_placement() == []
 
     def test_routing_contacts_only_relevant_nodes(self):
         store = self.make_store(nodes=4, b=50)

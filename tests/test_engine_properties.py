@@ -4,7 +4,7 @@ Each operator is checked against an independent brute-force reference
 implementation over randomly generated row sets.
 """
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.engine.aggregates import Avg, Count, Max, Min, Sum

@@ -11,6 +11,7 @@ from repro.catalog.dictionary import AttributeDictionary
 from repro.core.config import CinderellaConfig
 from repro.query.query import AttributeQuery
 from repro.storage.record import RecordFormatError, deserialize_record, serialize_record
+from repro.storage.snapshot import SnapshotFormatError, load_table, save_table
 from repro.table.partitioned import CinderellaTable
 from repro.table.universal import UniversalTable
 
@@ -72,6 +73,44 @@ class TestCatalogCorruptionDetection:
         partition = next(p for p in table.catalog if len(p) >= 2)
         partition.starters.eid_a = 999_999
         assert any("starter" in p for p in table.check_consistency())
+
+
+class TestSnapshotCorruption:
+    """Snapshot files damaged on disk must always be rejected loudly."""
+
+    def snapshot_bytes(self, tmp_path):
+        path = tmp_path / "table.snapshot.json"
+        save_table(build_table(), path)
+        return path, path.read_bytes()
+
+    def test_truncation_always_raises(self, tmp_path):
+        path, data = self.snapshot_bytes(tmp_path)
+        for cut in range(0, len(data), 13):
+            path.write_bytes(data[:cut])
+            with pytest.raises(SnapshotFormatError):
+                load_table(path)
+
+    def test_byte_flips_always_raise(self, tmp_path):
+        path, data = self.snapshot_bytes(tmp_path)
+        for position in range(0, len(data), 11):
+            corrupted = bytearray(data)
+            corrupted[position] ^= 0xFF
+            path.write_bytes(bytes(corrupted))
+            with pytest.raises(SnapshotFormatError):
+                load_table(path)
+
+    def test_valid_json_tampering_caught_by_checksum(self, tmp_path):
+        """Edits that keep the JSON well-formed still fail the checksum."""
+        path, data = self.snapshot_bytes(tmp_path)
+        text = data.decode("utf-8")
+        assert '"weight": 0.4' in text
+        path.write_text(text.replace('"weight": 0.4', '"weight": 0.9'))
+        with pytest.raises(SnapshotFormatError):
+            load_table(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(SnapshotFormatError):
+            load_table(tmp_path / "never-written.json")
 
 
 class TestMisuse:

@@ -9,7 +9,6 @@ import pytest
 from repro.core.config import CinderellaConfig
 from repro.core.efficiency import catalog_efficiency, universal_table_efficiency
 from repro.cost.model import CostModel
-from repro.query.query import AttributeQuery
 from repro.table.partitioned import CinderellaTable
 from repro.table.universal import UniversalTable
 from repro.workloads.dbpedia import generate_dbpedia_persons

@@ -7,7 +7,6 @@ from repro.core.partitioner import CinderellaPartitioner
 from repro.table.partitioned import CinderellaTable
 from repro.workloads.dbpedia import generate_dbpedia_persons
 from repro.workloads.modifications import (
-    Operation,
     generate_trace,
     replay,
     replay_logical,
@@ -95,7 +94,7 @@ class TestReplay:
         )
         replay(trace, table)
         replay_logical(trace, partitioner, table.dictionary)
-        signature = lambda catalog: sorted(
-            tuple(sorted(p.entity_ids())) for p in catalog
-        )
+        def signature(catalog):
+            return sorted(tuple(sorted(p.entity_ids())) for p in catalog)
+
         assert signature(table.catalog) == signature(partitioner.catalog)

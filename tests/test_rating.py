@@ -1,6 +1,5 @@
 """Tests for the Cinderella rating (Section IV formulas)."""
 
-import math
 
 import pytest
 from hypothesis import given

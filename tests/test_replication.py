@@ -1,0 +1,303 @@
+"""Tests for replication, failure injection, failover routing, repair."""
+
+import pytest
+
+from repro.core.config import CinderellaConfig
+from repro.core.partitioner import CinderellaPartitioner
+from repro.distributed.cluster import PlacementError, SimulatedCluster
+from repro.distributed.failures import FailureEvent, FailureSchedule, NodeState
+from repro.distributed.replication import replication_report
+from repro.distributed.store import DistributedUniversalStore, NetworkCostModel
+
+
+def make_store(nodes=4, rf=2, b=6, w=0.4, network=None):
+    return DistributedUniversalStore(
+        nodes,
+        CinderellaPartitioner(CinderellaConfig(max_partition_size=b, weight=w)),
+        network=network,
+        replication_factor=rf,
+    )
+
+
+class TestFailureSchedule:
+    def test_random_is_deterministic(self):
+        a = FailureSchedule.random(4, 500, seed=11, crash_rate=0.02)
+        b = FailureSchedule.random(4, 500, seed=11, crash_rate=0.02)
+        assert a.events == b.events
+        assert a.crash_count > 0
+
+    def test_different_seeds_differ(self):
+        a = FailureSchedule.random(4, 500, seed=1, crash_rate=0.02)
+        b = FailureSchedule.random(4, 500, seed=2, crash_rate=0.02)
+        assert a.events != b.events
+
+    def test_crashes_paired_with_recoveries(self):
+        schedule = FailureSchedule.random(
+            4, 2_000, seed=5, crash_rate=0.01, mean_downtime=20
+        )
+        down = set()
+        for event in schedule:
+            if event.action == "crash":
+                assert event.node_id not in down
+                down.add(event.node_id)
+            elif event.action == "recover":
+                down.discard(event.node_id)
+
+    def test_never_crashes_last_node(self):
+        schedule = FailureSchedule.random(
+            2, 5_000, seed=9, crash_rate=0.5, mean_downtime=100
+        )
+        down = set()
+        for event in schedule:
+            if event.action == "crash":
+                down.add(event.node_id)
+                assert len(down) <= 1  # min_up=1 of 2 nodes
+            elif event.action == "recover":
+                down.discard(event.node_id)
+
+    def test_events_at(self):
+        event = FailureEvent(3, "crash", 0)
+        schedule = FailureSchedule([event])
+        assert schedule.events_at(3) == (event,)
+        assert schedule.events_at(4) == ()
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            FailureEvent(0, "explode", 1)
+        with pytest.raises(ValueError):
+            FailureEvent(-1, "crash", 1)
+        with pytest.raises(ValueError):
+            FailureEvent(0, "degrade", 1, slowdown=0.5)
+
+
+class TestReplicatedPlacement:
+    def test_copies_on_distinct_nodes(self):
+        cluster = SimulatedCluster(4, replication_factor=3)
+        cluster.place_partition(0, 5.0)
+        hosts = cluster.replica_nodes(0)
+        assert len(hosts) == 3
+        assert len(set(hosts)) == 3
+
+    def test_replication_capped_by_node_count(self):
+        cluster = SimulatedCluster(2, replication_factor=3)
+        cluster.place_partition(0, 1.0)
+        assert len(cluster.replica_nodes(0)) == 2
+
+    def test_each_copy_counts_toward_load(self):
+        cluster = SimulatedCluster(3, replication_factor=2)
+        cluster.place_partition(0, 4.0)
+        assert sorted(cluster.loads()) == [0.0, 4.0, 4.0]
+        cluster.resize_partition(0, 2.0)
+        assert sorted(cluster.loads()) == [0.0, 6.0, 6.0]
+
+    def test_drop_frees_every_copy(self):
+        cluster = SimulatedCluster(3, replication_factor=2)
+        cluster.place_partition(0, 4.0)
+        cluster.drop_partition(0)
+        assert cluster.loads() == [0.0, 0.0, 0.0]
+        assert cluster.partition_count == 0
+
+    def test_down_nodes_not_placement_targets(self):
+        cluster = SimulatedCluster(3, replication_factor=1)
+        cluster.crash_node(0)
+        cluster.place_partition(0, 1.0)
+        assert cluster.replica_nodes(0)[0] != 0
+
+    def test_no_live_node_is_an_error(self):
+        cluster = SimulatedCluster(1)
+        cluster.crash_node(0)
+        with pytest.raises(PlacementError):
+            cluster.place_partition(0, 1.0)
+
+
+class TestFailureInjection:
+    def test_crash_keeps_stale_map_until_repair(self):
+        cluster = SimulatedCluster(2, replication_factor=1)
+        cluster.place_partition(0, 3.0)
+        primary = cluster.node_of(0)
+        cluster.crash_node(primary)
+        # the coordinator's map is stale: the copy still appears placed
+        assert cluster.replica_nodes(0) == (primary,)
+        assert cluster.live_replica_nodes(0) == ()
+
+    def test_recover_before_repair_resumes_copies(self):
+        cluster = SimulatedCluster(2, replication_factor=1)
+        cluster.place_partition(0, 3.0)
+        primary = cluster.node_of(0)
+        cluster.crash_node(primary)
+        cluster.recover_node(primary)
+        assert cluster.live_replica_nodes(0) == (primary,)
+
+    def test_degrade_requires_live_node(self):
+        cluster = SimulatedCluster(2)
+        cluster.crash_node(0)
+        with pytest.raises(PlacementError):
+            cluster.degrade_node(0)
+
+    def test_degrade_sets_slowdown_and_flakiness(self):
+        cluster = SimulatedCluster(2)
+        cluster.degrade_node(1, slowdown=3.0, drop_every=2)
+        node = cluster.nodes[1]
+        assert node.state is NodeState.DEGRADED
+        assert node.slowdown == 3.0
+        assert node.drop_every == 2
+        cluster.recover_node(1)
+        assert cluster.nodes[1].state is NodeState.UP
+        assert cluster.nodes[1].slowdown == 1.0
+
+
+class TestRepairPass:
+    def test_restores_replication_factor(self):
+        cluster = SimulatedCluster(4, replication_factor=2)
+        for pid in range(6):
+            cluster.place_partition(pid, 2.0)
+        victim = cluster.node_of(0)
+        cluster.crash_node(victim)
+        assert cluster.under_replicated() != {}
+        created = cluster.re_replicate()
+        assert created
+        assert cluster.under_replicated() == {}
+        for pid in range(6):
+            hosts = cluster.replica_nodes(pid)
+            assert len(hosts) == 2
+            assert victim not in hosts
+            assert all(cluster.nodes[nid].is_up for nid in hosts)
+
+    def test_purged_node_rejoins_empty(self):
+        cluster = SimulatedCluster(3, replication_factor=2)
+        cluster.place_partition(0, 2.0)
+        victim = cluster.node_of(0)
+        cluster.crash_node(victim)
+        cluster.re_replicate()
+        cluster.recover_node(victim)
+        assert cluster.nodes[victim].partitions == set()
+        assert cluster.nodes[victim].load == 0.0
+
+    def test_unhosted_partition_restored(self):
+        cluster = SimulatedCluster(3, replication_factor=1)
+        cluster.place_partition(0, 2.0)
+        cluster.crash_node(cluster.node_of(0))
+        cluster.re_replicate()  # purges the only copy... and re-creates it
+        assert cluster.unhosted_partitions() == frozenset()
+        assert len(cluster.live_replica_nodes(0)) == 1
+
+    def test_promotes_surviving_replica_to_primary(self):
+        cluster = SimulatedCluster(3, replication_factor=2)
+        cluster.place_partition(0, 2.0)
+        old_primary = cluster.node_of(0)
+        survivor = cluster.replica_nodes(0)[1]
+        cluster.crash_node(old_primary)
+        cluster.re_replicate()
+        assert cluster.node_of(0) == survivor
+
+    def test_deterministic(self):
+        def run():
+            cluster = SimulatedCluster(4, replication_factor=2)
+            for pid in range(8):
+                cluster.place_partition(pid, float(pid + 1))
+            cluster.crash_node(1)
+            return cluster.re_replicate()
+
+        assert run() == run()
+
+    def test_replication_report(self):
+        cluster = SimulatedCluster(4, replication_factor=2)
+        for pid in range(4):
+            cluster.place_partition(pid, 1.0)
+        report = replication_report(cluster)
+        assert report.healthy
+        assert report.min_live_copies == 2
+        cluster.crash_node(0)
+        report = replication_report(cluster)
+        assert not report.healthy
+        assert report.under_replicated != ()
+
+
+class TestFailoverRouting:
+    def test_failover_to_replica(self):
+        store = make_store(nodes=3, rf=2, b=50)
+        for eid in range(20):
+            store.insert(eid, 0b11)
+        pid = store.catalog.partition_ids()[0]
+        primary = store.cluster.node_of(pid)
+        store.crash_node(primary)
+        stats = store.route_query(0b1)
+        assert not stats.degraded
+        assert stats.entities_returned == 20
+        assert stats.retries >= 1
+        assert stats.failovers >= 1
+        assert store.counters.failovers >= 1
+
+    def test_degraded_when_every_copy_down(self):
+        store = make_store(nodes=3, rf=2, b=50)
+        for eid in range(20):
+            store.insert(eid, 0b11)
+        pid = store.catalog.partition_ids()[0]
+        for nid in store.cluster.replica_nodes(pid):
+            store.crash_node(nid)
+        stats = store.route_query(0b1)
+        assert stats.degraded
+        assert pid in stats.unreachable_partitions
+        assert stats.entities_returned == 0.0
+        assert store.counters.queries_degraded == 1
+
+    def test_timeouts_and_backoff_cost_latency(self):
+        network = NetworkCostModel(timeout_ms=10.0, retry_backoff_ms=1.0)
+        store = make_store(nodes=3, rf=2, b=50, network=network)
+        for eid in range(10):
+            store.insert(eid, 0b11)
+        healthy = store.route_query(0b1).latency_ms
+        store.crash_node(store.cluster.node_of(store.catalog.partition_ids()[0]))
+        failed_over = store.route_query(0b1).latency_ms
+        assert failed_over >= healthy + network.timeout_ms
+
+    def test_flaky_degraded_node_forces_retry(self):
+        store = make_store(nodes=2, rf=1, b=50)
+        for eid in range(10):
+            store.insert(eid, 0b11)
+        pid = store.catalog.partition_ids()[0]
+        # drop_every=1: the node times out on every request the first
+        # round and answers nothing — with rf=1 the second round also
+        # fails, so the query degrades explicitly instead of lying.
+        store.degrade_node(store.cluster.node_of(pid), slowdown=2.0, drop_every=1)
+        stats = store.route_query(0b1)
+        assert stats.retries >= 1
+        assert stats.degraded
+
+    def test_slowdown_inflates_scan_latency(self):
+        store = make_store(nodes=2, rf=1, b=50)
+        for eid in range(10):
+            store.insert(eid, 0b11)
+        base = store.route_query(0b1).latency_ms
+        pid = store.catalog.partition_ids()[0]
+        store.degrade_node(store.cluster.node_of(pid), slowdown=10.0)
+        assert store.route_query(0b1).latency_ms > base
+
+    def test_recovery_restores_full_availability(self):
+        store = make_store(nodes=3, rf=2, b=10)
+        for eid in range(30):
+            store.insert(eid, 0b11 if eid % 2 else 0b1100)
+        for pid in store.catalog.partition_ids():
+            for nid in store.cluster.replica_nodes(pid):
+                if store.cluster.nodes[nid].is_up and len(store.cluster.up_nodes()) > 1:
+                    store.crash_node(nid)
+        store.re_replicate()
+        stats = store.route_query(0b1)
+        assert not stats.degraded
+        assert store.check_placement() == []
+
+    def test_counters_accumulate(self):
+        store = make_store(nodes=3, rf=2)
+        store.insert(1, 0b1)
+        store.crash_node(0)
+        store.recover_node(0)
+        store.degrade_node(1)
+        store.re_replicate()
+        store.route_query(0b1)
+        counts = store.counters.as_dict()
+        assert counts["node_crashes"] == 1
+        assert counts["node_recoveries"] == 1
+        assert counts["node_degradations"] == 1
+        assert counts["re_replication_passes"] == 1
+        assert counts["queries_total"] == 1
+        assert counts["availability"] == 1.0

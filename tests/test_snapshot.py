@@ -27,9 +27,9 @@ class TestRoundtrip:
         save_table(table, path)
         restored = load_table(path)
 
-        signature = lambda t: sorted(
-            tuple(sorted(p.entity_ids())) for p in t.catalog
-        )
+        def signature(t):
+            return sorted(tuple(sorted(p.entity_ids())) for p in t.catalog)
+
         assert signature(restored) == signature(table)
         assert restored.check_consistency() == []
 

@@ -7,7 +7,6 @@ an entity rates negatively against both split results.  These paths need
 engineered inputs; random workloads only occasionally reach them.
 """
 
-import pytest
 
 from repro.core.config import CinderellaConfig
 from repro.core.outcomes import ModificationOutcome

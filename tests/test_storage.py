@@ -1,11 +1,9 @@
 """Tests for pages, heap files, the buffer pool, and I/O accounting."""
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.storage.buffer import BufferPool
-from repro.storage.heap import HeapFile, RecordId
+from repro.storage.heap import HeapFile
 from repro.storage.iostats import IOStats
 from repro.storage.page import Page, PageFullError
 

@@ -88,9 +88,9 @@ class TestIndexedPartitionerEquivalence:
         indexed = CinderellaPartitioner(indexed_config)
         _drive(plain, ops)
         _drive(indexed, ops)
-        signature = lambda p: sorted(
-            tuple(sorted(part.entity_ids())) for part in p.catalog
-        )
+        def signature(p):
+            return sorted(tuple(sorted(part.entity_ids())) for part in p.catalog)
+
         assert signature(plain) == signature(indexed)
         assert indexed.check_invariants() == []
 

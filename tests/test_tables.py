@@ -1,6 +1,5 @@
 """Tests for the universal table, the Cinderella table, and views."""
 
-import random
 
 import pytest
 from hypothesis import given, settings

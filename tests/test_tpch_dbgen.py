@@ -10,7 +10,6 @@ from repro.workloads.tpch.schema import (
     REGIONS,
     SHIP_MODES,
     TABLES,
-    TABLE_BY_NAME,
 )
 
 

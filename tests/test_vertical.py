@@ -1,6 +1,5 @@
 """Tests for the hidden-schema vertical partitioning comparator."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.vertical import (

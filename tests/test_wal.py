@@ -1,0 +1,233 @@
+"""Tests for the coordinator write-ahead log and crash recovery."""
+
+import pytest
+
+from repro.core.config import CinderellaConfig
+from repro.core.partitioner import CinderellaPartitioner
+from repro.distributed.store import DistributedUniversalStore
+from repro.storage.snapshot import SnapshotFormatError, load_store, save_store
+from repro.storage.wal import WALFormatError, WriteAheadLog, read_wal
+
+
+def make_store(tmp_path, rf=2, nodes=3, b=6):
+    wal = WriteAheadLog(tmp_path / "wal.log")
+    store = DistributedUniversalStore(
+        nodes,
+        CinderellaPartitioner(CinderellaConfig(max_partition_size=b, weight=0.4)),
+        replication_factor=rf,
+        wal=wal,
+    )
+    return store, wal
+
+
+class TestWriteAheadLog:
+    def test_append_and_read_roundtrip(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.append("insert", {"eid": 1, "mask": 0b11})
+        wal.append("delete", {"eid": 1})
+        records = wal.records()
+        assert [(r.seq, r.op) for r in records] == [(1, "insert"), (2, "delete")]
+        assert records[0].payload == {"eid": 1, "mask": 3}
+
+    def test_reopen_resumes_sequence(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        wal.append("insert", {"eid": 1, "mask": 1})
+        wal.close()
+        wal = WriteAheadLog(path)
+        assert wal.last_seq == 1
+        wal.append("insert", {"eid": 2, "mask": 1})
+        assert [r.seq for r in wal.records()] == [1, 2]
+
+    def test_torn_tail_is_truncated(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        wal.append("insert", {"eid": 1, "mask": 1})
+        wal.append("insert", {"eid": 2, "mask": 1})
+        wal.close()
+        # simulate a crash mid-append: half of the last record is gone
+        content = path.read_text()
+        path.write_text(content[:-10])
+        reopened = WriteAheadLog(path)
+        assert reopened.torn_records_dropped == 1
+        assert [r.payload["eid"] for r in reopened.records()] == [1]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        wal.append("insert", {"eid": 1, "mask": 1})
+        wal.append("insert", {"eid": 2, "mask": 1})
+        wal.close()
+        lines = path.read_text().splitlines(keepends=True)
+        lines[1] = lines[1][:12] + "X" + lines[1][13:]  # flip inside record 1
+        path.write_text("".join(lines))
+        with pytest.raises(WALFormatError):
+            read_wal(path)
+
+    def test_sequence_gap_raises(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        wal.append("insert", {"eid": 1, "mask": 1})
+        wal.append("insert", {"eid": 2, "mask": 1})
+        wal.close()
+        lines = path.read_text().splitlines(keepends=True)
+        del lines[1]  # drop record 1, keep record 2: a gap, not a tail
+        path.write_text("".join(lines))
+        with pytest.raises(WALFormatError):
+            read_wal(path)
+
+    def test_not_a_wal_raises(self, tmp_path):
+        path = tmp_path / "other.log"
+        path.write_text("hello world\n")
+        with pytest.raises(WALFormatError):
+            read_wal(path)
+
+    def test_reset_records_basis(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        wal.append("insert", {"eid": 1, "mask": 1})
+        wal.append("insert", {"eid": 2, "mask": 1})
+        wal.reset(basis_seq=2)
+        assert wal.records() == []
+        assert wal.basis_seq == 2
+        seq = wal.append("insert", {"eid": 3, "mask": 1})
+        assert seq == 3  # sequence numbers continue across checkpoints
+
+
+class TestJournaledStore:
+    def test_operations_are_journaled(self, tmp_path):
+        store, wal = make_store(tmp_path)
+        store.insert(1, 0b11)
+        store.insert(2, 0b1100)
+        store.delete(1)
+        store.update(2, 0b1111)
+        store.crash_node(0)
+        store.re_replicate()
+        store.recover_node(0)
+        ops = [record.op for record in wal.records()]
+        assert ops == [
+            "insert", "insert", "delete", "update",
+            "crash", "re_replicate", "recover",
+        ]
+        assert store.counters.wal_records_appended == 7
+
+    def test_full_replay_reproduces_catalog(self, tmp_path):
+        store, wal = make_store(tmp_path)
+        for eid in range(40):
+            store.insert(eid, 0b11 if eid % 2 else 0b1100)
+        for eid in range(0, 40, 5):
+            store.delete(eid)
+        replayed = DistributedUniversalStore(
+            3,
+            CinderellaPartitioner(
+                CinderellaConfig(max_partition_size=6, weight=0.4)
+            ),
+            replication_factor=2,
+        )
+        replayed.replay_wal(wal.records())
+
+        def sig(s):
+            return (
+                sorted(
+                    (p.pid, p.mask, tuple(p.members())) for p in s.catalog
+                ),
+                {
+                    pid: s.cluster.replica_nodes(pid)
+                    for pid in s.cluster.partition_ids()
+                },
+            )
+
+        assert sig(replayed) == sig(store)
+
+    def test_checkpoint_plus_wal_recovery_is_exact(self, tmp_path):
+        store, wal = make_store(tmp_path)
+        for eid in range(30):
+            store.insert(eid, 0b11 if eid % 3 else 0b111000)
+        store.checkpoint(tmp_path / "snap.json")
+        # post-checkpoint activity, including failures
+        for eid in range(30, 45):
+            store.insert(eid, 0b1010)
+        store.crash_node(1)
+        store.re_replicate()
+        for eid in range(5):
+            store.delete(eid)
+
+        recovered = DistributedUniversalStore.recover(
+            tmp_path / "snap.json", tmp_path / "wal.log"
+        )
+
+        def sig(s):
+            return (
+                sorted(
+                    (
+                        p.pid, p.mask, tuple(p.members()),
+                        (p.starters.eid_a, p.starters.mask_a,
+                         p.starters.eid_b, p.starters.mask_b),
+                    )
+                    for p in s.catalog
+                ),
+                {
+                    pid: s.cluster.replica_nodes(pid)
+                    for pid in s.cluster.partition_ids()
+                },
+                sorted(s.cluster.unhosted_partitions()),
+                s.partitioner.split_count,
+                [n.state.value for n in s.cluster.nodes],
+            )
+
+        assert sig(recovered) == sig(store)
+        assert recovered.check_placement() == []
+        assert recovered.counters.wal_records_replayed > 0
+
+    def test_recovered_store_keeps_journaling(self, tmp_path):
+        store, wal = make_store(tmp_path)
+        store.insert(1, 0b1)
+        store.checkpoint(tmp_path / "snap.json")
+        store.insert(2, 0b10)
+        recovered = DistributedUniversalStore.recover(
+            tmp_path / "snap.json", tmp_path / "wal.log"
+        )
+        recovered.insert(3, 0b100)
+        assert [r.op for r in recovered.wal.records()] == ["insert", "insert"]
+
+    def test_mismatched_wal_basis_rejected(self, tmp_path):
+        store, wal = make_store(tmp_path)
+        store.insert(1, 0b1)
+        store.checkpoint(tmp_path / "snap.json")
+        store.insert(2, 0b10)
+        wal.reset(basis_seq=99)  # checkpoint the snapshot does not know
+        with pytest.raises(WALFormatError):
+            DistributedUniversalStore.recover(
+                tmp_path / "snap.json", tmp_path / "wal.log"
+            )
+
+
+class TestStoreSnapshot:
+    def test_roundtrip_preserves_exact_pids(self, tmp_path):
+        store, _wal = make_store(tmp_path, b=4)
+        for eid in range(50):
+            store.insert(eid, 0b11 if eid % 2 else 0b1100)
+        for eid in range(0, 50, 7):
+            store.delete(eid)
+        save_store(store, tmp_path / "snap.json")
+        restored, wal_seq = load_store(tmp_path / "snap.json")
+        assert restored.catalog.partition_ids() == store.catalog.partition_ids()
+        assert restored.catalog.next_partition_id == store.catalog.next_partition_id
+        assert restored.check_placement() == []
+
+    def test_corrupted_store_snapshot_rejected(self, tmp_path):
+        store, _wal = make_store(tmp_path)
+        store.insert(1, 0b1)
+        path = tmp_path / "snap.json"
+        save_store(store, path)
+        text = path.read_text()
+        path.write_text(text.replace('"split_count": 0', '"split_count": 7'))
+        with pytest.raises(SnapshotFormatError):
+            load_store(path)
+
+    def test_baseline_partitioner_not_persistable(self, tmp_path):
+        from repro.baselines.hash_partitioner import HashPartitioner
+
+        store = DistributedUniversalStore(2, HashPartitioner(num_partitions=4))
+        with pytest.raises(SnapshotFormatError):
+            save_store(store, tmp_path / "snap.json")

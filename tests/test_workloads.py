@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.query.query import AttributeQuery
 from repro.workloads.dbpedia import generate_dbpedia_persons, validate_distribution
 from repro.workloads.querygen import (
     build_query_workload,
