@@ -36,6 +36,26 @@ class PartitionCatalog:
         self._entity_to_pid: dict[int, int] = {}
         self._next_pid = 0
         self.index = index
+        #: active undo-log transaction (see :mod:`repro.txn.transaction`)
+        self._txn = None
+
+    # ------------------------------------------------------------------
+    # transactions
+    # ------------------------------------------------------------------
+    def begin_transaction(self):
+        """Start an undo-log transaction over this catalog.
+
+        Every mutation until ``commit()``/``rollback()`` records its
+        inverse; rollback restores the exact pre-transaction catalog.
+        Transactions do not nest.
+        """
+        from repro.txn.transaction import CatalogTransaction, TransactionError
+
+        if self._txn is not None:
+            raise TransactionError("a catalog transaction is already active")
+        txn = CatalogTransaction(self)
+        self._txn = txn
+        return txn
 
     # ------------------------------------------------------------------
     # partitions
@@ -59,11 +79,14 @@ class PartitionCatalog:
             raise PartitionNotFoundError(pid) from None
 
     def create_partition(self) -> Partition:
+        previous_next_pid = self._next_pid
         partition = Partition(self._next_pid)
         self._next_pid += 1
         self._partitions[partition.pid] = partition
         if self.index is not None:
             self.index.register(partition.pid, partition.mask)
+        if self._txn is not None:
+            self._txn.note_create(partition.pid, previous_next_pid)
         return partition
 
     def create_partition_with_id(self, pid: int) -> Partition:
@@ -76,11 +99,14 @@ class PartitionCatalog:
         """
         if pid in self._partitions:
             raise ValueError(f"partition {pid} already exists")
+        previous_next_pid = self._next_pid
         partition = Partition(pid)
         self._partitions[pid] = partition
         self._next_pid = max(self._next_pid, pid + 1)
         if self.index is not None:
             self.index.register(partition.pid, partition.mask)
+        if self._txn is not None:
+            self._txn.note_create(pid, previous_next_pid)
         return partition
 
     @property
@@ -102,6 +128,8 @@ class PartitionCatalog:
             raise ValueError(
                 f"cannot drop partition {pid}: still holds {len(partition)} entities"
             )
+        if self._txn is not None:
+            self._txn.note_drop(pid)
         del self._partitions[pid]
         if self.index is not None:
             self.index.unregister(pid, partition.mask)
@@ -136,6 +164,8 @@ class PartitionCatalog:
                 f"entity {eid} already placed in partition {self._entity_to_pid[eid]}"
             )
         partition = self.get(pid)
+        if self._txn is not None:
+            self._txn.note_add(pid, eid)
         added_bits = partition.add(eid, mask, size, observe_starters=observe_starters)
         self._entity_to_pid[eid] = pid
         if self.index is not None:
@@ -147,6 +177,9 @@ class PartitionCatalog:
         """Remove an entity; return ``(pid, mask, size)`` it had."""
         pid = self.partition_of(eid)
         partition = self._partitions[pid]
+        if self._txn is not None:
+            member_mask, member_size = partition.member(eid)
+            self._txn.note_remove(pid, eid, member_mask, member_size)
         mask, size, removed_bits = partition.remove(
             eid, repair_starters=repair_starters
         )
@@ -155,10 +188,25 @@ class PartitionCatalog:
             self.index.on_bits_removed(pid, removed_bits, partition.mask)
         return pid, mask, size
 
+    def observe_starters(self, pid: int, eid: int, mask: int) -> None:
+        """Run starter maintenance for *eid* against partition *pid*.
+
+        The partitioner calls this (Algorithm 1, lines 15–24) instead of
+        touching ``partition.starters`` directly, so an active undo-log
+        transaction can capture the pair's before-image first.
+        """
+        partition = self.get(pid)
+        if self._txn is not None:
+            self._txn.note_touch(pid)
+        partition.starters.observe(eid, mask)
+
     def update_entity(self, eid: int, mask: int, size: float) -> int:
         """Update an entity in place; return its (unchanged) partition id."""
         pid = self.partition_of(eid)
         partition = self._partitions[pid]
+        if self._txn is not None:
+            old_mask, old_size = partition.member(eid)
+            self._txn.note_update(pid, eid, old_mask, old_size)
         added_bits, removed_bits = partition.update_member(eid, mask, size)
         if self.index is not None:
             if added_bits:

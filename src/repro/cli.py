@@ -13,6 +13,8 @@ Commands:
 * ``inspect`` — print the partitioning statistics of a saved snapshot.
 * ``chaos`` — run a mixed workload on the simulated cluster under a
   seeded node-failure schedule and report fault-tolerance counters.
+* ``verify-catalog`` — integrity-check a saved snapshot (table or
+  distributed store): catalog invariants, and placement for stores.
 """
 
 from __future__ import annotations
@@ -217,9 +219,51 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             ("replication healthy", report.healthy),
         ],
     ))
-    problems = store.check_placement()
+    problems = store.check_placement() + store.partitioner.check_invariants()
     for problem in problems:
-        print(f"placement problem: {problem}", file=sys.stderr)
+        print(f"integrity problem: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+def _cmd_verify_catalog(args: argparse.Namespace) -> int:
+    """Offline integrity check of a snapshot file (table or store)."""
+    import json
+
+    from repro.storage.snapshot import (
+        SnapshotFormatError,
+        load_store,
+        load_table,
+    )
+
+    try:
+        document = json.loads(open(args.snapshot, encoding="utf-8").read())
+        snapshot_format = document.get("format") if isinstance(document, dict) else None
+    except (OSError, ValueError) as error:
+        print(f"error: cannot read {args.snapshot}: {error}", file=sys.stderr)
+        return 1
+    problems: list[str] = []
+    try:
+        if snapshot_format == "repro-cinderella-store-snapshot":
+            store, wal_seq = load_store(args.snapshot)
+            problems = store.partitioner.check_invariants() + store.check_placement()
+            print(f"store snapshot: {len(store.catalog)} partitions, "
+                  f"{store.catalog.entity_count} entities, "
+                  f"{len(store.cluster)} nodes, wal_seq={wal_seq}")
+        elif snapshot_format == "repro-cinderella-snapshot":
+            table = load_table(args.snapshot)
+            problems = table.partitioner.check_invariants()
+            print(f"table snapshot: {table.partition_count()} partitions, "
+                  f"{table.catalog.entity_count} entities")
+        else:
+            print(f"error: {args.snapshot} is not a repro snapshot "
+                  f"(format {snapshot_format!r})", file=sys.stderr)
+            return 1
+    except SnapshotFormatError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    for problem in problems:
+        print(f"invariant violation: {problem}", file=sys.stderr)
+    print("catalog integrity: " + ("FAILED" if problems else "OK"))
     return 1 if problems else 0
 
 
@@ -264,6 +308,12 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--weight", type=float, default=0.4)
     chaos.add_argument("--seed", type=int, default=42)
 
+    verify = commands.add_parser(
+        "verify-catalog",
+        help="integrity-check a saved snapshot (catalog + placement)",
+    )
+    verify.add_argument("snapshot")
+
     return parser
 
 
@@ -274,6 +324,7 @@ _HANDLERS = {
     "advise": _cmd_advise,
     "inspect": _cmd_inspect,
     "chaos": _cmd_chaos,
+    "verify-catalog": _cmd_verify_catalog,
 }
 
 

@@ -35,7 +35,7 @@ Two notes on fidelity to the published pseudocode:
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 from repro.catalog.catalog import PartitionCatalog
 from repro.catalog.partition import Partition
@@ -76,6 +76,17 @@ class CinderellaPartitioner:
         self.split_count = 0
         #: cumulative number of partition ratings computed (scan effort)
         self.ratings_computed = 0
+        #: step-boundary hook for the transactional operation layer: when
+        #: set, it is called with a label at every multi-step mutation
+        #: boundary (split creation, starter moves, drain re-inserts).
+        #: The fault-injection matrix uses it to crash operations
+        #: mid-flight; ``repro.txn.ops`` uses it to journal progress.
+        self.crash_hook: Optional[Callable[[str], None]] = None
+
+    def _step(self, label: str) -> None:
+        """Announce one step boundary to the installed hook, if any."""
+        if self.crash_hook is not None:
+            self.crash_hook(label)
 
     # ------------------------------------------------------------------
     # public modification interface
@@ -98,6 +109,7 @@ class CinderellaPartitioner:
         Empty partitions are dropped, per Section III.
         """
         pid, _mask, _size = self.catalog.remove_entity(eid)
+        self._step("delete:removed")
         outcome = ModificationOutcome(entity_id=eid, partition_id=None)
         if self.catalog.get(pid).is_empty():
             self.catalog.drop_partition(pid)
@@ -135,6 +147,7 @@ class CinderellaPartitioner:
             outcome.in_place = True
             return outcome
         old_pid, _old_mask, _old_size = self.catalog.remove_entity(eid)
+        self._step("update:removed")
         source_empty = self.catalog.get(old_pid).is_empty()
         if source_empty:
             self.catalog.drop_partition(old_pid)
@@ -220,11 +233,12 @@ class CinderellaPartitioner:
             # add() observes starters: the entity becomes split starter A
             self.catalog.add_entity(partition.pid, eid, mask, size)
             outcome.moves.append(Move(eid, from_pid, partition.pid))
+            self._step("insert:new-partition")
             return partition.pid
 
         # lines 15-24: starter maintenance happens *before* the capacity
         # check, so the incoming entity can seed a split of `best`.
-        best.starters.observe(eid, mask)
+        self.catalog.observe_starters(best.pid, eid, mask)
 
         # lines 26-33: split when the partition cannot take the entity
         if best.total_size + size > self.config.max_partition_size:
@@ -238,6 +252,7 @@ class CinderellaPartitioner:
                 (m_eid, m_mask) for m_eid, m_mask, _s in best.members()
             )
         outcome.moves.append(Move(eid, from_pid, best.pid))
+        self._step("insert:place")
         return best.pid
 
     def _split(
@@ -268,6 +283,7 @@ class CinderellaPartitioner:
         partition_a = self.catalog.create_partition()
         partition_b = self.catalog.create_partition()
         outcome.created_partitions.extend((partition_a.pid, partition_b.pid))
+        self._step("split:create-targets")
 
         # lines 29-30: move each starter into its own new partition
         for (starter_eid, starter_mask), target in zip(
@@ -285,6 +301,7 @@ class CinderellaPartitioner:
                 target.pid, starter_eid, starter_mask, starter_size
             )
             outcome.moves.append(Move(starter_eid, starter_from, target.pid))
+            self._step("split:starter-moved")
 
         # live restriction list for the drain (line 32): cascades and
         # negative-rating re-inserts extend/replace entries in here.
@@ -309,6 +326,7 @@ class CinderellaPartitioner:
         assert source.is_empty(), "split must drain the source partition"
         self.catalog.drop_partition(source.pid)
         outcome.dropped_partitions.append(source.pid)
+        self._step("split:source-dropped")
 
         # a split of a restricted-target partition replaces it with its
         # results in the caller's live restriction list

@@ -23,7 +23,52 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from enum import Enum
-from typing import Iterator, Sequence
+from typing import Iterator, Optional, Sequence
+
+
+class MidOperationCrash(RuntimeError):
+    """Simulated process death in the middle of a multi-step operation.
+
+    Raised by a :class:`CrashInjector` at a chosen step index inside a
+    journaled catalog operation (split, merge, reorganize).  The
+    transactional operation layer treats it like any other failure —
+    roll back to the exact pre-operation state — while the write-ahead
+    log never sees a commit record, so a coordinator rebuilt from
+    ``snapshot + WAL`` also lands on the pre-operation state.
+    """
+
+
+class CrashInjector:
+    """Crash a multi-step operation at one exact step index.
+
+    The op-time sibling of :class:`FailureSchedule`: where the schedule
+    kills *nodes* between workload operations, the injector kills the
+    *coordinator* between the internal steps of one operation.  Step
+    indices are deterministic — the same operation on the same catalog
+    always walks the same step sequence — so a crash matrix simply runs
+    the operation once with ``crash_at=None`` to count the steps, then
+    once per index.
+
+    >>> injector = CrashInjector(crash_at=1)
+    >>> injector.reached("merge:move")
+    >>> injector.reached("merge:drop")
+    Traceback (most recent call last):
+        ...
+    repro.distributed.failures.MidOperationCrash: injected crash at step 1 (merge:drop)
+    """
+
+    def __init__(self, crash_at: Optional[int] = None) -> None:
+        self.crash_at = crash_at
+        self.steps_seen = 0
+        self.labels: list[str] = []
+
+    def reached(self, label: str) -> None:
+        """Mark one step boundary; crash if it is the chosen one."""
+        index = self.steps_seen
+        self.steps_seen += 1
+        self.labels.append(label)
+        if self.crash_at is not None and index == self.crash_at:
+            raise MidOperationCrash(f"injected crash at step {index} ({label})")
 
 
 class NodeState(Enum):

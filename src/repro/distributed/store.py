@@ -33,7 +33,7 @@ from repro.core.config import CinderellaConfig
 from repro.core.partitioner import CinderellaPartitioner
 from repro.distributed.cluster import SimulatedCluster
 from repro.distributed.failures import FailureEvent, NodeState
-from repro.metrics.telemetry import FaultToleranceCounters
+from repro.metrics.telemetry import FaultToleranceCounters, RobustnessCounters
 
 
 @dataclass(frozen=True)
@@ -125,8 +125,17 @@ class DistributedUniversalStore:
         )
         self.network = network if network is not None else NetworkCostModel()
         self.counters = FaultToleranceCounters()
+        self.robustness = RobustnessCounters()
         self.wal = wal
+        self.journal = None
+        if wal is not None:
+            from repro.txn.journal import OperationJournal
+
+            self.journal = OperationJournal(wal)
         self._replaying = False
+        #: client operation ids already applied (idempotent-retry dedup);
+        #: rebuilt from snapshot + WAL payloads on recovery
+        self.applied_op_ids: set[str] = set()
 
     @property
     def catalog(self):
@@ -177,14 +186,40 @@ class DistributedUniversalStore:
         for pid in outcome.dropped_partitions:
             self.cluster.drop_partition(pid)
 
-    def insert(self, eid: int, mask: int):
-        self._log("insert", {"eid": eid, "mask": mask})
+    def _already_applied(self, op_id: Optional[str]) -> bool:
+        """Idempotent-retry check: True when *op_id* was applied before.
+
+        Client op ids should avoid the journal's ``op-<n>`` namespace
+        (see :mod:`repro.txn.journal`); anything else — UUIDs,
+        ``client-7/42`` — is fine.
+        """
+        if op_id is not None and op_id in self.applied_op_ids:
+            self.robustness.ingest_replayed += 1
+            return True
+        return False
+
+    def _payload(self, op_id: Optional[str], **fields) -> dict:
+        if op_id is not None:
+            fields["op_id"] = op_id
+        return fields
+
+    def _mark_applied(self, op_id: Optional[str]) -> None:
+        if op_id is not None:
+            self.applied_op_ids.add(op_id)
+
+    def insert(self, eid: int, mask: int, op_id: Optional[str] = None):
+        if self._already_applied(op_id):
+            return None
+        self._log("insert", self._payload(op_id, eid=eid, mask=mask))
         outcome = self.partitioner.insert(eid, mask)
         self._sync_placement(outcome)
+        self._mark_applied(op_id)
         return outcome
 
-    def delete(self, eid: int):
-        self._log("delete", {"eid": eid})
+    def delete(self, eid: int, op_id: Optional[str] = None):
+        if self._already_applied(op_id):
+            return None
+        self._log("delete", self._payload(op_id, eid=eid))
         pid = self.catalog.partition_of(eid)
         _mask, size = self.catalog.get(pid).member(eid)
         outcome = self.partitioner.delete(eid)
@@ -192,23 +227,100 @@ class DistributedUniversalStore:
             self.cluster.resize_partition(pid, -size)
         for dropped in outcome.dropped_partitions:
             self.cluster.drop_partition(dropped)
+        self._mark_applied(op_id)
         return outcome
 
-    def update(self, eid: int, mask: int):
-        self._log("update", {"eid": eid, "mask": mask})
+    def update(self, eid: int, mask: int, op_id: Optional[str] = None):
+        if self._already_applied(op_id):
+            return None
+        self._log("update", self._payload(op_id, eid=eid, mask=mask))
         pid = self.catalog.partition_of(eid)
         _old_mask, old_size = self.catalog.get(pid).member(eid)
         outcome = self.partitioner.update(eid, mask)
         if outcome.in_place:
             new_size = self.catalog.get(pid).member(eid)[1]
             self.cluster.resize_partition(pid, new_size - old_size)
+            self._mark_applied(op_id)
             return outcome
         if pid not in outcome.dropped_partitions:
             self.cluster.resize_partition(pid, -old_size)
         # else: the drop inside _sync_placement subtracts the partition's
         # full remaining tracked size, entity included — no pre-adjustment
         self._sync_placement(outcome, pre_adjusted=(eid, pid))
+        self._mark_applied(op_id)
         return outcome
+
+    # ------------------------------------------------------------------
+    # journaled maintenance (transactional catalog operations)
+    # ------------------------------------------------------------------
+    def _maintenance_journal(self):
+        """The operation journal, or None while replaying (no re-logging)."""
+        return self.journal if not self._replaying else None
+
+    def merge_small(
+        self,
+        min_fill: float = 0.25,
+        query_masks=None,
+        crash_hook=None,
+    ):
+        """Run an atomic merge pass and mirror it onto the cluster.
+
+        The catalog half runs inside an undo-log transaction journaled
+        as one operation (see :func:`repro.txn.ops.atomic_merge`); the
+        cluster placement is only touched after the catalog op commits,
+        so a crash mid-merge leaves both layers at their exact pre-op
+        state.  Replayed deterministically from the ``op_commit``
+        record on recovery.
+        """
+        from repro.txn.ops import atomic_merge
+
+        report = atomic_merge(
+            self.partitioner,
+            min_fill,
+            query_masks,
+            journal=self._maintenance_journal(),
+            crash_hook=crash_hook,
+            counters=self.robustness,
+        )
+        for move in report.moves:
+            size = self._entity_size(move.eid)
+            self.cluster.resize_partition(move.from_pid, -size)
+            self.cluster.resize_partition(move.to_pid, size)
+        for pid in report.dropped_partitions:
+            self.cluster.drop_partition(pid)
+        return report
+
+    def reorganize_catalog(
+        self,
+        order: str = "size",
+        query_masks=None,
+        crash_hook=None,
+    ):
+        """Rebuild the partitioning atomically and re-place it.
+
+        The rebuild happens on a scratch partitioner; the live catalog
+        adopts it in one swap directly before the commit record (see
+        :func:`repro.txn.ops.atomic_reorganize`).  Placement is rebuilt
+        only after the commit: old partitions are dropped from the
+        cluster and the new ones placed fresh on the least-loaded
+        nodes — deterministic, so WAL replay reproduces it exactly.
+        """
+        from repro.txn.ops import atomic_reorganize
+
+        old_pids = sorted(self.catalog.partition_ids())
+        report = atomic_reorganize(
+            self.partitioner,
+            query_masks=query_masks,
+            order=order,
+            journal=self._maintenance_journal(),
+            crash_hook=crash_hook,
+            counters=self.robustness,
+        )
+        for pid in old_pids:
+            self.cluster.drop_partition(pid)
+        for partition in sorted(self.catalog, key=lambda p: p.pid):
+            self.cluster.place_partition(partition.pid, partition.total_size)
+        return report
 
     # ------------------------------------------------------------------
     # failure events and repair
@@ -382,18 +494,37 @@ class DistributedUniversalStore:
 
         Used by :meth:`recover`; records are not re-journaled.
         """
-        from repro.storage.wal import WALFormatError
+        from repro.storage.wal import (
+            JOURNAL_ABORT,
+            JOURNAL_BEGIN,
+            JOURNAL_COMMIT,
+            JOURNAL_STEP,
+            WALFormatError,
+        )
 
         self._replaying = True
         try:
             for record in records:
                 payload = record.payload
                 if record.op == "insert":
-                    self.insert(payload["eid"], payload["mask"])
+                    self.insert(
+                        payload["eid"], payload["mask"],
+                        op_id=payload.get("op_id"),
+                    )
                 elif record.op == "delete":
-                    self.delete(payload["eid"])
+                    self.delete(payload["eid"], op_id=payload.get("op_id"))
                 elif record.op == "update":
-                    self.update(payload["eid"], payload["mask"])
+                    self.update(
+                        payload["eid"], payload["mask"],
+                        op_id=payload.get("op_id"),
+                    )
+                elif record.op == JOURNAL_COMMIT:
+                    self._replay_committed_op(payload)
+                elif record.op in (JOURNAL_BEGIN, JOURNAL_STEP, JOURNAL_ABORT):
+                    # intent/progress/abort records carry no durable
+                    # effects: replay acts on op_commit alone, so an
+                    # operation a crash interrupted is simply skipped
+                    pass
                 elif record.op == "crash":
                     self.crash_node(payload["node"])
                 elif record.op == "recover":
@@ -412,6 +543,24 @@ class DistributedUniversalStore:
         finally:
             self._replaying = False
         return self.counters.wal_records_replayed
+
+    def _replay_committed_op(self, payload: dict) -> None:
+        """Re-run one committed maintenance operation deterministically."""
+        from repro.storage.wal import WALFormatError
+
+        kind = payload.get("kind")
+        params = payload.get("params") or {}
+        if kind == "merge":
+            self.merge_small(
+                params.get("min_fill", 0.25), params.get("query_masks")
+            )
+        elif kind == "reorganize":
+            self.reorganize_catalog(
+                order=params.get("order", "size"),
+                query_masks=params.get("query_masks"),
+            )
+        else:
+            raise WALFormatError(f"unknown committed operation kind {kind!r}")
 
     @classmethod
     def recover(
@@ -439,6 +588,9 @@ class DistributedUniversalStore:
             )
         store.replay_wal(wal.records())
         store.wal = wal
+        from repro.txn.journal import OperationJournal
+
+        store.journal = OperationJournal(wal)
         return store
 
     # ------------------------------------------------------------------

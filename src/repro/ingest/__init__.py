@@ -1,0 +1,52 @@
+"""Hardened ingest: validation, quarantine, backpressure, idempotency.
+
+See :mod:`repro.ingest.pipeline` for the admission flow and
+``docs/ROBUST_INGEST.md`` for the operator-level story.
+"""
+
+from repro.ingest.errors import (
+    DuplicateEntityError,
+    EmptySynopsisError,
+    IngestError,
+    InvalidEntityIdError,
+    InvalidEntitySizeError,
+    OverloadedError,
+    QuarantinedEntityError,
+    UnknownAttributeError,
+    UnknownEntityError,
+)
+from repro.ingest.pipeline import (
+    APPLIED,
+    IngestPipeline,
+    IngestRequest,
+    IngestResult,
+    OVERLOADED,
+    QUARANTINED,
+    QUEUED,
+    REJECTED,
+    REPLAYED,
+)
+from repro.ingest.quarantine import QuarantinedEntity, QuarantineStore
+
+__all__ = [
+    "APPLIED",
+    "DuplicateEntityError",
+    "EmptySynopsisError",
+    "IngestError",
+    "IngestPipeline",
+    "IngestRequest",
+    "IngestResult",
+    "InvalidEntityIdError",
+    "InvalidEntitySizeError",
+    "OVERLOADED",
+    "OverloadedError",
+    "QUARANTINED",
+    "QUEUED",
+    "REJECTED",
+    "QuarantineStore",
+    "QuarantinedEntity",
+    "QuarantinedEntityError",
+    "REPLAYED",
+    "UnknownAttributeError",
+    "UnknownEntityError",
+]

@@ -1,0 +1,87 @@
+"""Typed admission errors of the hardened ingest pipeline.
+
+Every way an ingest request can be refused has its own exception class,
+all rooted at :class:`IngestError`.  The pipeline itself never lets
+these escape unless it runs in *strict* mode — by default a failed
+request is diverted to the quarantine store with the error attached —
+but handlers, tests, and operators get a precise, machine-matchable
+reason instead of a generic ``ValueError``.
+"""
+
+from __future__ import annotations
+
+
+class IngestError(ValueError):
+    """Base class of every admission failure.
+
+    ``code`` is a stable machine-readable identifier (also used by the
+    quarantine store and the CLI), independent of the human message.
+    """
+
+    code = "ingest-error"
+
+
+class InvalidEntityIdError(IngestError):
+    """The entity id is not a non-negative integer."""
+
+    code = "invalid-entity-id"
+
+
+class EmptySynopsisError(IngestError):
+    """The entity's synopsis is empty (no attribute bit set).
+
+    Cinderella's rating and pruning are defined over attribute sets; an
+    entity without attributes can never be rated against a partition.
+    """
+
+    code = "empty-synopsis"
+
+
+class InvalidEntitySizeError(IngestError):
+    """SIZE(e) is negative or not a number.
+
+    Definition 2's capacity constraint only makes sense for
+    non-negative sizes; a negative payload would corrupt partition
+    size accounting.
+    """
+
+    code = "invalid-entity-size"
+
+
+class UnknownAttributeError(IngestError):
+    """The synopsis sets bits outside the declared attribute universe."""
+
+    code = "unknown-attribute"
+
+
+class DuplicateEntityError(IngestError):
+    """An insert (or load row) reuses an entity id already stored."""
+
+    code = "duplicate-entity"
+
+
+class QuarantinedEntityError(IngestError):
+    """An update/delete addresses an entity held in quarantine.
+
+    The entity never made it into the catalog, so mutating it would
+    silently target nothing; the request must wait until the original
+    row is repaired and requeued.
+    """
+
+    code = "quarantined-entity"
+
+
+class UnknownEntityError(IngestError):
+    """An update/delete addresses an entity id that was never stored."""
+
+    code = "unknown-entity"
+
+
+class OverloadedError(IngestError):
+    """Backpressure: the pending queue is at its admission bound.
+
+    This is the *explicit* overload outcome — the caller must back off
+    and resubmit; nothing was enqueued, quarantined, or dropped.
+    """
+
+    code = "overloaded"

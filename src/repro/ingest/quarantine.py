@@ -1,0 +1,90 @@
+"""Quarantine (dead-letter) store for rejected ingest requests.
+
+A hardened ingest path must not silently drop malformed input: the
+pipeline diverts every request that fails validation or application
+into this store, together with the typed error that refused it.  An
+operator (or a repair job) inspects the entries, fixes the rows, and
+:meth:`~repro.ingest.pipeline.IngestPipeline.requeue`\\ s them — the
+quarantine keeps the per-entity attempt count so repeated failures are
+visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ingest.errors import IngestError
+    from repro.ingest.pipeline import IngestRequest
+
+
+@dataclass
+class QuarantinedEntity:
+    """One dead-lettered request and why it was refused."""
+
+    request: "IngestRequest"
+    #: stable error code of the refusing :class:`IngestError`
+    code: str
+    #: human-readable reason (the error message)
+    reason: str
+    #: how many times this entity has been quarantined (requeue + fail
+    #: again increments it)
+    attempts: int = 1
+
+
+class QuarantineStore:
+    """Dead-letter storage, addressable by entity id.
+
+    One entry per entity id: a second failure for the same id replaces
+    the stored request and bumps ``attempts`` (the newest version of a
+    row is the one worth repairing).
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[int, QuarantinedEntity] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, eid: int) -> bool:
+        return eid in self._entries
+
+    def __iter__(self) -> Iterator[QuarantinedEntity]:
+        return iter(self._entries.values())
+
+    def add(self, request: "IngestRequest", error: "IngestError") -> QuarantinedEntity:
+        """Dead-letter a request; returns the (new or updated) entry."""
+        previous = self._entries.get(request.eid)
+        entry = QuarantinedEntity(
+            request=request,
+            code=error.code,
+            reason=str(error),
+            attempts=previous.attempts + 1 if previous is not None else 1,
+        )
+        self._entries[request.eid] = entry
+        return entry
+
+    def get(self, eid: int) -> Optional[QuarantinedEntity]:
+        return self._entries.get(eid)
+
+    def take(self, eid: int) -> QuarantinedEntity:
+        """Remove and return an entry (the requeue path)."""
+        try:
+            return self._entries.pop(eid)
+        except KeyError:
+            raise KeyError(f"entity {eid} is not quarantined") from None
+
+    def restore(self, entry: QuarantinedEntity) -> None:
+        """Put a taken entry back unchanged (requeue bounced on overload)."""
+        self._entries[entry.request.eid] = entry
+
+    def entity_ids(self) -> tuple[int, ...]:
+        return tuple(self._entries)
+
+    def summary(self) -> dict[str, int]:
+        """Entry count per error code, for reports and the CLI."""
+        counts: dict[str, int] = {}
+        for entry in self._entries.values():
+            counts[entry.code] = counts.get(entry.code, 0) + 1
+        return counts

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import Callable, Optional, Sequence, TYPE_CHECKING
 
 from repro.core.outcomes import Move
 from repro.core.rating import rate_fast
@@ -41,15 +41,38 @@ class MergeReport:
     moves: list[Move] = field(default_factory=list)
     #: source partitions dropped after their members moved out
     dropped_partitions: list[int] = field(default_factory=list)
+    #: candidates left unmerged while the efficiency guard was armed
+    #: (no host passed the rating, capacity, and workload checks)
+    skipped_for_workload: int = 0
 
     @property
     def merge_count(self) -> int:
         return len(self.merged)
 
 
+def _workload_distinguishes(
+    source_mask: int, target_mask: int, query_masks: Sequence[int]
+) -> bool:
+    """True when some workload query touches exactly one of the two.
+
+    Merging ``source`` into ``target`` replaces reads of one partition
+    with reads of their union; a query that touched only one of them
+    would afterwards scan both, so the Definition 1 efficiency of the
+    workload would drop.  When no query distinguishes the pair, every
+    query reads exactly as much data after the merge as before and the
+    efficiency is unchanged.
+    """
+    for query in query_masks:
+        if bool(query & source_mask) != bool(query & target_mask):
+            return True
+    return False
+
+
 def merge_small_partitions(
     partitioner: "CinderellaPartitioner",
     min_fill: float = 0.25,
+    query_masks: Optional[Sequence[int]] = None,
+    crash_hook: Optional[Callable[[str], None]] = None,
 ) -> MergeReport:
     """Merge partitions filled below ``min_fill · B`` into rated hosts.
 
@@ -59,6 +82,13 @@ def merge_small_partitions(
     small but schema-unique — exactly the case where merging would hurt
     pruning).  Returns a :class:`MergeReport` whose ``moves`` the physical
     table layer must replay.
+
+    ``query_masks`` arms the *efficiency guard*: a merge is only taken
+    when no workload query distinguishes source from target, so the
+    Definition 1 efficiency over that workload can never drop below its
+    pre-merge value.  ``crash_hook`` is the transactional layer's step
+    hook (see :mod:`repro.txn.ops`) — call
+    :func:`repro.txn.ops.atomic_merge` instead of passing it directly.
     """
     if not 0.0 < min_fill <= 1.0:
         raise ValueError(f"min_fill must lie in (0, 1], got {min_fill}")
@@ -84,6 +114,10 @@ def merge_small_partitions(
                 continue
             if target.total_size + source.total_size > config.max_partition_size:
                 continue
+            if query_masks is not None and _workload_distinguishes(
+                source.mask, target.mask, query_masks
+            ):
+                continue
             rating = rate_fast(
                 source.mask,
                 source.attr_count,
@@ -97,6 +131,8 @@ def merge_small_partitions(
                 best_rating = rating
                 best_pid = target.pid
         if best_pid is None or best_rating < 0.0:
+            if query_masks is not None:
+                report.skipped_for_workload += 1
             continue
         # relocate every member through the catalog API (keeps synopses,
         # sizes, location map, and the synopsis index exact)
@@ -104,7 +140,11 @@ def merge_small_partitions(
             catalog.remove_entity(eid, repair_starters=False)
             catalog.add_entity(best_pid, eid, mask, size)
             report.moves.append(Move(eid, source_pid, best_pid))
+            if crash_hook is not None:
+                crash_hook("merge:member-moved")
         catalog.drop_partition(source_pid)
+        if crash_hook is not None:
+            crash_hook("merge:source-dropped")
         merged_away.add(source_pid)
         report.merged.append((source_pid, best_pid))
         report.dropped_partitions.append(source_pid)

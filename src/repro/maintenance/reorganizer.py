@@ -12,7 +12,7 @@ slate, and reports how much the Definition 1 efficiency changed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.core.config import CinderellaConfig
 from repro.core.efficiency import catalog_efficiency
@@ -41,6 +41,7 @@ def reorganize(
     config: Optional[CinderellaConfig] = None,
     query_masks: Optional[Sequence[int]] = None,
     order: str = "size",
+    crash_hook: Optional[Callable[[str], None]] = None,
 ) -> ReorganizationReport:
     """Rebuild the partitioning with a fresh Cinderella run.
 
@@ -54,6 +55,11 @@ def reorganize(
         order: replay order — ``"size"`` feeds large-synopsis entities
             first (they make better early split starters), ``"stored"``
             preserves the current partition-by-partition order.
+        crash_hook: step hook of the transactional layer, fired once
+            per replayed entity.  The rebuild only touches the fresh
+            scratch partitioner, so a crash here strands nothing; use
+            :func:`repro.txn.ops.atomic_reorganize` to also swap the
+            result in atomically.
 
     Returns:
         A report carrying the fresh partitioner and the efficiency delta.
@@ -71,6 +77,8 @@ def reorganize(
     fresh = CinderellaPartitioner(config if config is not None else partitioner.config)
     for eid, mask, _size in entities:
         fresh.insert(eid, mask)
+        if crash_hook is not None:
+            crash_hook("reorganize:replayed-entity")
 
     efficiency_before = None
     efficiency_after = None

@@ -81,6 +81,51 @@ class FaultToleranceCounters:
 
 
 @dataclass
+class RobustnessCounters:
+    """Counters of the transactional-maintenance and hardened-ingest layer.
+
+    The maintenance half counts journaled catalog operations (inserts
+    that split, merge passes, reorganizations) and how they ended;
+    every crash or validation failure that rolled back cleanly shows up
+    in ``ops_rolled_back`` — an operation that neither committed nor
+    rolled back is a bug.  The ingest half makes admission outcomes
+    observable: how many entities were accepted, rejected into
+    quarantine, bounced by backpressure (``ingest_overloaded``), or
+    recognized as idempotent replays (``ingest_replayed``).
+    """
+
+    # transactional maintenance operations
+    ops_started: int = 0
+    ops_committed: int = 0
+    ops_rolled_back: int = 0
+    op_steps: int = 0
+    # ingest admission
+    ingest_accepted: int = 0
+    ingest_rejected: int = 0
+    ingest_quarantined: int = 0
+    ingest_requeued: int = 0
+    ingest_replayed: int = 0
+    ingest_overloaded: int = 0
+    queue_high_watermark: int = 0
+
+    def observe_queue_depth(self, depth: int) -> None:
+        if depth > self.queue_high_watermark:
+            self.queue_high_watermark = depth
+
+    def as_dict(self) -> dict[str, int]:
+        """All counters, for reports and CLIs."""
+        return {
+            name: getattr(self, name)
+            for name in (
+                "ops_started", "ops_committed", "ops_rolled_back", "op_steps",
+                "ingest_accepted", "ingest_rejected", "ingest_quarantined",
+                "ingest_requeued", "ingest_replayed", "ingest_overloaded",
+                "queue_high_watermark",
+            )
+        }
+
+
+@dataclass
 class TelemetryCollector:
     """Samples a partitioner every ``interval`` observed operations.
 

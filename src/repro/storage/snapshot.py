@@ -274,6 +274,7 @@ def save_store(store, path: Union[str, Path]) -> None:
             "unhosted": sorted(cluster.unhosted_partitions()),
         },
         "wal_seq": store.wal.last_seq if store.wal is not None else 0,
+        "applied_op_ids": sorted(store.applied_op_ids),
     }
     _write_document(document, path)
 
@@ -344,6 +345,8 @@ def load_store(store_path: Union[str, Path], network=None):
                 node.partitions.add(pid)
                 node.load += sizes[pid]
         wal_seq = document["wal_seq"]
+        # absent in pre-ingest-hardening snapshots — default to empty
+        store.applied_op_ids = set(document.get("applied_op_ids", ()))
     except (KeyError, TypeError, IndexError, ValueError) as error:
         if isinstance(error, SnapshotFormatError):
             raise

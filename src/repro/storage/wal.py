@@ -22,18 +22,39 @@ WAL rules: a torn *tail* (half-written last record, the normal result
 of crashing mid-append) is silently truncated; corruption anywhere
 *before* the tail means the file cannot be trusted and raises
 :class:`WALFormatError`.
+
+Durability and growth control:
+
+* ``append(..., sync=True)`` forces an ``fsync`` after the write — the
+  operation journal uses it for intent and commit records, so a commit
+  that returned is on disk even across an OS crash.
+* :meth:`WriteAheadLog.compact` rewrites the log without records that
+  no longer affect replay (operation-journal step chatter and the
+  begin/abort markers of finished operations).  Sequence numbers are
+  preserved; the header records the compaction count, and readers of a
+  compacted log accept sequence gaps (strictly increasing) where an
+  uncompacted log must be gap-free.
+* ``max_bytes`` arms size-threshold rotation: when an append pushes the
+  file past the limit, the log compacts itself automatically.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Union
+from typing import Any, Callable, Optional, Union
 
 WAL_FORMAT = "repro-wal"
 WAL_VERSION = 1
+
+#: operation-journal record types (see :mod:`repro.txn.journal`)
+JOURNAL_BEGIN = "op_begin"
+JOURNAL_STEP = "op_step"
+JOURNAL_COMMIT = "op_commit"
+JOURNAL_ABORT = "op_abort"
 
 
 class WALFormatError(ValueError):
@@ -75,13 +96,10 @@ def _decode_line(line: str) -> WALRecord:
         raise WALFormatError(f"malformed WAL record: {error}") from error
 
 
-def read_wal(path: Union[str, Path]) -> tuple[int, list[WALRecord], int]:
-    """Read a WAL file; return ``(basis_seq, records, torn_lines)``.
-
-    ``torn_lines`` counts trailing lines dropped as a torn tail (0 or
-    1 — only the final line may be torn).  Corruption before the final
-    line raises :class:`WALFormatError`.
-    """
+def _read_wal_full(
+    path: Union[str, Path]
+) -> tuple[dict[str, Any], list[WALRecord], int]:
+    """Read a WAL file; return ``(header_payload, records, torn_lines)``."""
     try:
         text = Path(path).read_text(encoding="utf-8")
     except OSError as error:
@@ -116,76 +134,184 @@ def read_wal(path: Union[str, Path]) -> tuple[int, list[WALRecord], int]:
     basis_seq = header.payload.get("basis_seq")
     if not isinstance(basis_seq, int):
         raise WALFormatError("WAL header lacks a basis_seq")
+    compacted = header.payload.get("compactions", 0)
     expected = basis_seq
     for record in records:
-        expected += 1
-        if record.seq != expected:
-            raise WALFormatError(
-                f"WAL sequence gap: expected {expected}, found {record.seq}"
-            )
-    return basis_seq, records, torn
+        if compacted:
+            # compaction removes records but preserves numbering: the
+            # remaining sequence must still be strictly increasing
+            if record.seq <= expected:
+                raise WALFormatError(
+                    f"WAL sequence regression: {record.seq} after {expected}"
+                )
+            expected = record.seq
+        else:
+            expected += 1
+            if record.seq != expected:
+                raise WALFormatError(
+                    f"WAL sequence gap: expected {expected}, found {record.seq}"
+                )
+    return header.payload, records, torn
+
+
+def read_wal(path: Union[str, Path]) -> tuple[int, list[WALRecord], int]:
+    """Read a WAL file; return ``(basis_seq, records, torn_lines)``.
+
+    ``torn_lines`` counts trailing lines dropped as a torn tail (0 or
+    1 — only the final line may be torn).  Corruption before the final
+    line raises :class:`WALFormatError`.
+    """
+    header, records, torn = _read_wal_full(path)
+    return header["basis_seq"], records, torn
+
+
+def journal_droppable(
+    records: list[WALRecord],
+) -> Callable[[WALRecord], bool]:
+    """The default compaction policy: drop operation-journal chatter.
+
+    Replay only acts on ``op_commit`` records (an operation without a
+    commit is rolled back, never re-applied), so ``op_step`` records are
+    always dead weight and ``op_begin``/``op_abort`` pairs of *finished*
+    operations carry no recovery information.  An ``op_begin`` without a
+    terminal record is kept — it marks an interrupted operation, which
+    :meth:`repro.txn.journal.OperationJournal.incomplete_ops` reports.
+    """
+    finished = {
+        record.payload.get("op_id")
+        for record in records
+        if record.op in (JOURNAL_COMMIT, JOURNAL_ABORT)
+    }
+
+    def droppable(record: WALRecord) -> bool:
+        if record.op == JOURNAL_STEP:
+            return True
+        if record.op in (JOURNAL_BEGIN, JOURNAL_ABORT):
+            return record.payload.get("op_id") in finished
+        return False
+
+    return droppable
 
 
 class WriteAheadLog:
-    """Append-only journal with checkpoint truncation.
+    """Append-only journal with checkpoint truncation and compaction.
 
     Opening an existing file resumes appending after its last intact
     record (a torn tail is truncated on open).  ``append`` flushes to
-    the OS on every record — the write-ahead guarantee this simulation
-    models.
+    the OS on every record and additionally fsyncs when ``sync=True`` —
+    the write-ahead guarantee for commit records.  With ``max_bytes``
+    set, the log compacts itself whenever an append pushes the file
+    past the limit.
     """
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    def __init__(
+        self,
+        path: Union[str, Path],
+        max_bytes: Optional[int] = None,
+    ) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
         self.path = Path(path)
+        self.max_bytes = max_bytes
         self.torn_records_dropped = 0
+        #: fsync calls performed (commit-record durability)
+        self.syncs = 0
+        #: compaction passes performed over this handle's lifetime
+        self.compactions = 0
         if self.path.exists() and self.path.stat().st_size:
-            basis, records, torn = read_wal(self.path)
-            self.basis_seq = basis
-            self.last_seq = records[-1].seq if records else basis
+            header, records, torn = _read_wal_full(self.path)
+            self.basis_seq = header["basis_seq"]
+            self.compactions = header.get("compactions", 0)
+            tail_seq = records[-1].seq if records else self.basis_seq
+            self.last_seq = max(tail_seq, header.get("last_seq", 0))
             self.torn_records_dropped = torn
             if torn:
-                self._rewrite(basis, records)
+                self._rewrite(self.basis_seq, records)
         else:
             self.basis_seq = 0
             self.last_seq = 0
             self._rewrite(0, [])
         self._handle = self.path.open("a", encoding="utf-8")
 
-    def _rewrite(
-        self, basis_seq: int, records: list[WALRecord]
-    ) -> None:
-        """Atomically rewrite the log (open, torn-tail repair, reset)."""
+    def _rewrite(self, basis_seq: int, records: list[WALRecord]) -> None:
+        """Atomically rewrite the log (open, torn-tail repair, reset,
+        compaction)."""
         temporary = self.path.with_suffix(self.path.suffix + ".tmp")
         with temporary.open("w", encoding="utf-8") as handle:
             handle.write(_encode_line(0, "header", {
                 "format": WAL_FORMAT,
                 "version": WAL_VERSION,
                 "basis_seq": basis_seq,
+                "compactions": self.compactions,
+                "last_seq": getattr(self, "last_seq", 0),
             }))
             for record in records:
                 handle.write(_encode_line(record.seq, record.op, record.payload))
+            handle.flush()
+            os.fsync(handle.fileno())
         temporary.replace(self.path)
 
-    def append(self, op: str, payload: dict[str, Any]) -> int:
-        """Journal one operation; returns its sequence number."""
+    def append(self, op: str, payload: dict[str, Any], sync: bool = False) -> int:
+        """Journal one operation; returns its sequence number.
+
+        ``sync=True`` forces the record to stable storage (fsync) before
+        returning — required for operation-journal intent and commit
+        records, whose durability the atomicity guarantee rests on.
+        """
         seq = self.last_seq + 1
         self._handle.write(_encode_line(seq, op, payload))
         self._handle.flush()
+        if sync:
+            os.fsync(self._handle.fileno())
+            self.syncs += 1
         self.last_seq = seq
+        if (
+            self.max_bytes is not None
+            and self.path.stat().st_size > self.max_bytes
+        ):
+            self.compact()
         return seq
+
+    def size_bytes(self) -> int:
+        """Current on-disk size of the log file."""
+        return self.path.stat().st_size
 
     def records(self) -> list[WALRecord]:
         """All intact records currently in the file (excludes header)."""
         _basis, records, _torn = read_wal(self.path)
         return records
 
+    def compact(
+        self, droppable: Optional[Callable[[WALRecord], bool]] = None
+    ) -> int:
+        """Rewrite the log without replay-dead records; returns the
+        number of records dropped.
+
+        The default policy is :func:`journal_droppable`.  Sequence
+        numbers of surviving records are preserved (the header keeps
+        ``last_seq`` so appends continue from the right position), so a
+        companion snapshot's journal position stays valid.
+        """
+        records = self.records()
+        predicate = droppable if droppable is not None else journal_droppable(records)
+        kept = [record for record in records if not predicate(record)]
+        dropped = len(records) - len(kept)
+        if dropped == 0:
+            return 0
+        self._handle.close()
+        self.compactions += 1
+        self._rewrite(self.basis_seq, kept)
+        self._handle = self.path.open("a", encoding="utf-8")
+        return dropped
+
     def reset(self, basis_seq: int) -> None:
         """Checkpoint truncation: drop all records, remember that the
         companion snapshot covers everything up to *basis_seq*."""
         self._handle.close()
+        self.compactions = 0
+        self.last_seq = basis_seq
         self._rewrite(basis_seq, [])
         self.basis_seq = basis_seq
-        self.last_seq = basis_seq
         self._handle = self.path.open("a", encoding="utf-8")
 
     def close(self) -> None:

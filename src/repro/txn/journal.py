@@ -1,0 +1,119 @@
+"""The operation journal: durable intent/step/commit records.
+
+Multi-step catalog operations (split-carrying inserts, merge passes,
+reorganizations) journal their lifecycle to the coordinator's
+write-ahead log:
+
+* ``op_begin`` — the *intent* record, fsynced before the first catalog
+  mutation.  It names the operation kind and its deterministic
+  parameters.
+* ``op_step`` — optional progress markers (not fsynced; they exist for
+  observability and are dropped by compaction).
+* ``op_commit`` — the *atomic commit point*, fsynced.  WAL replay
+  re-applies an operation if and only if its commit record is present;
+  an ``op_begin`` without a commit is an interrupted operation whose
+  effects were rolled back in memory and were never replayed into a
+  recovered coordinator.
+* ``op_abort`` — written on a clean rollback (validation failure, host
+  error).  A *crash* mid-operation writes nothing — that is the point:
+  absence of the commit record already means "not applied".
+
+Operation ids are deterministic (``op-<n>`` with ``n`` monotonic per
+log), so recovery and replay assign the same ids as the original run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.storage.wal import (
+    JOURNAL_ABORT,
+    JOURNAL_BEGIN,
+    JOURNAL_COMMIT,
+    JOURNAL_STEP,
+    WALRecord,
+    WriteAheadLog,
+)
+
+
+class OperationJournal:
+    """Intent/step/commit journaling over a :class:`WriteAheadLog`."""
+
+    def __init__(self, wal: WriteAheadLog) -> None:
+        self.wal = wal
+        self._next_op = self._scan_next_op_number()
+
+    def _scan_next_op_number(self) -> int:
+        """Resume the op-id counter after the last id already journaled."""
+        highest = 0
+        for record in self.wal.records():
+            op_id = record.payload.get("op_id")
+            if isinstance(op_id, str) and op_id.startswith("op-"):
+                try:
+                    highest = max(highest, int(op_id[3:]))
+                except ValueError:
+                    continue
+        return highest + 1
+
+    # ------------------------------------------------------------------
+    # lifecycle records
+    # ------------------------------------------------------------------
+    def begin(self, kind: str, params: Optional[dict[str, Any]] = None) -> str:
+        """Write the fsynced intent record; returns the operation id."""
+        op_id = f"op-{self._next_op}"
+        self._next_op += 1
+        payload = {"op_id": op_id, "kind": kind}
+        if params:
+            payload["params"] = params
+        self.wal.append(JOURNAL_BEGIN, payload, sync=True)
+        return op_id
+
+    def step(self, op_id: str, index: int, label: str) -> None:
+        """Write a progress marker (flushed, not fsynced)."""
+        self.wal.append(
+            JOURNAL_STEP, {"op_id": op_id, "index": index, "label": label}
+        )
+
+    def commit(
+        self, op_id: str, kind: str, params: Optional[dict[str, Any]] = None
+    ) -> None:
+        """Write the fsynced commit record — the atomic durability point.
+
+        The commit repeats ``kind`` and ``params`` so replay can re-run
+        the operation from the commit record alone, even after
+        compaction dropped the begin record.
+        """
+        payload = {"op_id": op_id, "kind": kind}
+        if params:
+            payload["params"] = params
+        self.wal.append(JOURNAL_COMMIT, payload, sync=True)
+
+    def abort(self, op_id: str, reason: str) -> None:
+        """Record a clean rollback (crashes write nothing, by design)."""
+        self.wal.append(
+            JOURNAL_ABORT, {"op_id": op_id, "reason": reason}, sync=True
+        )
+
+    # ------------------------------------------------------------------
+    # recovery-side inspection
+    # ------------------------------------------------------------------
+    @staticmethod
+    def incomplete_ops(records: list[WALRecord]) -> list[dict[str, Any]]:
+        """Begin payloads of operations with no commit/abort record.
+
+        These are the operations a crash interrupted: recovery skips
+        them (their effects were never durable) and reports them so the
+        operator knows a maintenance pass needs re-running.
+        """
+        terminal: set[str] = set()
+        begun: dict[str, dict[str, Any]] = {}
+        for record in records:
+            op_id = record.payload.get("op_id")
+            if record.op == JOURNAL_BEGIN and isinstance(op_id, str):
+                begun[op_id] = record.payload
+            elif record.op in (JOURNAL_COMMIT, JOURNAL_ABORT):
+                if isinstance(op_id, str):
+                    terminal.add(op_id)
+        return [
+            payload for op_id, payload in begun.items() if op_id not in terminal
+        ]

@@ -105,6 +105,11 @@ def drive_chaos(store, schedule, check_queries=True, repair_interval=25):
                 f"repair pass at op {op_index} left partitions "
                 f"under-replicated: {report}"
             )
+            # every repair pass must hand back a structurally sound
+            # catalog — repair fixes placement, never corrupts the logic
+            assert store.partitioner.check_invariants() == [], (
+                f"repair pass at op {op_index} broke catalog invariants"
+            )
         if op_index % 50 == 49:
             assert store.check_placement() == []
             assert store.partitioner.check_invariants() == []

@@ -1,0 +1,243 @@
+"""Tests for the hardened ingest pipeline: validation, quarantine,
+backpressure, and idempotent retry."""
+
+import pytest
+
+from repro.core.config import CinderellaConfig
+from repro.core.partitioner import CinderellaPartitioner
+from repro.distributed.store import DistributedUniversalStore
+from repro.ingest import (
+    APPLIED,
+    DuplicateEntityError,
+    EmptySynopsisError,
+    IngestPipeline,
+    IngestRequest,
+    InvalidEntityIdError,
+    InvalidEntitySizeError,
+    OVERLOADED,
+    OverloadedError,
+    QUARANTINED,
+    QuarantinedEntityError,
+    QUEUED,
+    REPLAYED,
+    UnknownAttributeError,
+    UnknownEntityError,
+)
+
+UNIVERSE = 0xFF
+
+
+def make_pipeline(**kwargs):
+    partitioner = CinderellaPartitioner(
+        CinderellaConfig(max_partition_size=6, weight=0.4)
+    )
+    kwargs.setdefault("attribute_universe", UNIVERSE)
+    return IngestPipeline(partitioner, **kwargs), partitioner
+
+
+def loaded_pipeline(**kwargs):
+    pipe, partitioner = make_pipeline(**kwargs)
+    for eid in range(10):
+        result = pipe.ingest(
+            IngestRequest("insert", eid, 0b0011 if eid % 2 else 0b1100)
+        )
+        assert result.status == APPLIED
+    return pipe, partitioner
+
+
+class TestMalformedInputRejection:
+    """Satellite (d): every malformed input gets a typed error."""
+
+    def test_empty_synopsis_rejected(self):
+        pipe, partitioner = make_pipeline()
+        result = pipe.ingest(IngestRequest("insert", 1, 0))
+        assert result.status == QUARANTINED
+        assert isinstance(result.error, EmptySynopsisError)
+        assert result.error.code == "empty-synopsis"
+        assert not partitioner.catalog.has_entity(1)
+
+    def test_negative_size_rejected(self):
+        pipe, _ = make_pipeline()
+        result = pipe.ingest(
+            IngestRequest("insert", 1, 0b11, payload_bytes=-4)
+        )
+        assert isinstance(result.error, InvalidEntitySizeError)
+
+    def test_non_numeric_size_rejected(self):
+        pipe, _ = make_pipeline()
+        result = pipe.ingest(
+            IngestRequest("insert", 1, 0b11, payload_bytes="large")
+        )
+        assert isinstance(result.error, InvalidEntitySizeError)
+
+    def test_bad_entity_id_rejected(self):
+        pipe, _ = make_pipeline()
+        for bad in (-1, "seven", 2.5, True, None):
+            result = pipe.ingest(IngestRequest("insert", bad, 0b11))
+            assert isinstance(result.error, InvalidEntityIdError), bad
+
+    def test_undeclared_attribute_bits_rejected(self):
+        pipe, _ = make_pipeline()
+        result = pipe.ingest(IngestRequest("insert", 1, 0b1 | (1 << 40)))
+        assert isinstance(result.error, UnknownAttributeError)
+
+    def test_duplicate_eid_on_load_rejected(self):
+        pipe, partitioner = make_pipeline()
+        results = pipe.load([(1, 0b11), (2, 0b11), (1, 0b1100)])
+        assert [r.status for r in results] == [APPLIED, APPLIED, QUARANTINED]
+        assert isinstance(results[2].error, DuplicateEntityError)
+        # the first version of entity 1 is untouched
+        assert partitioner.catalog.has_entity(1)
+        assert partitioner.check_invariants() == []
+
+    def test_update_of_quarantined_entity_rejected(self):
+        pipe, _ = make_pipeline()
+        pipe.ingest(IngestRequest("insert", 5, 0))  # lands in quarantine
+        result = pipe.ingest(IngestRequest("update", 5, 0b11))
+        assert isinstance(result.error, QuarantinedEntityError)
+
+    def test_update_of_unknown_entity_rejected(self):
+        pipe, _ = make_pipeline()
+        result = pipe.ingest(IngestRequest("update", 404, 0b11))
+        assert isinstance(result.error, UnknownEntityError)
+
+    def test_strict_mode_raises_instead_of_quarantining(self):
+        pipe, _ = make_pipeline(strict=True)
+        with pytest.raises(EmptySynopsisError):
+            pipe.ingest(IngestRequest("insert", 1, 0))
+        assert len(pipe.quarantine) == 0
+        assert pipe.counters.ingest_rejected == 1
+
+
+class TestQuarantine:
+    def test_rejected_requests_are_dead_lettered_not_dropped(self):
+        pipe, _ = make_pipeline()
+        pipe.ingest(IngestRequest("insert", 1, 0))
+        pipe.ingest(IngestRequest("insert", 2, 0b11, payload_bytes=-1))
+        assert len(pipe.quarantine) == 2
+        assert pipe.quarantine.summary() == {
+            "empty-synopsis": 1, "invalid-entity-size": 1,
+        }
+        entry = pipe.quarantine.get(1)
+        assert entry.request.eid == 1
+        assert "empty synopsis" in entry.reason
+
+    def test_requeue_of_repaired_request(self):
+        pipe, partitioner = make_pipeline()
+        pipe.ingest(IngestRequest("insert", 1, 0))
+        entry = pipe.quarantine.take(1)
+        repaired = IngestRequest("insert", 1, 0b11)
+        pipe.quarantine.add(repaired, EmptySynopsisError("original failure"))
+        result = pipe.requeue(1)
+        assert result.status == QUEUED
+        assert pipe.process()[0].status == APPLIED
+        assert partitioner.catalog.has_entity(1)
+        assert len(pipe.quarantine) == 0
+        assert pipe.counters.ingest_requeued == 1
+
+    def test_requeue_of_still_broken_request_goes_back(self):
+        pipe, _ = make_pipeline()
+        pipe.ingest(IngestRequest("insert", 1, 0))
+        result = pipe.requeue(1)
+        assert result.status == QUARANTINED
+        assert pipe.quarantine.get(1).attempts == 2
+
+    def test_requeue_unknown_entity_raises(self):
+        pipe, _ = make_pipeline()
+        with pytest.raises(KeyError):
+            pipe.requeue(42)
+
+
+class TestBackpressure:
+    def test_overload_is_explicit_and_lossless(self):
+        pipe, _ = make_pipeline(max_pending=3)
+        for eid in range(3):
+            assert pipe.submit(IngestRequest("insert", eid, 0b11)).status == QUEUED
+        bounced = pipe.submit(IngestRequest("insert", 99, 0b11))
+        assert bounced.status == OVERLOADED
+        assert isinstance(bounced.error, OverloadedError)
+        # nothing enqueued, nothing quarantined
+        assert pipe.pending_count == 3
+        assert len(pipe.quarantine) == 0
+        assert pipe.counters.ingest_overloaded == 1
+        # draining reopens admission
+        results = pipe.process()
+        assert all(r.status == APPLIED for r in results)
+        assert pipe.submit(IngestRequest("insert", 99, 0b11)).status == QUEUED
+
+    def test_strict_overload_raises(self):
+        pipe, _ = make_pipeline(max_pending=1, strict=True)
+        pipe.submit(IngestRequest("insert", 1, 0b11))
+        with pytest.raises(OverloadedError):
+            pipe.submit(IngestRequest("insert", 2, 0b11))
+
+    def test_queue_high_watermark_recorded(self):
+        pipe, _ = make_pipeline(max_pending=8)
+        for eid in range(5):
+            pipe.submit(IngestRequest("insert", eid, 0b11))
+        pipe.process()
+        assert pipe.counters.queue_high_watermark == 5
+
+
+class TestIdempotentRetry:
+    def test_duplicate_op_id_is_acknowledged_not_reapplied(self):
+        pipe, partitioner = make_pipeline()
+        first = pipe.ingest(IngestRequest("insert", 1, 0b11, op_id="c-1"))
+        assert first.status == APPLIED
+        retry = pipe.ingest(IngestRequest("insert", 1, 0b11, op_id="c-1"))
+        assert retry.status == REPLAYED
+        assert partitioner.catalog.entity_count == 1
+        assert pipe.counters.ingest_replayed == 1
+
+    def test_pending_op_id_also_dedups(self):
+        pipe, _ = make_pipeline()
+        assert pipe.submit(
+            IngestRequest("insert", 1, 0b11, op_id="c-1")
+        ).status == QUEUED
+        assert pipe.submit(
+            IngestRequest("insert", 1, 0b11, op_id="c-1")
+        ).status == REPLAYED
+        assert pipe.pending_count == 1
+
+
+class TestStoreSink:
+    def test_pipeline_feeds_distributed_store(self):
+        store = DistributedUniversalStore(
+            3,
+            CinderellaPartitioner(
+                CinderellaConfig(max_partition_size=6, weight=0.4)
+            ),
+            replication_factor=2,
+        )
+        pipe = IngestPipeline(store, attribute_universe=UNIVERSE)
+        results = pipe.load(
+            [(eid, 0b0011 if eid % 2 else 0b1100) for eid in range(20)]
+        )
+        assert all(r.status == APPLIED for r in results)
+        assert store.check_placement() == []
+        # op ids flow through to the store's idempotence layer
+        applied = pipe.ingest(
+            IngestRequest("insert", 50, 0b11, op_id="load-50")
+        )
+        assert applied.status == APPLIED
+        assert "load-50" in store.applied_op_ids
+        # counters are shared with the store by default
+        assert pipe.counters is store.robustness
+        assert store.robustness.ingest_accepted == 21
+
+    def test_rejections_never_reach_the_catalog(self):
+        store = DistributedUniversalStore(
+            3,
+            CinderellaPartitioner(
+                CinderellaConfig(max_partition_size=6, weight=0.4)
+            ),
+            replication_factor=2,
+        )
+        pipe = IngestPipeline(store, attribute_universe=UNIVERSE)
+        pipe.load([(1, 0b11), (2, 0), (3, 0b11, -9), (1, 0b1)])
+        assert store.catalog.entity_count == 1
+        assert store.check_placement() == []
+        assert store.partitioner.check_invariants() == []
+        # eid 2 (empty synopsis), eid 3 (bad size), eid 1's duplicate
+        assert len(pipe.quarantine) == 3
+        assert pipe.quarantine.summary()["duplicate-entity"] == 1

@@ -1,8 +1,11 @@
 """Tests for partition merging and offline reorganization."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.config import CinderellaConfig
+from repro.core.efficiency import catalog_efficiency
 from repro.core.partitioner import CinderellaPartitioner
 from repro.maintenance.merger import merge_small_partitions
 from repro.maintenance.reorganizer import reorganize
@@ -91,6 +94,89 @@ class TestMergeSmallPartitions:
         assert table.check_consistency() == []
         # data still retrievable
         assert table.get(0).attributes == {"c": 3, "d": 4}
+
+
+#: small attribute space keeps the search dense enough that merges,
+#: guard skips, and capacity refusals all actually occur
+_masks = st.integers(min_value=1, max_value=(1 << 6) - 1)
+
+
+@st.composite
+def merge_scenarios(draw):
+    """A partitioner history plus a workload and a merge threshold."""
+    inserts = draw(st.lists(_masks, min_size=5, max_size=60))
+    # delete a subset of the inserted entities (by index), but never all
+    delete_flags = draw(
+        st.lists(st.booleans(), min_size=len(inserts), max_size=len(inserts))
+    )
+    if all(delete_flags):
+        delete_flags[draw(st.integers(0, len(delete_flags) - 1))] = False
+    queries = draw(st.lists(_masks, min_size=1, max_size=6))
+    min_fill = draw(st.floats(min_value=0.1, max_value=1.0))
+    weight = draw(st.sampled_from([0.2, 0.4, 0.7]))
+    return inserts, delete_flags, queries, min_fill, weight
+
+
+class TestMergeEfficiencyProperty:
+    """Satellite property: a guarded merge pass never hurts the workload.
+
+    With ``query_masks`` armed, :func:`merge_small_partitions` only takes
+    a merge when no workload query distinguishes source from target —
+    every query then reads exactly as much data after the merge as
+    before, so the Definition 1 efficiency cannot drop.  (Without the
+    guard the property is false: merging a pair that some query tells
+    apart strictly increases that query's read cost.)
+    """
+
+    @settings(max_examples=60, deadline=None)
+    @given(merge_scenarios())
+    def test_efficiency_never_drops_and_capacity_holds(self, scenario):
+        inserts, delete_flags, queries, min_fill, weight = scenario
+        p = CinderellaPartitioner(
+            CinderellaConfig(max_partition_size=10, weight=weight)
+        )
+        for eid, mask in enumerate(inserts):
+            p.insert(eid, mask)
+        for eid, doomed in enumerate(delete_flags):
+            if doomed:
+                p.delete(eid)
+        entities_before = p.catalog.entity_count
+        efficiency_before = catalog_efficiency(p.catalog, queries)
+
+        report = merge_small_partitions(
+            p, min_fill=min_fill, query_masks=queries
+        )
+
+        efficiency_after = catalog_efficiency(p.catalog, queries)
+        assert efficiency_after >= efficiency_before - 1e-9, (
+            f"merge pass dropped efficiency {efficiency_before} -> "
+            f"{efficiency_after} ({report.merge_count} merges)"
+        )
+        limit = p.config.max_partition_size
+        for partition in p.catalog:
+            assert partition.total_size <= limit + 1e-9
+        assert p.catalog.entity_count == entities_before
+        assert p.check_invariants() == []
+
+    @settings(max_examples=30, deadline=None)
+    @given(merge_scenarios())
+    def test_guarded_merge_preserves_efficiency_exactly(self, scenario):
+        """The guard is not just a bound: every taken merge is invisible
+        to the workload, so efficiency is *unchanged*, not merely
+        non-decreasing."""
+        inserts, delete_flags, queries, min_fill, weight = scenario
+        p = CinderellaPartitioner(
+            CinderellaConfig(max_partition_size=10, weight=weight)
+        )
+        for eid, mask in enumerate(inserts):
+            p.insert(eid, mask)
+        for eid, doomed in enumerate(delete_flags):
+            if doomed:
+                p.delete(eid)
+        before = catalog_efficiency(p.catalog, queries)
+        merge_small_partitions(p, min_fill=min_fill, query_masks=queries)
+        after = catalog_efficiency(p.catalog, queries)
+        assert after == pytest.approx(before)
 
 
 class TestReorganize:

@@ -94,6 +94,125 @@ class TestWriteAheadLog:
         assert seq == 3  # sequence numbers continue across checkpoints
 
 
+class TestCompactionAndRotation:
+    def journaled_wal(self, tmp_path, **kwargs):
+        """A WAL carrying operation-journal chatter around real records."""
+        from repro.txn.journal import OperationJournal
+
+        wal = WriteAheadLog(tmp_path / "wal.log", **kwargs)
+        journal = OperationJournal(wal)
+        wal.append("insert", {"eid": 1, "mask": 0b11})
+        committed = journal.begin("merge", {"min_fill": 0.5})
+        for index in range(5):
+            journal.step(committed, index, "merge:member-moved")
+        journal.commit(committed, "merge", {"min_fill": 0.5})
+        aborted = journal.begin("reorganize", {"order": "size"})
+        journal.abort(aborted, "ValueError: nope")
+        interrupted = journal.begin("merge", {"min_fill": 0.9})
+        journal.step(interrupted, 0, "merge:member-moved")
+        wal.append("insert", {"eid": 2, "mask": 0b1100})
+        return wal
+
+    def test_compact_drops_journal_chatter_only(self, tmp_path):
+        wal = self.journaled_wal(tmp_path)
+        dropped = wal.compact()
+        # 6 step records + finished begin/abort markers (2 begins, 1 abort)
+        assert dropped == 9
+        ops = [r.op for r in wal.records()]
+        # real operations, the commit, and the *interrupted* begin survive
+        assert ops == ["insert", "op_commit", "op_begin", "insert"]
+
+    def test_compaction_preserves_sequence_numbers(self, tmp_path):
+        wal = self.journaled_wal(tmp_path)
+        before = {r.seq: r.op for r in wal.records()}
+        last = wal.last_seq
+        wal.compact()
+        for record in wal.records():
+            assert before[record.seq] == record.op
+        # appends continue from the pre-compaction position
+        assert wal.append("insert", {"eid": 3, "mask": 1}) == last + 1
+
+    def test_compacted_log_reopens_and_tolerates_gaps(self, tmp_path):
+        wal = self.journaled_wal(tmp_path)
+        wal.compact()
+        wal.close()
+        reopened = WriteAheadLog(tmp_path / "wal.log")
+        assert reopened.compactions == 1
+        assert [r.op for r in reopened.records()] == [
+            "insert", "op_commit", "op_begin", "insert",
+        ]
+
+    def test_uncompacted_log_still_rejects_gaps(self, tmp_path):
+        # compaction must not weaken gap detection for ordinary logs
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.append("insert", {"eid": 1, "mask": 1})
+        wal.append("insert", {"eid": 2, "mask": 1})
+        wal.close()
+        lines = (tmp_path / "wal.log").read_text().splitlines(keepends=True)
+        del lines[1]
+        (tmp_path / "wal.log").write_text("".join(lines))
+        with pytest.raises(WALFormatError):
+            read_wal(tmp_path / "wal.log")
+
+    def test_size_threshold_rotation(self, tmp_path):
+        from repro.txn.journal import OperationJournal
+
+        def run(wal):
+            journal = OperationJournal(wal)
+            for _round in range(30):
+                op = journal.begin("merge", {"min_fill": 0.5})
+                journal.step(op, 0, "merge:member-moved")
+                journal.commit(op, "merge", {"min_fill": 0.5})
+
+        rotated = WriteAheadLog(tmp_path / "rotated.log", max_bytes=2_000)
+        run(rotated)
+        unbounded = WriteAheadLog(tmp_path / "unbounded.log")
+        run(unbounded)
+        assert rotated.compactions > 0, "rotation never triggered"
+        # rotation keeps only commit records (plus the most recent,
+        # not-yet-compacted chatter) — strictly smaller than unbounded
+        assert rotated.size_bytes() < unbounded.size_bytes() * 0.6
+        # every commit survives compaction — replay stays complete
+        commits = [r for r in rotated.records() if r.op == "op_commit"]
+        assert len(commits) == 30
+
+    def test_sync_appends_are_counted(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.append("insert", {"eid": 1, "mask": 1})
+        wal.append("op_commit", {"op_id": "op-1", "kind": "merge"}, sync=True)
+        assert wal.syncs == 1
+
+    def test_recovery_from_compacted_wal_is_exact(self, tmp_path):
+        """Checkpoint + compacted WAL recovers the same store state."""
+        store, wal = make_store(tmp_path)
+        for eid in range(20):
+            store.insert(eid, 0b11 if eid % 2 else 0b1100)
+        store.checkpoint(tmp_path / "snap.json")
+        for eid in range(10):
+            store.delete(eid)
+        store.merge_small(0.9)  # journaled: begin/steps/commit in the WAL
+        wal.compact()
+        recovered = DistributedUniversalStore.recover(
+            tmp_path / "snap.json", tmp_path / "wal.log"
+        )
+
+        def sig(s):
+            return (
+                sorted((p.pid, p.mask, tuple(p.members())) for p in s.catalog),
+                {
+                    pid: s.cluster.replica_nodes(pid)
+                    for pid in s.cluster.partition_ids()
+                },
+            )
+
+        assert sig(recovered) == sig(store)
+        assert recovered.check_placement() == []
+
+    def test_invalid_max_bytes_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            WriteAheadLog(tmp_path / "wal.log", max_bytes=0)
+
+
 class TestJournaledStore:
     def test_operations_are_journaled(self, tmp_path):
         store, wal = make_store(tmp_path)
