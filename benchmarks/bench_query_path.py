@@ -1,0 +1,174 @@
+"""Query-path throughput benchmark and CI perf-regression gate.
+
+Measures three executions of the same repeated selective-query workload
+over one DBpedia-style load:
+
+* **naive full scan** — every partition scanned, no pruning, no cache
+  (:meth:`CinderellaTable.execute_naive`), the paper's unoptimized
+  baseline;
+* **pruned, uncached** — inverted synopsis-index pruning only;
+* **pruned + cached** — pruning plus the partition-granular result
+  cache (repeat rounds hit the cache).
+
+``python benchmarks/bench_query_path.py --record`` re-measures and
+rewrites the committed baseline ``BENCH_query_path.json`` at the repo
+root.  The pytest gate (run as
+``PYTHONPATH=src python -m pytest benchmarks/bench_query_path.py``)
+re-measures and fails on a **>25 % regression** of the cached-vs-naive
+speedup against that baseline.  Gating on the *relative* speedup —
+both sides measured in the same process on the same machine — keeps the
+gate meaningful across hardware, unlike absolute queries/sec.
+
+The workload is fully seeded; ``benchmarks/conftest.py`` pins
+``WORKLOAD_SEED`` and the deterministic hypothesis profile.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.config import CinderellaConfig
+from repro.query.cache import QueryResultCache
+from repro.table.partitioned import CinderellaTable
+from repro.workloads.dbpedia import generate_dbpedia_persons
+from repro.workloads.querygen import build_query_workload, representative_queries
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_query_path.json"
+
+#: workload shape — identical for recording and gating
+N_ENTITIES = 4_000
+MAX_PARTITION_SIZE = 400.0
+WEIGHT = 0.3
+ROUNDS = 5
+N_QUERIES = 20
+SEED = 42
+
+#: the gate: cached speedup may lose at most 25 % vs. the baseline
+REGRESSION_TOLERANCE = 0.25
+#: ISSUE 3 acceptance: cached beats naive by at least this factor
+MIN_CACHED_SPEEDUP = 2.0
+
+
+def _load_table(use_cache: bool) -> tuple[CinderellaTable, list]:
+    dataset = generate_dbpedia_persons(n_entities=N_ENTITIES, seed=SEED)
+    table = CinderellaTable(
+        CinderellaConfig(
+            max_partition_size=MAX_PARTITION_SIZE,
+            weight=WEIGHT,
+            use_synopsis_index=True,
+        ),
+        result_cache=QueryResultCache() if use_cache else None,
+    )
+    for entity in dataset.entities:
+        table.insert(entity.attributes, entity_id=entity.entity_id)
+    masks = [e.synopsis_mask(table.dictionary) for e in dataset.entities]
+    specs = build_query_workload(masks, table.dictionary, max_triples=50)
+    queries = [
+        spec.query
+        for spec in representative_queries(specs, per_bucket=2)
+        if spec.selectivity < 0.5
+    ][:N_QUERIES]
+    return table, queries
+
+
+def _throughput(execute, queries, rounds: int) -> float:
+    """Repeated-workload throughput in queries/second."""
+    executed = 0
+    started = time.perf_counter()
+    for _ in range(rounds):
+        for query in queries:
+            execute(query)
+            executed += 1
+    return executed / (time.perf_counter() - started)
+
+
+def run_benchmark() -> dict:
+    """Measure all three strategies; returns the JSON-ready report."""
+    cached, queries = _load_table(use_cache=True)
+    uncached, _ = _load_table(use_cache=False)
+
+    # verify the three strategies agree before timing them
+    for query in queries[:5]:
+        rows = cached.execute_naive(query).rows
+        assert cached.execute(query).rows == rows
+        assert uncached.execute(query).rows == rows
+    cached.result_cache.clear()
+
+    naive_qps = _throughput(uncached.execute_naive, queries, ROUNDS)
+    pruned_qps = _throughput(uncached.execute, queries, ROUNDS)
+    cached_qps = _throughput(cached.execute, queries, ROUNDS)
+
+    counters = cached.query_counters.as_dict()
+    return {
+        "benchmark": "query_path",
+        "workload": {
+            "entities": N_ENTITIES,
+            "max_partition_size": MAX_PARTITION_SIZE,
+            "weight": WEIGHT,
+            "rounds": ROUNDS,
+            "queries": len(queries),
+            "seed": SEED,
+        },
+        "throughput_qps": {
+            "naive_full_scan": round(naive_qps, 1),
+            "pruned_uncached": round(pruned_qps, 1),
+            "pruned_cached": round(cached_qps, 1),
+        },
+        "speedups": {
+            "pruned_vs_naive": round(pruned_qps / naive_qps, 2),
+            "cached_vs_naive": round(cached_qps / naive_qps, 2),
+            "cached_vs_pruned": round(cached_qps / pruned_qps, 2),
+        },
+        "fast_path_counters": {
+            "partitions": cached.partition_count(),
+            "pruning_ratio": round(counters["pruning_ratio"], 3),
+            "cache_hit_rate": round(counters["cache_hit_rate"], 3),
+            "cache_stale_drops": counters["cache_stale_drops"],
+        },
+    }
+
+
+def test_query_path_perf_gate():
+    """CI gate: ≥2× over naive, and within 25 % of the recorded baseline."""
+    report = run_benchmark()
+    cached_speedup = report["speedups"]["cached_vs_naive"]
+    assert cached_speedup >= MIN_CACHED_SPEEDUP, (
+        f"cached fast path is only {cached_speedup:.2f}x over the naive "
+        f"full scan (acceptance floor: {MIN_CACHED_SPEEDUP}x)"
+    )
+
+    baseline = json.loads(BASELINE_PATH.read_text())
+    floor = baseline["speedups"]["cached_vs_naive"] * (1 - REGRESSION_TOLERANCE)
+    assert cached_speedup >= floor, (
+        f"query-path throughput regressed >25%: cached-vs-naive speedup "
+        f"{cached_speedup:.2f}x vs. recorded baseline "
+        f"{baseline['speedups']['cached_vs_naive']:.2f}x (floor {floor:.2f}x). "
+        f"If the slowdown is intended, re-record with "
+        f"`python benchmarks/bench_query_path.py --record`."
+    )
+    # the pruning layer alone must also still pay for itself
+    assert report["speedups"]["pruned_vs_naive"] >= 1.0
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--record",
+        action="store_true",
+        help=f"rewrite the committed baseline at {BASELINE_PATH.name}",
+    )
+    args = parser.parse_args(argv)
+    report = run_benchmark()
+    print(json.dumps(report, indent=2))
+    if args.record:
+        BASELINE_PATH.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\nbaseline recorded to {BASELINE_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,6 +37,18 @@ from repro.workloads.querygen import (
     representative_queries,
 )
 
+try:
+    from hypothesis import settings as _hypothesis_settings
+except ImportError:  # pragma: no cover - hypothesis is a test extra
+    pass
+else:
+    # same deterministic profile as tests/conftest.py: benches that draw
+    # examples (or shrink failures) must replay identically run to run
+    _hypothesis_settings.register_profile(
+        "repro-deterministic", derandomize=True, deadline=None
+    )
+    _hypothesis_settings.load_profile("repro-deterministic")
+
 PAPER_SCALE = os.environ.get("REPRO_SCALE", "small") == "paper"
 
 #: number of DBpedia person entities (paper: 100 000)
@@ -57,6 +69,8 @@ TPCH_B_VALUES = (500, 2_000, 10_000) if PAPER_SCALE else (200, 800, 4_000)
 PAGE_SIZE = 8192 if PAPER_SCALE else 1024
 
 DATASET_SEED = 42
+#: seed for benchmark-local RNGs (query sampling, workload traces)
+WORKLOAD_SEED = 42
 
 
 @dataclass

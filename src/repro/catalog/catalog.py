@@ -38,6 +38,55 @@ class PartitionCatalog:
         self.index = index
         #: active undo-log transaction (see :mod:`repro.txn.transaction`)
         self._txn = None
+        # partition content versions (see the `versions` section below)
+        self._versions: dict[int, int] = {}
+        self._version_clock = 0
+
+    # ------------------------------------------------------------------
+    # versions
+    # ------------------------------------------------------------------
+    # Every content mutation of a partition — member added, removed, or
+    # updated, partition created or re-created — stamps it with a fresh
+    # value of a catalog-global monotonic clock.  The query result cache
+    # (:mod:`repro.query.cache`) keys entries by ``(query, pid, version)``;
+    # because the clock never goes backwards, a partition whose content
+    # may differ from what a cached entry saw can never present the same
+    # version again.  This holds through undo-log rollbacks (the inverse
+    # operations run through these same mutators and keep bumping) and
+    # through pid reuse after a rolled-back create (the re-created pid is
+    # stamped from the still-advanced clock).  Split-starter maintenance
+    # does not bump: starters never influence query results.
+
+    def _bump_version(self, pid: int) -> None:
+        self._version_clock += 1
+        self._versions[pid] = self._version_clock
+
+    def version_of(self, pid: int) -> int:
+        """Current content version of one partition."""
+        try:
+            return self._versions[pid]
+        except KeyError:
+            raise PartitionNotFoundError(pid) from None
+
+    @property
+    def version_clock(self) -> int:
+        """The catalog-global mutation clock (monotonic, never reused)."""
+        return self._version_clock
+
+    def adopt_version_clock(self, other_clock: int) -> None:
+        """Make this catalog's versions succeed another catalog's.
+
+        Used when a rebuilt catalog replaces a live one (offline
+        reorganization, :func:`repro.txn.ops.atomic_reorganize`): the
+        rebuilt catalog restarts pids from zero, so without this step a
+        ``(pid, version)`` pair could collide with an entry cached
+        against the replaced catalog.  Advancing the clock past the old
+        one and re-stamping every partition makes all prior cache
+        entries unservable.
+        """
+        self._version_clock = max(self._version_clock, other_clock)
+        for pid in self._partitions:
+            self._bump_version(pid)
 
     # ------------------------------------------------------------------
     # transactions
@@ -83,6 +132,7 @@ class PartitionCatalog:
         partition = Partition(self._next_pid)
         self._next_pid += 1
         self._partitions[partition.pid] = partition
+        self._bump_version(partition.pid)
         if self.index is not None:
             self.index.register(partition.pid, partition.mask)
         if self._txn is not None:
@@ -103,6 +153,7 @@ class PartitionCatalog:
         partition = Partition(pid)
         self._partitions[pid] = partition
         self._next_pid = max(self._next_pid, pid + 1)
+        self._bump_version(pid)
         if self.index is not None:
             self.index.register(partition.pid, partition.mask)
         if self._txn is not None:
@@ -131,6 +182,7 @@ class PartitionCatalog:
         if self._txn is not None:
             self._txn.note_drop(pid)
         del self._partitions[pid]
+        del self._versions[pid]
         if self.index is not None:
             self.index.unregister(pid, partition.mask)
 
@@ -168,6 +220,7 @@ class PartitionCatalog:
             self._txn.note_add(pid, eid)
         added_bits = partition.add(eid, mask, size, observe_starters=observe_starters)
         self._entity_to_pid[eid] = pid
+        self._bump_version(pid)
         if self.index is not None:
             self.index.on_bits_added(pid, added_bits)
 
@@ -184,6 +237,7 @@ class PartitionCatalog:
             eid, repair_starters=repair_starters
         )
         del self._entity_to_pid[eid]
+        self._bump_version(pid)
         if self.index is not None and removed_bits:
             self.index.on_bits_removed(pid, removed_bits, partition.mask)
         return pid, mask, size
@@ -208,6 +262,7 @@ class PartitionCatalog:
             old_mask, old_size = partition.member(eid)
             self._txn.note_update(pid, eid, old_mask, old_size)
         added_bits, removed_bits = partition.update_member(eid, mask, size)
+        self._bump_version(pid)
         if self.index is not None:
             if added_bits:
                 self.index.on_bits_added(pid, added_bits)
@@ -286,6 +341,20 @@ class PartitionCatalog:
         missing = set(self._entity_to_pid) - seen_entities
         if missing:
             problems.append(f"location map references missing entities {missing}")
+        if set(self._versions) != set(self._partitions):
+            problems.append(
+                f"version map keys {sorted(self._versions)} != partition ids "
+                f"{sorted(self._partitions)}"
+            )
+        over_clock = [
+            pid for pid, version in self._versions.items()
+            if version > self._version_clock
+        ]
+        if over_clock:
+            problems.append(
+                f"partitions {over_clock} stamped past the version clock "
+                f"{self._version_clock}"
+            )
         if self.index is not None:
             from repro.catalog.synopsis_index import verify_index_against_catalog
 

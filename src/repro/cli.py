@@ -13,6 +13,9 @@ Commands:
 * ``inspect`` — print the partitioning statistics of a saved snapshot.
 * ``chaos`` — run a mixed workload on the simulated cluster under a
   seeded node-failure schedule and report fault-tolerance counters.
+* ``query-path`` — load DBpedia data with the inverted synopsis index
+  and the query result cache enabled, run a repeated selective-query
+  workload, and report the fast-path counters and speedup.
 * ``verify-catalog`` — integrity-check a saved snapshot (table or
   distributed store): catalog invariants, and placement for stores.
 """
@@ -225,6 +228,78 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 1 if problems else 0
 
 
+def _cmd_query_path(args: argparse.Namespace) -> int:
+    """Demonstrate the read-side fast path on a DBpedia workload."""
+    import time
+
+    from repro.query.cache import QueryResultCache
+    from repro.reporting.tables import format_kv_block
+    from repro.table.partitioned import CinderellaTable
+    from repro.workloads.dbpedia import generate_dbpedia_persons
+    from repro.workloads.querygen import (
+        build_query_workload,
+        representative_queries,
+    )
+
+    dataset = generate_dbpedia_persons(n_entities=args.entities, seed=args.seed)
+    config = CinderellaConfig(
+        max_partition_size=args.partition_size,
+        weight=args.weight,
+        use_synopsis_index=True,
+    )
+    table = CinderellaTable(config, result_cache=QueryResultCache())
+    for entity in dataset.entities:
+        table.insert(entity.attributes, entity_id=entity.entity_id)
+
+    masks = [
+        entity.synopsis_mask(table.dictionary) for entity in dataset.entities
+    ]
+    specs = build_query_workload(masks, table.dictionary, max_triples=50)
+    queries = [
+        spec.query
+        for spec in representative_queries(specs, per_bucket=2)
+        if spec.selectivity < 0.5
+    ][: args.queries]
+
+    started = time.perf_counter()
+    for _round in range(args.rounds):
+        for query in queries:
+            table.execute(query)
+    fast_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for _round in range(args.rounds):
+        for query in queries:
+            table.execute_naive(query)
+    naive_s = time.perf_counter() - started
+
+    counters = table.query_counters.as_dict()
+    executed = args.rounds * len(queries)
+    print(format_kv_block(
+        f"Query fast path: {executed} queries ({args.rounds} rounds x "
+        f"{len(queries)}) over {args.entities} entities",
+        [
+            ("partitions", table.partition_count()),
+            ("queries executed", counters["queries_total"]),
+            ("index resolutions", counters["index_resolutions"]),
+            ("partitions pruned", counters["partitions_pruned"]),
+            ("pruning ratio", f"{counters['pruning_ratio']:.3f}"),
+            ("cache hits", counters["cache_hits"]),
+            ("cache misses", counters["cache_misses"]),
+            ("cache hit rate", f"{counters['cache_hit_rate']:.3f}"),
+            ("cache stale drops", counters["cache_stale_drops"]),
+            ("rows served from cache", counters["rows_served_from_cache"]),
+            ("fast path", f"{executed / fast_s:.0f} queries/s"),
+            ("naive full scan", f"{executed / naive_s:.0f} queries/s"),
+            ("speedup", f"{naive_s / fast_s:.1f}x"),
+        ],
+    ))
+    problems = table.check_consistency()
+    for problem in problems:
+        print(f"integrity problem: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
 def _cmd_verify_catalog(args: argparse.Namespace) -> int:
     """Offline integrity check of a snapshot file (table or store)."""
     import json
@@ -308,6 +383,17 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--weight", type=float, default=0.4)
     chaos.add_argument("--seed", type=int, default=42)
 
+    query_path = commands.add_parser(
+        "query-path",
+        help="run the pruning-index + result-cache fast path demo",
+    )
+    query_path.add_argument("--entities", type=int, default=5_000)
+    query_path.add_argument("--partition-size", type=float, default=500.0)
+    query_path.add_argument("--weight", type=float, default=0.3)
+    query_path.add_argument("--rounds", type=int, default=5)
+    query_path.add_argument("--queries", type=int, default=20)
+    query_path.add_argument("--seed", type=int, default=42)
+
     verify = commands.add_parser(
         "verify-catalog",
         help="integrity-check a saved snapshot (catalog + placement)",
@@ -324,6 +410,7 @@ _HANDLERS = {
     "advise": _cmd_advise,
     "inspect": _cmd_inspect,
     "chaos": _cmd_chaos,
+    "query-path": _cmd_query_path,
     "verify-catalog": _cmd_verify_catalog,
 }
 

@@ -135,7 +135,9 @@ def merge_small_partitions(
                 report.skipped_for_workload += 1
             continue
         # relocate every member through the catalog API (keeps synopses,
-        # sizes, location map, and the synopsis index exact)
+        # sizes, location map, the synopsis index, and the partition
+        # content versions exact — the target's version bumps with every
+        # arriving member, so cached query results for it invalidate)
         for eid, mask, size in list(source.members()):
             catalog.remove_entity(eid, repair_starters=False)
             catalog.add_entity(best_pid, eid, mask, size)

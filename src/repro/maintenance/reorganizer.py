@@ -7,6 +7,12 @@ offline re-org during a maintenance window.  :func:`reorganize` replays
 every entity of an existing partitioning through a *fresh* Cinderella
 instance (optionally with new parameters), giving the algorithm a clean
 slate, and reports how much the Definition 1 efficiency changed.
+
+The rebuilt catalog restarts partition ids from zero; callers that swap
+it in over a live one must re-stamp its partition content versions past
+the replaced catalog's clock (``adopt_version_clock``) so query-result
+cache entries keyed against the old catalog can never be served —
+:func:`repro.txn.ops.atomic_reorganize` does this as part of the swap.
 """
 
 from __future__ import annotations

@@ -9,6 +9,8 @@ from repro.metrics.partition_stats import (
 )
 from repro.metrics.telemetry import (
     FaultToleranceCounters,
+    QueryPathCounters,
+    RobustnessCounters,
     TelemetryCollector,
     TelemetrySample,
 )
@@ -20,6 +22,8 @@ __all__ = [
     "HistogramBucket",
     "LogHistogram",
     "PartitioningSummary",
+    "QueryPathCounters",
+    "RobustnessCounters",
     "TelemetryCollector",
     "TelemetrySample",
     "Timer",

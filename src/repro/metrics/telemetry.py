@@ -126,6 +126,61 @@ class RobustnessCounters:
 
 
 @dataclass
+class QueryPathCounters:
+    """Counters of the read-side fast path: pruning index + result cache.
+
+    ``queries_total`` counts executed queries; the partition counters
+    accumulate over their plans.  ``index_resolutions`` counts plans
+    whose surviving set came from the inverted synopsis index,
+    ``catalog_scan_resolutions`` those that tested every catalog entry
+    (no index attached).  The ``cache_*`` counters are maintained by the
+    :class:`~repro.query.cache.QueryResultCache` the counters object is
+    attached to; a *stale drop* is an entry discarded because its
+    partition's content version moved on — exact invalidation at work.
+    """
+
+    queries_total: int = 0
+    partitions_considered: int = 0
+    partitions_scanned: int = 0
+    partitions_pruned: int = 0
+    index_resolutions: int = 0
+    catalog_scan_resolutions: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_stale_drops: int = 0
+    cache_evictions: int = 0
+    rows_served_from_cache: int = 0
+
+    def cache_hit_rate(self) -> float:
+        """Hits over lookups (1.0 when the cache saw no traffic)."""
+        lookups = self.cache_hits + self.cache_misses
+        if lookups == 0:
+            return 1.0
+        return self.cache_hits / lookups
+
+    def pruning_ratio(self) -> float:
+        """Fraction of considered partitions eliminated before scanning."""
+        if self.partitions_considered == 0:
+            return 0.0
+        return self.partitions_pruned / self.partitions_considered
+
+    def as_dict(self) -> dict[str, float]:
+        """All counters plus the derived rates, for reports and CLIs."""
+        result = {
+            name: getattr(self, name)
+            for name in (
+                "queries_total", "partitions_considered", "partitions_scanned",
+                "partitions_pruned", "index_resolutions",
+                "catalog_scan_resolutions", "cache_hits", "cache_misses",
+                "cache_stale_drops", "cache_evictions", "rows_served_from_cache",
+            )
+        }
+        result["cache_hit_rate"] = self.cache_hit_rate()
+        result["pruning_ratio"] = self.pruning_ratio()
+        return result
+
+
+@dataclass
 class TelemetryCollector:
     """Samples a partitioner every ``interval`` observed operations.
 

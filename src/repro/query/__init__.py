@@ -1,12 +1,18 @@
-"""Query layer: attribute queries, pruning, UNION ALL rewriting, execution."""
+"""Query layer: attribute queries, pruning, rewriting, caching, execution."""
 
+from repro.query.cache import QueryResultCache
 from repro.query.executor import (
     ExecutionResult,
     ExecutionStats,
     execute_full_scan,
+    execute_uncached_full_scan,
     execute_union_all,
 )
-from repro.query.pruning import is_prunable, split_by_pruning
+from repro.query.pruning import (
+    candidate_pids_from_index,
+    is_prunable,
+    split_by_pruning,
+)
 from repro.query.query import AttributeQuery
 from repro.query.rewrite import UnionAllPlan, rewrite
 
@@ -14,8 +20,11 @@ __all__ = [
     "AttributeQuery",
     "ExecutionResult",
     "ExecutionStats",
+    "QueryResultCache",
     "UnionAllPlan",
+    "candidate_pids_from_index",
     "execute_full_scan",
+    "execute_uncached_full_scan",
     "execute_union_all",
     "is_prunable",
     "rewrite",

@@ -9,6 +9,29 @@ its members' attribute sets, so ``|p ∧ q| = 0`` implies ``|e ∧ q| = 0``
 for every member ``e``.  It is not *complete*: a surviving partition may
 still contain individual irrelevant entities — that residue is exactly
 what Definition 1's efficiency measures.
+
+Two resolution strategies produce the same surviving set:
+
+* :func:`split_by_pruning` — test every catalog entry (the paper's
+  metadata scan);
+* :func:`candidate_pids_from_index` — resolve the survivors from the
+  inverted :class:`~repro.catalog.synopsis_index.SynopsisIndex` posting
+  lists without touching non-overlapping catalog entries at all (the
+  "specialized data structures for many synopses" extension).  ``any``
+  mode unions the referenced attributes' posting lists; ``all`` mode
+  intersects them, smallest posting list first.
+
+The empty-synopsis query — every referenced attribute unknown to the
+dictionary, so ``q = 0`` — deserves a note because the index keeps a
+dedicated posting list for *empty-synopsis partitions* that must NOT be
+consulted here: ``SynopsisIndex.candidate_pids(0)`` answers the insert
+question ("which partitions could an attribute-less *entity* join?"),
+while a query referencing only unknown attributes matches no entity at
+all (``IS NOT NULL`` fails on a column nobody instantiates).  Both
+strategies therefore prune everything: ``is_prunable`` is true for every
+partition and :func:`candidate_pids_from_index` returns the empty set —
+equivalence is pinned by regression tests in
+``tests/test_query_layer.py``.
 """
 
 from __future__ import annotations
@@ -20,6 +43,7 @@ from repro.query.query import AttributeQuery
 if TYPE_CHECKING:  # pragma: no cover
     from repro.catalog.dictionary import AttributeDictionary
     from repro.catalog.partition import Partition
+    from repro.catalog.synopsis_index import SynopsisIndex
 
 
 def is_prunable(
@@ -34,10 +58,50 @@ def is_prunable(
     """
     query_mask = query.synopsis_mask(dictionary)
     if query.mode == "any":
+        # the empty-synopsis query (query_mask == 0) prunes everything:
+        # no entity instantiates an unknown attribute (see module docs)
         return (partition_mask & query_mask) == 0
     if len(query.attributes) != query_mask.bit_count():
         return True  # references an attribute no entity ever had
     return (partition_mask & query_mask) != query_mask
+
+
+def candidate_pids_from_index(
+    index: "SynopsisIndex", query: AttributeQuery, dictionary: "AttributeDictionary"
+) -> set[int]:
+    """Surviving partition ids resolved from inverted posting lists.
+
+    Exactly the complement of :func:`is_prunable` over the indexed
+    catalog: ``any`` mode unions the posting lists of the query's known
+    attributes, ``all`` mode intersects them (smallest first, bailing
+    out as soon as the intersection empties).  A query whose attributes
+    are all unknown to the dictionary returns the empty set in either
+    mode — see the module docstring for why the index's empty-synopsis
+    posting list is deliberately not consulted.
+    """
+    query_mask = query.synopsis_mask(dictionary)
+    if query_mask == 0:
+        return set()
+    from repro.catalog.partition import iter_attribute_ids
+
+    if query.mode == "any":
+        survivors: set[int] = set()
+        for attr_id in iter_attribute_ids(query_mask):
+            survivors.update(index.partitions_with_attribute(attr_id))
+        return survivors
+    if len(query.attributes) != query_mask.bit_count():
+        return set()  # `all` over an unknown attribute matches nothing
+    postings = sorted(
+        (index.partitions_with_attribute(attr_id)
+         for attr_id in iter_attribute_ids(query_mask)),
+        key=len,
+    )
+    survivors = set(postings[0])
+    for posting in postings[1:]:
+        survivors &= posting
+        if not survivors:
+            break
+    return survivors
 
 
 def split_by_pruning(

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.query.pruning import split_by_pruning
+from repro.query.pruning import candidate_pids_from_index, split_by_pruning
 from repro.query.query import AttributeQuery
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -62,11 +62,29 @@ def rewrite(
     query: AttributeQuery,
     catalog: "PartitionCatalog",
     dictionary: "AttributeDictionary",
+    use_index: bool = True,
 ) -> UnionAllPlan:
-    """Prune the catalog and build the UNION ALL plan for *query*."""
+    """Prune the catalog and build the UNION ALL plan for *query*.
+
+    With ``use_index`` (and a catalog that carries a
+    :class:`~repro.catalog.synopsis_index.SynopsisIndex`) the surviving
+    set is resolved from the inverted posting lists without scanning the
+    catalog; otherwise every catalog entry is tested.  Both paths emit
+    branches in ascending pid order, so the plan — and therefore the row
+    order of its execution — is identical regardless of strategy.
+    """
+    if use_index and catalog.index is not None:
+        surviving_pids = candidate_pids_from_index(catalog.index, query, dictionary)
+        branch_pids = tuple(sorted(surviving_pids))
+        pruned_pids = tuple(
+            pid for pid in sorted(catalog.partition_ids())
+            if pid not in surviving_pids
+        )
+        return UnionAllPlan(query=query, branch_pids=branch_pids,
+                            pruned_pids=pruned_pids)
     surviving, pruned = split_by_pruning(catalog, query, dictionary)
     return UnionAllPlan(
         query=query,
-        branch_pids=tuple(p.pid for p in surviving),
-        pruned_pids=tuple(p.pid for p in pruned),
+        branch_pids=tuple(sorted(p.pid for p in surviving)),
+        pruned_pids=tuple(sorted(p.pid for p in pruned)),
     )

@@ -24,7 +24,13 @@ from repro.catalog.dictionary import AttributeDictionary
 from repro.core.config import CinderellaConfig
 from repro.core.outcomes import ModificationOutcome
 from repro.core.partitioner import CinderellaPartitioner
-from repro.query.executor import ExecutionResult, execute_union_all
+from repro.metrics.telemetry import QueryPathCounters
+from repro.query.cache import QueryResultCache
+from repro.query.executor import (
+    ExecutionResult,
+    execute_uncached_full_scan,
+    execute_union_all,
+)
 from repro.query.query import AttributeQuery
 from repro.query.rewrite import UnionAllPlan, rewrite
 from repro.storage.buffer import BufferPool
@@ -44,12 +50,18 @@ class CinderellaTable:
         dictionary: Optional[AttributeDictionary] = None,
         page_size: int = DEFAULT_PAGE_SIZE,
         buffer_pool: Optional[BufferPool] = None,
+        result_cache: Optional[QueryResultCache] = None,
     ) -> None:
         self.dictionary = dictionary if dictionary is not None else AttributeDictionary()
         self.partitioner = CinderellaPartitioner(config)
         self.io = IOStats()
         self.page_size = page_size
         self.buffer_pool = buffer_pool
+        #: read-side fast-path telemetry (always collected — it is cheap)
+        self.query_counters = QueryPathCounters()
+        self.result_cache = result_cache
+        if result_cache is not None and result_cache.counters is None:
+            result_cache.counters = self.query_counters
         self._heaps: dict[int, HeapFile] = {}
         self._rids: dict[int, RecordId] = {}
         self._next_eid = 0
@@ -153,6 +165,10 @@ class CinderellaTable:
                     f"dropping partition {pid} with {len(heap)} records left"
                 )
             heap.free()
+            if self.result_cache is not None:
+                # memory hygiene only — version validation already keeps
+                # the dropped pid's entries from ever being served
+                self.result_cache.invalidate_partition(pid)
 
     # ------------------------------------------------------------------
     # persistence support
@@ -200,6 +216,46 @@ class CinderellaTable:
         for pid in report.dropped_partitions:
             heap = self._heaps.pop(pid)
             heap.free()
+            if self.result_cache is not None:
+                self.result_cache.invalidate_partition(pid)
+        return report
+
+    def reorganize(
+        self,
+        config: Optional[CinderellaConfig] = None,
+        query_masks=None,
+        order: str = "size",
+    ):
+        """Rebuild the partitioning offline and mirror it physically.
+
+        Runs :func:`repro.txn.ops.atomic_reorganize` on the logical
+        partitioner (which also re-stamps every partition version past
+        the replaced catalog's clock, so no pre-reorganization cache
+        entry can ever be served again), then rebuilds the heap files to
+        match the adopted layout.  Returns the
+        :class:`~repro.maintenance.reorganizer.ReorganizationReport`.
+        """
+        from repro.txn.ops import atomic_reorganize
+
+        attributes_by_eid = {
+            entity.entity_id: entity.attributes for entity in self.scan()
+        }
+        report = atomic_reorganize(
+            self.partitioner, config, query_masks=query_masks, order=order
+        )
+        for heap in self._heaps.values():
+            heap.free()
+        self._heaps = {}
+        self._rids = {}
+        for partition in self.catalog:
+            heap = self._heaps[partition.pid] = HeapFile(
+                page_size=self.page_size, io=self.io, buffer_pool=self.buffer_pool
+            )
+            for eid, _mask, _size in partition.members():
+                record = serialize_record(
+                    eid, attributes_by_eid[eid], self.dictionary
+                )
+                self._rids[eid] = heap.insert(record)
         return report
 
     # ------------------------------------------------------------------
@@ -218,13 +274,33 @@ class CinderellaTable:
                 entity_id, attributes = deserialize_record(record, self.dictionary)
                 yield Entity(entity_id, attributes)
 
-    def plan(self, query: AttributeQuery) -> UnionAllPlan:
+    def plan(self, query: AttributeQuery, use_index: bool = True) -> UnionAllPlan:
         """Rewrite a query into its pruned UNION ALL plan."""
-        return rewrite(query, self.catalog, self.dictionary)
+        return rewrite(query, self.catalog, self.dictionary, use_index=use_index)
 
     def execute(self, query: AttributeQuery) -> ExecutionResult:
-        """Rewrite and execute a query over the surviving partitions."""
-        return execute_union_all(self.plan(query), self._heaps, self.dictionary)
+        """Rewrite and execute a query over the surviving partitions.
+
+        The fast path end to end: survivors resolved through the
+        inverted synopsis index when the catalog carries one, branch
+        results served from the result cache when one is attached.
+        """
+        if self.catalog.index is not None:
+            self.query_counters.index_resolutions += 1
+        else:
+            self.query_counters.catalog_scan_resolutions += 1
+        return execute_union_all(
+            self.plan(query),
+            self._heaps,
+            self.dictionary,
+            catalog=self.catalog,
+            cache=self.result_cache,
+            counters=self.query_counters,
+        )
+
+    def execute_naive(self, query: AttributeQuery) -> ExecutionResult:
+        """Execute with no pruning, no index, no cache (the oracle path)."""
+        return execute_uncached_full_scan(query, self._heaps, self.dictionary)
 
     # ------------------------------------------------------------------
     # metadata

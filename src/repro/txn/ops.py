@@ -217,6 +217,10 @@ def atomic_reorganize(
         )
         hook("reorganize:swap")
         rebuilt = report.partitioner
+        # the rebuilt catalog restarts pids from zero; re-stamp all its
+        # partition versions past the replaced catalog's clock so no
+        # result-cache entry keyed against the old catalog can collide
+        rebuilt.catalog.adopt_version_clock(partitioner.catalog.version_clock)
         partitioner.config = rebuilt.config
         partitioner.catalog = rebuilt.catalog
         partitioner.split_count += rebuilt.split_count

@@ -1,0 +1,22 @@
+"""Shared test configuration: deterministic randomness.
+
+Every randomized suite in this directory must be reproducible run to
+run: the differential and property batteries assert that their shrunk
+counterexamples are deterministic, so a failure seen in CI is the same
+failure seen locally.  Two knobs enforce that:
+
+* ``WORKLOAD_SEED`` — the fixed seed every test-local ``random.Random``
+  and workload-trace generator must use;
+* the ``repro-deterministic`` Hypothesis profile — ``derandomize=True``
+  fixes Hypothesis's PRNG, so example generation *and shrinking* replay
+  identically on every run (no deadline: CI machines vary too much for
+  per-example timing).
+"""
+
+from hypothesis import settings
+
+#: the one seed all randomized tests derive their RNGs from
+WORKLOAD_SEED = 42
+
+settings.register_profile("repro-deterministic", derandomize=True, deadline=None)
+settings.load_profile("repro-deterministic")

@@ -1,0 +1,194 @@
+"""Property battery: cache coherence under arbitrary op interleavings.
+
+The central property (ISSUE 3): **for any interleaving of modifications
+and queries, a cache hit never serves a result from a stale partition
+version.**  Hypothesis drives a model-based test — an oracle dictionary
+of live entities next to the real table — through random interleavings
+of inserts, value-churning updates, deletes, merge passes, offline
+reorganizations, and queries.  After every query three things must hold:
+
+* the fast path's rows equal the naive full-scan oracle's, bit for bit;
+* the row multiset equals what the model dictionary predicts;
+* every *servable* cache entry (stored version == current partition
+  version) re-scans to exactly its stored rows
+  (:func:`~repro.query.cache.verify_cache_coherence`).
+
+Shrinking is deterministic: ``tests/conftest.py`` loads a
+``derandomize=True`` profile, so the minimal counterexample of any
+failure replays identically run to run — pinned by an explicit
+double-``find`` test below.
+"""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import CinderellaConfig
+from repro.query.cache import QueryResultCache, verify_cache_coherence
+from repro.query.query import AttributeQuery
+from repro.table.partitioned import CinderellaTable
+
+ATTRS = tuple(f"a{i}" for i in range(6))
+
+masks = st.integers(min_value=1, max_value=2 ** len(ATTRS) - 1)
+
+#: one step of an interleaving; entity references are indices into the
+#: live set (modulo its size at application time)
+operations = st.one_of(
+    st.tuples(st.just("insert"), masks),
+    st.tuples(st.just("update"), st.integers(0, 30), masks),
+    st.tuples(st.just("delete"), st.integers(0, 30)),
+    st.tuples(st.just("query"), masks, st.sampled_from(["any", "all"])),
+    st.tuples(st.just("merge")),
+    st.tuples(st.just("reorganize")),
+)
+
+interleavings = st.lists(operations, min_size=1, max_size=40)
+
+
+def attributes_from_mask(mask: int, nonce: int) -> dict:
+    """Entity payload for a mask; the nonce makes every write's values
+    unique, so serving any stale row is guaranteed to be visible."""
+    return {
+        name: f"v{nonce}"
+        for bit, name in enumerate(ATTRS)
+        if mask & (1 << bit)
+    }
+
+
+def query_from_mask(mask: int, mode: str) -> AttributeQuery:
+    return AttributeQuery(
+        tuple(name for bit, name in enumerate(ATTRS) if mask & (1 << bit)),
+        mode=mode,
+    )
+
+
+def expected_rows(model: dict, query: AttributeQuery) -> Counter:
+    """The row multiset the model dictionary predicts for a query."""
+    return Counter(
+        tuple(sorted(query.project(attrs).items()))
+        for attrs in model.values()
+        if query.matches(attrs)
+    )
+
+
+def run_interleaving(ops, use_index=True, use_cache=True) -> dict:
+    """Replay one interleaving; returns end-state diagnostics."""
+    table = CinderellaTable(
+        CinderellaConfig(
+            max_partition_size=6.0,
+            weight=0.3,
+            use_synopsis_index=use_index,
+        ),
+        result_cache=QueryResultCache() if use_cache else None,
+    )
+    model: dict[int, dict] = {}
+    next_eid = 0
+    for nonce, op in enumerate(ops):
+        kind = op[0]
+        if kind == "insert":
+            attrs = attributes_from_mask(op[1], nonce)
+            table.insert(attrs, entity_id=next_eid)
+            model[next_eid] = attrs
+            next_eid += 1
+        elif kind == "update":
+            if not model:
+                continue
+            eid = sorted(model)[op[1] % len(model)]
+            attrs = attributes_from_mask(op[2], nonce)
+            table.update(eid, attrs)
+            model[eid] = attrs
+        elif kind == "delete":
+            if not model:
+                continue
+            eid = sorted(model)[op[1] % len(model)]
+            table.delete(eid)
+            del model[eid]
+        elif kind == "merge":
+            table.merge_small_partitions(min_fill=0.5)
+        elif kind == "reorganize":
+            table.reorganize(order="size")
+        else:  # query
+            query = query_from_mask(op[1], op[2])
+            fast = table.execute(query)
+            assert fast.rows == table.execute_naive(query).rows
+            assert (
+                Counter(tuple(sorted(row.items())) for row in fast.rows)
+                == expected_rows(model, query)
+            )
+            if table.result_cache is not None:
+                assert verify_cache_coherence(table.result_cache, table) == []
+    assert table.check_consistency() == []
+    if table.result_cache is not None:
+        assert verify_cache_coherence(table.result_cache, table) == []
+    return {
+        "stale_drops": table.query_counters.cache_stale_drops,
+        "hits": table.query_counters.cache_hits,
+        "splits": table.partitioner.split_count,
+    }
+
+
+@pytest.mark.parametrize("use_index", [False, True], ids=["scan", "index"])
+@pytest.mark.parametrize("use_cache", [False, True], ids=["nocache", "cache"])
+@settings(max_examples=30)
+@given(ops=interleavings)
+def test_no_stale_serve_under_any_interleaving(ops, use_index, use_cache):
+    run_interleaving(ops, use_index=use_index, use_cache=use_cache)
+
+
+@settings(max_examples=25)
+@given(interleavings)
+def test_no_stale_serve_with_tiny_partitions_and_cache_pressure(ops):
+    """Partition limit 2 maximizes splits; a 4-entry cache forces
+    constant eviction alongside version invalidation."""
+    table = CinderellaTable(
+        CinderellaConfig(
+            max_partition_size=2.0, weight=0.3, use_synopsis_index=True
+        ),
+        result_cache=QueryResultCache(max_entries=4),
+    )
+    model: dict[int, dict] = {}
+    next_eid = 0
+    for nonce, op in enumerate(ops):
+        kind = op[0]
+        if kind == "insert":
+            attrs = attributes_from_mask(op[1], nonce)
+            table.insert(attrs, entity_id=next_eid)
+            model[next_eid] = attrs
+            next_eid += 1
+        elif kind == "delete" and model:
+            eid = sorted(model)[op[1] % len(model)]
+            table.delete(eid)
+            del model[eid]
+        elif kind == "query":
+            query = query_from_mask(op[1], op[2])
+            fast = table.execute(query)
+            assert fast.rows == table.execute_naive(query).rows
+            assert verify_cache_coherence(table.result_cache, table) == []
+    assert len(table.result_cache) <= 4
+
+
+def _first_staleness_trace(ops) -> bool:
+    """Predicate for the shrink-determinism pin: the interleaving makes
+    at least one cache entry go stale and then get dropped on lookup."""
+    try:
+        return run_interleaving(ops)["stale_drops"] > 0
+    except Exception:  # pragma: no cover - a real bug fails the @given tests
+        return False
+
+
+def test_shrunk_counterexamples_are_deterministic():
+    """`find` twice, compare: with the derandomized profile the minimal
+    interleaving producing a stale drop must be identical on every run
+    — the guarantee that a CI failure shrinks the same way locally."""
+    from hypothesis import find
+
+    first = find(interleavings, _first_staleness_trace)
+    second = find(interleavings, _first_staleness_trace)
+    assert first == second
+    # and it is genuinely minimal-looking: an insert, a query caching
+    # the partition, a mutation bumping its version, and a re-query
+    assert _first_staleness_trace(first)
+    assert len(first) <= 4

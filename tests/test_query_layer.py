@@ -134,6 +134,65 @@ class TestRewrite:
         assert "UNION ALL" in plan.describe()
 
 
+class TestEmptySynopsisQuery:
+    """Regression (ISSUE 3 satellite): a query whose attributes are all
+    unknown to the dictionary has an empty synopsis (``q = 0``) and must
+    resolve to *zero* candidate partitions — in both modes and under both
+    resolution strategies.  This is deliberately NOT the semantics of
+    ``SynopsisIndex.candidate_pids(0)``: that call answers the *insert*
+    question ("where could an attribute-less entity live?") and returns
+    the partitions holding empty-synopsis entities."""
+
+    def _partitioner(self):
+        d = AttributeDictionary(["a", "b"])
+        p = CinderellaPartitioner(
+            CinderellaConfig(
+                max_partition_size=10, weight=0.4, use_synopsis_index=True
+            )
+        )
+        p.insert(1, d.encode(["a"]))
+        p.insert(2, 0)  # an attribute-less entity
+        return d, p
+
+    @pytest.mark.parametrize("mode", ["any", "all"])
+    @pytest.mark.parametrize("use_index", [False, True])
+    def test_rewrite_yields_no_branches(self, mode, use_index):
+        d, p = self._partitioner()
+        query = AttributeQuery(("ghost", "phantom"), mode=mode)
+        assert query.synopsis_mask(d) == 0
+        plan = rewrite(query, p.catalog, d, use_index=use_index)
+        assert plan.branch_pids == ()
+        assert set(plan.pruned_pids) == set(p.catalog.partition_ids())
+
+    @pytest.mark.parametrize("mode", ["any", "all"])
+    def test_index_resolution_returns_empty_set(self, mode):
+        from repro.query.pruning import candidate_pids_from_index
+
+        d, p = self._partitioner()
+        query = AttributeQuery(("ghost",), mode=mode)
+        assert candidate_pids_from_index(p.catalog.index, query, d) == set()
+
+    def test_contrast_with_index_empty_synopsis_posting(self):
+        """The index's own empty-mask lookup is NOT empty here — it
+        names the partition holding the attribute-less entity.  The
+        query path must not confuse the two."""
+        d, p = self._partitioner()
+        assert p.catalog.index.candidate_pids(0) != set()
+
+    def test_executor_returns_no_rows(self):
+        from repro.table.partitioned import CinderellaTable
+
+        table = CinderellaTable(
+            CinderellaConfig(
+                max_partition_size=10.0, weight=0.4, use_synopsis_index=True
+            )
+        )
+        table.insert({"a": 1}, entity_id=1)
+        result = table.execute(AttributeQuery(("ghost",)))
+        assert result.rows == []
+        assert result.stats.partitions_scanned == 0
+
+
 class TestCostModel:
     def test_more_pages_cost_more(self):
         model = CostModel()
