@@ -18,6 +18,10 @@ Commands:
   workload, and report the fast-path counters and speedup.
 * ``verify-catalog`` — integrity-check a saved snapshot (table or
   distributed store): catalog invariants, and placement for stores.
+* ``obs`` — run a built-in mixed workload (inserts with splits,
+  queries, maintenance, WAL-backed distributed faults, ingest) under
+  the observability layer and report metrics, top spans, slow ops, and
+  events — as a summary, Prometheus text, or JSON.
 """
 
 from __future__ import annotations
@@ -300,6 +304,143 @@ def _cmd_query_path(args: argparse.Namespace) -> int:
     return 1 if problems else 0
 
 
+def _run_obs_workload(args: argparse.Namespace) -> None:
+    """The built-in mixed workload ``repro obs`` instruments.
+
+    Touches every instrumented subsystem so the exposition covers all
+    metric families: table inserts with splits and repeated queries
+    (partitioner + query + cache), a merge and a reorganization through
+    the transactional layer (maintenance + txn), a WAL-backed
+    distributed store with injected faults and repair (distributed +
+    WAL), and an ingest pipeline fed some malformed rows (ingest).
+    """
+    import random
+    import tempfile
+    from pathlib import Path
+
+    from repro.core.partitioner import CinderellaPartitioner
+    from repro.distributed.store import DistributedUniversalStore
+    from repro.ingest.pipeline import IngestPipeline, IngestRequest
+    from repro.query.cache import QueryResultCache
+    from repro.storage.wal import WriteAheadLog
+    from repro.table.partitioned import CinderellaTable
+    from repro.txn.ops import atomic_merge, atomic_reorganize
+    from repro.workloads.dbpedia import generate_dbpedia_persons
+    from repro.workloads.querygen import (
+        build_query_workload,
+        representative_queries,
+    )
+
+    # table + query fast path ------------------------------------------
+    dataset = generate_dbpedia_persons(n_entities=args.entities, seed=args.seed)
+    table = CinderellaTable(
+        CinderellaConfig(
+            max_partition_size=args.partition_size,
+            weight=args.weight,
+            use_synopsis_index=True,
+        ),
+        result_cache=QueryResultCache(),
+    )
+    for entity in dataset.entities:
+        table.insert(entity.attributes, entity_id=entity.entity_id)
+    masks = [
+        entity.synopsis_mask(table.dictionary) for entity in dataset.entities
+    ]
+    specs = build_query_workload(masks, table.dictionary, max_triples=30)
+    queries = [
+        spec.query for spec in representative_queries(specs, per_bucket=2)
+    ][:10]
+    for _round in range(2):
+        for query in queries:
+            table.execute(query)
+
+    # maintenance through the transactional layer ----------------------
+    atomic_merge(table.partitioner, min_fill=0.5)
+    atomic_reorganize(table.partitioner)
+
+    # WAL-backed distributed store under faults ------------------------
+    rng = random.Random(args.seed)
+    with tempfile.TemporaryDirectory() as tmp:
+        wal = WriteAheadLog(Path(tmp) / "coordinator.wal")
+        store = DistributedUniversalStore(
+            4,
+            CinderellaPartitioner(
+                CinderellaConfig(max_partition_size=10.0, weight=0.4)
+            ),
+            replication_factor=2,
+            wal=wal,
+        )
+        for eid in range(60):
+            store.insert(eid, rng.getrandbits(12) | 0b1)
+        store.crash_node(1)
+        store.degrade_node(2, slowdown=3.0, drop_every=2)
+        for _ in range(10):
+            store.route_query(rng.getrandbits(12) | 0b1)
+        store.recover_node(1)
+        store.re_replicate()
+        wal.append("noop", {}, sync=True)
+        wal.compact()
+        wal.close()
+
+    # ingest pipeline with malformed rows ------------------------------
+    pipeline = IngestPipeline(
+        CinderellaPartitioner(
+            CinderellaConfig(max_partition_size=50.0, weight=0.4)
+        ),
+        max_pending=8,
+    )
+    for eid in range(20):
+        pipeline.ingest(IngestRequest("insert", eid, rng.getrandbits(8) | 0b1))
+    pipeline.ingest(IngestRequest("insert", 5, 0b1))      # duplicate id
+    pipeline.ingest(IngestRequest("insert", 100, 0))      # empty synopsis
+    pipeline.ingest(IngestRequest("update", 999, 0b1))    # unknown entity
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """Run the built-in workload under observability and report it."""
+    import json
+
+    from repro import obs
+    from repro.reporting.obs_summary import (
+        format_run_summary,
+        format_span_tree,
+    )
+
+    state = obs.enable(
+        slow_op_threshold_s=args.slow_ms / 1e3,
+        trace_jsonl_path=args.trace_jsonl,
+    )
+    try:
+        _run_obs_workload(args)
+    finally:
+        obs.disable()
+
+    if args.format == "prometheus":
+        print(state.registry.to_prometheus(), end="")
+    elif args.format == "json":
+        document = state.registry.to_json_obj()
+        if state.tracer is not None:
+            document["top_spans"] = [
+                {"name": name, "calls": count, "total_s": total}
+                for name, count, total in state.tracer.top_spans(args.top)
+            ]
+            document["slow_ops"] = list(state.tracer.slow_ops)
+        document["events"] = [
+            event.to_dict() for event in state.events.events()
+        ]
+        print(json.dumps(document, indent=2))
+    else:
+        print(format_run_summary(
+            state, top=args.top, traces=args.traces
+        ))
+        if args.traces == 0 and state.tracer is not None:
+            split_trace = state.tracer.find_trace("partitioner.insert")
+            if split_trace is not None:
+                print("\nMost recent insert trace:")
+                print(format_span_tree(split_trace))
+    return 0
+
+
 def _cmd_verify_catalog(args: argparse.Namespace) -> int:
     """Offline integrity check of a snapshot file (table or store)."""
     import json
@@ -400,6 +541,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify.add_argument("snapshot")
 
+    obs = commands.add_parser(
+        "obs",
+        help="run a mixed workload under observability and report it",
+    )
+    obs.add_argument(
+        "--format", choices=("summary", "prometheus", "json"),
+        default="summary", help="output format (default: summary)",
+    )
+    obs.add_argument("--entities", type=int, default=1_000)
+    obs.add_argument("--partition-size", type=float, default=200.0)
+    obs.add_argument("--weight", type=float, default=0.3)
+    obs.add_argument("--seed", type=int, default=42)
+    obs.add_argument("--top", type=int, default=10,
+                     help="span names in the top-spans table")
+    obs.add_argument("--traces", type=int, default=0,
+                     help="also print this many recent span trees")
+    obs.add_argument("--slow-ms", type=float, default=50.0,
+                     help="slow-op log threshold in milliseconds")
+    obs.add_argument("--trace-jsonl", metavar="PATH",
+                     help="also export finished traces as JSON lines")
+
     return parser
 
 
@@ -412,6 +574,7 @@ _HANDLERS = {
     "chaos": _cmd_chaos,
     "query-path": _cmd_query_path,
     "verify-catalog": _cmd_verify_catalog,
+    "obs": _cmd_obs,
 }
 
 

@@ -35,6 +35,7 @@ Two notes on fidelity to the published pseudocode:
 from __future__ import annotations
 
 import math
+from time import perf_counter
 from typing import Callable, Iterable, Optional, Sequence
 
 from repro.catalog.catalog import PartitionCatalog
@@ -43,6 +44,15 @@ from repro.catalog.synopsis_index import SynopsisIndex
 from repro.core.config import CinderellaConfig
 from repro.core.outcomes import ModificationOutcome, Move
 from repro.core.rating import rate_fast
+from repro.obs import runtime as obs
+
+#: the insert span itself feeds the latency histogram — one clock, one
+#: span, zero extra timing calls on the hottest path in the system
+obs.bind_span_histogram(
+    "partitioner.insert",
+    "repro_insert_latency_seconds",
+    "Latency of one insert, split cascades included",
+)
 
 
 class CinderellaPartitioner:
@@ -99,7 +109,45 @@ class CinderellaPartitioner:
             raise ValueError(f"entity {eid} already exists; use update()")
         size = self.config.size_model.entity_size(mask, payload_bytes)
         outcome = ModificationOutcome(entity_id=eid)
-        final_pid = self._insert(eid, mask, size, None, None, outcome)
+        # trace_stages=False: the non-split fast path records rating and
+        # placement as attributes on this one span instead of two child
+        # spans — tracing every stage of a ~50µs operation would alone
+        # cost more than the benchmark's overhead budget.  Split cascades
+        # re-enable stage spans (rare, and exactly the traces worth
+        # reading in detail).  The latency histogram is span-timed (see
+        # the bind_span_histogram call above) and its _count doubles as
+        # the insert counter; a separate *_total would cost another
+        # registry write on the hottest path for an already-exposed
+        # number.
+        span = obs.span("partitioner.insert")
+        if span.is_recording:
+            ratings_before = self.ratings_computed
+            with span:
+                final_pid = self._insert(
+                    eid, mask, size, None, None, outcome, trace_stages=False
+                )
+                span.attributes = {
+                    "eid": eid,
+                    "partition_id": final_pid,
+                    "splits": outcome.splits,
+                    "ratings": self.ratings_computed - ratings_before,
+                }
+        elif obs.is_enabled():
+            # metrics-only mode (enable(trace=False)): no span to borrow
+            # a clock from, so time the insert explicitly
+            start = perf_counter()
+            final_pid = self._insert(
+                eid, mask, size, None, None, outcome, trace_stages=False
+            )
+            obs.observe(
+                "repro_insert_latency_seconds",
+                perf_counter() - start,
+                help_text="Latency of one insert, split cascades included",
+            )
+        else:
+            final_pid = self._insert(
+                eid, mask, size, None, None, outcome, trace_stages=False
+            )
         outcome.partition_id = final_pid
         return outcome
 
@@ -108,12 +156,17 @@ class CinderellaPartitioner:
 
         Empty partitions are dropped, per Section III.
         """
-        pid, _mask, _size = self.catalog.remove_entity(eid)
-        self._step("delete:removed")
-        outcome = ModificationOutcome(entity_id=eid, partition_id=None)
-        if self.catalog.get(pid).is_empty():
-            self.catalog.drop_partition(pid)
-            outcome.dropped_partitions.append(pid)
+        with obs.span("partitioner.delete", eid=eid):
+            pid, _mask, _size = self.catalog.remove_entity(eid)
+            self._step("delete:removed")
+            outcome = ModificationOutcome(entity_id=eid, partition_id=None)
+            if self.catalog.get(pid).is_empty():
+                self.catalog.drop_partition(pid)
+                outcome.dropped_partitions.append(pid)
+        obs.inc(
+            "repro_partitioner_deletes_total",
+            help_text="Entities deleted from the catalog",
+        )
         return outcome
 
     def update(
@@ -126,6 +179,17 @@ class CinderellaPartitioner:
         updated in place; otherwise it is removed and re-inserted through
         the normal insert routine (which may create or split partitions).
         """
+        with obs.span("partitioner.update", eid=eid) as span:
+            outcome = self._update(eid, mask, payload_bytes, span)
+        obs.inc(
+            "repro_partitioner_updates_total",
+            help_text="Entity attribute-set updates",
+        )
+        return outcome
+
+    def _update(
+        self, eid: int, mask: int, payload_bytes: int, span
+    ) -> ModificationOutcome:
         current_pid = self.catalog.partition_of(eid)
         current = self.catalog.get(current_pid)
         _, old_size = current.member(eid)
@@ -145,7 +209,11 @@ class CinderellaPartitioner:
             self.catalog.update_entity(eid, mask, size)
             outcome.partition_id = current_pid
             outcome.in_place = True
+            if span.is_recording:
+                span.set("in_place", True)
             return outcome
+        if span.is_recording:
+            span.set("in_place", False)
         old_pid, _old_mask, _old_size = self.catalog.remove_entity(eid)
         self._step("update:removed")
         source_empty = self.catalog.get(old_pid).is_empty()
@@ -170,13 +238,17 @@ class CinderellaPartitioner:
         mask: int,
         size: float,
         restricted: Optional[Sequence[Partition]],
+        trace_stages: bool = True,
     ) -> tuple[Optional[Partition], float]:
         """Scan the catalog (lines 3–7) and return the best-rated partition.
 
         ``restricted`` limits the scan to an explicit partition list during
         splits (line 32).  Returns ``(None, -inf)`` when there is nothing to
         rate.  With ``selection='first'`` (ablation) the scan stops at the
-        first non-negatively rated partition.
+        first non-negatively rated partition.  ``trace_stages=False``
+        suppresses the per-call span: top-level inserts and split drains
+        run at span-per-operation granularity, not span-per-stage — see
+        ``benchmarks/bench_observability.py`` and docs/OBSERVABILITY.md.
         """
         weight = self.config.weight
         normalize = self.config.normalize_rating
@@ -188,23 +260,30 @@ class CinderellaPartitioner:
         else:
             candidates = restricted
         first_fit = self.config.selection == "first"
-        for partition in candidates:
-            rating = rate_fast(
-                mask,
-                entity_attr_count,
-                size,
-                partition.mask,
-                partition.attr_count,
-                partition.total_size,
-                weight,
-                normalize=normalize,
-            )
-            self.ratings_computed += 1
-            if rating > best_rating:
-                best_rating = rating
-                best = partition
-                if first_fit and rating >= 0.0:
-                    break
+        with (
+            obs.span("partitioner.rate") if trace_stages else obs.NOOP_SPAN
+        ) as span:
+            ratings_before = self.ratings_computed
+            for partition in candidates:
+                rating = rate_fast(
+                    mask,
+                    entity_attr_count,
+                    size,
+                    partition.mask,
+                    partition.attr_count,
+                    partition.total_size,
+                    weight,
+                    normalize=normalize,
+                )
+                self.ratings_computed += 1
+                if rating > best_rating:
+                    best_rating = rating
+                    best = partition
+                    if first_fit and rating >= 0.0:
+                        break
+            if span.is_recording:
+                span.set("ratings", self.ratings_computed - ratings_before)
+                span.set("restricted", restricted is not None)
         return best, best_rating
 
     def _insert(
@@ -215,14 +294,19 @@ class CinderellaPartitioner:
         restricted: Optional[list[Partition]],
         from_pid: Optional[int],
         outcome: ModificationOutcome,
+        trace_stages: bool = True,
     ) -> int:
         """The full ``INSERTENTITY`` routine; returns the entity's final pid.
 
         ``restricted`` is the live restriction list during a split drain
         (``None`` for top-level inserts).  ``from_pid`` records where the
         entity physically comes from, for the outcome's move list.
+        ``trace_stages=False`` (top-level inserts, split drain loops)
+        skips the per-stage rate/place spans; split spans themselves
+        always trace so cascades stay visible, and a split's triggering
+        entity re-inserts with full stage spans.
         """
-        best, best_rating = self._find_best(mask, size, restricted)
+        best, best_rating = self._find_best(mask, size, restricted, trace_stages)
 
         # lines 9-13: best rating negative (or no partition at all)
         if best is None or best_rating < 0.0:
@@ -234,6 +318,7 @@ class CinderellaPartitioner:
             self.catalog.add_entity(partition.pid, eid, mask, size)
             outcome.moves.append(Move(eid, from_pid, partition.pid))
             self._step("insert:new-partition")
+            obs.event("partitioner.new_partition", pid=partition.pid, eid=eid)
             return partition.pid
 
         # lines 15-24: starter maintenance happens *before* the capacity
@@ -245,14 +330,22 @@ class CinderellaPartitioner:
             return self._split(best, eid, mask, size, restricted, from_pid, outcome)
 
         # line 36: the normal case (starters were already maintained above)
-        self.catalog.add_entity(best.pid, eid, mask, size, observe_starters=False)
-        if self.config.exact_starters:
-            # ablation: pay the quadratic cost Algorithm 1's heuristic avoids
-            best.starters.rebuild_exact(
-                (m_eid, m_mask) for m_eid, m_mask, _s in best.members()
+        with (
+            obs.span("partitioner.place", pid=best.pid)
+            if trace_stages
+            else obs.NOOP_SPAN
+        ):
+            self.catalog.add_entity(
+                best.pid, eid, mask, size, observe_starters=False
             )
-        outcome.moves.append(Move(eid, from_pid, best.pid))
-        self._step("insert:place")
+            if self.config.exact_starters:
+                # ablation: pay the quadratic cost Algorithm 1's heuristic
+                # avoids
+                best.starters.rebuild_exact(
+                    (m_eid, m_mask) for m_eid, m_mask, _s in best.members()
+                )
+            outcome.moves.append(Move(eid, from_pid, best.pid))
+            self._step("insert:place")
         return best.pid
 
     def _split(
@@ -266,7 +359,35 @@ class CinderellaPartitioner:
         outcome: ModificationOutcome,
     ) -> int:
         """Split *source* (Algorithm 1, lines 26–33); return the new
-        entity's final partition id."""
+        entity's final partition id.
+
+        Cascading splits recurse through :meth:`_insert`, so their
+        ``partitioner.split`` spans nest under this one.
+        """
+        with obs.span(
+            "partitioner.split", source_pid=source.pid, members=len(source)
+        ) as span:
+            final_pid = self._split_impl(
+                source, eid, mask, size, restricted, from_pid, outcome
+            )
+            if span.is_recording:
+                span.set("final_pid", final_pid)
+        obs.inc(
+            "repro_partitioner_splits_total",
+            help_text="Partition splits performed, cascades counted singly",
+        )
+        return final_pid
+
+    def _split_impl(
+        self,
+        source: Partition,
+        eid: int,
+        mask: int,
+        size: float,
+        restricted: Optional[list[Partition]],
+        from_pid: Optional[int],
+        outcome: ModificationOutcome,
+    ) -> int:
         self.split_count += 1
         outcome.splits += 1
         starters = source.starters
@@ -307,11 +428,15 @@ class CinderellaPartitioner:
         # negative-rating re-inserts extend/replace entries in here.
         targets: list[Partition] = [partition_a, partition_b]
 
-        # lines 31-33: re-insert the remaining entities of the source
+        # lines 31-33: re-insert the remaining entities of the source.
+        # trace_stages=False: one span per drained member would swamp the
+        # split trace and the tracing budget; the split span's ``members``
+        # attribute already says how many re-inserts happened.
         for drain_eid, drain_mask, drain_size in list(source.members()):
             self.catalog.remove_entity(drain_eid, repair_starters=False)
             self._insert(
-                drain_eid, drain_mask, drain_size, targets, source.pid, outcome
+                drain_eid, drain_mask, drain_size, targets, source.pid,
+                outcome, trace_stages=False,
             )
 
         # the triggering entity, unless it already seeded a new partition;

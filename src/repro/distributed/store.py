@@ -34,6 +34,7 @@ from repro.core.partitioner import CinderellaPartitioner
 from repro.distributed.cluster import SimulatedCluster
 from repro.distributed.failures import FailureEvent, NodeState
 from repro.metrics.telemetry import FaultToleranceCounters, RobustnessCounters
+from repro.obs import runtime as obs
 
 
 @dataclass(frozen=True)
@@ -329,11 +330,13 @@ class DistributedUniversalStore:
         self._log("crash", {"node": node_id})
         self.cluster.crash_node(node_id)
         self.counters.node_crashes += 1
+        obs.event("fault.crash", node=node_id)
 
     def recover_node(self, node_id: int) -> None:
         self._log("recover", {"node": node_id})
         self.cluster.recover_node(node_id)
         self.counters.node_recoveries += 1
+        obs.event("fault.recover", node=node_id)
 
     def degrade_node(
         self, node_id: int, slowdown: float = 4.0, drop_every: int = 0
@@ -344,6 +347,10 @@ class DistributedUniversalStore:
         )
         self.cluster.degrade_node(node_id, slowdown=slowdown, drop_every=drop_every)
         self.counters.node_degradations += 1
+        obs.event(
+            "fault.degrade", node=node_id, slowdown=slowdown,
+            drop_every=drop_every,
+        )
 
     def apply_event(self, event: FailureEvent) -> None:
         """Apply one :class:`FailureEvent` from a schedule."""
@@ -364,9 +371,13 @@ class DistributedUniversalStore:
         """Run the repair pass (see ``SimulatedCluster.re_replicate``);
         returns the (pid, node) copies it created."""
         self._log("re_replicate", {})
-        created = self.cluster.re_replicate()
+        with obs.span("distributed.re_replicate") as span:
+            created = self.cluster.re_replicate()
+            if span.is_recording:
+                span.set("replicas_created", len(created))
         self.counters.re_replication_passes += 1
         self.counters.replicas_created += len(created)
+        obs.event("fault.repair", replicas_created=len(created))
         return created
 
     # ------------------------------------------------------------------
@@ -410,6 +421,20 @@ class DistributedUniversalStore:
 
     def route_query(self, query_mask: int) -> DistributedQueryStats:
         """Prune by synopsis, contact surviving replicas of the rest."""
+        with obs.span("distributed.route_query") as span:
+            stats = self._route_query(query_mask)
+            if span.is_recording:
+                span.set("nodes_contacted", stats.nodes_contacted)
+                span.set("retries", stats.retries)
+                span.set("degraded", stats.degraded)
+        if stats.degraded:
+            obs.event(
+                "distributed.degraded_query",
+                unreachable=list(stats.unreachable_partitions),
+            )
+        return stats
+
+    def _route_query(self, query_mask: int) -> DistributedQueryStats:
         per_node_scanned: dict[int, float] = {}
         per_node_returned: dict[int, float] = {}
         scanned = 0

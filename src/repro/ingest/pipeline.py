@@ -45,6 +45,7 @@ from repro.ingest.errors import (
 )
 from repro.ingest.quarantine import QuarantineStore
 from repro.metrics.telemetry import RobustnessCounters
+from repro.obs import runtime as obs
 
 #: admission outcomes
 QUEUED = "queued"
@@ -150,6 +151,10 @@ class IngestPipeline:
             return IngestResult(REPLAYED, request)
         if len(self._pending) >= self.max_pending:
             self.counters.ingest_overloaded += 1
+            obs.event(
+                "ingest.overloaded", kind=request.kind,
+                pending=len(self._pending),
+            )
             error = OverloadedError(
                 f"ingest queue full ({self.max_pending} pending); back off "
                 f"and resubmit"
@@ -224,7 +229,14 @@ class IngestPipeline:
         if isinstance(request.eid, int) and not isinstance(request.eid, bool):
             self.quarantine.add(request, error)
             self.counters.ingest_quarantined += 1
+            obs.event(
+                "ingest.quarantined", eid=request.eid, kind=request.kind,
+                code=type(error).__name__,
+            )
             return IngestResult(QUARANTINED, request, error=error)
+        obs.event(
+            "ingest.rejected", kind=request.kind, code=type(error).__name__
+        )
         return IngestResult(REJECTED, request, error=error)
 
     def _validate(self, request: IngestRequest) -> None:
@@ -278,6 +290,15 @@ class IngestPipeline:
 
     def _apply(self, request: IngestRequest) -> IngestResult:
         """Apply one admitted request to the sink."""
+        with obs.span(
+            "ingest.apply", kind=request.kind, eid=request.eid
+        ) as span:
+            result = self._apply_to_sink(request)
+            if span.is_recording:
+                span.set("status", result.status)
+        return result
+
+    def _apply_to_sink(self, request: IngestRequest) -> IngestResult:
         kwargs: dict[str, Any] = {}
         if self._sink_takes_op_id and request.op_id is not None:
             kwargs["op_id"] = request.op_id

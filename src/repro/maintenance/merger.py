@@ -24,6 +24,7 @@ from typing import Callable, Optional, Sequence, TYPE_CHECKING
 
 from repro.core.outcomes import Move
 from repro.core.rating import rate_fast
+from repro.obs import runtime as obs
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.partitioner import CinderellaPartitioner
@@ -92,6 +93,32 @@ def merge_small_partitions(
     """
     if not 0.0 < min_fill <= 1.0:
         raise ValueError(f"min_fill must lie in (0, 1], got {min_fill}")
+    with obs.span("maintenance.merge", min_fill=min_fill) as span:
+        report = _merge_small_partitions(
+            partitioner, min_fill, query_masks, crash_hook
+        )
+        if span.is_recording:
+            span.set("examined", report.examined)
+            span.set("merged", report.merge_count)
+    if obs.is_enabled():
+        obs.inc(
+            "repro_maintenance_merge_passes_total",
+            help_text="Merge maintenance passes run",
+        )
+        obs.inc(
+            "repro_maintenance_partitions_merged_total",
+            report.merge_count,
+            help_text="Small partitions merged into rated hosts",
+        )
+    return report
+
+
+def _merge_small_partitions(
+    partitioner: "CinderellaPartitioner",
+    min_fill: float,
+    query_masks: Optional[Sequence[int]],
+    crash_hook: Optional[Callable[[str], None]],
+) -> MergeReport:
     config = partitioner.config
     catalog = partitioner.catalog
     threshold = min_fill * config.max_partition_size

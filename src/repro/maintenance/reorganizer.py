@@ -18,11 +18,13 @@ cache entries keyed against the old catalog can never be served —
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, Optional, Sequence
 
 from repro.core.config import CinderellaConfig
 from repro.core.efficiency import catalog_efficiency
 from repro.core.partitioner import CinderellaPartitioner
+from repro.obs import runtime as obs
 
 
 @dataclass(frozen=True)
@@ -72,25 +74,45 @@ def reorganize(
     """
     if order not in ("size", "stored"):
         raise ValueError(f"order must be 'size' or 'stored', got {order!r}")
-    entities = [
-        (eid, mask, size)
-        for partition in partitioner.catalog
-        for eid, mask, size in partition.members()
-    ]
-    if order == "size":
-        entities.sort(key=lambda item: (-item[1].bit_count(), item[0]))
+    enabled = obs.is_enabled()
+    started = perf_counter() if enabled else 0.0
+    with obs.span("maintenance.reorganize", order=order) as span:
+        entities = [
+            (eid, mask, size)
+            for partition in partitioner.catalog
+            for eid, mask, size in partition.members()
+        ]
+        if order == "size":
+            entities.sort(key=lambda item: (-item[1].bit_count(), item[0]))
 
-    fresh = CinderellaPartitioner(config if config is not None else partitioner.config)
-    for eid, mask, _size in entities:
-        fresh.insert(eid, mask)
-        if crash_hook is not None:
-            crash_hook("reorganize:replayed-entity")
+        fresh = CinderellaPartitioner(
+            config if config is not None else partitioner.config
+        )
+        for eid, mask, _size in entities:
+            fresh.insert(eid, mask)
+            if crash_hook is not None:
+                crash_hook("reorganize:replayed-entity")
 
-    efficiency_before = None
-    efficiency_after = None
-    if query_masks is not None:
-        efficiency_before = catalog_efficiency(partitioner.catalog, query_masks)
-        efficiency_after = catalog_efficiency(fresh.catalog, query_masks)
+        efficiency_before = None
+        efficiency_after = None
+        if query_masks is not None:
+            efficiency_before = catalog_efficiency(
+                partitioner.catalog, query_masks
+            )
+            efficiency_after = catalog_efficiency(fresh.catalog, query_masks)
+        if span.is_recording:
+            span.set("entities", len(entities))
+            span.set("partitions_after", len(fresh.catalog))
+    if enabled:
+        obs.inc(
+            "repro_maintenance_reorganizations_total",
+            help_text="Offline reorganization passes run",
+        )
+        obs.observe(
+            "repro_maintenance_reorganize_seconds",
+            perf_counter() - started,
+            help_text="Wall time of one offline reorganization",
+        )
     return ReorganizationReport(
         partitioner=fresh,
         partitions_before=len(partitioner.catalog),

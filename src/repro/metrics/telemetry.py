@@ -18,6 +18,12 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence, TYPE_CHECKING
 
 from repro.core.efficiency import catalog_efficiency
+from repro.obs.shims import (
+    FAULT_TOLERANCE_METRICS,
+    QUERY_PATH_METRICS,
+    ROBUSTNESS_METRICS,
+    RegistryMirrorMixin,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.partitioner import CinderellaPartitioner
@@ -36,14 +42,20 @@ class TelemetrySample:
 
 
 @dataclass
-class FaultToleranceCounters:
+class FaultToleranceCounters(RegistryMirrorMixin):
     """Failure, retry, and recovery event counts of a distributed store.
 
     ``queries_degraded`` counts queries that returned with
     ``degraded=True`` (at least one needed partition had no reachable
     copy); :meth:`availability` is the complement, the headline metric
     of the fault-tolerance benchmark.
+
+    While observability is enabled these counters additionally feed the
+    :mod:`repro.obs` registry as ``repro_dist_*`` metrics (deferred;
+    see :class:`repro.obs.shims.RegistryMirrorMixin`).
     """
+
+    _OBS_METRICS = FAULT_TOLERANCE_METRICS
 
     node_crashes: int = 0
     node_recoveries: int = 0
@@ -81,7 +93,7 @@ class FaultToleranceCounters:
 
 
 @dataclass
-class RobustnessCounters:
+class RobustnessCounters(RegistryMirrorMixin):
     """Counters of the transactional-maintenance and hardened-ingest layer.
 
     The maintenance half counts journaled catalog operations (inserts
@@ -92,7 +104,14 @@ class RobustnessCounters:
     observable: how many entities were accepted, rejected into
     quarantine, bounced by backpressure (``ingest_overloaded``), or
     recognized as idempotent replays (``ingest_replayed``).
+
+    While observability is enabled these counters additionally feed the
+    :mod:`repro.obs` registry as ``repro_txn_*`` / ``repro_ingest_*``
+    metrics (deferred; see
+    :class:`repro.obs.shims.RegistryMirrorMixin`).
     """
+
+    _OBS_METRICS = ROBUSTNESS_METRICS
 
     # transactional maintenance operations
     ops_started: int = 0
@@ -126,7 +145,7 @@ class RobustnessCounters:
 
 
 @dataclass
-class QueryPathCounters:
+class QueryPathCounters(RegistryMirrorMixin):
     """Counters of the read-side fast path: pruning index + result cache.
 
     ``queries_total`` counts executed queries; the partition counters
@@ -137,7 +156,15 @@ class QueryPathCounters:
     :class:`~repro.query.cache.QueryResultCache` the counters object is
     attached to; a *stale drop* is an entry discarded because its
     partition's content version moved on — exact invalidation at work.
+
+    While observability is enabled these counters additionally feed the
+    :mod:`repro.obs` registry as ``repro_query_*`` metrics (deferred;
+    see :class:`repro.obs.shims.RegistryMirrorMixin`), so ``python -m
+    repro query-path`` and ``python -m repro obs`` report the same
+    numbers.
     """
+
+    _OBS_METRICS = QUERY_PATH_METRICS
 
     queries_total: int = 0
     partitions_considered: int = 0

@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 import time
-from typing import Callable, TypeVar
+from typing import Callable, Optional, TypeVar
+
+from repro.obs import runtime as obs
 
 T = TypeVar("T")
 
@@ -11,13 +13,21 @@ T = TypeVar("T")
 class Timer:
     """Context manager measuring elapsed wall time.
 
+    When ``metric`` is given, the elapsed seconds are also observed
+    into that histogram of the :mod:`repro.obs` registry on exit —
+    a no-op while observability is disabled.
+
     >>> with Timer() as t:
     ...     _ = sum(range(100))
     >>> t.elapsed_s >= 0.0
     True
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self, metric: Optional[str] = None, help_text: str = ""
+    ) -> None:
+        self.metric = metric
+        self.help_text = help_text
         self.elapsed_s = 0.0
         self._started = 0.0
 
@@ -27,6 +37,8 @@ class Timer:
 
     def __exit__(self, *exc_info: object) -> None:
         self.elapsed_s = time.perf_counter() - self._started
+        if self.metric is not None:
+            obs.observe(self.metric, self.elapsed_s, self.help_text)
 
     @property
     def elapsed_ms(self) -> float:

@@ -1,0 +1,55 @@
+"""Trace export: finished span trees as JSON lines.
+
+The tracer's in-memory ring keeps only the most recent traces; for
+offline analysis (or shipping to a collector) attach a
+:class:`JsonlSpanExporter` — every finished *root* span is appended to
+the file as one self-contained JSON document per line, children nested
+under ``children``.  Lines are flushed per trace, so a crash loses at
+most the trace in flight.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.tracing import Span
+
+
+class JsonlSpanExporter:
+    """Appends finished root-span trees to a JSONL file."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._handle = self.path.open("a", encoding="utf-8")
+        self.spans_written = 0
+
+    def __call__(self, span: "Span") -> None:
+        self._handle.write(
+            json.dumps(span.to_dict(), separators=(",", ":"), default=str)
+            + "\n"
+        )
+        self._handle.flush()
+        self.spans_written += 1
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "JsonlSpanExporter":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
+
+
+def read_jsonl_traces(path: Union[str, Path]) -> list[dict]:
+    """Parse an exported trace file back into span-tree documents."""
+    documents = []
+    with Path(path).open(encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                documents.append(json.loads(line))
+    return documents

@@ -1,0 +1,231 @@
+"""The process-wide observability switch and its zero-cost-off helpers.
+
+Instrumented code throughout the repo calls four module-level functions
+— :func:`span`, :func:`event`, :func:`inc`, :func:`observe` (plus
+:func:`gauge_set`) — instead of holding tracer/registry references.
+While observability is *disabled* (the default) each call is one global
+read and an early return: no span objects, no dict churn, no locks.
+``benchmarks/bench_observability.py`` holds that claim to a measured
+noise-level bound.
+
+:func:`enable` installs an :class:`ObservabilityState` — a registry, a
+tracer (optional), a ring-buffer event log, and optionally a JSONL trace
+exporter — and returns it; :func:`disable` uninstalls it (the state
+object stays readable, so a CLI can render its digests after the run).
+Enable/disable nest poorly on purpose: there is exactly one active state
+per process, like a logging root handler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from repro.obs.events import EventLog
+from repro.obs.export import JsonlSpanExporter
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import NOOP_SPAN, Span, Tracer
+
+
+@dataclass
+class ObservabilityState:
+    """Everything one enabled observability session collects."""
+
+    registry: MetricsRegistry
+    tracer: Optional[Tracer]
+    events: EventLog
+    exporter: Optional[JsonlSpanExporter] = None
+
+    def close(self) -> None:
+        if self.exporter is not None:
+            self.exporter.close()
+            self.exporter = None
+
+
+_STATE: Optional[ObservabilityState] = None
+#: hot-path mirrors of ``_STATE``'s members — span()/inc()/observe() read
+#: one module global instead of chasing attributes on every call
+_TRACER: Optional[Tracer] = None
+_REGISTRY: Optional[MetricsRegistry] = None
+
+#: span name -> (histogram name, help text): declared once at import
+#: time, wired into every tracer that ``enable`` installs
+_SPAN_HISTOGRAMS: dict[str, tuple[str, str]] = {}
+
+
+def bind_span_histogram(
+    span_name: str, metric_name: str, help_text: str = ""
+) -> None:
+    """Feed every ``span_name`` span's duration into a histogram.
+
+    The span already times the region; binding it to a histogram makes
+    that one measurement serve both the trace and the latency metric,
+    so a hot call site pays for a single span and nothing else.  Call
+    at module import time, next to the instrumented code; the binding
+    applies to the current observability session (if tracing) and to
+    every later :func:`enable`.
+    """
+    _SPAN_HISTOGRAMS[span_name] = (metric_name, help_text)
+    if _STATE is not None and _STATE.tracer is not None:
+        _STATE.tracer.span_histograms[span_name] = _STATE.registry.histogram(
+            metric_name, help_text
+        )._unlabeled()
+
+
+def enable(
+    trace: bool = True,
+    slow_op_threshold_s: Optional[float] = 0.05,
+    trace_jsonl_path: Optional[Union[str, Path]] = None,
+    event_capacity: int = 1024,
+    max_finished_traces: int = 256,
+    registry: Optional[MetricsRegistry] = None,
+) -> ObservabilityState:
+    """Turn observability on; returns the installed state.
+
+    Args:
+        trace: also install a tracer (metrics/events alone are cheaper).
+        slow_op_threshold_s: spans at least this long land in the
+            tracer's slow-op log (None disables the log).
+        trace_jsonl_path: when set, finished traces are appended there
+            as JSON lines.
+        event_capacity: ring-buffer size of the event log.
+        max_finished_traces: ring size of kept root-span trees.
+        registry: reuse an existing registry (tests; default: fresh).
+    """
+    global _STATE, _TRACER, _REGISTRY
+    if _STATE is not None:
+        disable()
+    exporter = (
+        JsonlSpanExporter(trace_jsonl_path)
+        if trace_jsonl_path is not None
+        else None
+    )
+    tracer = (
+        Tracer(
+            max_finished=max_finished_traces,
+            slow_threshold_s=slow_op_threshold_s,
+            exporter=exporter,
+        )
+        if trace
+        else None
+    )
+    _STATE = ObservabilityState(
+        registry=registry if registry is not None else MetricsRegistry(),
+        tracer=tracer,
+        events=EventLog(capacity=event_capacity),
+        exporter=exporter,
+    )
+    if tracer is not None:
+        for span_name, (metric, help_text) in _SPAN_HISTOGRAMS.items():
+            tracer.span_histograms[span_name] = _STATE.registry.histogram(
+                metric, help_text
+            )._unlabeled()
+    _TRACER = _STATE.tracer
+    _REGISTRY = _STATE.registry
+    return _STATE
+
+
+def disable() -> Optional[ObservabilityState]:
+    """Turn observability off; returns the state that was active."""
+    global _STATE, _TRACER, _REGISTRY
+    if _STATE is not None:
+        # deferred-mirror shims flush on disable so the returned state's
+        # registry is complete (import here: shims imports runtime)
+        from repro.obs.shims import flush_mirrors
+
+        flush_mirrors()
+    state = _STATE
+    _STATE = None
+    _TRACER = None
+    _REGISTRY = None
+    if state is not None:
+        state.close()
+    return state
+
+
+def is_enabled() -> bool:
+    return _STATE is not None
+
+
+def state() -> Optional[ObservabilityState]:
+    """The active state, or None while disabled."""
+    return _STATE
+
+
+def registry() -> Optional[MetricsRegistry]:
+    """The active metrics registry, or None while disabled."""
+    return _STATE.registry if _STATE is not None else None
+
+
+# ---------------------------------------------------------------------------
+# hot-path helpers: one global read + early return when disabled.  While
+# enabled they stay lean too — spans are built directly (no tracer
+# dispatch) and unlabeled metric children come from the registry's
+# per-kind caches, so an enabled call site is a dict get plus one child
+# method call.  benchmarks/bench_observability.py gates both modes.
+# ---------------------------------------------------------------------------
+def span(name: str, **attributes: Any) -> Span:
+    """A tracer span, or the shared no-op span while disabled/untraced."""
+    tracer = _TRACER
+    if tracer is None:
+        return NOOP_SPAN  # type: ignore[return-value]
+    return Span(tracer, name, attributes)
+
+
+def event(kind: str, /, **fields: Any) -> None:
+    """Emit one event into the ring buffer (dropped silently when off)."""
+    s = _STATE
+    if s is not None:
+        s.events.emit(kind, **fields)
+
+
+def inc(name: str, amount: float = 1.0, help_text: str = "",
+        **labels: Any) -> None:
+    """Increment a counter family (created on first use)."""
+    registry = _REGISTRY
+    if registry is None:
+        return
+    if labels:
+        family = registry.counter(name, help_text, tuple(sorted(labels)))
+        family.labels(**labels).inc(amount)
+        return
+    child = registry._fast_counters.get(name)
+    if child is None:
+        child = registry.counter(name, help_text)._unlabeled()
+        registry._fast_counters[name] = child
+    child.inc(amount)
+
+
+def observe(name: str, value: float, help_text: str = "",
+            **labels: Any) -> None:
+    """Observe a value into a histogram family (created on first use)."""
+    registry = _REGISTRY
+    if registry is None:
+        return
+    if labels:
+        family = registry.histogram(name, help_text, tuple(sorted(labels)))
+        family.labels(**labels).observe(value)
+        return
+    child = registry._fast_histograms.get(name)
+    if child is None:
+        child = registry.histogram(name, help_text)._unlabeled()
+        registry._fast_histograms[name] = child
+    child.observe(value)
+
+
+def gauge_set(name: str, value: float, help_text: str = "",
+              **labels: Any) -> None:
+    """Set a gauge family's value (created on first use)."""
+    registry = _REGISTRY
+    if registry is None:
+        return
+    if labels:
+        family = registry.gauge(name, help_text, tuple(sorted(labels)))
+        family.labels(**labels).set(value)
+        return
+    child = registry._fast_gauges.get(name)
+    if child is None:
+        child = registry.gauge(name, help_text)._unlabeled()
+        registry._fast_gauges[name] = child
+    child.set(value)

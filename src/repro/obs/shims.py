@@ -1,0 +1,216 @@
+"""Compatibility shims: the legacy ``*Counters`` feed the registry.
+
+The three telemetry dataclasses
+(:class:`~repro.metrics.telemetry.FaultToleranceCounters`,
+:class:`~repro.metrics.telemetry.RobustnessCounters`,
+:class:`~repro.metrics.telemetry.QueryPathCounters`) predate the
+registry and are written to all over the codebase (and asserted on all
+over the test suite), so they keep working unchanged.  Each of them now
+inherits :class:`RegistryMirrorMixin`, which feeds their fields into
+the global registry — ``counters.cache_hits`` becomes
+``repro_query_cache_hits_total`` — whenever observability is enabled.
+Multiple counters objects (one per table, one per store) aggregate into
+one process-wide family, which is exactly what an exposition endpoint
+wants.
+
+The mirror is *deferred*: a write to a mapped field only marks the
+object dirty (one membership test plus a ``set.add`` — the cache
+counters are bumped inside per-partition scan loops, so a per-write
+registry update would dominate the whole layer's overhead budget).
+:func:`flush_mirrors` pushes the accumulated values of every dirty
+object into the registry; ``runtime.disable`` and the exposition
+surfaces (``python -m repro obs``, the run-summary renderer) call it
+before reading, so reported numbers are always current.
+
+The mirror maps monotonic fields to counters and watermark/level fields
+to gauges.  Decreases of a counter-mapped field (a fresh dataclass, a
+test resetting a field) are ignored rather than crashing: registry
+counters are monotonic by contract.
+
+``python -m repro query-path`` (reads the dataclass) and ``python -m
+repro obs`` (reads the registry) must report identical numbers;
+``tests/test_obs_integration.py`` pins that agreement field by field.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from repro.obs import runtime
+
+COUNTER = "counter"
+GAUGE = "gauge"
+
+#: QueryPathCounters field -> (metric name, kind)
+QUERY_PATH_METRICS: dict[str, tuple[str, str]] = {
+    "queries_total": ("repro_query_queries_total", COUNTER),
+    "partitions_considered": ("repro_query_partitions_considered_total", COUNTER),
+    "partitions_scanned": ("repro_query_partitions_scanned_total", COUNTER),
+    "partitions_pruned": ("repro_query_partitions_pruned_total", COUNTER),
+    "index_resolutions": ("repro_query_index_resolutions_total", COUNTER),
+    "catalog_scan_resolutions": (
+        "repro_query_catalog_scan_resolutions_total", COUNTER),
+    "cache_hits": ("repro_query_cache_hits_total", COUNTER),
+    "cache_misses": ("repro_query_cache_misses_total", COUNTER),
+    "cache_stale_drops": ("repro_query_cache_stale_drops_total", COUNTER),
+    "cache_evictions": ("repro_query_cache_evictions_total", COUNTER),
+    "rows_served_from_cache": (
+        "repro_query_rows_served_from_cache_total", COUNTER),
+}
+
+#: FaultToleranceCounters field -> (metric name, kind)
+FAULT_TOLERANCE_METRICS: dict[str, tuple[str, str]] = {
+    "node_crashes": ("repro_dist_node_crashes_total", COUNTER),
+    "node_recoveries": ("repro_dist_node_recoveries_total", COUNTER),
+    "node_degradations": ("repro_dist_node_degradations_total", COUNTER),
+    "queries_total": ("repro_dist_queries_total", COUNTER),
+    "queries_degraded": ("repro_dist_queries_degraded_total", COUNTER),
+    "retries": ("repro_dist_retries_total", COUNTER),
+    "failovers": ("repro_dist_failovers_total", COUNTER),
+    "unreachable_partition_hits": (
+        "repro_dist_unreachable_partition_hits_total", COUNTER),
+    "re_replication_passes": (
+        "repro_dist_re_replication_passes_total", COUNTER),
+    "replicas_created": ("repro_dist_replicas_created_total", COUNTER),
+    "wal_records_appended": ("repro_dist_wal_records_appended_total", COUNTER),
+    "wal_records_replayed": ("repro_dist_wal_records_replayed_total", COUNTER),
+}
+
+#: RobustnessCounters field -> (metric name, kind)
+ROBUSTNESS_METRICS: dict[str, tuple[str, str]] = {
+    "ops_started": ("repro_txn_ops_started_total", COUNTER),
+    "ops_committed": ("repro_txn_ops_committed_total", COUNTER),
+    "ops_rolled_back": ("repro_txn_ops_rolled_back_total", COUNTER),
+    "op_steps": ("repro_txn_op_steps_total", COUNTER),
+    "ingest_accepted": ("repro_ingest_accepted_total", COUNTER),
+    "ingest_rejected": ("repro_ingest_rejected_total", COUNTER),
+    "ingest_quarantined": ("repro_ingest_quarantined_total", COUNTER),
+    "ingest_requeued": ("repro_ingest_requeued_total", COUNTER),
+    "ingest_replayed": ("repro_ingest_replayed_total", COUNTER),
+    "ingest_overloaded": ("repro_ingest_overloaded_total", COUNTER),
+    "queue_high_watermark": ("repro_ingest_queue_high_watermark", GAUGE),
+}
+
+#: Help text for mirrored families, keyed by metric name (the catalog in
+#: ``docs/OBSERVABILITY.md`` is generated from the same wording).
+METRIC_HELP: dict[str, str] = {
+    "repro_query_queries_total": "Queries executed through the fast path",
+    "repro_query_partitions_considered_total":
+        "Partitions considered across query plans",
+    "repro_query_partitions_scanned_total":
+        "Partition scans performed by queries",
+    "repro_query_partitions_pruned_total":
+        "Partitions eliminated by synopsis pruning",
+    "repro_query_index_resolutions_total":
+        "Plans resolved via the inverted synopsis index",
+    "repro_query_catalog_scan_resolutions_total":
+        "Plans resolved by scanning the full catalog",
+    "repro_query_cache_hits_total": "Result-cache hits",
+    "repro_query_cache_misses_total": "Result-cache misses",
+    "repro_query_cache_stale_drops_total":
+        "Cache entries dropped on content-version mismatch",
+    "repro_query_cache_evictions_total":
+        "Cache entries evicted by LRU capacity",
+    "repro_query_rows_served_from_cache_total":
+        "Rows served from the result cache",
+    "repro_dist_node_crashes_total": "Node crashes applied to the cluster",
+    "repro_dist_node_recoveries_total":
+        "Node recoveries applied to the cluster",
+    "repro_dist_node_degradations_total":
+        "Node degradations applied to the cluster",
+    "repro_dist_queries_total": "Queries routed by the distributed store",
+    "repro_dist_queries_degraded_total":
+        "Queries answered with degraded=True",
+    "repro_dist_retries_total": "Per-host retries during query routing",
+    "repro_dist_failovers_total": "Queries served by a non-primary replica",
+    "repro_dist_unreachable_partition_hits_total":
+        "Needed partitions that had no reachable copy",
+    "repro_dist_re_replication_passes_total": "Repair passes run",
+    "repro_dist_replicas_created_total":
+        "Replica copies created by repair passes",
+    "repro_dist_wal_records_appended_total":
+        "Coordinator WAL records appended",
+    "repro_dist_wal_records_replayed_total":
+        "Coordinator WAL records replayed on recovery",
+    "repro_txn_ops_started_total":
+        "Transactional catalog operations started",
+    "repro_txn_ops_committed_total":
+        "Transactional catalog operations committed",
+    "repro_txn_ops_rolled_back_total":
+        "Transactional catalog operations rolled back",
+    "repro_txn_op_steps_total":
+        "Step boundaries crossed inside transactional operations",
+    "repro_ingest_accepted_total": "Ingest requests applied to the sink",
+    "repro_ingest_rejected_total": "Ingest requests refused by validation",
+    "repro_ingest_quarantined_total":
+        "Ingest requests dead-lettered to quarantine",
+    "repro_ingest_requeued_total": "Quarantined requests resubmitted",
+    "repro_ingest_replayed_total":
+        "Idempotent replays acknowledged without applying",
+    "repro_ingest_overloaded_total":
+        "Requests bounced by admission backpressure",
+    "repro_ingest_queue_high_watermark":
+        "Deepest ingest admission queue observed",
+}
+
+
+#: counters objects with writes not yet flushed into the registry,
+#: keyed by id (the dataclasses compare by value, so they are not
+#: hashable; the dict also keeps each dirty object alive until flushed)
+_PENDING: "dict[int, RegistryMirrorMixin]" = {}
+
+
+def flush_mirrors() -> None:
+    """Push every dirty ``*Counters`` object into the registry now.
+
+    Called automatically by ``runtime.disable`` and by the exposition
+    surfaces; call it directly before reading the registry while a
+    session is still enabled.  A no-op (beyond clearing the dirty set)
+    while observability is disabled.
+    """
+    if runtime._REGISTRY is None:
+        _PENDING.clear()
+        return
+    while _PENDING:
+        _key, counters = _PENDING.popitem()
+        counters._mirror_into_registry()
+
+
+class RegistryMirrorMixin:
+    """Feeds dataclass-field writes into the global metrics registry.
+
+    Subclasses set ``_OBS_METRICS`` to a field -> (name, kind) mapping.
+    While observability is enabled, writing a mapped field marks the
+    object dirty; :func:`flush_mirrors` later translates its
+    accumulated values into registry writes — counter fields as deltas
+    against the last flush, gauge fields as the current value.
+    Unmapped fields — and every write while disabled — pay one
+    membership test and nothing else.
+    """
+
+    _OBS_METRICS: ClassVar[dict[str, tuple[str, str]]] = {}
+
+    def __setattr__(self, name: str, value) -> None:
+        if name in self._OBS_METRICS and runtime._REGISTRY is not None:
+            _PENDING[id(self)] = self
+        object.__setattr__(self, name, value)
+
+    def _mirror_into_registry(self) -> None:
+        """Translate this object's values into registry writes."""
+        registry = runtime._REGISTRY
+        baseline = getattr(self, "_obs_baseline", None)
+        if baseline is None or baseline[0] is not registry:
+            # first flush into this registry: mirror full totals, so a
+            # session enabled mid-run still reports the object's truth
+            baseline = (registry, {})
+            object.__setattr__(self, "_obs_baseline", baseline)
+        synced = baseline[1]
+        for field_name, (metric, kind) in self._OBS_METRICS.items():
+            value = getattr(self, field_name)
+            if kind == GAUGE:
+                runtime.gauge_set(metric, value, METRIC_HELP.get(metric, ""))
+            else:
+                delta = value - synced.get(field_name, 0)
+                if delta > 0:
+                    runtime.inc(metric, delta, METRIC_HELP.get(metric, ""))
+                synced[field_name] = value

@@ -1,0 +1,266 @@
+"""Structured tracing: spans, nesting, timing, and slow-op capture.
+
+A :class:`Span` is one timed region of a request — an insert, the rating
+scan inside it, the split cascade it triggered.  Spans nest: the tracer
+keeps a per-thread stack, so a span opened while another is active
+becomes its child, and a finished *root* span is a complete tree of what
+one operation did and where its time went.  Timing uses
+``time.perf_counter()`` exclusively (monotonic; wall-clock time has no
+business inside a duration — see ``docs/OBSERVABILITY.md``).
+
+The tracer keeps three digests, all bounded:
+
+* ``finished`` — the most recent root span trees (ring, for
+  ``python -m repro obs --traces``);
+* ``aggregates`` — per-name call count and cumulative time ("top spans");
+* ``slow_ops`` — spans whose duration crossed ``slow_threshold_s``.
+
+An optional ``exporter`` callable receives every finished root span —
+:class:`repro.obs.export.JsonlSpanExporter` writes them as JSON lines.
+
+Spans are exception-safe: ``with tracer.span("x"):`` always closes the
+span and pops the stack; an escaping exception is recorded on the span
+(``error``) and re-raised.  When observability is disabled, call sites
+get the shared :data:`NOOP_SPAN` instead — one allocation-free object
+whose methods do nothing (see :mod:`repro.obs.runtime`).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from time import perf_counter
+from typing import Any, Callable, Optional, Sequence
+
+
+class Span:
+    """One timed, attributed region, possibly nested under a parent."""
+
+    __slots__ = ("name", "attributes", "_children", "started_s", "ended_s",
+                 "error", "_tracer")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 attributes: dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attributes = attributes
+        # child list is allocated lazily on first child — most spans are
+        # leaves, and the hot path pays for every per-span allocation
+        self._children: Optional[list[Span]] = None
+        self.started_s = 0.0
+        self.ended_s = 0.0
+        self.error: Optional[str] = None
+
+    is_recording = True
+
+    @property
+    def children(self) -> Sequence["Span"]:
+        return self._children if self._children is not None else ()
+
+    @property
+    def duration_s(self) -> float:
+        return self.ended_s - self.started_s
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach one attribute to the span."""
+        self.attributes[key] = value
+
+    def __enter__(self) -> "Span":
+        # stack handling is inlined (not delegated to the tracer): spans
+        # are the single hottest instrumentation object and every
+        # indirection here is paid thousands of times per workload
+        try:
+            stack = self._tracer._local.stack
+        except AttributeError:
+            stack = self._tracer._local.stack = []
+        if stack:
+            parent = stack[-1]
+            if parent._children is None:
+                parent._children = [self]
+            else:
+                parent._children.append(self)
+        stack.append(self)
+        self.started_s = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        # the entire close path is inlined for the same reason as
+        # __enter__: this runs for every span the system ever opens
+        self.ended_s = ended = perf_counter()
+        if exc is not None:
+            self.error = f"{exc_type.__name__}: {exc}"
+        tracer = self._tracer
+        stack = tracer._local.stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        else:
+            # exception safety: unwind past spans a crashed frame left open
+            while stack:
+                if stack.pop() is self:
+                    break
+        duration = ended - self.started_s
+        histogram = tracer.span_histograms.get(self.name)
+        if histogram is not None:
+            # span-timed histogram: the duration this span already
+            # measured feeds the bound latency metric directly, so hot
+            # call sites don't time the same region twice (see
+            # runtime.bind_span_histogram)
+            histogram.observe(duration)
+        aggregate = tracer.aggregates.get(self.name)
+        if aggregate is None:
+            tracer.aggregates[self.name] = [1, duration]
+        else:
+            aggregate[0] += 1
+            aggregate[1] += duration
+        if duration >= tracer._slow_cutoff:
+            tracer._record_slow(self, duration)
+        if not stack:
+            tracer.roots_finished += 1
+            tracer.finished.append(self)
+            if tracer.exporter is not None:
+                tracer.exporter(self)
+        return False  # never suppress
+
+    def to_dict(self) -> dict[str, Any]:
+        """The span tree as a JSON-ready document."""
+        document: dict[str, Any] = {
+            "name": self.name,
+            "duration_ms": round(self.duration_s * 1e3, 4),
+            "attributes": dict(self.attributes),
+        }
+        if self.error is not None:
+            document["error"] = self.error
+        if self._children:
+            document["children"] = [
+                child.to_dict() for child in self._children
+            ]
+        return document
+
+    def walk(self):
+        """This span and every descendant, depth-first."""
+        yield self
+        if self._children:
+            for child in self._children:
+                yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, {self.duration_s * 1e3:.3f}ms)"
+
+
+class _NoopSpan:
+    """The do-nothing span handed out while observability is disabled.
+
+    One shared instance; entering, exiting, and attributing it are all
+    no-ops, so disabled instrumentation costs one function call and one
+    identity check per site.
+    """
+
+    __slots__ = ()
+
+    is_recording = False
+    name = ""
+    error = None
+    duration_s = 0.0
+    attributes: dict[str, Any] = {}
+    children: list["Span"] = []
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *_exc: object) -> bool:
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Creates spans, tracks nesting, and keeps the bounded digests."""
+
+    def __init__(
+        self,
+        max_finished: int = 256,
+        slow_threshold_s: Optional[float] = None,
+        max_slow_ops: int = 128,
+        exporter: Optional[Callable[[Span], None]] = None,
+    ) -> None:
+        if max_finished < 1:
+            raise ValueError("max_finished must be >= 1")
+        self.max_finished = max_finished
+        self.slow_threshold_s = slow_threshold_s
+        #: hot-path form of the threshold: one compare, no None check
+        self._slow_cutoff = (
+            slow_threshold_s if slow_threshold_s is not None else float("inf")
+        )
+        self.exporter = exporter
+        #: span name -> histogram child observing every such span's
+        #: duration (wired by ``runtime.enable`` from the bindings that
+        #: ``runtime.bind_span_histogram`` collected)
+        self.span_histograms: dict[str, Any] = {}
+        self._local = threading.local()
+        #: most recent finished root spans (oldest evicted first)
+        self.finished: deque[Span] = deque(maxlen=max_finished)
+        #: root spans finished over the tracer's lifetime
+        self.roots_finished = 0
+        #: span name -> [count, cumulative seconds]
+        self.aggregates: dict[str, list[float]] = {}
+        #: recent spans that crossed the slow threshold
+        self.slow_ops: deque[dict[str, Any]] = deque(maxlen=max_slow_ops)
+        #: spans that crossed the threshold over the tracer's lifetime
+        self.slow_ops_seen = 0
+
+    # stack ---------------------------------------------------------------
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current_span(self) -> Optional[Span]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def span(self, name: str, **attributes: Any) -> Span:
+        """A new span; nest it with ``with tracer.span("name"): ...``."""
+        return Span(self, name, attributes)
+
+    def _record_slow(self, span: Span, duration: float) -> None:
+        """Log one span that crossed the slow threshold."""
+        self.slow_ops_seen += 1
+        self.slow_ops.append({
+            "name": span.name,
+            "duration_ms": round(duration * 1e3, 4),
+            "attributes": dict(span.attributes),
+            "error": span.error,
+        })
+
+    # digests -------------------------------------------------------------
+    @property
+    def traces_dropped(self) -> int:
+        """Finished root spans evicted from the ring buffer."""
+        return max(0, self.roots_finished - self.max_finished)
+
+    def top_spans(self, n: int = 10) -> list[tuple[str, int, float]]:
+        """``(name, count, cumulative seconds)`` — heaviest first."""
+        ranked = sorted(
+            self.aggregates.items(), key=lambda item: item[1][1], reverse=True
+        )
+        return [
+            (name, int(count), total) for name, (count, total) in ranked[:n]
+        ]
+
+    def recent_traces(self, n: int = 10) -> list[Span]:
+        """The *n* most recent finished root spans, newest last."""
+        if n <= 0:
+            return []
+        return list(self.finished)[-n:]
+
+    def find_trace(self, name: str) -> Optional[Span]:
+        """The most recent finished root span with *name* (None if gone)."""
+        for span in reversed(self.finished):
+            if span.name == name:
+                return span
+        return None

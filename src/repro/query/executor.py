@@ -25,6 +25,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Optional, TYPE_CHECKING
 
+from repro.obs import runtime as obs
 from repro.query.query import AttributeQuery
 from repro.query.rewrite import UnionAllPlan
 from repro.storage.record import deserialize_record
@@ -120,28 +121,45 @@ def execute_union_all(
     )
     rows: list[dict[str, Any]] = []
     started = time.perf_counter()
-    for pid in plan.branch_pids:
-        stats.union_branches += 1
-        if cache is not None:
-            version = catalog.version_of(pid)
-            cached = cache.lookup(plan.query, pid, version)
-            if cached is not None:
-                stats.cache_hits += 1
-                stats.rows_returned += len(cached)
-                rows.extend(cached)
-                if counters is not None:
-                    counters.rows_served_from_cache += len(cached)
+    with obs.span(
+        "query.execute", branches=len(plan.branch_pids), cached=cache is not None
+    ) as span:
+        for pid in plan.branch_pids:
+            stats.union_branches += 1
+            if cache is not None:
+                version = catalog.version_of(pid)
+                cached = cache.lookup(plan.query, pid, version)
+                if cached is not None:
+                    stats.cache_hits += 1
+                    stats.rows_returned += len(cached)
+                    rows.extend(cached)
+                    if counters is not None:
+                        counters.rows_served_from_cache += len(cached)
+                    continue
+                stats.cache_misses += 1
+                branch_rows: list[dict[str, Any]] = []
+                stats.partitions_scanned += 1
+                with obs.span("query.scan", pid=pid):
+                    scan_heap(
+                        heaps[pid], plan.query, dictionary, stats, branch_rows
+                    )
+                cache.store(plan.query, pid, version, branch_rows)
+                rows.extend(branch_rows)
                 continue
-            stats.cache_misses += 1
-            branch_rows: list[dict[str, Any]] = []
             stats.partitions_scanned += 1
-            scan_heap(heaps[pid], plan.query, dictionary, stats, branch_rows)
-            cache.store(plan.query, pid, version, branch_rows)
-            rows.extend(branch_rows)
-            continue
-        stats.partitions_scanned += 1
-        scan_heap(heaps[pid], plan.query, dictionary, stats, rows)
+            with obs.span("query.scan", pid=pid):
+                scan_heap(heaps[pid], plan.query, dictionary, stats, rows)
+        if span.is_recording:
+            span.set("cache_hits", stats.cache_hits)
+            span.set("cache_misses", stats.cache_misses)
+            span.set("rows", stats.rows_returned)
     stats.wall_time_s = time.perf_counter() - started
+    if obs.is_enabled():
+        obs.observe(
+            "repro_query_latency_seconds",
+            stats.wall_time_s,
+            help_text="Wall time of one UNION ALL execution",
+        )
     if counters is not None:
         counters.queries_total += 1
         counters.partitions_considered += stats.partitions_total

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.obs import runtime as obs
 from repro.query.pruning import candidate_pids_from_index, split_by_pruning
 from repro.query.query import AttributeQuery
 
@@ -73,18 +74,28 @@ def rewrite(
     branches in ascending pid order, so the plan — and therefore the row
     order of its execution — is identical regardless of strategy.
     """
-    if use_index and catalog.index is not None:
-        surviving_pids = candidate_pids_from_index(catalog.index, query, dictionary)
-        branch_pids = tuple(sorted(surviving_pids))
-        pruned_pids = tuple(
-            pid for pid in sorted(catalog.partition_ids())
-            if pid not in surviving_pids
-        )
-        return UnionAllPlan(query=query, branch_pids=branch_pids,
-                            pruned_pids=pruned_pids)
-    surviving, pruned = split_by_pruning(catalog, query, dictionary)
-    return UnionAllPlan(
-        query=query,
-        branch_pids=tuple(sorted(p.pid for p in surviving)),
-        pruned_pids=tuple(sorted(p.pid for p in pruned)),
-    )
+    with obs.span("query.rewrite") as span:
+        if use_index and catalog.index is not None:
+            with obs.span("query.index_prune"):
+                surviving_pids = candidate_pids_from_index(
+                    catalog.index, query, dictionary
+                )
+                branch_pids = tuple(sorted(surviving_pids))
+                pruned_pids = tuple(
+                    pid for pid in sorted(catalog.partition_ids())
+                    if pid not in surviving_pids
+                )
+            plan = UnionAllPlan(query=query, branch_pids=branch_pids,
+                                pruned_pids=pruned_pids)
+        else:
+            with obs.span("query.catalog_prune"):
+                surviving, pruned = split_by_pruning(catalog, query, dictionary)
+            plan = UnionAllPlan(
+                query=query,
+                branch_pids=tuple(sorted(p.pid for p in surviving)),
+                pruned_pids=tuple(sorted(p.pid for p in pruned)),
+            )
+        if span.is_recording:
+            span.set("branches", len(plan.branch_pids))
+            span.set("pruned", len(plan.pruned_pids))
+    return plan

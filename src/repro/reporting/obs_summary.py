@@ -1,0 +1,148 @@
+"""ASCII renderers for the observability layer's run summaries.
+
+``python -m repro obs`` renders an :class:`~repro.obs.ObservabilityState`
+through these helpers: the metric families as a table, the heaviest span
+names, the slow-op log, the freshest events, and full span trees with
+indentation showing the nesting.  Everything is plain fixed-width text in
+the same style as :mod:`repro.reporting.tables`, so run summaries diff
+cleanly between runs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.reporting.tables import format_table
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.events import EventLog
+    from repro.obs.registry import MetricsRegistry
+    from repro.obs.runtime import ObservabilityState
+    from repro.obs.tracing import Span, Tracer
+
+
+def _sample_value(value: Any) -> str:
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def format_metrics_table(registry: "MetricsRegistry") -> str:
+    """All metric families as one ``name | type | labels | value`` table.
+
+    Histograms are summarized to ``count`` and ``sum`` (the full bucket
+    vector lives in the Prometheus/JSON expositions).
+    """
+    rows: list[list[Any]] = []
+    for family in registry.families():
+        for child in family.children():
+            label_text = ",".join(
+                f"{name}={value}"
+                for name, value in zip(family.labelnames, child.labels)
+            )
+            if family.kind == "histogram":
+                rows.append([
+                    family.name, family.kind, label_text,
+                    f"count={int(child.count)} sum={child.sum:.6g}",
+                ])
+            else:
+                rows.append([
+                    family.name, family.kind, label_text,
+                    _sample_value(child.value),
+                ])
+    if not rows:
+        return "no metrics recorded"
+    return format_table(["metric", "type", "labels", "value"], rows)
+
+
+def format_top_spans(tracer: "Tracer", n: int = 10) -> str:
+    """The heaviest span names by cumulative time."""
+    ranked = tracer.top_spans(n)
+    if not ranked:
+        return "no spans recorded"
+    rows = [
+        [name, count, f"{total * 1e3:.2f}",
+         f"{total / count * 1e6:.1f}" if count else "-"]
+        for name, count, total in ranked
+    ]
+    return format_table(
+        ["span", "calls", "total ms", "mean us"], rows,
+        title=f"Top spans by cumulative time ({tracer.roots_finished} traces "
+              f"finished, {tracer.traces_dropped} evicted)",
+    )
+
+
+def format_slow_ops(tracer: "Tracer", n: int = 10) -> str:
+    """The most recent spans that crossed the slow threshold."""
+    if tracer.slow_threshold_s is None:
+        return "slow-op log disabled"
+    recent = list(tracer.slow_ops)[-n:]
+    if not recent:
+        return (
+            f"no operations slower than "
+            f"{tracer.slow_threshold_s * 1e3:g} ms"
+        )
+    rows = [
+        [op["name"], f"{op['duration_ms']:.2f}",
+         ",".join(f"{k}={v}" for k, v in sorted(op["attributes"].items())),
+         op["error"] or ""]
+        for op in recent
+    ]
+    return format_table(
+        ["span", "ms", "attributes", "error"], rows,
+        title=f"Slow operations (>= {tracer.slow_threshold_s * 1e3:g} ms, "
+              f"{tracer.slow_ops_seen} seen)",
+    )
+
+
+def format_recent_events(events: "EventLog", n: int = 15) -> str:
+    """The freshest ring-buffer events, oldest first."""
+    recent = events.events()[-n:]
+    if not recent:
+        return "no events recorded"
+    rows = [
+        [event.seq, event.kind,
+         ",".join(f"{k}={v}" for k, v in sorted(event.fields.items()))]
+        for event in recent
+    ]
+    return format_table(
+        ["seq", "kind", "fields"], rows,
+        title=f"Recent events ({events.emitted} emitted, "
+              f"{events.dropped} dropped)",
+    )
+
+
+def format_span_tree(span: "Span", indent: str = "") -> str:
+    """One finished span tree, children indented under their parent."""
+    attributes = ",".join(
+        f"{key}={value}" for key, value in sorted(span.attributes.items())
+    )
+    line = f"{indent}{span.name}  {span.duration_s * 1e3:.3f} ms"
+    if attributes:
+        line += f"  [{attributes}]"
+    if span.error is not None:
+        line += f"  !{span.error}"
+    lines = [line]
+    for child in span.children:
+        lines.append(format_span_tree(child, indent + "  "))
+    return "\n".join(lines)
+
+
+def format_run_summary(
+    state: "ObservabilityState",
+    top: int = 10,
+    traces: int = 0,
+    events: int = 15,
+) -> str:
+    """The full human-readable digest of one observability session."""
+    sections = [format_metrics_table(state.registry)]
+    if state.tracer is not None:
+        sections.append(format_top_spans(state.tracer, top))
+        sections.append(format_slow_ops(state.tracer))
+        if traces > 0:
+            for root in state.tracer.recent_traces(traces):
+                sections.append(format_span_tree(root))
+    sections.append(format_recent_events(state.events, events))
+    return "\n\n".join(sections)

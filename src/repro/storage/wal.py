@@ -45,7 +45,10 @@ import os
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
+from time import perf_counter
 from typing import Any, Callable, Optional, Union
+
+from repro.obs import runtime as obs
 
 WAL_FORMAT = "repro-wal"
 WAL_VERSION = 1
@@ -261,9 +264,26 @@ class WriteAheadLog:
         seq = self.last_seq + 1
         self._handle.write(_encode_line(seq, op, payload))
         self._handle.flush()
+        enabled = obs.is_enabled()
         if sync:
+            fsync_started = perf_counter() if enabled else 0.0
             os.fsync(self._handle.fileno())
             self.syncs += 1
+            if enabled:
+                obs.inc(
+                    "repro_wal_fsyncs_total",
+                    help_text="WAL fsync calls (commit-record durability)",
+                )
+                obs.observe(
+                    "repro_wal_fsync_seconds",
+                    perf_counter() - fsync_started,
+                    help_text="Wall time of one WAL fsync",
+                )
+        if enabled:
+            obs.inc(
+                "repro_wal_records_appended_total",
+                help_text="Records appended to write-ahead logs",
+            )
         self.last_seq = seq
         if (
             self.max_bytes is not None
@@ -292,16 +312,32 @@ class WriteAheadLog:
         ``last_seq`` so appends continue from the right position), so a
         companion snapshot's journal position stays valid.
         """
-        records = self.records()
-        predicate = droppable if droppable is not None else journal_droppable(records)
-        kept = [record for record in records if not predicate(record)]
-        dropped = len(records) - len(kept)
-        if dropped == 0:
-            return 0
-        self._handle.close()
-        self.compactions += 1
-        self._rewrite(self.basis_seq, kept)
-        self._handle = self.path.open("a", encoding="utf-8")
+        with obs.span("wal.compact", path=str(self.path)) as span:
+            records = self.records()
+            predicate = (
+                droppable if droppable is not None
+                else journal_droppable(records)
+            )
+            kept = [record for record in records if not predicate(record)]
+            dropped = len(records) - len(kept)
+            if span.is_recording:
+                span.set("dropped", dropped)
+            if dropped == 0:
+                return 0
+            self._handle.close()
+            self.compactions += 1
+            self._rewrite(self.basis_seq, kept)
+            self._handle = self.path.open("a", encoding="utf-8")
+        if obs.is_enabled():
+            obs.inc(
+                "repro_wal_compactions_total",
+                help_text="WAL compaction passes that dropped records",
+            )
+            obs.inc(
+                "repro_wal_records_compacted_total",
+                dropped,
+                help_text="Replay-dead records dropped by compaction",
+            )
         return dropped
 
     def reset(self, basis_seq: int) -> None:

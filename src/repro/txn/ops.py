@@ -29,6 +29,7 @@ from typing import Any, Callable, Optional, Sequence, TYPE_CHECKING
 from repro.distributed.failures import MidOperationCrash
 from repro.maintenance.merger import MergeReport, merge_small_partitions
 from repro.maintenance.reorganizer import ReorganizationReport, reorganize
+from repro.obs import runtime as obs
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.outcomes import ModificationOutcome
@@ -65,22 +66,39 @@ def _run_atomic(
             crash_hook(label)
 
     txn = partitioner.catalog.begin_transaction()
-    try:
-        result = operation(hook)
-    except BaseException as error:
-        txn.rollback()
+    with obs.span(f"txn.{kind}", journaled=journal is not None) as span:
+        try:
+            result = operation(hook)
+        except BaseException as error:
+            txn.rollback()
+            if counters is not None:
+                counters.ops_rolled_back += 1
+            obs.event(
+                "txn.rollback", kind=kind,
+                error=f"{type(error).__name__}: {error}",
+            )
+            obs.inc(
+                "repro_txn_ops_total",
+                help_text="Atomic catalog operations by kind and outcome",
+                kind=kind, outcome="rolled_back",
+            )
+            if journal is not None and not isinstance(error, MidOperationCrash):
+                # a simulated crash writes nothing — like a real process
+                # death; clean failures record an explicit abort
+                journal.abort(op_id, f"{type(error).__name__}: {error}")
+            raise
+        if journal is not None:
+            journal.commit(op_id, kind, params)
+        txn.commit()
         if counters is not None:
-            counters.ops_rolled_back += 1
-        if journal is not None and not isinstance(error, MidOperationCrash):
-            # a simulated crash writes nothing — like a real process
-            # death; clean failures record an explicit abort
-            journal.abort(op_id, f"{type(error).__name__}: {error}")
-        raise
-    if journal is not None:
-        journal.commit(op_id, kind, params)
-    txn.commit()
-    if counters is not None:
-        counters.ops_committed += 1
+            counters.ops_committed += 1
+        obs.inc(
+            "repro_txn_ops_total",
+            help_text="Atomic catalog operations by kind and outcome",
+            kind=kind, outcome="committed",
+        )
+        if span.is_recording:
+            span.set("steps", step_index)
     return result
 
 

@@ -229,3 +229,52 @@ class TestChaos:
         assert availability[1] < availability[2] <= availability[3]
         assert availability[2] > 0.9
         assert availability[3] == 1.0
+
+
+class TestChaosObservability:
+    def test_every_injected_fault_leaves_a_trace_event(self):
+        """Observability satellite: the chaos schedule's faults must all
+        land in the obs event log — an operator replaying an incident
+        from ``repro obs`` sees every crash, recovery, degradation, and
+        repair pass, with counts that agree with the store's counters."""
+        from repro import obs
+
+        schedule = build_schedule()
+        store = make_store()
+        state = obs.enable(
+            slow_op_threshold_s=None, event_capacity=4096
+        )
+        try:
+            drive_chaos(store, schedule, check_queries=False)
+            store.re_replicate()
+        finally:
+            obs.disable()
+        counters = store.counters
+        events = state.events
+        assert events.dropped == 0, "the event ring must hold the full run"
+        assert len(events.of_kind("fault.crash")) == counters.node_crashes
+        assert (
+            len(events.of_kind("fault.recover")) == counters.node_recoveries
+        )
+        assert (
+            len(events.of_kind("fault.degrade")) == counters.node_degradations
+        )
+        assert (
+            len(events.of_kind("fault.repair"))
+            == counters.re_replication_passes
+        )
+        # the events carry enough payload to reconstruct the schedule
+        crashed_nodes = {
+            event.fields["node"] for event in events.of_kind("fault.crash")
+        }
+        assert crashed_nodes, "the seeded schedule crashes at least one node"
+        assert crashed_nodes <= set(range(NODES))
+        # and the counters themselves mirrored into the registry
+        assert (
+            state.registry.get_value("repro_dist_node_crashes_total")
+            == counters.node_crashes
+        )
+        assert (
+            state.registry.get_value("repro_dist_re_replication_passes_total")
+            == counters.re_replication_passes
+        )

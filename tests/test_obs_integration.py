@@ -1,0 +1,278 @@
+"""End-to-end observability: spans, metrics, and surfaces agree.
+
+The acceptance bar of the observability layer:
+
+* a single insert that causes a split leaves a complete nested span
+  tree (insert -> split -> restricted rate / place);
+* ``python -m repro query-path`` (legacy dataclass counters) and
+  ``python -m repro obs`` (registry) report identical numbers;
+* one instrumented run covers insert, query, maintenance, WAL, and
+  ingest metric families, and both exposition formats are valid.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main as cli_main
+from repro.core.config import CinderellaConfig
+from repro.core.partitioner import CinderellaPartitioner
+from repro.ingest.pipeline import IngestPipeline, IngestRequest
+from repro.maintenance.merger import merge_small_partitions
+from repro.obs.shims import QUERY_PATH_METRICS
+from repro.query.cache import QueryResultCache
+from repro.query.query import AttributeQuery
+from repro.storage.wal import WriteAheadLog
+from repro.table.partitioned import CinderellaTable
+from repro.txn.ops import atomic_merge
+
+
+@pytest.fixture(autouse=True)
+def _always_disable():
+    yield
+    obs.disable()
+
+
+class TestSplitTrace:
+    def test_insert_causing_split_leaves_full_span_tree(self):
+        """A single insert that splits shows the full nested story.
+
+        The masks are arranged so the fifth insert overflows the one
+        partition everything rated into, and — crucially — so the
+        triggering entity is *not* picked as a split starter (its mask
+        sits between the two extremes), which means it re-inserts into
+        the split targets with full stage spans.
+        """
+        partitioner = CinderellaPartitioner(
+            CinderellaConfig(max_partition_size=4, weight=0.9)
+        )
+        state = obs.enable(slow_op_threshold_s=None)
+        outcome = None
+        for eid, mask in enumerate((0b0001, 0b1111, 0b0011, 0b0011, 0b0011)):
+            outcome = partitioner.insert(eid, mask)
+        obs.disable()
+        assert outcome.splits > 0, "the last insert must have split"
+
+        trace = None
+        for root in reversed(state.tracer.finished):
+            if root.name == "partitioner.insert" and root.attributes.get(
+                "splits"
+            ):
+                trace = root
+                break
+        assert trace is not None, "the splitting insert left no trace"
+        assert trace.attributes["eid"] == outcome.entity_id
+        assert trace.attributes["partition_id"] == outcome.partition_id
+        assert trace.attributes["splits"] == outcome.splits
+
+        names = [span.name for span in trace.walk()]
+        assert names[0] == "partitioner.insert"
+        assert "partitioner.split" in names, "split must nest under insert"
+        split = next(
+            span for span in trace.children if span.name == "partitioner.split"
+        )
+        assert split.attributes["source_pid"] is not None
+        stage_names = {span.name for span in split.walk()}
+        # the triggering entity re-inserts with full stage spans: the
+        # restricted rating over the two split targets, then placement
+        assert "partitioner.rate" in stage_names
+        assert "partitioner.place" in stage_names
+        rate = next(
+            span for span in split.walk() if span.name == "partitioner.rate"
+        )
+        assert rate.attributes.get("restricted") is True
+
+    def test_plain_insert_records_one_span_with_stage_attributes(self):
+        """The non-split fast path traces as a single span — stage data
+        lands in attributes, not child spans (overhead budget)."""
+        partitioner = CinderellaPartitioner(
+            CinderellaConfig(max_partition_size=100.0)
+        )
+        state = obs.enable(slow_op_threshold_s=None)
+        partitioner.insert(1, 0b11)
+        partitioner.insert(2, 0b11)
+        obs.disable()
+        root = state.tracer.find_trace("partitioner.insert")
+        assert root.children == ()
+        assert root.attributes["ratings"] >= 1
+        assert "partition_id" in root.attributes
+
+    def test_insert_latency_histogram_is_span_timed(self):
+        partitioner = CinderellaPartitioner()
+        state = obs.enable(slow_op_threshold_s=None)
+        for eid in range(10):
+            partitioner.insert(eid, 0b1 << (eid % 3))
+        obs.disable()
+        child = state.registry.get("repro_insert_latency_seconds")._unlabeled()
+        assert child.count == 10
+        insert_aggregate = state.tracer.aggregates["partitioner.insert"]
+        assert child.sum == pytest.approx(insert_aggregate[1])
+
+    def test_metrics_only_mode_still_times_inserts(self):
+        partitioner = CinderellaPartitioner()
+        state = obs.enable(trace=False)
+        partitioner.insert(1, 0b11)
+        obs.disable()
+        child = state.registry.get("repro_insert_latency_seconds")._unlabeled()
+        assert child.count == 1
+        assert child.sum > 0.0
+
+
+def _run_query_workload(table):
+    attributes = ["name", "resolution", "aperture", "storage", "rotation"]
+    for eid in range(60):
+        row = {
+            "name": f"e{eid}",
+            attributes[1 + eid % 4]: eid,
+        }
+        table.insert(row, entity_id=eid)
+    queries = [
+        AttributeQuery(("name",)),
+        AttributeQuery(("resolution",)),
+        AttributeQuery(("storage",)),
+    ]
+    for _round in range(3):
+        for query in queries:
+            table.execute(query)
+
+
+class TestCountersAgreement:
+    def test_query_path_counters_match_registry(self):
+        """``repro query-path`` reads the dataclass, ``repro obs`` reads
+        the registry; the deferred mirror must make them identical."""
+        table = CinderellaTable(
+            CinderellaConfig(max_partition_size=20.0, weight=0.4,
+                             use_synopsis_index=True),
+            result_cache=QueryResultCache(),
+        )
+        state = obs.enable()
+        _run_query_workload(table)
+        obs.disable()  # flushes the mirror
+
+        reported = table.query_counters.as_dict()
+        assert reported["queries_total"] == 9
+        assert reported["cache_hits"] > 0
+        for field, (metric, _kind) in QUERY_PATH_METRICS.items():
+            registry_value = state.registry.get_value(metric)
+            if reported[field] == 0:
+                assert registry_value in (None, 0.0), metric
+            else:
+                assert registry_value == reported[field], metric
+
+    def test_flush_mirrors_makes_live_reads_current(self):
+        table = CinderellaTable(
+            CinderellaConfig(max_partition_size=20.0),
+            result_cache=QueryResultCache(),
+        )
+        obs.enable()
+        _run_query_workload(table)
+        assert obs.registry().get_value("repro_query_queries_total") is None
+        obs.flush_mirrors()
+        assert obs.registry().get_value("repro_query_queries_total") == 9
+        obs.disable()
+
+    def test_mirror_aggregates_multiple_tables(self):
+        state = obs.enable()
+        for _ in range(2):
+            table = CinderellaTable(
+                CinderellaConfig(max_partition_size=20.0),
+                result_cache=QueryResultCache(),
+            )
+            _run_query_workload(table)
+        obs.disable()
+        assert state.registry.get_value("repro_query_queries_total") == 18
+
+
+class TestSubsystemCoverage:
+    def test_one_run_covers_all_metric_families(self, tmp_path):
+        """Insert, query, maintenance, WAL, and ingest families all land
+        in one instrumented run — the exposition covers the system."""
+        state = obs.enable(slow_op_threshold_s=None)
+
+        table = CinderellaTable(
+            CinderellaConfig(max_partition_size=10.0, weight=0.4),
+            result_cache=QueryResultCache(),
+        )
+        _run_query_workload(table)
+        atomic_merge(table.partitioner, min_fill=0.9)
+
+        wal = WriteAheadLog(tmp_path / "test.wal")
+        wal.append("noop", {}, sync=True)
+        wal.compact()
+        wal.close()
+
+        pipeline = IngestPipeline(
+            CinderellaPartitioner(CinderellaConfig(max_partition_size=50.0))
+        )
+        pipeline.ingest(IngestRequest("insert", 1, 0b11))
+        pipeline.ingest(IngestRequest("insert", 2, 0))  # rejected
+
+        obs.disable()
+        families = {family.name for family in state.registry.families()}
+        for expected in (
+            "repro_insert_latency_seconds",          # insert
+            "repro_query_latency_seconds",           # query
+            "repro_query_cache_hits_total",          # cache
+            "repro_txn_ops_total",                   # maintenance txn
+            "repro_wal_fsyncs_total",                # WAL
+            "repro_wal_fsync_seconds",
+            "repro_ingest_accepted_total",           # ingest
+            "repro_ingest_quarantined_total",
+        ):
+            assert expected in families, f"{expected} missing from {families}"
+        # ingest admission failures also emit events
+        assert state.events.of_kind("ingest.quarantined")
+
+    def test_maintenance_merge_is_traced_and_counted(self):
+        partitioner = CinderellaPartitioner(
+            CinderellaConfig(max_partition_size=10.0)
+        )
+        for eid in range(8):
+            partitioner.insert(eid, 0b1 << (eid % 4))
+        state = obs.enable(slow_op_threshold_s=None)
+        report = merge_small_partitions(partitioner, min_fill=0.9)
+        obs.disable()
+        assert state.registry.get_value(
+            "repro_maintenance_merge_passes_total"
+        ) == 1
+        assert state.registry.get_value(
+            "repro_maintenance_partitions_merged_total"
+        ) == report.merge_count
+        assert state.tracer.find_trace("maintenance.merge") is not None
+
+
+class TestCliSurface:
+    def _run_cli(self, capsys, *argv):
+        assert cli_main(["obs", "--entities", "200", *argv]) == 0
+        return capsys.readouterr().out
+
+    def test_prometheus_output_is_valid_and_covering(self, capsys):
+        out = self._run_cli(capsys, "--format", "prometheus")
+        for line in out.strip().splitlines():
+            assert line.startswith("#") or " " in line
+        for family in (
+            "repro_insert_latency_seconds_count",
+            "repro_query_latency_seconds_count",
+            "repro_txn_ops_total",
+            "repro_wal_fsyncs_total",
+            "repro_ingest_accepted_total",
+            "repro_dist_node_crashes_total",
+        ):
+            assert family in out
+
+    def test_json_output_parses_and_has_digests(self, capsys):
+        out = self._run_cli(capsys, "--format", "json")
+        document = json.loads(out)
+        names = {metric["name"] for metric in document["metrics"]}
+        assert "repro_insert_latency_seconds" in names
+        assert "repro_query_cache_hits_total" in names
+        span_names = {entry["name"] for entry in document["top_spans"]}
+        assert "partitioner.insert" in span_names
+        assert any(
+            event["kind"].startswith("fault.") for event in document["events"]
+        )
+
+    def test_summary_output_renders(self, capsys):
+        out = self._run_cli(capsys)
+        assert "partitioner.insert" in out
