@@ -6,7 +6,9 @@ cached queries, and a merge pass, i.e. every hot path the
 *enabled* (tracing + metrics + events) and compares CPU times.
 
 Measuring a single-digit-percent effect on a shared machine needs a
-deliberate protocol; three layers of noise control are stacked here:
+deliberate protocol; three layers of noise control are stacked (the
+machinery lives in ``benchmarks/conftest.py`` and is shared with the
+server load generator):
 
 * ``time.process_time`` + a ``gc.collect()`` before each run — CPU
   time ignores scheduler preemption, which alone exceeds the effect
@@ -39,10 +41,11 @@ enabled overhead exceeds the gate.  The workload is fully seeded.
 
 from __future__ import annotations
 
-import gc
 import json
 import time
 from pathlib import Path
+
+from conftest import interleaved_cpu_runs, quiet_floor
 
 from repro import obs
 from repro.core.config import CinderellaConfig
@@ -117,16 +120,15 @@ def _measure_disabled_call_ns() -> float:
     return elapsed / iterations * 1e9
 
 
-def _timed_run(dataset, enabled: bool) -> float:
-    """One CPU-timed workload run in the requested mode."""
+def _run_disabled(dataset) -> None:
     obs.disable()
-    if enabled:
-        obs.enable(slow_op_threshold_s=0.05)
-    gc.collect()  # don't charge either mode for the other's garbage
+    _run_workload(dataset)
+
+
+def _run_enabled(dataset) -> None:
+    obs.enable(slow_op_threshold_s=0.05)
     try:
-        started = time.process_time()
         _run_workload(dataset)
-        return time.process_time() - started
     finally:
         obs.disable()
 
@@ -137,18 +139,13 @@ def run_benchmark() -> dict:
     obs.disable()
     _run_workload(dataset)  # warm-up: imports, allocator, caches
 
-    disabled_runs: list[float] = []
-    enabled_runs: list[float] = []
-    for repeat in range(REPEATS):
-        if repeat % 2 == 0:
-            disabled_runs.append(_timed_run(dataset, enabled=False))
-            enabled_runs.append(_timed_run(dataset, enabled=True))
-        else:
-            enabled_runs.append(_timed_run(dataset, enabled=True))
-            disabled_runs.append(_timed_run(dataset, enabled=False))
-
-    disabled_s = sum(sorted(disabled_runs)[:FLOOR_K]) / FLOOR_K
-    enabled_s = sum(sorted(enabled_runs)[:FLOOR_K]) / FLOOR_K
+    disabled_runs, enabled_runs = interleaved_cpu_runs(
+        lambda: _run_disabled(dataset),
+        lambda: _run_enabled(dataset),
+        REPEATS,
+    )
+    disabled_s = quiet_floor(disabled_runs, FLOOR_K)
+    enabled_s = quiet_floor(enabled_runs, FLOOR_K)
     overhead = enabled_s / disabled_s - 1.0
     disabled_ns = _measure_disabled_call_ns()
     return {

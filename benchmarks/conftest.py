@@ -20,9 +20,12 @@ with the per-insert measurements Figure 8 needs.
 
 from __future__ import annotations
 
+import gc
+import math
 import os
 import time
 from dataclasses import dataclass, field
+from typing import Callable, Sequence
 
 import pytest
 
@@ -159,6 +162,69 @@ def cinderella_loads(dbpedia):
         return loaded
 
     return load
+
+
+# ---------------------------------------------------------------------------
+# shared timing protocol: quiet-floor estimation over interleaved runs
+#
+# Measuring small effects on a shared machine needs noise control, and
+# several benches (observability overhead, the server load generator)
+# need the same three pieces: CPU-timed runs with a ``gc.collect()``
+# beforehand, A/B interleaving so a noisy window cannot systematically
+# land on one mode, and the *quiet floor* — machine interference only
+# ever adds time, so the mean of the K smallest of N runs approaches
+# the interference-free floor (a raw minimum is an extreme order
+# statistic; one lucky run swings it).
+# ---------------------------------------------------------------------------
+
+def timed_cpu_run(fn: Callable[[], None]) -> float:
+    """One CPU-timed run of ``fn`` (collects garbage first, not charged)."""
+    gc.collect()
+    started = time.process_time()
+    fn()
+    return time.process_time() - started
+
+
+def interleaved_cpu_runs(
+    run_a: Callable[[], None],
+    run_b: Callable[[], None],
+    repeats: int,
+) -> tuple[list[float], list[float]]:
+    """CPU-time two workloads ``repeats`` times each, interleaved.
+
+    The modes alternate run by run, in alternating order within each
+    pair, so a long quiet window is sampled by both modes and a noise
+    burst cannot systematically land on one of them.
+    """
+    a_runs: list[float] = []
+    b_runs: list[float] = []
+    for repeat in range(repeats):
+        if repeat % 2 == 0:
+            a_runs.append(timed_cpu_run(run_a))
+            b_runs.append(timed_cpu_run(run_b))
+        else:
+            b_runs.append(timed_cpu_run(run_b))
+            a_runs.append(timed_cpu_run(run_a))
+    return a_runs, b_runs
+
+
+def quiet_floor(runs: Sequence[float], floor_k: int = 5) -> float:
+    """The mean of the ``floor_k`` smallest runs — the quiet-floor estimate."""
+    if not runs:
+        raise ValueError("quiet_floor needs at least one run")
+    k = min(floor_k, len(runs))
+    return sum(sorted(runs)[:k]) / k
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]) of unsorted values."""
+    if not values:
+        raise ValueError("percentile needs at least one value")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
 
 
 def average_query_times_by_selectivity(

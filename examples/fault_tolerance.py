@@ -15,7 +15,6 @@ Run with::
 """
 
 import random
-import tempfile
 from pathlib import Path
 
 from repro.core.config import CinderellaConfig
@@ -26,6 +25,7 @@ from repro.distributed import (
     replication_report,
 )
 from repro.reporting import format_kv_block
+from repro.storage.scratch import scratch_dir
 from repro.storage.wal import WriteAheadLog
 
 NODES = 5
@@ -43,7 +43,13 @@ def make_store(wal=None):
 
 
 def main() -> None:
-    workdir = Path(tempfile.mkdtemp(prefix="cinderella-ft-"))
+    # the scratch dir (WAL + checkpoint) is removed on every exit path,
+    # including Ctrl-C and SIGTERM mid-run
+    with scratch_dir(prefix="cinderella-ft-") as workdir:
+        _run(workdir)
+
+
+def _run(workdir: Path) -> None:
     wal = WriteAheadLog(workdir / "coordinator.wal")
     store = make_store(wal=wal)
     schedule = FailureSchedule.random(

@@ -20,7 +20,6 @@ Run with::
     python examples/robust_ingest.py
 """
 
-import tempfile
 from pathlib import Path
 
 from repro.core.config import CinderellaConfig
@@ -35,6 +34,7 @@ from repro.ingest import (
     QUEUED,
 )
 from repro.reporting import format_kv_block
+from repro.storage.scratch import scratch_dir
 from repro.storage.wal import WriteAheadLog
 
 NODES = 4
@@ -48,7 +48,13 @@ def catalog_signature(store):
 
 
 def main() -> None:
-    workdir = Path(tempfile.mkdtemp(prefix="cinderella-ingest-"))
+    # the scratch dir (WAL + checkpoint) is removed on every exit path,
+    # including Ctrl-C and SIGTERM mid-run
+    with scratch_dir(prefix="cinderella-ingest-") as workdir:
+        _run(workdir)
+
+
+def _run(workdir: Path) -> None:
     wal = WriteAheadLog(workdir / "coordinator.wal")
     store = DistributedUniversalStore(
         NODES,

@@ -22,6 +22,10 @@ Commands:
   queries, maintenance, WAL-backed distributed faults, ingest) under
   the observability layer and report metrics, top spans, slow ops, and
   events — as a summary, Prometheus text, or JSON.
+* ``serve`` — run the online serving layer: a TCP server speaking the
+  line-delimited JSON protocol of :mod:`repro.server`, with admission
+  control, write batching, and cooperative background maintenance.
+  Stops gracefully (drain, then exit) on Ctrl-C or SIGTERM.
 """
 
 from __future__ import annotations
@@ -315,13 +319,12 @@ def _run_obs_workload(args: argparse.Namespace) -> None:
     WAL), and an ingest pipeline fed some malformed rows (ingest).
     """
     import random
-    import tempfile
-    from pathlib import Path
 
     from repro.core.partitioner import CinderellaPartitioner
     from repro.distributed.store import DistributedUniversalStore
     from repro.ingest.pipeline import IngestPipeline, IngestRequest
     from repro.query.cache import QueryResultCache
+    from repro.storage.scratch import scratch_dir
     from repro.storage.wal import WriteAheadLog
     from repro.table.partitioned import CinderellaTable
     from repro.txn.ops import atomic_merge, atomic_reorganize
@@ -360,8 +363,8 @@ def _run_obs_workload(args: argparse.Namespace) -> None:
 
     # WAL-backed distributed store under faults ------------------------
     rng = random.Random(args.seed)
-    with tempfile.TemporaryDirectory() as tmp:
-        wal = WriteAheadLog(Path(tmp) / "coordinator.wal")
+    with scratch_dir(prefix="repro-obs-") as tmp:
+        wal = WriteAheadLog(tmp / "coordinator.wal")
         store = DistributedUniversalStore(
             4,
             CinderellaPartitioner(
@@ -439,6 +442,72 @@ def _cmd_obs(args: argparse.Namespace) -> int:
                 print("\nMost recent insert trace:")
                 print(format_span_tree(split_trace))
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the serving layer until interrupted, then drain gracefully."""
+    import asyncio
+    import signal
+
+    from repro import obs as obs_runtime
+    from repro.server.server import CinderellaServer, ServerConfig
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_pending=args.max_pending,
+        batch_max=args.batch_max,
+        max_parallel_reads=args.parallel_reads,
+        maintenance_interval_s=args.maintenance_interval,
+        merge_min_fill=args.merge_min_fill,
+        reorganize_every=args.reorganize_every,
+    )
+    table_config = CinderellaConfig(
+        max_partition_size=args.partition_size,
+        weight=args.weight,
+        use_synopsis_index=True,
+    )
+
+    async def _serve() -> int:
+        server = CinderellaServer(config=config, table_config=table_config)
+        host, port = await server.start()
+        print(f"repro server listening on {host}:{port} "
+              f"(B={args.partition_size:g}, w={args.weight}, "
+              f"max_pending={args.max_pending})", flush=True)
+        loop = asyncio.get_running_loop()
+        stopping = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, stopping.set)
+        stopped = asyncio.ensure_future(server.serve_until_stopped())
+        interrupted = asyncio.ensure_future(stopping.wait())
+        await asyncio.wait(
+            (stopped, interrupted), return_when=asyncio.FIRST_COMPLETED
+        )
+        if not stopped.done():
+            print("draining...", file=sys.stderr)
+            await server.stop()
+            await stopped
+        interrupted.cancel()
+        snapshot = server._stats_snapshot()
+        counters = snapshot["counters"]
+        print(f"served {counters['requests_total']} requests "
+              f"({counters['writes_applied']} writes applied, "
+              f"{counters['queries_served']} queries, "
+              f"shed rate {counters['shed_rate']:.4f}); "
+              f"{snapshot['partitions']} partitions, "
+              f"{snapshot['entities']} entities")
+        problems = server.table.check_consistency()
+        for problem in problems:
+            print(f"integrity problem: {problem}", file=sys.stderr)
+        return 1 if problems else 0
+
+    if args.obs:
+        obs_runtime.enable()
+    try:
+        return asyncio.run(_serve())
+    finally:
+        if args.obs:
+            obs_runtime.disable()
 
 
 def _cmd_verify_catalog(args: argparse.Namespace) -> int:
@@ -562,6 +631,30 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--trace-jsonl", metavar="PATH",
                      help="also export finished traces as JSON lines")
 
+    serve = commands.add_parser(
+        "serve",
+        help="run the online serving layer (TCP, line-delimited JSON)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7712,
+                       help="listen port (0 picks a free one)")
+    serve.add_argument("--partition-size", type=float, default=500.0)
+    serve.add_argument("--weight", type=float, default=0.3)
+    serve.add_argument("--max-pending", type=int, default=256,
+                       help="write-queue depth before shedding")
+    serve.add_argument("--batch-max", type=int, default=32,
+                       help="max writes applied per exclusive-lock hold")
+    serve.add_argument("--parallel-reads", type=int, default=8,
+                       help="max queries scanning concurrently")
+    serve.add_argument("--maintenance-interval", type=float, default=0.25,
+                       help="seconds between background maintenance passes")
+    serve.add_argument("--merge-min-fill", type=float, default=0.25,
+                       help="fill threshold for background merges")
+    serve.add_argument("--reorganize-every", type=int, default=0,
+                       help="reorganize every Nth maintenance pass (0: never)")
+    serve.add_argument("--obs", action="store_true",
+                       help="enable the observability layer for the run")
+
     return parser
 
 
@@ -575,6 +668,7 @@ _HANDLERS = {
     "query-path": _cmd_query_path,
     "verify-catalog": _cmd_verify_catalog,
     "obs": _cmd_obs,
+    "serve": _cmd_serve,
 }
 
 

@@ -22,6 +22,7 @@ from repro.obs.shims import (
     FAULT_TOLERANCE_METRICS,
     QUERY_PATH_METRICS,
     ROBUSTNESS_METRICS,
+    SERVER_METRICS,
     RegistryMirrorMixin,
 )
 
@@ -204,6 +205,67 @@ class QueryPathCounters(RegistryMirrorMixin):
         }
         result["cache_hit_rate"] = self.cache_hit_rate()
         result["pruning_ratio"] = self.pruning_ratio()
+        return result
+
+
+@dataclass
+class ServerCounters(RegistryMirrorMixin):
+    """Counters of the online serving layer (:mod:`repro.server`).
+
+    The admission half mirrors the ingest pipeline's vocabulary —
+    ``writes_shed_overloaded`` counts modifications bounced with the
+    explicit ``overloaded`` status, ``queue_high_watermark`` is the
+    deepest write queue observed.  The concurrency half counts what the
+    batcher and the cooperative maintenance task did between requests:
+    batches flushed under the exclusive lock, merge passes,
+    reorganizations.
+
+    While observability is enabled these counters additionally feed the
+    :mod:`repro.obs` registry as ``repro_server_*`` metrics (deferred;
+    see :class:`repro.obs.shims.RegistryMirrorMixin`).
+    """
+
+    _OBS_METRICS = SERVER_METRICS
+
+    connections_opened: int = 0
+    connections_closed: int = 0
+    requests_total: int = 0
+    requests_failed: int = 0
+    bad_requests: int = 0
+    writes_applied: int = 0
+    writes_rejected: int = 0
+    writes_shed_overloaded: int = 0
+    writes_shed_shutdown: int = 0
+    batches_flushed: int = 0
+    queries_served: int = 0
+    sql_served: int = 0
+    maintenance_passes: int = 0
+    partitions_merged: int = 0
+    reorganizations: int = 0
+    queue_high_watermark: int = 0
+
+    def shed_rate(self) -> float:
+        """Shed modifications over all modification submissions."""
+        shed = self.writes_shed_overloaded + self.writes_shed_shutdown
+        attempted = self.writes_applied + self.writes_rejected + shed
+        if attempted == 0:
+            return 0.0
+        return shed / attempted
+
+    def as_dict(self) -> dict[str, float]:
+        """All counters plus the derived shed rate, for reports and CLIs."""
+        result = {
+            name: getattr(self, name)
+            for name in (
+                "connections_opened", "connections_closed", "requests_total",
+                "requests_failed", "bad_requests", "writes_applied",
+                "writes_rejected", "writes_shed_overloaded",
+                "writes_shed_shutdown", "batches_flushed", "queries_served",
+                "sql_served", "maintenance_passes", "partitions_merged",
+                "reorganizations", "queue_high_watermark",
+            )
+        }
+        result["shed_rate"] = self.shed_rate()
         return result
 
 

@@ -76,6 +76,26 @@ FAULT_TOLERANCE_METRICS: dict[str, tuple[str, str]] = {
     "wal_records_replayed": ("repro_dist_wal_records_replayed_total", COUNTER),
 }
 
+#: ServerCounters field -> (metric name, kind)
+SERVER_METRICS: dict[str, tuple[str, str]] = {
+    "connections_opened": ("repro_server_connections_opened_total", COUNTER),
+    "connections_closed": ("repro_server_connections_closed_total", COUNTER),
+    "requests_total": ("repro_server_requests_handled_total", COUNTER),
+    "requests_failed": ("repro_server_requests_failed_total", COUNTER),
+    "bad_requests": ("repro_server_bad_requests_total", COUNTER),
+    "writes_applied": ("repro_server_writes_applied_total", COUNTER),
+    "writes_rejected": ("repro_server_writes_rejected_total", COUNTER),
+    "writes_shed_overloaded": ("repro_server_writes_shed_overloaded_total", COUNTER),
+    "writes_shed_shutdown": ("repro_server_writes_shed_shutdown_total", COUNTER),
+    "batches_flushed": ("repro_server_batches_flushed_total", COUNTER),
+    "queries_served": ("repro_server_queries_served_total", COUNTER),
+    "sql_served": ("repro_server_sql_served_total", COUNTER),
+    "maintenance_passes": ("repro_server_maintenance_passes_total", COUNTER),
+    "partitions_merged": ("repro_server_partitions_merged_total", COUNTER),
+    "reorganizations": ("repro_server_reorganizations_total", COUNTER),
+    "queue_high_watermark": ("repro_server_queue_high_watermark", GAUGE),
+}
+
 #: RobustnessCounters field -> (metric name, kind)
 ROBUSTNESS_METRICS: dict[str, tuple[str, str]] = {
     "ops_started": ("repro_txn_ops_started_total", COUNTER),
@@ -151,6 +171,33 @@ METRIC_HELP: dict[str, str] = {
         "Requests bounced by admission backpressure",
     "repro_ingest_queue_high_watermark":
         "Deepest ingest admission queue observed",
+    "repro_server_connections_opened_total": "Client connections accepted",
+    "repro_server_connections_closed_total": "Client connections closed",
+    "repro_server_requests_handled_total": "Requests read off client sockets",
+    "repro_server_requests_failed_total":
+        "Requests answered with a non-ok status",
+    "repro_server_bad_requests_total":
+        "Frames refused as malformed (protocol errors)",
+    "repro_server_writes_applied_total":
+        "Modifications applied through the batcher",
+    "repro_server_writes_rejected_total":
+        "Modifications rolled back by validation or sink refusal",
+    "repro_server_writes_shed_overloaded_total":
+        "Modifications shed by admission backpressure",
+    "repro_server_writes_shed_shutdown_total":
+        "Modifications refused during drain",
+    "repro_server_batches_flushed_total":
+        "Write batches applied under the exclusive lock",
+    "repro_server_queries_served_total": "Attribute queries answered",
+    "repro_server_sql_served_total": "SQL statements answered",
+    "repro_server_maintenance_passes_total":
+        "Cooperative maintenance passes run between batches",
+    "repro_server_partitions_merged_total":
+        "Partition merges performed by maintenance",
+    "repro_server_reorganizations_total":
+        "Catalog reorganizations performed by maintenance",
+    "repro_server_queue_high_watermark":
+        "Deepest server write queue observed",
 }
 
 

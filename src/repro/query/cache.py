@@ -27,6 +27,7 @@ attached.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Optional, TYPE_CHECKING
 
@@ -60,6 +61,7 @@ class QueryResultCache:
         self,
         max_entries: int = 4096,
         counters: Optional["QueryPathCounters"] = None,
+        thread_safe: bool = False,
     ) -> None:
         if max_entries <= 0:
             raise ValueError(f"max_entries must be positive, got {max_entries}")
@@ -69,6 +71,11 @@ class QueryResultCache:
         self._entries: OrderedDict[CacheKey, tuple[int, list[dict[str, Any]]]] = (
             OrderedDict()
         )
+        # the serving layer runs query scans on concurrent worker
+        # threads, and a lookup mutates the LRU order (and drops stale
+        # entries) — opt into a lock there; single-threaded callers pay
+        # nothing (the default keeps the fast path lock-free)
+        self._lock = threading.Lock() if thread_safe else None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -83,6 +90,14 @@ class QueryResultCache:
         clock is monotonic) and counted as a stale drop.  Served rows
         are copies: callers may mutate them freely.
         """
+        if self._lock is None:
+            return self._lookup(query, pid, version)
+        with self._lock:
+            return self._lookup(query, pid, version)
+
+    def _lookup(
+        self, query: AttributeQuery, pid: int, version: int
+    ) -> Optional[list[dict[str, Any]]]:
         key = _key(query, pid)
         entry = self._entries.get(key)
         if entry is None:
@@ -106,6 +121,18 @@ class QueryResultCache:
         rows: list[dict[str, Any]],
     ) -> None:
         """Remember the rows one partition contributed to one query."""
+        if self._lock is None:
+            return self._store(query, pid, version, rows)
+        with self._lock:
+            return self._store(query, pid, version, rows)
+
+    def _store(
+        self,
+        query: AttributeQuery,
+        pid: int,
+        version: int,
+        rows: list[dict[str, Any]],
+    ) -> None:
         key = _key(query, pid)
         self._entries[key] = (version, [dict(row) for row in rows])
         self._entries.move_to_end(key)
@@ -120,6 +147,12 @@ class QueryResultCache:
         correctness — it exists for memory hygiene when a partition is
         dropped for good (its versions will never be queried again).
         """
+        if self._lock is None:
+            return self._invalidate_partition(pid)
+        with self._lock:
+            return self._invalidate_partition(pid)
+
+    def _invalidate_partition(self, pid: int) -> int:
         doomed = [key for key in self._entries if key[2] == pid]
         for key in doomed:
             del self._entries[key]

@@ -1,0 +1,56 @@
+"""The online serving layer: Cinderella behind a TCP socket.
+
+The paper's point is *online* partitioning — the catalog adapts while
+modifications and queries keep arriving (Definition 2).  Everything
+below this package is a single-threaded library; this package is the
+concurrent front door that makes "online" literal:
+
+* :mod:`repro.server.server` — an asyncio TCP server speaking the
+  line-delimited JSON protocol of :mod:`repro.server.protocol`:
+  per-connection sessions, a bounded write queue with explicit
+  ``OVERLOADED`` shedding (the ingest pipeline's admission semantics),
+  write batching through :mod:`repro.txn` undo-log transactions, and
+  cooperative background maintenance (merge / reorganize) running
+  between batches;
+* :mod:`repro.server.locks` — the reader–writer lock that lets many
+  queries proceed in parallel (worker threads) while mutations stay
+  serialized on the event loop;
+* :mod:`repro.server.client` — the small blocking client used by the
+  tests, the soak suite, and ``benchmarks/bench_server.py``;
+* :mod:`repro.server.testing` — :class:`ServerThread`, an in-process
+  server harness for tests and load generators.
+
+Start one with ``python -m repro serve``; see ``docs/SERVER.md``.
+"""
+
+from repro.server.client import ServerClient, ServerError
+from repro.server.locks import AsyncReadWriteLock
+from repro.server.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    Request,
+    Response,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
+from repro.server.server import CinderellaServer, ServerConfig
+from repro.server.testing import ServerThread
+
+__all__ = [
+    "AsyncReadWriteLock",
+    "CinderellaServer",
+    "MAX_LINE_BYTES",
+    "ProtocolError",
+    "Request",
+    "Response",
+    "ServerClient",
+    "ServerConfig",
+    "ServerError",
+    "ServerThread",
+    "decode_request",
+    "decode_response",
+    "encode_request",
+    "encode_response",
+]

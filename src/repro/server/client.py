@@ -1,0 +1,177 @@
+"""A small blocking client for the serving layer.
+
+Used by the test batteries, the soak suite, and the load generator in
+``benchmarks/bench_server.py`` — each worker thread owns one
+:class:`ServerClient` (one TCP connection, one session on the server)
+and drives it synchronously.  The client is deliberately plain sockets
+so it exercises the real wire protocol rather than any asyncio
+internals the server happens to share.
+
+>>> with ServerClient(host, port) as client:          # doctest: +SKIP
+...     client.insert({"name": "Canon S120", "resolution": 12.1})
+...     rows = client.query(["resolution"])
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Iterable, Optional
+
+from repro.server.protocol import (
+    MAX_LINE_BYTES,
+    Response,
+    decode_response,
+    encode_request,
+)
+
+
+class ServerError(RuntimeError):
+    """A response the caller asked to be raised (non-ok, non-retryable)."""
+
+    def __init__(self, response: Response) -> None:
+        error = response.error or {}
+        super().__init__(
+            f"{response.status}: "
+            f"[{error.get('code', '?')}] {error.get('message', 'no message')}"
+        )
+        self.response = response
+        self.status = response.status
+        self.code = error.get("code")
+
+
+class ServerClient:
+    """One blocking connection speaking the line-delimited JSON protocol.
+
+    Args:
+        host, port: where the server listens.
+        timeout: per-request socket timeout in seconds.
+        check: when True (default) non-ok responses raise
+            :class:`ServerError`; when False they are returned like any
+            other response, which is what retry loops and the shed-rate
+            measurement want.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        check: bool = True,
+    ) -> None:
+        self.check = check
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def request(self, op: str, **fields: Any) -> Response:
+        """Send one request and block for its response."""
+        self._next_id += 1
+        request_id = self._next_id
+        self._sock.sendall(encode_request(op, request_id, **fields))
+        line = self._file.readline(MAX_LINE_BYTES + 2)
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = decode_response(line)
+        if response.id not in (request_id, 0):
+            raise ConnectionError(
+                f"response id {response.id} does not match request "
+                f"id {request_id}"
+            )
+        if self.check and not response.ok:
+            raise ServerError(response)
+        return response
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def ping(self, payload: Any = None) -> Response:
+        return self.request("ping", payload=payload)
+
+    def insert(
+        self, attributes: dict[str, Any], eid: Optional[int] = None
+    ) -> Response:
+        fields: dict[str, Any] = {"attributes": attributes}
+        if eid is not None:
+            fields["eid"] = eid
+        return self.request("insert", **fields)
+
+    def update(self, eid: int, attributes: dict[str, Any]) -> Response:
+        return self.request("update", eid=eid, attributes=attributes)
+
+    def delete(self, eid: int) -> Response:
+        return self.request("delete", eid=eid)
+
+    def query(
+        self, attributes: Iterable[str], mode: str = "any"
+    ) -> list[dict[str, Any]]:
+        response = self.request(
+            "query", attributes=list(attributes), mode=mode
+        )
+        if not response.ok:  # check=False: shed/refused → no rows
+            return []
+        return response.get("rows", [])
+
+    def query_response(
+        self, attributes: Iterable[str], mode: str = "any"
+    ) -> Response:
+        """Like :meth:`query` but returns the full response (stats etc.)."""
+        return self.request("query", attributes=list(attributes), mode=mode)
+
+    def sql(self, text: str) -> Response:
+        return self.request("sql", sql=text)
+
+    def stats(self) -> dict[str, Any]:
+        return self.request("stats").fields
+
+    def maintain(self) -> Response:
+        return self.request("maintain")
+
+    def shutdown(self) -> Response:
+        return self.request("shutdown")
+
+    # ------------------------------------------------------------------
+    # retry helper (the backpressure contract from the client's side)
+    # ------------------------------------------------------------------
+    def insert_with_backoff(
+        self,
+        attributes: dict[str, Any],
+        eid: Optional[int] = None,
+        attempts: int = 8,
+        base_delay_s: float = 0.005,
+    ) -> Response:
+        """Insert, backing off exponentially on ``overloaded`` shedding.
+
+        Returns the final response (which may still be ``overloaded``
+        when every attempt was shed — callers decide whether that is an
+        error; ``check`` raising is suspended during the retries).
+        """
+        check_before = self.check
+        self.check = False
+        try:
+            response = self.insert(attributes, eid=eid)
+            attempt = 1
+            while response.retryable and attempt < attempts:
+                time.sleep(base_delay_s * (2 ** (attempt - 1)))
+                response = self.insert(attributes, eid=eid)
+                attempt += 1
+        finally:
+            self.check = check_before
+        if self.check and not response.ok and not response.retryable:
+            raise ServerError(response)
+        return response

@@ -1,0 +1,126 @@
+"""An asyncio reader–writer lock for the catalog and table.
+
+The serving layer runs queries concurrently (each scan is dispatched to
+a worker thread) while mutations stay serialized on the event loop.
+Nothing below :mod:`repro.server` was ever built for concurrent access,
+so the server brackets every catalog/table touch with this lock:
+
+* **readers** (queries, SQL, stats snapshots) share the lock — any
+  number may hold it at once, and the pure-read guarantee means a
+  partition scan can never observe a half-applied mutation;
+* **writers** (modification batches, merge passes, reorganizations)
+  hold it exclusively — no reader runs while the catalog, the heap
+  files, or the version clock are mid-change.
+
+The lock is **writer-preferring**: once a writer is waiting, new
+readers queue behind it.  A modification burst therefore cannot starve
+maintenance, and a query storm cannot starve modifications — the
+trade-off Cinderella's online setting needs (queries are frequent and
+cheap, mutations rare and structural).
+
+The implementation is a single :class:`asyncio.Condition`; all state
+transitions happen on the event loop, so no thread synchronization is
+needed even though read *work* runs in worker threads — the loop
+acquires on behalf of the thread before dispatching and releases after
+joining the result.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from contextlib import asynccontextmanager
+
+
+class AsyncReadWriteLock:
+    """Shared/exclusive lock with writer preference (asyncio, not threads).
+
+    >>> lock = AsyncReadWriteLock()
+    >>> async def reader():
+    ...     async with lock.read_locked():
+    ...         ...
+    >>> async def writer():
+    ...     async with lock.write_locked():
+    ...         ...
+    """
+
+    def __init__(self) -> None:
+        self._cond = asyncio.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+        #: telemetry: peak concurrent readers and total acquisitions
+        self.max_concurrent_readers = 0
+        self.read_acquisitions = 0
+        self.write_acquisitions = 0
+
+    # ------------------------------------------------------------------
+    # introspection (tests and the stats op read these)
+    # ------------------------------------------------------------------
+    @property
+    def readers(self) -> int:
+        """Readers currently holding the lock."""
+        return self._readers
+
+    @property
+    def writer_active(self) -> bool:
+        return self._writer_active
+
+    @property
+    def writers_waiting(self) -> int:
+        return self._writers_waiting
+
+    # ------------------------------------------------------------------
+    # acquisition
+    # ------------------------------------------------------------------
+    async def acquire_read(self) -> None:
+        """Acquire shared; blocks while a writer holds *or waits for* it."""
+        async with self._cond:
+            while self._writer_active or self._writers_waiting:
+                await self._cond.wait()
+            self._readers += 1
+            self.read_acquisitions += 1
+            if self._readers > self.max_concurrent_readers:
+                self.max_concurrent_readers = self._readers
+
+    async def release_read(self) -> None:
+        async with self._cond:
+            if self._readers <= 0:
+                raise RuntimeError("release_read without a matching acquire")
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    async def acquire_write(self) -> None:
+        """Acquire exclusive; blocks until all readers have drained."""
+        async with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    await self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+            self.write_acquisitions += 1
+
+    async def release_write(self) -> None:
+        async with self._cond:
+            if not self._writer_active:
+                raise RuntimeError("release_write without a matching acquire")
+            self._writer_active = False
+            self._cond.notify_all()
+
+    @asynccontextmanager
+    async def read_locked(self):
+        await self.acquire_read()
+        try:
+            yield self
+        finally:
+            await self.release_read()
+
+    @asynccontextmanager
+    async def write_locked(self):
+        await self.acquire_write()
+        try:
+            yield self
+        finally:
+            await self.release_write()

@@ -1,0 +1,177 @@
+"""The wire protocol: one JSON object per line, UTF-8, ``\\n``-framed.
+
+Every request is a JSON object with an ``op`` and a client-chosen
+``id`` (echoed verbatim in the response, so a pipelining client can
+match answers to questions).  Every response carries ``id``, ``ok``,
+and a ``status`` string; failures add an ``error`` object with a typed
+``code``.  Write outcomes reuse the ingest pipeline's admission
+vocabulary (``applied`` / ``overloaded`` / ``rejected``), so a client
+that already speaks backpressure against :mod:`repro.ingest` needs no
+new states.
+
+Supported operations:
+
+========== ============================================================
+``ping``       liveness probe, echoes ``payload``
+``insert``     ``{"attributes": {...}, "eid": optional int}``
+``update``     ``{"eid": int, "attributes": {...}}``
+``delete``     ``{"eid": int}``
+``query``      ``{"attributes": [...], "mode": "any"|"all"}``
+``sql``        ``{"sql": "SELECT ..."}`` — the SQL passthrough
+``stats``      server/catalog/session statistics snapshot
+``maintain``   admin: run one maintenance pass now
+``shutdown``   admin: drain and stop the server
+========== ============================================================
+
+The framing is deliberately trivial — ``readline()`` on both ends — so
+any language (or ``nc``) can speak it.  A line longer than
+:data:`MAX_LINE_BYTES` is a protocol error: the server answers
+``bad_request`` and closes, instead of buffering unboundedly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+#: framing bound — longer lines are refused, not buffered
+MAX_LINE_BYTES = 1 << 20
+
+#: response statuses (write outcomes reuse the ingest vocabulary)
+OK = "ok"
+APPLIED = "applied"
+ERROR = "error"
+OVERLOADED = "overloaded"
+REJECTED = "rejected"
+BAD_REQUEST = "bad_request"
+SHUTTING_DOWN = "shutting_down"
+
+#: the operations a server understands (order = docs order)
+OPS = (
+    "ping", "insert", "update", "delete", "query", "sql", "stats",
+    "maintain", "shutdown",
+)
+
+#: statuses a client should treat as success
+SUCCESS_STATUSES = frozenset({OK, APPLIED})
+#: statuses that mean "back off and retry later"
+RETRYABLE_STATUSES = frozenset({OVERLOADED})
+
+
+class ProtocolError(ValueError):
+    """A malformed frame: not JSON, not an object, or not a known op."""
+
+
+@dataclass(frozen=True)
+class Request:
+    """One decoded client request."""
+
+    op: str
+    id: int
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self.fields.get(name, default)
+
+
+@dataclass(frozen=True)
+class Response:
+    """One decoded server response."""
+
+    id: int
+    status: str
+    fields: dict[str, Any] = field(default_factory=dict)
+    error: Optional[dict[str, Any]] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status in SUCCESS_STATUSES
+
+    @property
+    def retryable(self) -> bool:
+        return self.status in RETRYABLE_STATUSES
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self.fields.get(name, default)
+
+
+# ---------------------------------------------------------------------------
+# encoding
+# ---------------------------------------------------------------------------
+def encode_request(op: str, request_id: int, **fields: Any) -> bytes:
+    """Serialize one request to its wire line (including the ``\\n``)."""
+    document = {"op": op, "id": request_id, **fields}
+    return json.dumps(document, separators=(",", ":")).encode() + b"\n"
+
+
+def encode_response(
+    request_id: int,
+    status: str,
+    error: Optional[dict[str, Any]] = None,
+    **fields: Any,
+) -> bytes:
+    """Serialize one response to its wire line (including the ``\\n``)."""
+    document: dict[str, Any] = {
+        "id": request_id,
+        "ok": status in SUCCESS_STATUSES,
+        "status": status,
+        **fields,
+    }
+    if error is not None:
+        document["error"] = error
+    return json.dumps(document, separators=(",", ":")).encode() + b"\n"
+
+
+def error_body(code: str, message: str) -> dict[str, Any]:
+    """The ``error`` object attached to failure responses."""
+    return {"code": code, "message": message}
+
+
+# ---------------------------------------------------------------------------
+# decoding
+# ---------------------------------------------------------------------------
+def _decode_object(line: bytes) -> dict[str, Any]:
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"frame of {len(line)} bytes exceeds the {MAX_LINE_BYTES}-byte bound"
+        )
+    try:
+        document = json.loads(line)
+    except ValueError as err:
+        raise ProtocolError(f"frame is not valid JSON: {err}") from None
+    if not isinstance(document, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(document).__name__}"
+        )
+    return document
+
+
+def decode_request(line: bytes) -> Request:
+    """Parse one request line; raises :class:`ProtocolError` when malformed."""
+    document = _decode_object(line)
+    op = document.pop("op", None)
+    if not isinstance(op, str):
+        raise ProtocolError("request has no 'op' string")
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r} (known: {', '.join(OPS)})")
+    request_id = document.pop("id", 0)
+    if isinstance(request_id, bool) or not isinstance(request_id, int):
+        raise ProtocolError(f"request id must be an integer, got {request_id!r}")
+    return Request(op=op, id=request_id, fields=document)
+
+
+def decode_response(line: bytes) -> Response:
+    """Parse one response line; raises :class:`ProtocolError` when malformed."""
+    document = _decode_object(line)
+    status = document.pop("status", None)
+    if not isinstance(status, str):
+        raise ProtocolError("response has no 'status' string")
+    request_id = document.pop("id", 0)
+    if isinstance(request_id, bool) or not isinstance(request_id, int):
+        raise ProtocolError(f"response id must be an integer, got {request_id!r}")
+    document.pop("ok", None)  # derived from status on re-decode
+    error = document.pop("error", None)
+    if error is not None and not isinstance(error, dict):
+        raise ProtocolError(f"response error must be an object, got {error!r}")
+    return Response(id=request_id, status=status, fields=document, error=error)

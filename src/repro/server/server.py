@@ -1,0 +1,675 @@
+"""The asyncio serving layer: Cinderella answering live traffic.
+
+One :class:`CinderellaServer` owns one
+:class:`~repro.table.partitioned.CinderellaTable` and exposes it over
+TCP with the line-delimited JSON protocol of
+:mod:`repro.server.protocol`.  The concurrency architecture, in one
+paragraph:
+
+* every **connection** gets a :class:`Session` and an independent
+  request loop; requests on one connection are answered in order,
+  requests on different connections interleave freely;
+* every **query** (attribute query or SQL) takes the catalog
+  :class:`~repro.server.locks.AsyncReadWriteLock` *shared* and runs its
+  scan in a worker thread (``asyncio.to_thread``), so slow scans never
+  stall the event loop and many queries proceed in parallel;
+* every **modification** goes through admission control first — a
+  bounded write queue; submissions past ``max_pending`` are shed with
+  the explicit ``overloaded`` status (the ingest pipeline's
+  backpressure semantics) instead of queueing unboundedly — and is then
+  applied by the single **batcher** task, which drains up to
+  ``batch_max`` queued writes per *exclusive* lock acquisition, each
+  write wrapped in a :class:`~repro.txn.transaction.CatalogTransaction`
+  so a failed one rolls back exactly and the rest of the batch
+  proceeds;
+* **maintenance** (merge passes, optional reorganizations) runs as a
+  cooperative background task between batches, under the same exclusive
+  lock, so the catalog keeps adapting while traffic flows — the paper's
+  online setting made literal;
+* **shutdown** is a drain: stop accepting, shed new work with
+  ``shutting_down``, flush the write queue, finish in-flight reads,
+  then close every connection.
+
+The result cache stays coherent under all of this because cache lookups
+happen inside the read lock (no writer can move the version clock
+mid-query) and every mutation bumps partition versions before the write
+lock is released; ``tests/test_server_soak.py`` checks exactly that
+after a concurrent mixed workload.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.core.config import CinderellaConfig
+from repro.metrics.telemetry import ServerCounters
+from repro.obs import runtime as obs
+from repro.query.cache import QueryResultCache
+from repro.query.query import AttributeQuery
+from repro.server import protocol
+from repro.server.locks import AsyncReadWriteLock
+from repro.server.protocol import ProtocolError, Request
+from repro.table.partitioned import CinderellaTable
+
+# NOTE on spans: the tracer's span stack is per *thread*; concurrent
+# tasks on the event loop would interleave enter/exit and mis-parent
+# each other's spans if one were held across an ``await``.  Request
+# latency is therefore measured directly into a histogram, and spans
+# are only opened around purely synchronous regions (batch application,
+# maintenance passes) or inside worker threads (query scans).
+_REQUEST_SECONDS = "repro_server_request_seconds"
+_REQUESTS_TOTAL = "repro_server_requests_total"
+
+
+@dataclass
+class ServerConfig:
+    """Tunables of one serving instance (not the partitioning itself)."""
+
+    host: str = "127.0.0.1"
+    #: 0 binds an ephemeral port (tests, benchmarks)
+    port: int = 0
+    #: write-admission bound: queued modifications past this are shed
+    max_pending: int = 256
+    #: modifications applied per exclusive-lock acquisition
+    batch_max: int = 32
+    #: how long the batcher lingers for a batch to fill (seconds)
+    batch_linger_s: float = 0.002
+    #: concurrent query scans dispatched to worker threads
+    max_parallel_reads: int = 8
+    #: cooperative maintenance cadence (seconds; 0 disables the task)
+    maintenance_interval_s: float = 0.25
+    #: merge threshold handed to the maintenance pass
+    merge_min_fill: float = 0.25
+    #: every Nth maintenance pass also reorganizes (0 = never)
+    reorganize_every: int = 0
+
+
+@dataclass
+class Session:
+    """Per-connection bookkeeping."""
+
+    sid: int
+    peer: str
+    opened_monotonic: float
+    requests: int = 0
+    errors: int = 0
+    ops: dict[str, int] = field(default_factory=dict)
+    closing: bool = False
+
+    def observe(self, op: str, ok: bool) -> None:
+        self.requests += 1
+        self.ops[op] = self.ops.get(op, 0) + 1
+        if not ok:
+            self.errors += 1
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "sid": self.sid,
+            "peer": self.peer,
+            "age_s": round(time.monotonic() - self.opened_monotonic, 3),
+            "requests": self.requests,
+            "errors": self.errors,
+            "ops": dict(self.ops),
+        }
+
+
+class _OpRefused(Exception):
+    """A request the server answers with a non-ok status (no traceback)."""
+
+    def __init__(self, status: str, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
+
+@dataclass
+class _PendingWrite:
+    """One admitted modification waiting for the batcher."""
+
+    request: Request
+    future: asyncio.Future
+
+
+class CinderellaServer:
+    """A Cinderella table behind a TCP socket (see the module docstring)."""
+
+    def __init__(
+        self,
+        table: Optional[CinderellaTable] = None,
+        config: Optional[ServerConfig] = None,
+        table_config: Optional[CinderellaConfig] = None,
+    ) -> None:
+        if table is None:
+            if table_config is None:
+                table_config = CinderellaConfig(
+                    max_partition_size=500.0, weight=0.3,
+                    use_synopsis_index=True,
+                )
+            table = CinderellaTable(
+                table_config, result_cache=QueryResultCache(thread_safe=True)
+            )
+        self.table = table
+        self.config = config if config is not None else ServerConfig()
+        self.counters = ServerCounters()
+        self.lock = AsyncReadWriteLock()
+        self.sessions: dict[int, Session] = {}
+        self._next_sid = 1
+        self._write_queue: asyncio.Queue[_PendingWrite] = asyncio.Queue()
+        self._read_slots: Optional[asyncio.Semaphore] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._batcher_task: Optional[asyncio.Task] = None
+        self._maintenance_task: Optional[asyncio.Task] = None
+        self._stop_task: Optional[asyncio.Task] = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._writers: dict[int, asyncio.StreamWriter] = {}
+        self._draining = False
+        self._stopped = asyncio.Event()
+        self._writes_since_maintenance = 0
+        self._maintenance_passes = 0
+        self._started_monotonic = 0.0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — useful after an ephemeral bind."""
+        if self._server is None:
+            raise RuntimeError("server not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def start(self) -> tuple[str, int]:
+        """Bind, start the background tasks, and begin accepting."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._read_slots = asyncio.Semaphore(self.config.max_parallel_reads)
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=protocol.MAX_LINE_BYTES,
+        )
+        self._batcher_task = asyncio.create_task(
+            self._batcher(), name="repro-server-batcher"
+        )
+        if self.config.maintenance_interval_s > 0:
+            self._maintenance_task = asyncio.create_task(
+                self._maintenance_loop(), name="repro-server-maintenance"
+            )
+        self._started_monotonic = time.monotonic()
+        host, port = self.address
+        obs.event("server.started", host=host, port=port)
+        return host, port
+
+    async def serve_until_stopped(self) -> None:
+        """Block until :meth:`stop` (or a ``shutdown`` op) completes."""
+        await self._stopped.wait()
+
+    async def stop(self) -> None:
+        """Graceful drain: flush queued writes, then tear everything down."""
+        if self._server is None:  # never started: nothing to drain
+            self._stopped.set()
+            return
+        if self._draining:
+            await self._stopped.wait()
+            return
+        self._draining = True
+        obs.event("server.draining", queued=self._write_queue.qsize())
+        self._server.close()  # stop accepting
+        await self._server.wait_closed()
+        # flush: the batcher keeps applying while the queue drains
+        await self._write_queue.join()
+        if self._batcher_task is not None:
+            self._batcher_task.cancel()
+            await asyncio.gather(self._batcher_task, return_exceptions=True)
+        if self._maintenance_task is not None:
+            self._maintenance_task.cancel()
+            await asyncio.gather(self._maintenance_task, return_exceptions=True)
+        # in-flight reads hold the read lock; taking it exclusively once
+        # means every reader has finished before connections die
+        async with self.lock.write_locked():
+            pass
+        for session in self.sessions.values():
+            session.closing = True
+        # handler tasks blocked in readline() only notice `closing` on
+        # the next frame; yield once so finished dispatches flush their
+        # responses, then force EOF on every remaining stream
+        await asyncio.sleep(0)
+        for writer in list(self._writers.values()):
+            writer.close()
+        if self._conn_tasks:
+            await asyncio.wait(list(self._conn_tasks), timeout=2.0)
+        obs.event("server.stopped", sessions=len(self.sessions))
+        self._stopped.set()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peername = writer.get_extra_info("peername")
+        peer = f"{peername[0]}:{peername[1]}" if peername else "?"
+        session = Session(
+            sid=self._next_sid, peer=peer, opened_monotonic=time.monotonic()
+        )
+        self._next_sid += 1
+        self.sessions[session.sid] = session
+        self._writers[session.sid] = writer
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        self.counters.connections_opened += 1
+        obs.event("server.connect", sid=session.sid, peer=peer)
+        try:
+            while not session.closing:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # an over-long frame: answer once, then give up on the
+                    # stream (framing can no longer be trusted)
+                    self.counters.bad_requests += 1
+                    writer.write(protocol.encode_response(
+                        0, protocol.BAD_REQUEST,
+                        error=protocol.error_body(
+                            "frame_too_long",
+                            f"frame exceeds {protocol.MAX_LINE_BYTES} bytes",
+                        ),
+                    ))
+                    await writer.drain()
+                    break
+                if not line:
+                    break  # EOF
+                if not line.strip():
+                    continue
+                payload = await self._dispatch(line.strip(), session)
+                writer.write(payload)
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client vanished mid-response
+        finally:
+            self.sessions.pop(session.sid, None)
+            self._writers.pop(session.sid, None)
+            if task is not None:
+                self._conn_tasks.discard(task)
+            self.counters.connections_closed += 1
+            obs.event(
+                "server.disconnect", sid=session.sid,
+                requests=session.requests,
+            )
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, line: bytes, session: Session) -> bytes:
+        """Decode, route, and encode one request; never raises."""
+        try:
+            request = protocol.decode_request(line)
+        except ProtocolError as err:
+            self.counters.bad_requests += 1
+            session.observe("?", ok=False)
+            return protocol.encode_response(
+                0, protocol.BAD_REQUEST,
+                error=protocol.error_body("protocol", str(err)),
+            )
+        self.counters.requests_total += 1
+        started = time.perf_counter()
+        try:
+            status, fields = await self._route(request, session)
+            error = None
+        except _OpRefused as refusal:
+            status = refusal.status
+            fields = {}
+            error = protocol.error_body(refusal.code, str(refusal))
+        except Exception as err:  # a handler bug must not kill the loop
+            status = protocol.ERROR
+            fields = {}
+            error = protocol.error_body(
+                "internal", f"{type(err).__name__}: {err}"
+            )
+        obs.observe(
+            _REQUEST_SECONDS, time.perf_counter() - started,
+            "Server request latency (admission wait included)",
+        )
+        obs.inc(
+            _REQUESTS_TOTAL,
+            help_text="Server requests by op and status",
+            op=request.op, status=status,
+        )
+        ok = status in protocol.SUCCESS_STATUSES
+        session.observe(request.op, ok=ok)
+        if not ok:
+            self.counters.requests_failed += 1
+        return protocol.encode_response(
+            request.id, status, error=error, **fields
+        )
+
+    async def _route(
+        self, request: Request, session: Session
+    ) -> tuple[str, dict[str, Any]]:
+        op = request.op
+        if op == "ping":
+            return protocol.OK, {"payload": request.get("payload")}
+        if op in ("insert", "update", "delete"):
+            return await self._handle_write(request)
+        if op == "query":
+            return await self._handle_query(request)
+        if op == "sql":
+            return await self._handle_sql(request)
+        if op == "stats":
+            return protocol.OK, self._stats_snapshot()
+        if op == "maintain":
+            return await self._handle_maintain()
+        if op == "shutdown":
+            session.closing = True
+            self._stop_task = asyncio.get_running_loop().create_task(self.stop())
+            return protocol.OK, {"draining": True}
+        raise _OpRefused(  # unreachable: decode_request validates ops
+            protocol.BAD_REQUEST, "unknown_op", f"unhandled op {op!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # writes: admission → queue → batcher
+    # ------------------------------------------------------------------
+    async def _handle_write(self, request: Request) -> tuple[str, dict[str, Any]]:
+        if self._draining:
+            self.counters.writes_shed_shutdown += 1
+            raise _OpRefused(
+                protocol.SHUTTING_DOWN, "draining",
+                "server is draining; no new modifications",
+            )
+        self._validate_write(request)
+        if self._write_queue.qsize() >= self.config.max_pending:
+            # explicit shedding, the ingest pipeline's OVERLOADED contract:
+            # nothing is enqueued, the client backs off and resubmits
+            self.counters.writes_shed_overloaded += 1
+            obs.event(
+                "server.shed", op=request.op,
+                pending=self._write_queue.qsize(),
+            )
+            raise _OpRefused(
+                protocol.OVERLOADED, "overloaded",
+                f"write queue full ({self.config.max_pending} pending); "
+                f"back off and resubmit",
+            )
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._write_queue.put_nowait(_PendingWrite(request, future))
+        depth = self._write_queue.qsize()
+        if depth > self.counters.queue_high_watermark:
+            self.counters.queue_high_watermark = depth
+        obs.gauge_set(
+            "repro_server_queue_depth", depth,
+            "Modifications queued behind the batcher",
+        )
+        return await future
+
+    def _validate_write(self, request: Request) -> None:
+        """Shape checks before admission (the ingest pipeline's spirit:
+        refuse before anything is enqueued)."""
+        op = request.op
+        if op in ("insert", "update"):
+            attributes = request.get("attributes")
+            if not isinstance(attributes, dict) or not attributes:
+                raise _OpRefused(
+                    protocol.REJECTED, "empty_synopsis",
+                    f"{op} needs a non-empty 'attributes' object; Cinderella "
+                    f"cannot rate an entity without attributes",
+                )
+            if not all(isinstance(name, str) for name in attributes):
+                raise _OpRefused(
+                    protocol.REJECTED, "bad_attributes",
+                    "attribute names must be strings",
+                )
+        eid = request.get("eid")
+        if op == "insert":
+            if eid is not None and (
+                isinstance(eid, bool) or not isinstance(eid, int) or eid < 0
+            ):
+                raise _OpRefused(
+                    protocol.REJECTED, "invalid_entity_id",
+                    f"entity id must be a non-negative integer, got {eid!r}",
+                )
+        else:
+            if isinstance(eid, bool) or not isinstance(eid, int) or eid < 0:
+                raise _OpRefused(
+                    protocol.REJECTED, "invalid_entity_id",
+                    f"{op} needs a non-negative integer 'eid', got {eid!r}",
+                )
+
+    async def _batcher(self) -> None:
+        """Drain queued writes in batches, one lock hold per batch."""
+        while True:
+            first = await self._write_queue.get()
+            if self.config.batch_linger_s > 0 and (
+                self._write_queue.qsize() + 1 < self.config.batch_max
+            ):
+                await asyncio.sleep(self.config.batch_linger_s)
+            batch = [first]
+            while (
+                len(batch) < self.config.batch_max
+                and not self._write_queue.empty()
+            ):
+                batch.append(self._write_queue.get_nowait())
+            async with self.lock.write_locked():
+                with obs.span("server.batch", size=len(batch)):
+                    for pending in batch:
+                        self._apply_one(pending)
+            self.counters.batches_flushed += 1
+            self._writes_since_maintenance += len(batch)
+            for _ in batch:
+                self._write_queue.task_done()
+            obs.gauge_set(
+                "repro_server_queue_depth", self._write_queue.qsize(),
+                "Modifications queued behind the batcher",
+            )
+
+    def _apply_one(self, pending: _PendingWrite) -> None:
+        """Apply one modification inside an undo-log transaction."""
+        request = pending.request
+        txn = self.table.catalog.begin_transaction()
+        try:
+            fields = self._apply_to_table(request)
+        except _OpRefused as refusal:
+            txn.rollback()
+            self.counters.writes_rejected += 1
+            self._resolve(pending, refusal=refusal)
+        except Exception as err:
+            # unexpected — the undo log restores the exact pre-op catalog,
+            # so one poisoned request cannot corrupt the batch
+            txn.rollback()
+            self.counters.writes_rejected += 1
+            obs.event(
+                "server.write_rollback", op=request.op,
+                error=f"{type(err).__name__}: {err}",
+            )
+            self._resolve(pending, refusal=_OpRefused(
+                protocol.ERROR, "internal", f"{type(err).__name__}: {err}"
+            ))
+        else:
+            txn.commit()
+            self.counters.writes_applied += 1
+            self._resolve(pending, fields=fields)
+
+    def _apply_to_table(self, request: Request) -> dict[str, Any]:
+        table = self.table
+        if request.op == "insert":
+            eid = request.get("eid")
+            try:
+                outcome = table.insert(request.get("attributes"), entity_id=eid)
+            except ValueError as err:
+                raise _OpRefused(
+                    protocol.REJECTED, "duplicate_entity", str(err)
+                ) from None
+        elif request.op == "update":
+            try:
+                outcome = table.update(
+                    request.get("eid"), request.get("attributes")
+                )
+            except KeyError as err:
+                raise _OpRefused(
+                    protocol.REJECTED, "unknown_entity", str(err)
+                ) from None
+        else:
+            try:
+                outcome = table.delete(request.get("eid"))
+            except KeyError as err:
+                raise _OpRefused(
+                    protocol.REJECTED, "unknown_entity", str(err)
+                ) from None
+        return {
+            "eid": outcome.entity_id,
+            "partition": outcome.partition_id,
+            "splits": outcome.splits,
+            "moves": len(outcome.moves),
+            "in_place": outcome.in_place,
+        }
+
+    def _resolve(
+        self,
+        pending: _PendingWrite,
+        fields: Optional[dict[str, Any]] = None,
+        refusal: Optional[_OpRefused] = None,
+    ) -> None:
+        """Hand the batcher's verdict back to the waiting connection."""
+        if pending.future.cancelled():  # the connection died while queued
+            return
+        if refusal is not None:
+            pending.future.set_exception(refusal)
+        else:
+            pending.future.set_result((protocol.APPLIED, fields or {}))
+
+    # ------------------------------------------------------------------
+    # reads: shared lock, scans on worker threads
+    # ------------------------------------------------------------------
+    async def _handle_query(self, request: Request) -> tuple[str, dict[str, Any]]:
+        attributes = request.get("attributes")
+        mode = request.get("mode", "any")
+        if (
+            not isinstance(attributes, (list, tuple))
+            or not attributes
+            or not all(isinstance(name, str) for name in attributes)
+        ):
+            raise _OpRefused(
+                protocol.BAD_REQUEST, "bad_query",
+                "query needs a non-empty 'attributes' list of strings",
+            )
+        try:
+            query = AttributeQuery(tuple(attributes), mode)
+        except ValueError as err:
+            raise _OpRefused(
+                protocol.BAD_REQUEST, "bad_query", str(err)
+            ) from None
+        result = await self._read(self.table.execute, query)
+        stats = result.stats
+        self.counters.queries_served += 1
+        return protocol.OK, {
+            "rows": result.rows,
+            "row_count": len(result.rows),
+            "stats": {
+                "partitions_total": stats.partitions_total,
+                "partitions_scanned": stats.partitions_scanned,
+                "partitions_pruned": stats.partitions_pruned,
+                "cache_hits": stats.cache_hits,
+                "cache_misses": stats.cache_misses,
+            },
+        }
+
+    async def _handle_sql(self, request: Request) -> tuple[str, dict[str, Any]]:
+        text = request.get("sql")
+        if not isinstance(text, str) or not text.strip():
+            raise _OpRefused(
+                protocol.BAD_REQUEST, "bad_sql", "sql op needs a 'sql' string"
+            )
+        from repro.sql import SqlSyntaxError, execute
+
+        try:
+            result = await self._read(execute, text, self.table)
+        except SqlSyntaxError as err:
+            raise _OpRefused(
+                protocol.BAD_REQUEST, "sql_syntax", str(err)
+            ) from None
+        self.counters.sql_served += 1
+        return protocol.OK, {
+            "rows": result.rows,
+            "row_count": len(result.rows),
+            "pruned_partitions": len(result.pruned_pids),
+        }
+
+    async def _read(self, fn, *args):
+        """Run one read on a worker thread under the shared lock."""
+        assert self._read_slots is not None
+        async with self._read_slots:
+            async with self.lock.read_locked():
+                return await asyncio.to_thread(fn, *args)
+
+    # ------------------------------------------------------------------
+    # maintenance: cooperative, between batches
+    # ------------------------------------------------------------------
+    async def _maintenance_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.maintenance_interval_s)
+            if self._writes_since_maintenance == 0:
+                continue  # nothing changed; stay off the write lock
+            await self._maintenance_pass()
+
+    async def _maintenance_pass(self) -> dict[str, Any]:
+        """One merge pass (and every Nth time a reorganization)."""
+        async with self.lock.write_locked():
+            with obs.span("server.maintenance") as span:
+                self._writes_since_maintenance = 0
+                report = self.table.merge_small_partitions(
+                    min_fill=self.config.merge_min_fill
+                )
+                merged = report.merge_count
+                self._maintenance_passes += 1
+                self.counters.maintenance_passes += 1
+                self.counters.partitions_merged += merged
+                reorganized = False
+                if (
+                    self.config.reorganize_every > 0
+                    and self._maintenance_passes % self.config.reorganize_every == 0
+                ):
+                    self.table.reorganize()
+                    self.counters.reorganizations += 1
+                    reorganized = True
+                if span.is_recording:
+                    span.set("merged", merged)
+                    span.set("reorganized", reorganized)
+        obs.event("server.maintenance", merged=merged, reorganized=reorganized)
+        return {"merged": merged, "reorganized": reorganized}
+
+    async def _handle_maintain(self) -> tuple[str, dict[str, Any]]:
+        return protocol.OK, await self._maintenance_pass()
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    def _stats_snapshot(self) -> dict[str, Any]:
+        """A point-in-time snapshot (event-loop-consistent: no await)."""
+        table = self.table
+        return {
+            "uptime_s": round(time.monotonic() - self._started_monotonic, 3),
+            "draining": self._draining,
+            "partitions": table.partition_count(),
+            "entities": table.catalog.entity_count,
+            "version_clock": table.catalog.version_clock,
+            "split_count": table.partitioner.split_count,
+            "queue_depth": self._write_queue.qsize(),
+            "sessions": [s.as_dict() for s in self.sessions.values()],
+            "counters": self.counters.as_dict(),
+            "lock": {
+                "readers": self.lock.readers,
+                "writer_active": self.lock.writer_active,
+                "max_concurrent_readers": self.lock.max_concurrent_readers,
+                "read_acquisitions": self.lock.read_acquisitions,
+                "write_acquisitions": self.lock.write_acquisitions,
+            },
+            "query_counters": self.table.query_counters.as_dict(),
+        }

@@ -2,7 +2,38 @@
 
 import pytest
 
-from repro.cli import main
+from repro.cli import build_parser, main
+
+
+def _subcommands() -> list[str]:
+    """Every registered subcommand, straight from the parser.
+
+    Enumerated dynamically so a newly added command is covered by the
+    help smoke test without anyone remembering to list it here.
+    """
+    parser = build_parser()
+    for action in parser._subparsers._group_actions:
+        return sorted(action.choices)
+    raise AssertionError("parser has no subcommands")
+
+
+class TestHelpSmoke:
+    """``--help`` must exit 0 and have no side effects, for every command."""
+
+    @pytest.mark.parametrize("argv", [[]] + [[name] for name in _subcommands()])
+    def test_help_exits_zero(self, argv, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv + ["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "usage:" in out
+        assert list(tmp_path.iterdir()) == []  # no files, no sockets, nothing
+
+    def test_all_commands_have_handlers(self):
+        from repro.cli import _HANDLERS
+
+        assert sorted(_HANDLERS) == _subcommands()
 
 
 class TestDemo:

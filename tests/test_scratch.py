@@ -1,0 +1,74 @@
+"""Tests for the signal-safe scratch directory helper."""
+
+import os
+import signal
+import threading
+
+import pytest
+
+from repro.storage.scratch import scratch_dir
+
+
+class TestScratchDir:
+    def test_removed_on_normal_exit(self):
+        with scratch_dir(prefix="t-") as workdir:
+            (workdir / "a.wal").write_text("record")
+            assert workdir.is_dir()
+        assert not workdir.exists()
+
+    def test_removed_on_exception(self):
+        with pytest.raises(ValueError):
+            with scratch_dir(prefix="t-") as workdir:
+                (workdir / "a.wal").write_text("record")
+                raise ValueError("boom")
+        assert not workdir.exists()
+
+    def test_removed_on_keyboard_interrupt(self):
+        with pytest.raises(KeyboardInterrupt):
+            with scratch_dir(prefix="t-") as workdir:
+                raise KeyboardInterrupt
+        assert not workdir.exists()
+
+    def test_sigterm_becomes_system_exit_and_cleans_up(self):
+        with pytest.raises(SystemExit) as excinfo:
+            with scratch_dir(prefix="t-") as workdir:
+                (workdir / "coordinator.wal").write_text("record")
+                os.kill(os.getpid(), signal.SIGTERM)
+        assert excinfo.value.code == 128 + signal.SIGTERM
+        assert not workdir.exists()
+
+    def test_previous_sigterm_handler_restored(self):
+        sentinel = []
+        previous = signal.signal(
+            signal.SIGTERM, lambda *_args: sentinel.append("called")
+        )
+        try:
+            with scratch_dir(prefix="t-"):
+                assert signal.getsignal(signal.SIGTERM) is not previous
+            handler = signal.getsignal(signal.SIGTERM)
+            assert callable(handler)
+            handler(signal.SIGTERM, None)
+            assert sentinel == ["called"]
+        finally:
+            signal.signal(signal.SIGTERM, previous)
+
+    def test_works_off_the_main_thread(self):
+        """Signal conversion is skipped, cleanup still happens."""
+        outcome = {}
+
+        def body():
+            before = signal.getsignal(signal.SIGTERM)
+            with scratch_dir(prefix="t-") as workdir:
+                (workdir / "x").write_text("y")
+                outcome["existed"] = workdir.is_dir()
+                outcome["handler_untouched"] = (
+                    signal.getsignal(signal.SIGTERM) is before
+                )
+            outcome["removed"] = not workdir.exists()
+
+        thread = threading.Thread(target=body)
+        thread.start()
+        thread.join(timeout=10)
+        assert outcome == {
+            "existed": True, "handler_untouched": True, "removed": True,
+        }

@@ -1,0 +1,306 @@
+"""End-to-end tests of the serving layer over real sockets.
+
+Each test runs a :class:`~repro.server.testing.ServerThread` (the server
+on its own event loop in a daemon thread) and drives it with blocking
+:class:`~repro.server.client.ServerClient` connections — the exact wire
+path production traffic takes.
+"""
+
+import asyncio
+import json
+import socket
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import CinderellaConfig
+from repro.query.cache import QueryResultCache
+from repro.server import CinderellaServer, ServerConfig, ServerThread
+from repro.server.client import ServerClient, ServerError
+from repro.table.partitioned import CinderellaTable
+
+
+@pytest.fixture()
+def harness():
+    config = ServerConfig(maintenance_interval_s=0)  # passes on demand only
+    with ServerThread(config=config) as running:
+        yield running
+
+
+@pytest.fixture()
+def client(harness):
+    with ServerClient(*harness.address) as connected:
+        yield connected
+
+
+class TestBasicOps:
+    def test_ping_echoes_payload(self, client):
+        response = client.ping(payload={"k": [1, 2]})
+        assert response.ok
+        assert response.get("payload") == {"k": [1, 2]}
+
+    def test_insert_update_delete_cycle(self, client):
+        inserted = client.insert({"name": "Canon S120", "resolution": 12.1})
+        assert inserted.status == "applied"
+        eid = inserted.get("eid")
+        assert inserted.get("partition") is not None
+        updated = client.update(eid, {"name": "Canon S120", "zoom": 5})
+        assert updated.status == "applied"
+        rows = client.query(["zoom"])
+        assert rows == [{"zoom": 5}]
+        deleted = client.delete(eid)
+        assert deleted.status == "applied"
+        assert client.query(["zoom"]) == []
+
+    def test_explicit_entity_id_respected(self, client):
+        assert client.insert({"a": 1}, eid=77).get("eid") == 77
+
+    def test_query_carries_execution_stats(self, client):
+        for i in range(10):
+            client.insert({"a": i} if i % 2 else {"b": i})
+        response = client.query_response(["a"])
+        stats = response.get("stats")
+        assert response.get("row_count") == 5
+        assert stats["partitions_total"] >= 1
+        assert stats["partitions_scanned"] >= 1
+
+    def test_sql_passthrough(self, client):
+        for i in range(5):
+            client.insert({"weight": i * 100, "name": f"p{i}"})
+        response = client.sql(
+            "SELECT name, weight FROM universalTable "
+            "WHERE weight > 150 ORDER BY weight DESC"
+        )
+        rows = response.get("rows")
+        assert [row["weight"] for row in rows] == [400, 300, 200]
+
+
+class TestRejections:
+    def test_duplicate_entity_rejected(self, client):
+        client.insert({"a": 1}, eid=5)
+        with pytest.raises(ServerError) as excinfo:
+            client.insert({"a": 2}, eid=5)
+        assert excinfo.value.status == "rejected"
+        assert excinfo.value.code == "duplicate_entity"
+
+    def test_unknown_entity_rejected(self, client):
+        for method in (lambda: client.update(999, {"a": 1}),
+                       lambda: client.delete(999)):
+            with pytest.raises(ServerError) as excinfo:
+                method()
+            assert excinfo.value.code == "unknown_entity"
+
+    def test_empty_attributes_rejected_before_admission(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.insert({})
+        assert excinfo.value.status == "rejected"
+        assert excinfo.value.code == "empty_synopsis"
+
+    def test_bad_entity_id_rejected(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.request("delete", eid="seven")
+        assert excinfo.value.code == "invalid_entity_id"
+
+    def test_bad_query_shape(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.request("query", attributes=[])
+        assert excinfo.value.status == "bad_request"
+
+    def test_bad_query_mode(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.request("query", attributes=["a"], mode="some")
+        assert excinfo.value.code == "bad_query"
+
+    def test_sql_syntax_error(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.sql("SELEKT * FROM nope")
+        assert excinfo.value.status == "bad_request"
+        assert excinfo.value.code == "sql_syntax"
+
+    def test_rejected_write_rolls_back_cleanly(self, harness, client):
+        client.insert({"a": 1}, eid=1)
+        before = client.stats()["version_clock"]
+        with pytest.raises(ServerError):
+            client.insert({"b": 2}, eid=1)  # duplicate: rolls back
+        after = client.stats()
+        assert after["entities"] == 1
+        assert after["counters"]["writes_rejected"] == 1
+        assert after["version_clock"] == before  # undo log left no trace
+
+
+class TestWireRobustness:
+    def test_garbage_line_answers_bad_request(self, harness):
+        with socket.create_connection(harness.address, timeout=10) as sock:
+            sock.sendall(b"this is not json\n")
+            line = sock.makefile("rb").readline()
+        document = json.loads(line)
+        assert document["ok"] is False
+        assert document["status"] == "bad_request"
+
+    def test_unknown_op_answers_bad_request(self, harness):
+        with socket.create_connection(harness.address, timeout=10) as sock:
+            sock.sendall(b'{"op": "frobnicate", "id": 3}\n')
+            line = sock.makefile("rb").readline()
+        assert json.loads(line)["status"] == "bad_request"
+
+    def test_blank_lines_are_ignored(self, harness):
+        with socket.create_connection(harness.address, timeout=10) as sock:
+            sock.sendall(b"\n\n" + b'{"op": "ping", "id": 4}\n')
+            line = sock.makefile("rb").readline()
+        assert json.loads(line)["id"] == 4
+
+    def test_response_ids_match_pipelined_requests(self, harness):
+        with socket.create_connection(harness.address, timeout=10) as sock:
+            sock.sendall(
+                b'{"op": "ping", "id": 1}\n'
+                b'{"op": "insert", "id": 2, "attributes": {"a": 1}}\n'
+                b'{"op": "ping", "id": 3}\n'
+            )
+            reader = sock.makefile("rb")
+            ids = [json.loads(reader.readline())["id"] for _ in range(3)]
+        assert ids == [1, 2, 3]
+
+    def test_internal_errors_do_not_kill_the_connection(self, harness, client,
+                                                        monkeypatch):
+        monkeypatch.setattr(
+            harness.server.table, "execute",
+            lambda _query: (_ for _ in ()).throw(RuntimeError("boom")),
+        )
+        with pytest.raises(ServerError) as excinfo:
+            client.query_response(["a"])
+        assert excinfo.value.status == "error"
+        assert excinfo.value.code == "internal"
+        assert client.ping().ok  # the session survived
+
+
+class TestAdmissionControl:
+    def test_zero_capacity_sheds_with_overloaded(self):
+        config = ServerConfig(max_pending=0, maintenance_interval_s=0)
+        with ServerThread(config=config) as harness:
+            with ServerClient(*harness.address, check=False) as client:
+                response = client.insert({"a": 1})
+                assert response.status == "overloaded"
+                assert response.retryable
+                assert "back off" in response.error["message"]
+                response = client.insert_with_backoff(
+                    {"a": 1}, attempts=3, base_delay_s=0.001
+                )
+                assert response.status == "overloaded"
+                stats = client.stats()
+                assert stats["counters"]["writes_shed_overloaded"] >= 4
+                assert stats["counters"]["shed_rate"] == 1.0
+                assert stats["counters"]["writes_applied"] == 0
+
+    def test_reads_still_served_while_writes_shed(self):
+        config = ServerConfig(max_pending=0, maintenance_interval_s=0)
+        with ServerThread(config=config) as harness:
+            with ServerClient(*harness.address, check=False) as client:
+                assert client.insert({"a": 1}).status == "overloaded"
+                assert client.query(["a"]) == []  # served, just empty
+
+    def test_writes_refused_while_draining(self):
+        async def scenario():
+            server = CinderellaServer(config=ServerConfig(
+                maintenance_interval_s=0
+            ))
+            await server.start()
+            server._draining = True
+            from repro.server.protocol import Request
+            from repro.server.server import _OpRefused
+
+            with pytest.raises(_OpRefused) as excinfo:
+                await server._handle_write(Request(
+                    "insert", 1, {"attributes": {"a": 1}}
+                ))
+            assert excinfo.value.status == "shutting_down"
+            server._draining = False
+            await server.stop()
+
+        asyncio.run(scenario())
+
+
+class TestLifecycle:
+    def test_shutdown_op_drains_and_stops(self, harness):
+        with ServerClient(*harness.address) as client:
+            client.insert({"a": 1})
+            response = client.shutdown()
+            assert response.ok and response.get("draining") is True
+        harness.stop()  # idempotent join
+        assert harness.server.table.check_consistency() == []
+
+    def test_stop_flushes_queued_writes(self):
+        config = ServerConfig(
+            maintenance_interval_s=0, batch_linger_s=0.05, batch_max=4
+        )
+        with ServerThread(config=config) as harness:
+            with ServerClient(*harness.address) as client:
+                for i in range(20):
+                    client.insert({"a": i})
+        assert harness.server.counters.writes_applied == 20
+        assert harness.server._write_queue.qsize() == 0
+
+    def test_maintain_merges_after_deletes(self):
+        table = CinderellaTable(
+            CinderellaConfig(
+                max_partition_size=8.0, weight=0.3, use_synopsis_index=True
+            ),
+            result_cache=QueryResultCache(thread_safe=True),
+        )
+        server = CinderellaServer(
+            table=table,
+            config=ServerConfig(maintenance_interval_s=0, merge_min_fill=0.9),
+        )
+        with ServerThread(server=server) as harness:
+            with ServerClient(*harness.address) as client:
+                for i in range(60):
+                    client.insert({f"attr{i % 6}": i, "common": 1}, eid=i)
+                assert client.stats()["partitions"] > 1
+                for i in range(0, 60, 2):
+                    client.delete(i)
+                report = client.maintain()
+                assert report.ok
+                stats = client.stats()
+                assert stats["counters"]["maintenance_passes"] >= 1
+        assert table.check_consistency() == []
+
+    def test_sessions_appear_in_stats(self, harness):
+        with ServerClient(*harness.address) as first:
+            first.ping()
+            with ServerClient(*harness.address) as second:
+                second.ping()
+                sessions = first.stats()["sessions"]
+                assert len(sessions) == 2
+                assert {s["sid"] for s in sessions} == {1, 2}
+        harness.stop()  # drain: handler tasks observe EOF before we assert
+        assert harness.server.counters.connections_closed == 2
+
+
+class TestServeCommand:
+    def test_cli_serve_round_trip(self, tmp_path):
+        """``python -m repro serve`` serves traffic and drains on shutdown."""
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            cwd=tmp_path,
+            env={
+                "PYTHONPATH": str(Path(__file__).resolve().parent.parent / "src"),
+                "PATH": "/usr/bin:/bin",
+            },
+        )
+        try:
+            banner = proc.stdout.readline()
+            assert "listening on" in banner
+            port = int(banner.split()[4].rsplit(":", 1)[1])
+            with ServerClient("127.0.0.1", port) as client:
+                for i in range(5):
+                    client.insert({"x": i})
+                assert len(client.query(["x"])) == 5
+                client.shutdown()
+            out, err = proc.communicate(timeout=30)
+        finally:
+            proc.kill()
+        assert proc.returncode == 0
+        assert "served" in out
+        assert list(tmp_path.iterdir()) == []  # no stray files

@@ -1,0 +1,125 @@
+"""Tests for the asyncio reader–writer lock guarding the catalog."""
+
+import asyncio
+
+import pytest
+
+from repro.server.locks import AsyncReadWriteLock
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestSharedAcquisition:
+    def test_many_readers_hold_together(self):
+        async def scenario():
+            lock = AsyncReadWriteLock()
+            inside = asyncio.Event()
+            release = asyncio.Event()
+
+            async def reader():
+                async with lock.read_locked():
+                    if lock.readers == 3:
+                        inside.set()
+                    await release.wait()
+
+            tasks = [asyncio.create_task(reader()) for _ in range(3)]
+            await asyncio.wait_for(inside.wait(), 5)
+            assert lock.readers == 3
+            release.set()
+            await asyncio.gather(*tasks)
+            assert lock.readers == 0
+            assert lock.max_concurrent_readers == 3
+            assert lock.read_acquisitions == 3
+
+        run(scenario())
+
+    def test_writer_excludes_readers_and_writers(self):
+        async def scenario():
+            lock = AsyncReadWriteLock()
+            order: list[str] = []
+
+            async def writer(name):
+                async with lock.write_locked():
+                    order.append(f"{name}:in")
+                    await asyncio.sleep(0.01)
+                    order.append(f"{name}:out")
+
+            async def reader():
+                async with lock.read_locked():
+                    order.append("r")
+
+            await asyncio.gather(writer("w1"), writer("w2"), reader())
+            # each writer's in/out is adjacent: nothing interleaved it
+            for name in ("w1", "w2"):
+                start = order.index(f"{name}:in")
+                assert order[start + 1] == f"{name}:out"
+            assert lock.write_acquisitions == 2
+
+        run(scenario())
+
+
+class TestWriterPreference:
+    def test_new_readers_queue_behind_a_waiting_writer(self):
+        async def scenario():
+            lock = AsyncReadWriteLock()
+            order: list[str] = []
+            first_reader_in = asyncio.Event()
+            first_reader_release = asyncio.Event()
+
+            async def long_reader():
+                async with lock.read_locked():
+                    first_reader_in.set()
+                    await first_reader_release.wait()
+                order.append("r1-done")
+
+            async def writer():
+                async with lock.write_locked():
+                    order.append("w")
+
+            async def late_reader():
+                async with lock.read_locked():
+                    order.append("r2")
+
+            r1 = asyncio.create_task(long_reader())
+            await first_reader_in.wait()
+            w = asyncio.create_task(writer())
+            # let the writer reach its wait so it is registered as waiting
+            while lock.writers_waiting == 0:
+                await asyncio.sleep(0)
+            r2 = asyncio.create_task(late_reader())
+            await asyncio.sleep(0.01)
+            assert order == []  # r2 must not slip past the waiting writer
+            first_reader_release.set()
+            await asyncio.gather(r1, w, r2)
+            assert order.index("w") < order.index("r2")
+
+        run(scenario())
+
+
+class TestMisuse:
+    def test_unbalanced_releases_raise(self):
+        async def scenario():
+            lock = AsyncReadWriteLock()
+            with pytest.raises(RuntimeError, match="release_read"):
+                await lock.release_read()
+            with pytest.raises(RuntimeError, match="release_write"):
+                await lock.release_write()
+
+        run(scenario())
+
+    def test_exception_inside_context_releases(self):
+        async def scenario():
+            lock = AsyncReadWriteLock()
+            with pytest.raises(ValueError):
+                async with lock.read_locked():
+                    raise ValueError("boom")
+            with pytest.raises(ValueError):
+                async with lock.write_locked():
+                    raise ValueError("boom")
+            # both fully released: a writer can acquire immediately
+            async with lock.write_locked():
+                assert lock.writer_active
+
+        run(scenario())

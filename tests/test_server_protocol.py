@@ -1,0 +1,102 @@
+"""Unit tests for the line-delimited JSON wire protocol."""
+
+import json
+
+import pytest
+
+from repro.server.protocol import (
+    APPLIED,
+    BAD_REQUEST,
+    MAX_LINE_BYTES,
+    OK,
+    OPS,
+    OVERLOADED,
+    ProtocolError,
+    REJECTED,
+    SUCCESS_STATUSES,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+    error_body,
+)
+
+
+class TestRequestRoundTrip:
+    def test_encode_decode(self):
+        line = encode_request("insert", 7, attributes={"a": 1}, eid=3)
+        assert line.endswith(b"\n")
+        request = decode_request(line)
+        assert request.op == "insert"
+        assert request.id == 7
+        assert request.fields == {"attributes": {"a": 1}, "eid": 3}
+        assert request.get("eid") == 3
+        assert request.get("missing", "d") == "d"
+
+    @pytest.mark.parametrize("op", OPS)
+    def test_every_documented_op_decodes(self, op):
+        assert decode_request(encode_request(op, 1)).op == op
+
+    def test_id_defaults_to_zero(self):
+        assert decode_request(b'{"op": "ping"}').id == 0
+
+    @pytest.mark.parametrize("line, fragment", [
+        (b"not json", "not valid JSON"),
+        (b"[1, 2]", "must be a JSON object"),
+        (b'{"id": 1}', "no 'op' string"),
+        (b'{"op": 42, "id": 1}', "no 'op' string"),
+        (b'{"op": "frobnicate", "id": 1}', "unknown op"),
+        (b'{"op": "ping", "id": "one"}', "id must be an integer"),
+        (b'{"op": "ping", "id": true}', "id must be an integer"),
+    ])
+    def test_malformed_requests_raise(self, line, fragment):
+        with pytest.raises(ProtocolError, match=fragment):
+            decode_request(line)
+
+    def test_oversized_frame_refused(self):
+        line = encode_request("ping", 1, payload="x" * (MAX_LINE_BYTES + 1))
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decode_request(line)
+
+
+class TestResponseRoundTrip:
+    def test_ok_response(self):
+        line = encode_response(9, OK, rows=[{"a": 1}], row_count=1)
+        response = decode_response(line)
+        assert response.id == 9
+        assert response.ok
+        assert not response.retryable
+        assert response.error is None
+        assert response.get("rows") == [{"a": 1}]
+
+    def test_error_response(self):
+        line = encode_response(
+            4, REJECTED, error=error_body("duplicate_entity", "eid 3 exists")
+        )
+        response = decode_response(line)
+        assert not response.ok
+        assert response.error == {
+            "code": "duplicate_entity", "message": "eid 3 exists",
+        }
+
+    def test_overloaded_is_retryable_not_ok(self):
+        response = decode_response(encode_response(1, OVERLOADED))
+        assert response.retryable and not response.ok
+
+    def test_ok_field_on_the_wire_is_derived(self):
+        document = json.loads(encode_response(1, APPLIED))
+        assert document["ok"] is True
+        document = json.loads(encode_response(1, BAD_REQUEST))
+        assert document["ok"] is False
+
+    def test_success_statuses(self):
+        assert SUCCESS_STATUSES == {OK, APPLIED}
+
+    @pytest.mark.parametrize("line, fragment", [
+        (b'{"id": 1}', "no 'status' string"),
+        (b'{"status": "ok", "id": []}', "id must be an integer"),
+        (b'{"status": "ok", "error": "boom"}', "error must be an object"),
+    ])
+    def test_malformed_responses_raise(self, line, fragment):
+        with pytest.raises(ProtocolError, match=fragment):
+            decode_response(line)

@@ -1,0 +1,180 @@
+"""Soak: concurrent mixed traffic with splits and merges firing.
+
+The acceptance scenario of the serving layer: at least eight concurrent
+client connections issue interleaved inserts, updates, deletes, queries,
+and SQL while the table splits under growth and the background
+maintenance task merges behind the deletes.  At the end the catalog must
+pass its full invariant check, the result cache must be provably
+coherent (every servable entry bit-identical to a fresh scan), and the
+entity count must equal exactly what the applied responses promised —
+admission control may *shed* work, but nothing may be half-applied.
+
+A short soak runs in the default suite; the heavier one is ``slow``
+(the dedicated CI soak job runs it).
+"""
+
+import threading
+
+import pytest
+
+from repro.core.config import CinderellaConfig
+from repro.query.cache import QueryResultCache, verify_cache_coherence
+from repro.server import CinderellaServer, ServerConfig, ServerThread
+from repro.server.client import ServerClient
+from repro.table.partitioned import CinderellaTable
+
+from tests.conftest import WORKLOAD_SEED
+
+
+class Worker(threading.Thread):
+    """One client connection driving a deterministic mixed op stream."""
+
+    def __init__(self, index: int, address, ops: int):
+        super().__init__(name=f"soak-client-{index}")
+        self.index = index
+        self.address = address
+        self.ops = ops
+        #: eids this worker successfully inserted and has not deleted
+        self.live: list[int] = []
+        self.applied = 0
+        self.shed = 0
+        self.rows_seen = 0
+        self.failures: list[str] = []
+
+    def run(self) -> None:
+        import random
+
+        rng = random.Random(WORKLOAD_SEED + self.index)
+        base = self.index * 1_000_000  # disjoint eid spaces per worker
+        next_eid = base
+        try:
+            with ServerClient(*self.address, check=False) as client:
+                for step in range(self.ops):
+                    choice = rng.random()
+                    if choice < 0.55 or not self.live:
+                        # few distinct masks ⇒ partitions fill past B ⇒ splits
+                        attributes = {
+                            "common": self.index,
+                            f"attr{rng.randrange(4)}": step,
+                        }
+                        response = client.insert_with_backoff(
+                            attributes, eid=next_eid, attempts=6,
+                            base_delay_s=0.002,
+                        )
+                        if response.status == "applied":
+                            self.live.append(next_eid)
+                            self.applied += 1
+                        elif response.retryable:
+                            self.shed += 1
+                        else:
+                            self.failures.append(
+                                f"insert -> {response.status}: {response.error}"
+                            )
+                        next_eid += 1
+                    elif choice < 0.70:
+                        eid = self.live[rng.randrange(len(self.live))]
+                        response = client.update(
+                            eid, {"renamed": step, f"attr{step % 4}": step}
+                        )
+                        if response.status == "applied":
+                            self.applied += 1
+                        elif not response.retryable:
+                            self.failures.append(
+                                f"update {eid} -> {response.status}"
+                            )
+                    elif choice < 0.85:
+                        eid = self.live.pop(rng.randrange(len(self.live)))
+                        response = client.delete(eid)
+                        if response.status == "applied":
+                            self.applied += 1
+                        else:
+                            self.live.append(eid)
+                            if not response.retryable:
+                                self.failures.append(
+                                    f"delete {eid} -> {response.status}"
+                                )
+                    elif choice < 0.97:
+                        rows = client.query(
+                            [f"attr{rng.randrange(4)}", "renamed"],
+                            mode="any",
+                        )
+                        self.rows_seen += len(rows)
+                    else:
+                        response = client.sql(
+                            f"SELECT common, attr{rng.randrange(4)} "
+                            f"FROM universalTable "
+                            f"WHERE common = {self.index}"
+                        )
+                        if response.ok:
+                            self.rows_seen += response.get("row_count", 0)
+        except Exception as err:  # surfaced by the main thread
+            self.failures.append(f"{type(err).__name__}: {err}")
+
+
+def run_soak(workers: int, ops_per_worker: int) -> None:
+    table = CinderellaTable(
+        CinderellaConfig(
+            max_partition_size=12.0, weight=0.3, use_synopsis_index=True
+        ),
+        result_cache=QueryResultCache(thread_safe=True),
+    )
+    server = CinderellaServer(
+        table=table,
+        config=ServerConfig(
+            max_pending=64,
+            batch_max=16,
+            batch_linger_s=0.001,
+            max_parallel_reads=8,
+            maintenance_interval_s=0.05,  # merges fire *during* the run
+            merge_min_fill=0.6,
+            reorganize_every=5,
+        ),
+    )
+    with ServerThread(server=server) as harness:
+        pool = [
+            Worker(index, harness.address, ops_per_worker)
+            for index in range(workers)
+        ]
+        for worker in pool:
+            worker.start()
+        for worker in pool:
+            worker.join(timeout=180)
+            assert not worker.is_alive(), f"{worker.name} hung"
+        with ServerClient(*harness.address) as client:
+            client.maintain()  # one deterministic pass behind the deletes
+            live_stats = client.stats()
+
+    failures = [f for worker in pool for f in worker.failures]
+    assert failures == [], failures
+
+    # --- the acceptance checks: catalog invariants + cache coherence ---
+    assert table.check_consistency() == []
+    assert verify_cache_coherence(table.result_cache, table) == []
+
+    # exactly the applied writes survive: shed ones left no trace
+    expected_live = sorted(eid for worker in pool for eid in worker.live)
+    actual_live = sorted(
+        eid for partition in table.catalog for eid in partition.entity_ids()
+    )
+    assert actual_live == expected_live
+
+    # the workload genuinely exercised the concurrent machinery
+    counters = server.counters
+    assert table.partitioner.split_count > 0, "no splits fired"
+    assert counters.maintenance_passes > 0, "maintenance never ran"
+    assert counters.partitions_merged > 0, "no merges fired"
+    assert counters.queries_served > 0
+    assert counters.batches_flushed > 0
+    assert live_stats["lock"]["read_acquisitions"] > 0
+    assert live_stats["lock"]["write_acquisitions"] > 0
+    total_applied = sum(worker.applied for worker in pool)
+    assert counters.writes_applied == total_applied
+
+
+class TestServerSoak:
+    def test_short_soak_eight_connections(self):
+        run_soak(workers=8, ops_per_worker=60)
+
+    @pytest.mark.slow
+    def test_long_soak_twelve_connections(self):
+        run_soak(workers=12, ops_per_worker=300)
