@@ -1,0 +1,283 @@
+"""Cluster load generator: routed throughput, tail latency, failover.
+
+Drives a live :class:`~repro.router.testing.ClusterHarness` — WAL-backed
+serving nodes behind a :class:`~repro.router.router.CinderellaRouter` —
+over real sockets at 1, 2, and 3 nodes.  Every worker thread owns one
+TCP connection *to the router* and issues a seeded mix of partition-
+routed inserts and scatter-gather queries, timing every request at the
+client.
+
+Reported per node count:
+
+* **throughput** — completed requests per second against the
+  quiet-floor run duration (see ``benchmarks/conftest.py``);
+* **p50 / p99 latency** — client-observed, pooled across repeats; the
+  router adds a proxy hop and (for queries) a fan-out, which is the
+  cost being measured;
+* **failover recovery time** (3 nodes, rf=2) — a serving node is killed
+  mid-traffic and the recovery window is measured twice: time until the
+  next *complete* (non-degraded) query response, and time after restart
+  until the router's catch-up buffer has fully drained back into the
+  rejoined node.
+
+``python benchmarks/bench_cluster.py --record`` rewrites the committed
+baseline ``BENCH_cluster.json`` at the repo root.  The pytest gate
+re-measures the 2-node level and the failover window and fails on
+collapse (throughput floor, p99 ceiling, recovery ceiling, lost-write
+accounting).
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from conftest import WORKLOAD_SEED, percentile, quiet_floor
+
+from repro.router import ClusterHarness, RouterConfig
+from repro.server.client import ServerClient
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_cluster.json"
+
+NODE_COUNTS = (1, 2, 3)
+CLIENTS = 6
+OPS_PER_CLIENT = 120
+REPEATS = 3
+FLOOR_K = 2
+
+#: gate thresholds (loose collapse detectors, not microbenchmarks)
+MIN_THROUGHPUT_RPS = 80.0
+MAX_P99_S = 1.5
+MAX_FAILOVER_RECOVERY_S = 5.0
+MAX_REJOIN_CATCHUP_S = 15.0
+
+
+def _harness(tmp: str, n_nodes: int) -> ClusterHarness:
+    return ClusterHarness(
+        tmp,
+        n_nodes=n_nodes,
+        replication_factor=min(2, n_nodes),
+        router_config=RouterConfig(
+            upstream_timeout_s=1.0, eject_base_s=0.1, eject_max_s=1.0,
+        ),
+    )
+
+
+class LoadWorker(threading.Thread):
+    """One router connection issuing a seeded insert/query mix."""
+
+    def __init__(self, index: int, address, ops: int):
+        super().__init__(name=f"cluster-load-{index}")
+        self.index = index
+        self.address = address
+        self.ops = ops
+        self.latencies_s: list[float] = []
+        self.applied = 0
+        self.bounced = 0
+        self.queries = 0
+        self.errors: list[str] = []
+
+    def run(self) -> None:
+        import random
+
+        rng = random.Random(WORKLOAD_SEED + self.index)
+        base = self.index * 1_000_000
+        try:
+            with ServerClient(*self.address, check=False) as client:
+                for step in range(self.ops):
+                    started = time.perf_counter()
+                    if rng.random() < 0.7:
+                        response = client.insert(
+                            {"common": 1, f"attr{rng.randrange(4)}": step},
+                            eid=base + step,
+                        )
+                        if response.status == "applied":
+                            self.applied += 1
+                        elif response.retryable:
+                            self.bounced += 1
+                        else:
+                            self.errors.append(f"insert -> {response.status}")
+                    else:
+                        client.query([f"attr{rng.randrange(4)}"])
+                        self.queries += 1
+                    self.latencies_s.append(time.perf_counter() - started)
+        except Exception as err:
+            self.errors.append(f"{type(err).__name__}: {err}")
+
+
+def _run_level(n_nodes: int, ops_per_client: int, clients: int) -> dict:
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cluster-") as tmp:
+        with _harness(tmp, n_nodes) as cluster:
+            workers = [
+                LoadWorker(index, cluster.router_address, ops_per_client)
+                for index in range(clients)
+            ]
+            started = time.perf_counter()
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join(timeout=300)
+            duration_s = time.perf_counter() - started
+            errors = [e for worker in workers for e in worker.errors]
+            assert errors == [], errors
+            applied = sum(w.applied for w in workers)
+            # nothing acked may be lost: with rf capped at the node
+            # count, summing per-node acked writes double-counts by the
+            # replication factor at most — the router's own accounting
+            # is the ground truth
+            assert cluster.router.counters.writes_routed >= applied
+            for thread in cluster.nodes.values():
+                assert thread.server.table.check_consistency() == []
+    return {
+        "duration_s": duration_s,
+        "requests": sum(len(w.latencies_s) for w in workers),
+        "latencies_s": [s for w in workers for s in w.latencies_s],
+        "applied": applied,
+        "bounced": sum(w.bounced for w in workers),
+        "queries": sum(w.queries for w in workers),
+    }
+
+
+def measure_level(n_nodes: int, ops_per_client: int = OPS_PER_CLIENT,
+                  clients: int = CLIENTS, repeats: int = REPEATS) -> dict:
+    runs = [
+        _run_level(n_nodes, ops_per_client, clients) for _ in range(repeats)
+    ]
+    latencies = [s for run in runs for s in run["latencies_s"]]
+    floor_duration = quiet_floor([run["duration_s"] for run in runs], FLOOR_K)
+    return {
+        "nodes": n_nodes,
+        "replication_factor": min(2, n_nodes),
+        "clients": clients,
+        "ops_per_client": ops_per_client,
+        "repeats": repeats,
+        "requests_per_run": runs[0]["requests"],
+        "throughput_rps": round(runs[0]["requests"] / floor_duration, 1),
+        "latency_p50_ms": round(percentile(latencies, 50) * 1e3, 3),
+        "latency_p99_ms": round(percentile(latencies, 99) * 1e3, 3),
+        "writes_applied": sum(run["applied"] for run in runs),
+        "writes_bounced": sum(run["bounced"] for run in runs),
+        "queries_served": sum(run["queries"] for run in runs),
+    }
+
+
+def measure_failover(ops_before_kill: int = 60) -> dict:
+    """Kill a node mid-traffic; time the two recovery windows."""
+    with tempfile.TemporaryDirectory(prefix="repro-bench-failover-") as tmp:
+        with _harness(tmp, 3) as cluster:
+            with cluster.client(check=False) as client:
+                for i in range(ops_before_kill):
+                    client.insert({"common": 1, "a": i}, eid=i)
+                cluster.kill_node("node1")
+                killed_at = time.perf_counter()
+                # failover recovery: until the next *complete* answer
+                recovery_s = None
+                deadline = killed_at + 30.0
+                while time.perf_counter() < deadline:
+                    response = client.request("query", attributes=["a"])
+                    if response.ok:
+                        recovery_s = time.perf_counter() - killed_at
+                        break
+                assert recovery_s is not None, "scatter never recovered"
+                # write while the node is down so rejoin has work to do
+                # (spread over several shards: some are replicated on
+                # the dead node and land in its catch-up buffer)
+                for offset in range(10):
+                    acked = client.retrying(
+                        "insert", attributes={"common": 1, "a": 999},
+                        eid=1_000 + offset,
+                    )
+                    assert acked.status == "applied"
+                cluster.restart_node("node1")
+                restarted_at = time.perf_counter()
+                rejoin_s = None
+                deadline = restarted_at + 60.0
+                router = cluster.router
+                while time.perf_counter() < deadline:
+                    client.request("query", attributes=["a"])
+                    if (
+                        not router._catchup["node1"]
+                        and router.health["node1"].state == "healthy"
+                    ):
+                        rejoin_s = time.perf_counter() - restarted_at
+                        break
+                    time.sleep(0.02)
+                assert rejoin_s is not None, "node never rejoined"
+                counters = router.counters.as_dict()
+    return {
+        "nodes": 3,
+        "replication_factor": 2,
+        "failover_recovery_s": round(recovery_s, 4),
+        "rejoin_catchup_s": round(rejoin_s, 4),
+        "failovers": counters["failovers"],
+        "node_ejections": counters["node_ejections"],
+        "availability": counters["availability"],
+    }
+
+
+def run_benchmark() -> dict:
+    _run_level(1, 20, 2)  # warm-up: imports, thread pools, allocator
+    return {
+        "benchmark": "cluster_serving",
+        "protocol": {
+            "node_counts": list(NODE_COUNTS),
+            "clients": CLIENTS,
+            "ops_per_client": OPS_PER_CLIENT,
+            "repeats": REPEATS,
+            "floor_k": FLOOR_K,
+            "seed": WORKLOAD_SEED,
+        },
+        "levels": [measure_level(n) for n in NODE_COUNTS],
+        "failover": measure_failover(),
+    }
+
+
+def test_cluster_load_gate():
+    """CI gate: routed serving must not collapse, failover must be fast."""
+    level = measure_level(2, ops_per_client=60, clients=4, repeats=2)
+    assert level["throughput_rps"] >= MIN_THROUGHPUT_RPS, (
+        f"routed throughput collapsed to {level['throughput_rps']:.0f} "
+        f"req/s at 2 nodes (floor: {MIN_THROUGHPUT_RPS:.0f})"
+    )
+    assert level["latency_p99_ms"] <= MAX_P99_S * 1e3, (
+        f"routed p99 latency {level['latency_p99_ms']:.0f} ms exceeds "
+        f"{MAX_P99_S * 1e3:.0f} ms at 2 nodes"
+    )
+
+
+def test_failover_recovery_gate():
+    """CI gate: a dead node must not take the cluster down with it."""
+    window = measure_failover(ops_before_kill=40)
+    assert window["failover_recovery_s"] <= MAX_FAILOVER_RECOVERY_S, (
+        f"scatter needed {window['failover_recovery_s']:.2f}s to answer "
+        f"complete again (ceiling: {MAX_FAILOVER_RECOVERY_S:.0f}s)"
+    )
+    assert window["rejoin_catchup_s"] <= MAX_REJOIN_CATCHUP_S, (
+        f"rejoin catch-up needed {window['rejoin_catchup_s']:.2f}s "
+        f"(ceiling: {MAX_REJOIN_CATCHUP_S:.0f}s)"
+    )
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--record",
+        action="store_true",
+        help=f"rewrite the committed baseline at {BASELINE_PATH.name}",
+    )
+    args = parser.parse_args(argv)
+    report = run_benchmark()
+    print(json.dumps(report, indent=2))
+    if args.record:
+        BASELINE_PATH.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\nbaseline recorded to {BASELINE_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

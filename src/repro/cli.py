@@ -26,6 +26,10 @@ Commands:
   line-delimited JSON protocol of :mod:`repro.server`, with admission
   control, write batching, and cooperative background maintenance.
   Stops gracefully (drain, then exit) on Ctrl-C or SIGTERM.
+* ``route`` — run the partition-aware routing tier of
+  :mod:`repro.router` in front of running ``serve`` nodes: shard-hash
+  write routing, scatter-gather reads with explicit partial results,
+  and per-node circuit-breaker failover.
 """
 
 from __future__ import annotations
@@ -455,12 +459,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     config = ServerConfig(
         host=args.host,
         port=args.port,
+        name=args.name,
         max_pending=args.max_pending,
         batch_max=args.batch_max,
         max_parallel_reads=args.parallel_reads,
         maintenance_interval_s=args.maintenance_interval,
         merge_min_fill=args.merge_min_fill,
         reorganize_every=args.reorganize_every,
+        wal_path=args.wal,
     )
     table_config = CinderellaConfig(
         max_partition_size=args.partition_size,
@@ -505,6 +511,85 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         obs_runtime.enable()
     try:
         return asyncio.run(_serve())
+    finally:
+        if args.obs:
+            obs_runtime.disable()
+
+
+def _parse_node_spec(spec: str, index: int) -> "NodeAddress":
+    """Parse one ``route`` node argument: ``host:port`` or ``name=host:port``."""
+    from repro.router.placement import NodeAddress
+
+    name, _, rest = spec.rpartition("=")
+    if not name:
+        name, rest = f"node{index}", spec
+    host, _, port_text = rest.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        port = -1
+    if not host or not 0 < port < 65536:
+        raise SystemExit(
+            f"error: bad node spec {spec!r} (want host:port or name=host:port)"
+        )
+    return NodeAddress(name=name, host=host, port=port)
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    """Run the routing tier in front of already-running serve nodes."""
+    import asyncio
+    import signal
+
+    from repro import obs as obs_runtime
+    from repro.router.placement import PlacementMap
+    from repro.router.router import CinderellaRouter, RouterConfig
+
+    nodes = [_parse_node_spec(spec, i) for i, spec in enumerate(args.nodes)]
+    placement = PlacementMap(
+        nodes,
+        n_shards=args.shards,
+        replication_factor=args.replication_factor,
+    )
+    config = RouterConfig(
+        host=args.host,
+        port=args.port,
+        name=args.name,
+        upstream_timeout_s=args.upstream_timeout,
+        failure_threshold=args.failure_threshold,
+    )
+
+    async def _route() -> int:
+        router = CinderellaRouter(placement, config=config)
+        host, port = await router.start()
+        print(f"repro router listening on {host}:{port} "
+              f"({len(nodes)} nodes, {placement.n_shards} shards, "
+              f"rf={placement.replication_factor})", flush=True)
+        loop = asyncio.get_running_loop()
+        stopping = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, stopping.set)
+        stopped = asyncio.ensure_future(router.serve_until_stopped())
+        interrupted = asyncio.ensure_future(stopping.wait())
+        await asyncio.wait(
+            (stopped, interrupted), return_when=asyncio.FIRST_COMPLETED
+        )
+        if not stopped.done():
+            print("draining...", file=sys.stderr)
+            await router.stop()
+            await stopped
+        interrupted.cancel()
+        counters = router.counters.as_dict()
+        print(f"routed {counters['requests_total']} requests "
+              f"({counters['writes_routed']} writes, "
+              f"{counters['queries_scattered']} scatters, "
+              f"{counters['failovers']} failovers, "
+              f"availability {counters['availability']:.4f})")
+        return 0
+
+    if args.obs:
+        obs_runtime.enable()
+    try:
+        return asyncio.run(_route())
     finally:
         if args.obs:
             obs_runtime.disable()
@@ -638,6 +723,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=7712,
                        help="listen port (0 picks a free one)")
+    serve.add_argument("--name", default="node",
+                       help="node name reported in stats and metrics")
+    serve.add_argument("--wal", metavar="PATH",
+                       help="write-ahead log path: fsync acknowledged "
+                            "writes and replay them on restart")
     serve.add_argument("--partition-size", type=float, default=500.0)
     serve.add_argument("--weight", type=float, default=0.3)
     serve.add_argument("--max-pending", type=int, default=256,
@@ -655,6 +745,27 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--obs", action="store_true",
                        help="enable the observability layer for the run")
 
+    route = commands.add_parser(
+        "route",
+        help="run the routing tier in front of running serve nodes",
+    )
+    route.add_argument("nodes", nargs="+", metavar="NODE",
+                       help="upstream node as host:port or name=host:port")
+    route.add_argument("--host", default="127.0.0.1")
+    route.add_argument("--port", type=int, default=7711,
+                       help="listen port (0 picks a free one)")
+    route.add_argument("--name", default="router")
+    route.add_argument("--shards", type=int, default=0,
+                       help="shard count (0: 4x the node count)")
+    route.add_argument("--replication-factor", type=int, default=2,
+                       help="replicas per shard (capped at node count)")
+    route.add_argument("--upstream-timeout", type=float, default=2.0,
+                       help="per-exchange upstream timeout in seconds")
+    route.add_argument("--failure-threshold", type=int, default=3,
+                       help="consecutive failures before ejecting a node")
+    route.add_argument("--obs", action="store_true",
+                       help="enable the observability layer for the run")
+
     return parser
 
 
@@ -669,6 +780,7 @@ _HANDLERS = {
     "verify-catalog": _cmd_verify_catalog,
     "obs": _cmd_obs,
     "serve": _cmd_serve,
+    "route": _cmd_route,
 }
 
 

@@ -22,6 +22,7 @@ from repro.obs.shims import (
     FAULT_TOLERANCE_METRICS,
     QUERY_PATH_METRICS,
     ROBUSTNESS_METRICS,
+    ROUTER_METRICS,
     SERVER_METRICS,
     RegistryMirrorMixin,
 )
@@ -243,6 +244,9 @@ class ServerCounters(RegistryMirrorMixin):
     partitions_merged: int = 0
     reorganizations: int = 0
     queue_high_watermark: int = 0
+    wal_writes_logged: int = 0
+    wal_records_replayed: int = 0
+    connections_force_closed: int = 0
 
     def shed_rate(self) -> float:
         """Shed modifications over all modification submissions."""
@@ -263,9 +267,74 @@ class ServerCounters(RegistryMirrorMixin):
                 "writes_shed_shutdown", "batches_flushed", "queries_served",
                 "sql_served", "maintenance_passes", "partitions_merged",
                 "reorganizations", "queue_high_watermark",
+                "wal_writes_logged", "wal_records_replayed",
+                "connections_force_closed",
             )
         }
         result["shed_rate"] = self.shed_rate()
+        return result
+
+
+@dataclass
+class RouterCounters(RegistryMirrorMixin):
+    """Counters of the routing tier (:mod:`repro.router`).
+
+    The reply triple is the partial-result contract made countable:
+    ``replies_complete`` (every needed shard answered),
+    ``replies_degraded`` (some shards missing — the response says which)
+    and ``replies_unavailable`` (no reachable replica for a needed
+    shard; retryable).  The health half counts the circuit breaker's
+    life: per-node ejections, probes, restores, and the catch-up writes
+    replayed to a node that came back.
+
+    While observability is enabled these counters additionally feed the
+    :mod:`repro.obs` registry as ``repro_router_*`` metrics (deferred;
+    see :class:`repro.obs.shims.RegistryMirrorMixin`).
+    """
+
+    _OBS_METRICS = ROUTER_METRICS
+
+    connections_opened: int = 0
+    connections_closed: int = 0
+    requests_total: int = 0
+    bad_requests: int = 0
+    writes_routed: int = 0
+    queries_scattered: int = 0
+    replies_complete: int = 0
+    replies_degraded: int = 0
+    replies_unavailable: int = 0
+    upstream_retries: int = 0
+    failovers: int = 0
+    node_ejections: int = 0
+    node_restores: int = 0
+    probes_sent: int = 0
+    catchup_replayed: int = 0
+    catchup_dropped: int = 0
+
+    def availability(self) -> float:
+        """Fraction of routed requests answered completely (1.0 when idle)."""
+        answered = (
+            self.replies_complete + self.replies_degraded
+            + self.replies_unavailable
+        )
+        if answered == 0:
+            return 1.0
+        return self.replies_complete / answered
+
+    def as_dict(self) -> dict[str, float]:
+        """All counters plus availability, for reports and CLIs."""
+        result = {
+            name: getattr(self, name)
+            for name in (
+                "connections_opened", "connections_closed", "requests_total",
+                "bad_requests", "writes_routed", "queries_scattered",
+                "replies_complete", "replies_degraded", "replies_unavailable",
+                "upstream_retries", "failovers", "node_ejections",
+                "node_restores", "probes_sent", "catchup_replayed",
+                "catchup_dropped",
+            )
+        }
+        result["availability"] = self.availability()
         return result
 
 

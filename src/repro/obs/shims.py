@@ -94,6 +94,31 @@ SERVER_METRICS: dict[str, tuple[str, str]] = {
     "partitions_merged": ("repro_server_partitions_merged_total", COUNTER),
     "reorganizations": ("repro_server_reorganizations_total", COUNTER),
     "queue_high_watermark": ("repro_server_queue_high_watermark", GAUGE),
+    "wal_writes_logged": ("repro_server_wal_writes_logged_total", COUNTER),
+    "wal_records_replayed": (
+        "repro_server_wal_records_replayed_total", COUNTER),
+    "connections_force_closed": (
+        "repro_server_connections_force_closed_total", COUNTER),
+}
+
+#: RouterCounters field -> (metric name, kind)
+ROUTER_METRICS: dict[str, tuple[str, str]] = {
+    "connections_opened": ("repro_router_connections_opened_total", COUNTER),
+    "connections_closed": ("repro_router_connections_closed_total", COUNTER),
+    "requests_total": ("repro_router_requests_total", COUNTER),
+    "bad_requests": ("repro_router_bad_requests_total", COUNTER),
+    "writes_routed": ("repro_router_writes_routed_total", COUNTER),
+    "queries_scattered": ("repro_router_queries_scattered_total", COUNTER),
+    "replies_complete": ("repro_router_replies_complete_total", COUNTER),
+    "replies_degraded": ("repro_router_replies_degraded_total", COUNTER),
+    "replies_unavailable": ("repro_router_replies_unavailable_total", COUNTER),
+    "upstream_retries": ("repro_router_upstream_retries_total", COUNTER),
+    "failovers": ("repro_router_failovers_total", COUNTER),
+    "node_ejections": ("repro_router_node_ejections_total", COUNTER),
+    "node_restores": ("repro_router_node_restores_total", COUNTER),
+    "probes_sent": ("repro_router_probes_sent_total", COUNTER),
+    "catchup_replayed": ("repro_router_catchup_replayed_total", COUNTER),
+    "catchup_dropped": ("repro_router_catchup_dropped_total", COUNTER),
 }
 
 #: RobustnessCounters field -> (metric name, kind)
@@ -198,6 +223,43 @@ METRIC_HELP: dict[str, str] = {
         "Catalog reorganizations performed by maintenance",
     "repro_server_queue_high_watermark":
         "Deepest server write queue observed",
+    "repro_server_wal_writes_logged_total":
+        "Acknowledged writes journaled to the node WAL",
+    "repro_server_wal_records_replayed_total":
+        "Node WAL records replayed on restart",
+    "repro_server_connections_force_closed_total":
+        "Connections aborted at the drain deadline",
+    "repro_router_connections_opened_total":
+        "Client connections accepted by the router",
+    "repro_router_connections_closed_total":
+        "Router client connections closed",
+    "repro_router_requests_total": "Requests handled by the router",
+    "repro_router_bad_requests_total":
+        "Frames the router refused as malformed",
+    "repro_router_writes_routed_total":
+        "Writes routed to their owning shard",
+    "repro_router_queries_scattered_total":
+        "Queries fanned out across shards",
+    "repro_router_replies_complete_total":
+        "Router replies with every shard answering",
+    "repro_router_replies_degraded_total":
+        "Router replies missing at least one shard",
+    "repro_router_replies_unavailable_total":
+        "Router replies refused: no reachable replica",
+    "repro_router_upstream_retries_total":
+        "Retried upstream attempts (same node)",
+    "repro_router_failovers_total":
+        "Requests served by a non-primary replica",
+    "repro_router_node_ejections_total":
+        "Circuit-breaker ejections of upstream nodes",
+    "repro_router_node_restores_total":
+        "Upstream nodes restored after a successful probe",
+    "repro_router_probes_sent_total":
+        "Probe requests sent to ejected nodes",
+    "repro_router_catchup_replayed_total":
+        "Buffered writes replayed to a restored node",
+    "repro_router_catchup_dropped_total":
+        "Buffered catch-up writes dropped (bounded buffer overflow)",
 }
 
 

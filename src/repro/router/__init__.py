@@ -1,0 +1,54 @@
+"""The routing tier: partition-aware serving over a cluster of nodes.
+
+This package marries the two halves the roadmap kept separate — the
+asyncio serving layer (:mod:`repro.server`) and the fault-tolerant
+replicated cluster model (:mod:`repro.distributed`) — into one
+network-facing system:
+
+* :mod:`repro.router.placement` — the deterministic shard → replica-set
+  mapping (``shard_of(eid) = eid % n_shards``, rotated replicas);
+* :mod:`repro.router.health` — the per-node circuit breaker
+  (healthy → suspect → ejected → probing) with jittered, exponentially
+  growing ejection windows;
+* :mod:`repro.router.pool` — pooled upstream connections where *every*
+  failure mode (refused, timeout, EOF, garbage) collapses into one
+  typed :class:`~repro.router.pool.UpstreamError`;
+* :mod:`repro.router.router` — :class:`CinderellaRouter` itself:
+  partition-aware write fan-out with catch-up buffering, scatter-gather
+  reads with per-shard replica failover, and the explicit
+  complete / ``degraded`` / ``node_unavailable`` partial-result
+  contract on the wire;
+* :mod:`repro.router.testing` — :class:`ClusterHarness`, the
+  nodes-plus-router topology with ``kill_node`` / ``restart_node``
+  chaos verbs.
+
+Start one with ``python -m repro route``; see
+``docs/DISTRIBUTED_SERVING.md``.
+"""
+
+from repro.router.health import EJECTED, HEALTHY, PROBING, SUSPECT, NodeHealth
+from repro.router.placement import (
+    ROUTER_EID_BASE,
+    NodeAddress,
+    PlacementMap,
+)
+from repro.router.pool import NodePool, UpstreamError
+from repro.router.router import CinderellaRouter, RouterConfig
+from repro.router.testing import ClusterHarness, RouterThread
+
+__all__ = [
+    "CinderellaRouter",
+    "ClusterHarness",
+    "EJECTED",
+    "HEALTHY",
+    "NodeAddress",
+    "NodeHealth",
+    "NodePool",
+    "PROBING",
+    "PlacementMap",
+    "ROUTER_EID_BASE",
+    "RouterConfig",
+    "RouterThread",
+    "SUSPECT",
+    "UpstreamError",
+]

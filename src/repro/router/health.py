@@ -1,0 +1,152 @@
+"""Per-node health tracking: the router's circuit breaker.
+
+One :class:`NodeHealth` per upstream node, driven purely by the
+router's own observations (``record_success`` / ``record_failure``) —
+there is no out-of-band health checker, the traffic *is* the probe.
+The state machine:
+
+::
+
+    HEALTHY ──failure──▶ SUSPECT ──more failures──▶ EJECTED
+       ▲                    │                          │ window expires
+       │◀──────success──────┘                          ▼
+       └───────────success────────────────────────  PROBING
+                                                       │ failure
+                                                       └──▶ EJECTED (longer)
+
+* ``SUSPECT`` — recent failures, still routable; one success clears it.
+* ``EJECTED`` — ``failure_threshold`` consecutive failures tripped the
+  breaker: the node is skipped for a jittered, exponentially growing
+  window (``eject_base_s · 2^(ejections−1)``, capped at
+  ``eject_max_s``, scaled by a uniform factor in ``[0.5, 1.0)`` so a
+  cluster of routers does not re-probe a recovering node in lockstep).
+* ``PROBING`` — the window expired; the next request is allowed through
+  as the probe.  Success restores the node (and lets the router replay
+  its catch-up buffer); failure re-ejects with a longer window.
+
+State transitions are emitted as ``router.node_health`` events so the
+chaos suite can assert the breaker actually tripped and recovered.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Optional
+
+from repro.obs import runtime as obs
+
+HEALTHY = "healthy"
+SUSPECT = "suspect"
+EJECTED = "ejected"
+PROBING = "probing"
+
+
+class NodeHealth:
+    """Breaker state for one upstream node (see module docstring)."""
+
+    def __init__(
+        self,
+        name: str,
+        failure_threshold: int = 3,
+        eject_base_s: float = 0.2,
+        eject_max_s: float = 5.0,
+        rng: Optional[random.Random] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.eject_base_s = eject_base_s
+        self.eject_max_s = eject_max_s
+        self._rng = rng if rng is not None else random.Random()
+        self._clock = clock
+        self.state = HEALTHY
+        self.consecutive_failures = 0
+        self.successes = 0
+        self.failures = 0
+        self.ejections = 0
+        self.eject_until = 0.0
+
+    # ------------------------------------------------------------------
+    # observations
+    # ------------------------------------------------------------------
+    def record_success(self) -> bool:
+        """Note one successful exchange; returns True when this success
+        *restored* an ejected/probing node (the router replays the
+        node's catch-up buffer exactly then)."""
+        self.successes += 1
+        self.consecutive_failures = 0
+        previous = self.state
+        if previous != HEALTHY:
+            self._transition(HEALTHY)
+        return previous in (EJECTED, PROBING)
+
+    def record_failure(self) -> bool:
+        """Note one failed exchange; returns True when this failure
+        tripped (or re-tripped) the breaker."""
+        self.failures += 1
+        self.consecutive_failures += 1
+        if self.state == PROBING:
+            # the probe itself failed: straight back out, longer window
+            self._eject()
+            return True
+        if self.state == EJECTED:
+            return False  # already out; nothing new to trip
+        if self.consecutive_failures >= self.failure_threshold:
+            self._eject()
+            return True
+        if self.state == HEALTHY:
+            self._transition(SUSPECT)
+        return False
+
+    def available(self) -> bool:
+        """May the router send this node a request right now?
+
+        An ejected node whose window has expired flips to ``PROBING``
+        and becomes available — the next request through is the probe.
+        """
+        if self.state in (HEALTHY, SUSPECT, PROBING):
+            return True
+        if self._clock() >= self.eject_until:
+            self._transition(PROBING)
+            return True
+        return False
+
+    @property
+    def probing(self) -> bool:
+        return self.state == PROBING
+
+    # ------------------------------------------------------------------
+    # mechanics
+    # ------------------------------------------------------------------
+    def _eject(self) -> None:
+        self.ejections += 1
+        window = min(
+            self.eject_max_s,
+            self.eject_base_s * (2 ** (self.ejections - 1)),
+        )
+        window *= 0.5 + self._rng.random() * 0.5
+        self.eject_until = self._clock() + window
+        self._transition(EJECTED, window_s=round(window, 4))
+
+    def _transition(self, to_state: str, **detail: float) -> None:
+        from_state, self.state = self.state, to_state
+        obs.event(
+            "router.node_health", node=self.name,
+            from_state=from_state, to_state=to_state,
+            consecutive_failures=self.consecutive_failures, **detail,
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "successes": self.successes,
+            "failures": self.failures,
+            "ejections": self.ejections,
+        }

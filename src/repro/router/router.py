@@ -1,0 +1,753 @@
+"""The routing tier: one TCP front door over a cluster of serving nodes.
+
+:class:`CinderellaRouter` speaks the *same* line-delimited JSON
+protocol as :class:`~repro.server.server.CinderellaServer` — a client
+cannot tell (and should not care) whether it is talking to one node or
+a routed cluster.  What the router adds:
+
+* **partition-aware writes** — ``insert``/``update``/``delete`` are
+  routed to the replica set of the owning shard
+  (:class:`~repro.router.placement.PlacementMap`) and fanned out to
+  every reachable replica; the write is acknowledged as soon as one
+  replica acked it, and replicas that missed it are caught up from a
+  bounded buffer when they return;
+* **scatter-gather reads** — ``query``/``sql`` fan out to one replica
+  per shard (with on-the-wire failover to the next replica when one
+  does not answer) and merge the shards' rows.  The partial-result
+  contract is explicit: every shard answered → ``ok``; some shards had
+  no reachable replica → ``degraded`` with the gathered rows *plus*
+  ``unreachable_shards``; no shard reachable → ``node_unavailable``
+  (retryable).  This is the ``repro.distributed`` failover vocabulary
+  (degraded results, unreachable partitions) spoken on the wire;
+* **health tracking** — a per-node circuit breaker
+  (:class:`~repro.router.health.NodeHealth`) with jittered
+  timeout/retry/backoff, ejection windows, and probe-on-expiry, so a
+  dead node costs each request at most one fast failure instead of a
+  timeout per exchange.
+
+Two deliberate limitations, documented rather than hidden: SQL
+scatter-gather concatenates per-shard result rows, so cross-shard
+aggregates and ``ORDER BY`` are per-shard, not global; and write
+fan-out is asynchronous replication — a replica that missed a write
+serves slightly stale reads until its catch-up replay lands.
+
+Spans and the event loop: the tracer's span stack is per *thread*, so
+holding a span across an ``await`` inside concurrent tasks would
+mis-parent everything.  As in :mod:`repro.server.server`, latency goes
+straight into histograms and spans only wrap synchronous regions (the
+gather merge).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.metrics.telemetry import RouterCounters
+from repro.obs import runtime as obs
+from repro.router.health import NodeHealth
+from repro.router.placement import ROUTER_EID_BASE, NodeAddress, PlacementMap
+from repro.router.pool import NodePool, UpstreamError
+from repro.server import protocol
+from repro.server.protocol import ProtocolError, Request, Response
+from repro.server.server import Session
+
+_REQUEST_SECONDS = "repro_router_request_seconds"
+_REQUESTS_BY_OP = "repro_router_requests_by_op_total"
+
+#: refusal codes that mean "the write actually landed, the ack was
+#: lost" when they follow a transport failure on the same exchange
+_DEDUP_CODES = {"insert": "duplicate_entity", "delete": "unknown_entity"}
+
+
+@dataclass
+class RouterConfig:
+    """Tunables of one router instance."""
+
+    host: str = "127.0.0.1"
+    #: 0 binds an ephemeral port (tests, benchmarks)
+    port: int = 0
+    name: str = "router"
+    #: per-exchange upstream timeout (connect, send, and read each)
+    upstream_timeout_s: float = 2.0
+    #: attempts per node before failing over to the next replica
+    upstream_attempts: int = 2
+    #: jittered exponential backoff between same-node attempts
+    retry_base_s: float = 0.01
+    retry_max_s: float = 0.1
+    #: consecutive failures that trip a node's circuit breaker
+    failure_threshold: int = 3
+    #: ejection window growth: base · 2^(ejections−1), capped
+    eject_base_s: float = 0.2
+    eject_max_s: float = 5.0
+    #: buffered writes kept per unreachable node for catch-up replay
+    catchup_limit: int = 512
+    #: idle upstream connections kept warm per node
+    pool_max_idle: int = 2
+    #: graceful-drain bound (same contract as the serving nodes)
+    drain_deadline_s: float = 5.0
+
+
+class _Refused(Exception):
+    """A request the router answers with a non-ok status (no traceback)."""
+
+    def __init__(self, status: str, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
+
+class CinderellaRouter:
+    """A placement-driven proxy over serving nodes (see module docs)."""
+
+    def __init__(
+        self,
+        placement: PlacementMap,
+        config: Optional[RouterConfig] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.placement = placement
+        self.config = config if config is not None else RouterConfig()
+        self.counters = RouterCounters()
+        self._rng = rng if rng is not None else random.Random()
+        self.health: dict[str, NodeHealth] = {
+            node.name: NodeHealth(
+                node.name,
+                failure_threshold=self.config.failure_threshold,
+                eject_base_s=self.config.eject_base_s,
+                eject_max_s=self.config.eject_max_s,
+                rng=self._rng,
+            )
+            for node in placement.nodes
+        }
+        self.pools: dict[str, NodePool] = {
+            node.name: NodePool(
+                node,
+                timeout_s=self.config.upstream_timeout_s,
+                max_idle=self.config.pool_max_idle,
+            )
+            for node in placement.nodes
+        }
+        self._catchup: dict[str, deque[tuple[str, dict[str, Any]]]] = {
+            node.name: deque() for node in placement.nodes
+        }
+        #: per-node replay serialization: concurrent successful
+        #: exchanges must not interleave drains of the same deque, and
+        #: an exchange that *waited* behind a replay needs to know one
+        #: happened (its response predates the replayed writes)
+        self._catchup_locks: dict[str, asyncio.Lock] = {
+            node.name: asyncio.Lock() for node in placement.nodes
+        }
+        self._next_eid = ROUTER_EID_BASE
+        self.sessions: dict[int, Session] = {}
+        self._next_sid = 1
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._writers: dict[int, asyncio.StreamWriter] = {}
+        self._stop_task: Optional[asyncio.Task] = None
+        self._draining = False
+        self._stopped = asyncio.Event()
+        self._started_monotonic = 0.0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._server is None:
+            raise RuntimeError("router not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def start(self) -> tuple[str, int]:
+        if self._server is not None:
+            raise RuntimeError("router already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=protocol.MAX_LINE_BYTES,
+        )
+        self._started_monotonic = time.monotonic()
+        host, port = self.address
+        obs.event(
+            "router.started", host=host, port=port,
+            nodes=len(self.placement.nodes),
+            n_shards=self.placement.n_shards,
+        )
+        return host, port
+
+    async def serve_until_stopped(self) -> None:
+        await self._stopped.wait()
+
+    async def stop(self) -> None:
+        """Bounded graceful drain, mirroring the serving node's contract:
+        in-flight requests get until ``drain_deadline_s``, stragglers are
+        force-closed with a typed ``shutting_down`` frame."""
+        if self._server is None:
+            self._stopped.set()
+            return
+        if self._draining:
+            await self._stopped.wait()
+            return
+        self._draining = True
+        deadline = time.monotonic() + self.config.drain_deadline_s
+        forced = False
+        self._server.close()
+        await self._server.wait_closed()
+        for session in self.sessions.values():
+            session.closing = True
+        await asyncio.sleep(0)
+        for writer in list(self._writers.values()):
+            writer.close()
+        if self._conn_tasks:
+            _done, survivors = await asyncio.wait(
+                list(self._conn_tasks),
+                timeout=max(0.05, deadline - time.monotonic()),
+            )
+            if survivors:
+                forced = True
+                for sid, writer in list(self._writers.items()):
+                    try:
+                        writer.write(protocol.encode_response(
+                            0, protocol.SHUTTING_DOWN,
+                            error=protocol.error_body(
+                                "drain_deadline",
+                                "connection force-closed at the drain deadline",
+                            ),
+                        ))
+                    except Exception:
+                        pass  # transport already dying
+                    transport = writer.transport
+                    if transport is not None:
+                        transport.abort()
+                for task in list(self._conn_tasks):
+                    task.cancel()
+                await asyncio.wait(list(survivors), timeout=1.0)
+        for pool in self.pools.values():
+            pool.close()
+        obs.event("router.stopped", name=self.config.name, forced=forced)
+        self._stopped.set()
+
+    # ------------------------------------------------------------------
+    # connection handling (same loop shape as the serving node)
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peername = writer.get_extra_info("peername")
+        peer = f"{peername[0]}:{peername[1]}" if peername else "?"
+        session = Session(
+            sid=self._next_sid, peer=peer, opened_monotonic=time.monotonic()
+        )
+        self._next_sid += 1
+        self.sessions[session.sid] = session
+        self._writers[session.sid] = writer
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        self.counters.connections_opened += 1
+        obs.event("router.connect", sid=session.sid, peer=peer)
+        try:
+            while not session.closing:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    self.counters.bad_requests += 1
+                    writer.write(protocol.encode_response(
+                        0, protocol.BAD_REQUEST,
+                        error=protocol.error_body(
+                            "frame_too_long",
+                            f"frame exceeds {protocol.MAX_LINE_BYTES} bytes",
+                        ),
+                    ))
+                    await writer.drain()
+                    break
+                if not line:
+                    break  # EOF
+                if not line.strip():
+                    continue
+                payload = await self._dispatch(line.strip(), session)
+                writer.write(payload)
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client vanished mid-response
+        except asyncio.CancelledError:
+            pass  # force-close cancelled us: end the task quietly
+        finally:
+            self.sessions.pop(session.sid, None)
+            self._writers.pop(session.sid, None)
+            if task is not None:
+                self._conn_tasks.discard(task)
+            self.counters.connections_closed += 1
+            obs.event(
+                "router.disconnect", sid=session.sid,
+                requests=session.requests,
+            )
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, line: bytes, session: Session) -> bytes:
+        """Decode, route, and encode one request; never raises."""
+        try:
+            request = protocol.decode_request(line)
+        except ProtocolError as err:
+            self.counters.bad_requests += 1
+            session.observe("?", ok=False)
+            return protocol.encode_response(
+                0, protocol.BAD_REQUEST,
+                error=protocol.error_body("protocol", str(err)),
+            )
+        self.counters.requests_total += 1
+        started = time.perf_counter()
+        try:
+            status, fields, error = await self._route(request, session)
+        except _Refused as refusal:
+            status = refusal.status
+            fields = {}
+            error = protocol.error_body(refusal.code, str(refusal))
+        except Exception as err:  # a routing bug must not kill the loop
+            status = protocol.ERROR
+            fields = {}
+            error = protocol.error_body(
+                "internal", f"{type(err).__name__}: {err}"
+            )
+        obs.observe(
+            _REQUEST_SECONDS, time.perf_counter() - started,
+            "Router request latency (fan-out included)",
+        )
+        obs.inc(
+            _REQUESTS_BY_OP,
+            help_text="Router requests by op and status",
+            op=request.op, status=status,
+        )
+        ok = status in protocol.SUCCESS_STATUSES
+        session.observe(request.op, ok=ok)
+        return protocol.encode_response(
+            request.id, status, error=error, **fields
+        )
+
+    async def _route(
+        self, request: Request, session: Session
+    ) -> tuple[str, dict[str, Any], Optional[dict[str, Any]]]:
+        op = request.op
+        if self._draining and op not in ("ping", "stats"):
+            raise _Refused(
+                protocol.SHUTTING_DOWN, "draining",
+                "router is draining; no new work",
+            )
+        if op == "ping":
+            return protocol.OK, {
+                "payload": request.get("payload"), "router": self.config.name,
+            }, None
+        if op in ("insert", "update", "delete"):
+            return await self._route_write(request)
+        if op in ("query", "sql"):
+            return await self._scatter(request)
+        if op == "stats":
+            return protocol.OK, self._stats_snapshot(), None
+        if op == "maintain":
+            return await self._fanout_maintain()
+        if op == "shutdown":
+            session.closing = True
+            self._stop_task = asyncio.get_running_loop().create_task(self.stop())
+            return protocol.OK, {"draining": True}, None
+        raise _Refused(  # unreachable: decode_request validates ops
+            protocol.BAD_REQUEST, "unknown_op", f"unhandled op {op!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # one upstream node: retry loop + breaker + dedup
+    # ------------------------------------------------------------------
+    async def _node_exchange(
+        self, node: NodeAddress, op: str, fields: dict[str, Any]
+    ) -> Response:
+        """Exchange with one node: bounded same-node retries with
+        jittered backoff, breaker bookkeeping, and lost-ack dedup.
+
+        Raises :class:`UpstreamError` when every attempt transport-failed.
+        """
+        health = self.health[node.name]
+        pool = self.pools[node.name]
+        if health.probing:
+            self.counters.probes_sent += 1
+        saw_transport_failure = False
+        last_error: Optional[UpstreamError] = None
+        for attempt in range(1, self.config.upstream_attempts + 1):
+            try:
+                response = await pool.request(op, **fields)
+            except UpstreamError as err:
+                saw_transport_failure = True
+                last_error = err
+                if health.record_failure():
+                    self.counters.node_ejections += 1
+                if attempt < self.config.upstream_attempts:
+                    self.counters.upstream_retries += 1
+                    delay = min(
+                        self.config.retry_max_s,
+                        self.config.retry_base_s * (2 ** (attempt - 1)),
+                    )
+                    await asyncio.sleep(delay * (0.5 + self._rng.random() * 0.5))
+                continue
+            if health.record_success():
+                self.counters.node_restores += 1
+            # any successful exchange drains the node's catch-up buffer
+            # — a replica can miss writes without ever being ejected (a
+            # transport blip on one fan-out), so replay cannot be tied
+            # to breaker restores alone; stale_risk also covers a replay
+            # another task had in flight while our response was being
+            # computed (we wait on its lock below)
+            stale_risk = (
+                bool(self._catchup[node.name])
+                or self._catchup_locks[node.name].locked()
+            )
+            replayed = await self._replay_catchup(node.name)
+            if (replayed or stale_risk) and (
+                op in ("query", "sql") or not response.ok
+            ):
+                # this response was computed before the catch-up landed,
+                # so it can be stale in either direction: a read missing
+                # the buffered writes, or a refusal (unknown_entity on a
+                # delete whose insert was still buffered) contradicting
+                # the cluster-wide truth.  Re-issue now that the node is
+                # caught up.  On a re-failure a read falls back to its
+                # pre-catch-up rows (usable, merely stale), but a stale
+                # refusal must not stand — fail over instead.
+                try:
+                    response = await pool.request(op, **fields)
+                except UpstreamError:
+                    if not response.ok:
+                        raise
+
+            if (
+                saw_transport_failure
+                and response.error is not None
+                and response.error.get("code") == _DEDUP_CODES.get(op)
+            ):
+                # the attempt that "failed" actually applied before its
+                # ack was lost; the retransmit's refusal proves it —
+                # surface the idempotent success, not the duplicate error
+                return Response(
+                    id=response.id, status=protocol.APPLIED,
+                    fields={"eid": fields.get("eid"), "deduplicated": True},
+                )
+            return response
+        assert last_error is not None
+        raise last_error
+
+    def _buffer_catchup(
+        self, node_name: str, op: str, fields: dict[str, Any]
+    ) -> None:
+        """Remember a write a replica missed, within the bounded budget."""
+        buffer = self._catchup[node_name]
+        if len(buffer) >= self.config.catchup_limit:
+            buffer.popleft()
+            self.counters.catchup_dropped += 1
+            obs.event("router.catchup_overflow", node=node_name)
+        buffer.append((op, dict(fields)))
+
+    async def _replay_catchup(self, node_name: str) -> int:
+        """Flush the buffered writes of a node that just came back;
+        returns how many were replayed."""
+        buffer = self._catchup[node_name]
+        lock = self._catchup_locks[node_name]
+        if not buffer and not lock.locked():
+            return 0
+        pool = self.pools[node_name]
+        replayed = 0
+        # serialize per node: interleaved drains would reorder the
+        # buffered writes, and a waiter must not return before an
+        # in-flight replay has finished (its caller re-reads after us)
+        async with lock:
+            while buffer:
+                op, fields = buffer[0]
+                try:
+                    response = await pool.request(op, **fields)
+                except UpstreamError:
+                    # gone again mid-replay: keep the rest buffered; the
+                    # next successful exchange brings us back here
+                    self.health[node_name].record_failure()
+                    break
+                if response.retryable:
+                    # the node shed the replayed write (overloaded):
+                    # dropping it here would silently lose the replica's
+                    # copy — keep it buffered and come back later
+                    break
+                # applied, or a logical verdict (duplicate_entity when
+                # the node already had it): this record is settled
+                buffer.popleft()
+                replayed += 1
+        self.counters.catchup_replayed += replayed
+        if replayed:
+            obs.event(
+                "router.catchup_replayed", node=node_name,
+                records=replayed, remaining=len(buffer),
+            )
+        return replayed
+
+    # ------------------------------------------------------------------
+    # writes: partition-aware fan-out to the owning shard's replicas
+    # ------------------------------------------------------------------
+    async def _route_write(
+        self, request: Request
+    ) -> tuple[str, dict[str, Any], Optional[dict[str, Any]]]:
+        op = request.op
+        eid = request.get("eid")
+        if op == "insert" and eid is None:
+            eid = self._next_eid
+            self._next_eid += 1
+        if isinstance(eid, bool) or not isinstance(eid, int) or eid < 0:
+            raise _Refused(
+                protocol.REJECTED, "invalid_entity_id",
+                f"entity id must be a non-negative integer, got {eid!r}",
+            )
+        shard = self.placement.shard_of(eid)
+        replicas = self.placement.replicas(shard)
+        fields = dict(request.fields)
+        fields["eid"] = eid
+        self.counters.writes_routed += 1
+        candidates = [
+            node for node in replicas if self.health[node.name].available()
+        ]
+        if not candidates:
+            # last gasp: the breaker has every replica out, but refusing
+            # outright would turn fast connect-refused failures into
+            # guaranteed downtime — force one attempt at the primary,
+            # which doubles as the probe
+            candidates = [replicas[0]]
+            self.counters.probes_sent += 1
+        outcomes = await asyncio.gather(
+            *(self._node_exchange(node, op, fields) for node in candidates),
+            return_exceptions=True,
+        )
+        acked: list[tuple[NodeAddress, Response]] = []
+        refused: list[tuple[NodeAddress, Response]] = []
+        missed = [node for node in replicas if node not in candidates]
+        for node, outcome in zip(candidates, outcomes):
+            if isinstance(outcome, UpstreamError):
+                missed.append(node)
+            elif isinstance(outcome, BaseException):
+                raise outcome
+            elif outcome.ok:
+                acked.append((node, outcome))
+            else:
+                refused.append((node, outcome))
+        if acked:
+            for node in missed:
+                self._buffer_catchup(node.name, op, fields)
+            node, response = acked[0]
+            merged = dict(response.fields)
+            merged.update(
+                shard=shard,
+                replicas_acked=len(acked),
+                replicas_missed=len(missed),
+            )
+            if len(acked) > 1:
+                # per-replica partition ids differ (each node partitions
+                # its slice independently); report the primary's view
+                merged.pop("partition", None)
+            self.counters.replies_complete += 1
+            if node is not replicas[0]:
+                self.counters.failovers += 1
+            return protocol.APPLIED, merged, None
+        if refused:
+            if any(self._catchup[node.name] for node in replicas):
+                # a refusal only speaks for the shard when every replica
+                # is caught up: with writes still buffered, the verdict
+                # may contradict the cluster-wide truth (unknown_entity
+                # for an entity whose insert is sitting in the buffer).
+                # Answer retryable — by the retry, the buffer has drained
+                self.counters.replies_unavailable += 1
+                return protocol.NODE_UNAVAILABLE, {
+                    "shard": shard,
+                }, protocol.error_body(
+                    "replica_catching_up",
+                    f"shard {shard} has replicas catching up; "
+                    f"back off and retry",
+                )
+            # a logical verdict from a live replica (rejected, overloaded,
+            # shutting_down): propagate it untouched — replicas apply
+            # deterministically, so any one verdict speaks for the shard
+            _node, response = refused[0]
+            return response.status, dict(response.fields), response.error
+        self.counters.replies_unavailable += 1
+        obs.event("router.write_unroutable", shard=shard, op=op)
+        return protocol.NODE_UNAVAILABLE, {"shard": shard}, protocol.error_body(
+            "no_reachable_replica",
+            f"no replica of shard {shard} is reachable; back off and retry",
+        )
+
+    # ------------------------------------------------------------------
+    # reads: scatter-gather with per-shard replica failover
+    # ------------------------------------------------------------------
+    async def _scatter(
+        self, request: Request
+    ) -> tuple[str, dict[str, Any], Optional[dict[str, Any]]]:
+        """Shard-scoped scatter-gather with per-shard replica failover.
+
+        Every shard is assigned to its first available replica, shards
+        sharing a node are grouped into *one* upstream request carrying
+        a ``shard_filter`` (the node answers for exactly those shards —
+        with replication, an unscoped read would double-count rows held
+        as secondary copies).  Shards whose node failed are reassigned
+        to their next replica in the following round; a shard that runs
+        out of replicas is reported in ``unreachable_shards``.
+        """
+        self.counters.queries_scattered += 1
+        base_fields = dict(request.fields)
+        base_fields.pop("shard_filter", None)  # router-owned field
+        n_shards = self.placement.n_shards
+        remaining: set[int] = set(self.placement.shards)
+        tried: dict[int, set[str]] = {shard: set() for shard in remaining}
+        gathered: list[Response] = []
+        failed_over: set[int] = set()
+        refusal: Optional[Response] = None
+        while remaining and refusal is None:
+            assignment: dict[NodeAddress, list[int]] = {}
+            for shard in sorted(remaining):
+                replicas = self.placement.replicas(shard)
+                untried = [
+                    node for node in replicas if node.name not in tried[shard]
+                ]
+                if not untried:
+                    continue  # out of replicas: stays unreachable
+                available = [
+                    node for node in untried
+                    if self.health[node.name].available()
+                ]
+                # last gasp when the breaker has every replica out: one
+                # forced attempt beats guaranteed downtime, and a dead
+                # port fails fast anyway
+                node = available[0] if available else untried[0]
+                tried[shard].add(node.name)
+                if node is not replicas[0]:
+                    failed_over.add(shard)
+                assignment.setdefault(node, []).append(shard)
+            if not assignment:
+                break
+            outcomes = await asyncio.gather(
+                *(
+                    self._node_exchange(node, request.op, {
+                        **base_fields,
+                        "shard_filter": {
+                            "n_shards": n_shards, "shards": shards,
+                        },
+                    })
+                    for node, shards in assignment.items()
+                ),
+                return_exceptions=True,
+            )
+            for (node, shards), outcome in zip(assignment.items(), outcomes):
+                if isinstance(outcome, UpstreamError):
+                    continue  # shards stay in remaining; next round
+                if isinstance(outcome, BaseException):
+                    raise outcome
+                if not outcome.ok:
+                    # a logical refusal (bad_query, sql_syntax): the
+                    # request itself is wrong, every shard would refuse
+                    # identically — propagate instead of half-merging
+                    refusal = outcome
+                    break
+                gathered.append(outcome)
+                remaining.difference_update(shards)
+        if refusal is not None:
+            return refusal.status, dict(refusal.fields), refusal.error
+        self.counters.failovers += len(failed_over - remaining)
+        with obs.span(
+            "router.gather_merge", op=request.op, shards=n_shards,
+            unreachable=len(remaining),
+        ):
+            return self._merge_scatter(request.op, gathered, sorted(remaining))
+
+    def _merge_scatter(
+        self,
+        op: str,
+        gathered: list[Response],
+        unreachable: list[int],
+    ) -> tuple[str, dict[str, Any], Optional[dict[str, Any]]]:
+        rows: list[Any] = []
+        stats_sum: dict[str, int] = {}
+        pruned_partitions = 0
+        for response in gathered:
+            rows.extend(response.get("rows", []))
+            pruned_partitions += response.get("pruned_partitions", 0)
+            for key, value in (response.get("stats") or {}).items():
+                if isinstance(value, (int, float)):
+                    stats_sum[key] = stats_sum.get(key, 0) + value
+        merged: dict[str, Any] = {"rows": rows, "row_count": len(rows)}
+        if op == "query":
+            merged["stats"] = stats_sum
+        else:
+            merged["pruned_partitions"] = pruned_partitions
+        merged["shards_total"] = self.placement.n_shards
+        merged["shards_answered"] = self.placement.n_shards - len(unreachable)
+        if not unreachable:
+            self.counters.replies_complete += 1
+            return protocol.OK, merged, None
+        if len(unreachable) == self.placement.n_shards:
+            self.counters.replies_unavailable += 1
+            obs.event("router.scatter_unroutable", op=op)
+            return protocol.NODE_UNAVAILABLE, {
+                "shards_total": self.placement.n_shards,
+                "shards_answered": 0,
+            }, protocol.error_body(
+                "no_reachable_replica",
+                "no shard had a reachable replica; back off and retry",
+            )
+        # the partial-result contract: the rows we *did* gather, plus an
+        # explicit account of what is missing
+        merged["unreachable_shards"] = unreachable
+        self.counters.replies_degraded += 1
+        obs.event(
+            "router.scatter_degraded", op=op, unreachable_shards=unreachable,
+        )
+        return protocol.DEGRADED, merged, protocol.error_body(
+            "partial_result",
+            f"{len(unreachable)} of {self.placement.n_shards} shards had no "
+            f"reachable replica; rows are incomplete",
+        )
+
+    # ------------------------------------------------------------------
+    # admin ops
+    # ------------------------------------------------------------------
+    async def _fanout_maintain(
+        self,
+    ) -> tuple[str, dict[str, Any], Optional[dict[str, Any]]]:
+        async def one(node: NodeAddress) -> tuple[str, dict[str, Any]]:
+            try:
+                response = await self._node_exchange(node, "maintain", {})
+            except UpstreamError as err:
+                return node.name, {"error": str(err)}
+            return node.name, dict(response.fields)
+
+        outcomes = await asyncio.gather(
+            *(one(node) for node in self.placement.nodes)
+        )
+        return protocol.OK, {"nodes": dict(outcomes)}, None
+
+    def _stats_snapshot(self) -> dict[str, Any]:
+        return {
+            "router": self.config.name,
+            "uptime_s": round(time.monotonic() - self._started_monotonic, 3),
+            "draining": self._draining,
+            "placement": self.placement.as_dict(),
+            "health": {
+                name: health.as_dict() for name, health in self.health.items()
+            },
+            "pools": {
+                name: pool.as_dict() for name, pool in self.pools.items()
+            },
+            "catchup_buffered": {
+                name: len(buffer) for name, buffer in self._catchup.items()
+            },
+            "sessions": [s.as_dict() for s in self.sessions.values()],
+            "counters": self.counters.as_dict(),
+        }

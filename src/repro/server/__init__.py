@@ -26,7 +26,11 @@ Start one with ``python -m repro serve``; see ``docs/SERVER.md``.
 from repro.server.client import ServerClient, ServerError
 from repro.server.locks import AsyncReadWriteLock
 from repro.server.protocol import (
+    DEGRADED,
     MAX_LINE_BYTES,
+    NODE_UNAVAILABLE,
+    PARTIAL_STATUSES,
+    RETRYABLE_STATUSES,
     ProtocolError,
     Request,
     Response,
@@ -41,8 +45,12 @@ from repro.server.testing import ServerThread
 __all__ = [
     "AsyncReadWriteLock",
     "CinderellaServer",
+    "DEGRADED",
     "MAX_LINE_BYTES",
+    "NODE_UNAVAILABLE",
+    "PARTIAL_STATUSES",
     "ProtocolError",
+    "RETRYABLE_STATUSES",
     "Request",
     "Response",
     "ServerClient",

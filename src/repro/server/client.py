@@ -14,8 +14,10 @@ internals the server happens to share.
 
 from __future__ import annotations
 
+import random
 import socket
 import time
+import warnings
 from typing import Any, Iterable, Optional
 
 from repro.server.protocol import (
@@ -81,7 +83,9 @@ class ServerClient:
                 f"response id {response.id} does not match request "
                 f"id {request_id}"
             )
-        if self.check and not response.ok:
+        if self.check and not response.ok and not response.degraded:
+            # degraded responses carry a usable partial result; raising
+            # would throw away the rows the router did gather
             raise ServerError(response)
         return response
 
@@ -123,8 +127,8 @@ class ServerClient:
         response = self.request(
             "query", attributes=list(attributes), mode=mode
         )
-        if not response.ok:  # check=False: shed/refused → no rows
-            return []
+        if not response.ok and not response.degraded:
+            return []  # check=False: shed/refused → no rows
         return response.get("rows", [])
 
     def query_response(
@@ -146,8 +150,63 @@ class ServerClient:
         return self.request("shutdown")
 
     # ------------------------------------------------------------------
-    # retry helper (the backpressure contract from the client's side)
+    # retry wrapper (the backpressure contract from the client's side)
     # ------------------------------------------------------------------
+    def retrying(
+        self,
+        op: str,
+        *,
+        attempts: int = 8,
+        base_delay_s: float = 0.005,
+        max_delay_s: float = 0.25,
+        budget_s: float = 30.0,
+        rng: Optional[random.Random] = None,
+        **fields: Any,
+    ) -> Response:
+        """Issue *op*, retrying every retryable status with backoff.
+
+        The uniform client half of the backpressure/failover contract:
+        any response whose status is retryable (``overloaded`` shedding,
+        ``node_unavailable`` from the router while a shard has no
+        reachable replica) is retried with jittered exponential backoff
+        — delay ``min(max_delay_s, base_delay_s * 2^(attempt-1))``
+        scaled by a uniform factor in ``[0.5, 1.0)`` so synchronized
+        clients do not stampede in lockstep — until it succeeds, the
+        attempt budget runs out, or ``budget_s`` of wall time has been
+        spent (the retry budget: a client stuck behind a long outage
+        gives up loudly instead of spinning forever).
+
+        Returns the final response, which may still be retryable when
+        every attempt bounced; ``check`` raising is suspended during the
+        retries and re-applied (retryable and degraded statuses exempt)
+        to the final response.
+        """
+        if rng is None:
+            rng = random
+        check_before = self.check
+        self.check = False
+        deadline = time.monotonic() + budget_s
+        try:
+            response = self.request(op, **fields)
+            attempt = 1
+            while response.retryable and attempt < attempts:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                delay = min(max_delay_s, base_delay_s * (2 ** (attempt - 1)))
+                delay *= 0.5 + rng.random() * 0.5
+                time.sleep(min(delay, remaining))
+                response = self.request(op, **fields)
+                attempt += 1
+        finally:
+            self.check = check_before
+        if (
+            self.check and not response.ok
+            and not response.retryable and not response.degraded
+        ):
+            raise ServerError(response)
+        return response
+
     def insert_with_backoff(
         self,
         attributes: dict[str, Any],
@@ -155,23 +214,21 @@ class ServerClient:
         attempts: int = 8,
         base_delay_s: float = 0.005,
     ) -> Response:
-        """Insert, backing off exponentially on ``overloaded`` shedding.
+        """Deprecated: use ``retrying("insert", ...)`` instead.
 
-        Returns the final response (which may still be ``overloaded``
-        when every attempt was shed — callers decide whether that is an
-        error; ``check`` raising is suspended during the retries).
+        Kept as a thin shim over :meth:`retrying` for older callers; the
+        one-off helper predates the uniform wrapper and covered only
+        ``overloaded``.
         """
-        check_before = self.check
-        self.check = False
-        try:
-            response = self.insert(attributes, eid=eid)
-            attempt = 1
-            while response.retryable and attempt < attempts:
-                time.sleep(base_delay_s * (2 ** (attempt - 1)))
-                response = self.insert(attributes, eid=eid)
-                attempt += 1
-        finally:
-            self.check = check_before
-        if self.check and not response.ok and not response.retryable:
-            raise ServerError(response)
-        return response
+        warnings.warn(
+            "insert_with_backoff is deprecated; use "
+            "client.retrying('insert', ...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        fields: dict[str, Any] = {"attributes": attributes}
+        if eid is not None:
+            fields["eid"] = eid
+        return self.retrying(
+            "insert", attempts=attempts, base_delay_s=base_delay_s, **fields
+        )

@@ -46,6 +46,12 @@ OVERLOADED = "overloaded"
 REJECTED = "rejected"
 BAD_REQUEST = "bad_request"
 SHUTTING_DOWN = "shutting_down"
+#: router tier: every replica of a needed shard is unreachable right now
+NODE_UNAVAILABLE = "node_unavailable"
+#: router tier: a partial result — some shards answered, some did not.
+#: The ``distributed`` failover vocabulary on the wire: the response
+#: carries the rows that *were* gathered plus ``unreachable_shards``.
+DEGRADED = "degraded"
 
 #: the operations a server understands (order = docs order)
 OPS = (
@@ -56,7 +62,9 @@ OPS = (
 #: statuses a client should treat as success
 SUCCESS_STATUSES = frozenset({OK, APPLIED})
 #: statuses that mean "back off and retry later"
-RETRYABLE_STATUSES = frozenset({OVERLOADED})
+RETRYABLE_STATUSES = frozenset({OVERLOADED, NODE_UNAVAILABLE})
+#: statuses carrying a usable but explicitly incomplete result
+PARTIAL_STATUSES = frozenset({DEGRADED})
 
 
 class ProtocolError(ValueError):
@@ -91,6 +99,11 @@ class Response:
     @property
     def retryable(self) -> bool:
         return self.status in RETRYABLE_STATUSES
+
+    @property
+    def degraded(self) -> bool:
+        """True for a partial result (some shards unreachable)."""
+        return self.status in PARTIAL_STATUSES
 
     def get(self, name: str, default: Any = None) -> Any:
         return self.fields.get(name, default)

@@ -42,7 +42,8 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from pathlib import Path
+from typing import Any, Optional, Union
 
 from repro.core.config import CinderellaConfig
 from repro.metrics.telemetry import ServerCounters
@@ -52,6 +53,7 @@ from repro.query.query import AttributeQuery
 from repro.server import protocol
 from repro.server.locks import AsyncReadWriteLock
 from repro.server.protocol import ProtocolError, Request
+from repro.storage.wal import WriteAheadLog
 from repro.table.partitioned import CinderellaTable
 
 # NOTE on spans: the tracer's span stack is per *thread*; concurrent
@@ -71,6 +73,9 @@ class ServerConfig:
     host: str = "127.0.0.1"
     #: 0 binds an ephemeral port (tests, benchmarks)
     port: int = 0
+    #: node name — labels metrics/events when several servers share a
+    #: process (one per cluster node behind the router)
+    name: str = "node"
     #: write-admission bound: queued modifications past this are shed
     max_pending: int = 256
     #: modifications applied per exclusive-lock acquisition
@@ -85,6 +90,15 @@ class ServerConfig:
     merge_min_fill: float = 0.25
     #: every Nth maintenance pass also reorganizes (0 = never)
     reorganize_every: int = 0
+    #: graceful-drain bound: seconds after which :meth:`stop` gives up
+    #: waiting on queued writes and stalled connections and force-closes
+    #: whatever survives with a typed ``shutting_down`` status
+    drain_deadline_s: float = 5.0
+    #: durability journal: when set, every acknowledged write is in this
+    #: WAL (group-committed per batch) before its ack leaves the server,
+    #: and :meth:`start` replays the log so a restarted node rejoins
+    #: with every acknowledged write intact
+    wal_path: Optional[Union[str, Path]] = None
 
 
 @dataclass
@@ -166,10 +180,12 @@ class CinderellaServer:
         self._conn_tasks: set[asyncio.Task] = set()
         self._writers: dict[int, asyncio.StreamWriter] = {}
         self._draining = False
+        self._aborted = False
         self._stopped = asyncio.Event()
         self._writes_since_maintenance = 0
         self._maintenance_passes = 0
         self._started_monotonic = 0.0
+        self._wal: Optional[WriteAheadLog] = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -184,9 +200,17 @@ class CinderellaServer:
         return host, port
 
     async def start(self) -> tuple[str, int]:
-        """Bind, start the background tasks, and begin accepting."""
+        """Bind, start the background tasks, and begin accepting.
+
+        With ``wal_path`` configured the journal is opened — and any
+        existing records replayed into the table — *before* the socket
+        binds, so a restarted node never serves a request against a
+        state missing writes it acknowledged in a previous life.
+        """
         if self._server is not None:
             raise RuntimeError("server already started")
+        if self.config.wal_path is not None:
+            self._open_and_replay_wal()
         self._read_slots = asyncio.Semaphore(self.config.max_parallel_reads)
         self._server = await asyncio.start_server(
             self._handle_connection,
@@ -210,8 +234,46 @@ class CinderellaServer:
         """Block until :meth:`stop` (or a ``shutdown`` op) completes."""
         await self._stopped.wait()
 
+    def _open_and_replay_wal(self) -> None:
+        """Open the durability journal and re-apply its records."""
+        assert self.config.wal_path is not None
+        self._wal = WriteAheadLog(self.config.wal_path)
+        replayed = 0
+        for record in self._wal.records():
+            payload = record.payload
+            try:
+                if record.op == "insert":
+                    self.table.insert(
+                        payload["attributes"], entity_id=payload["eid"]
+                    )
+                elif record.op == "update":
+                    self.table.update(payload["eid"], payload["attributes"])
+                elif record.op == "delete":
+                    self.table.delete(payload["eid"])
+                else:
+                    continue  # future record kinds: ignore, stay replayable
+            except (KeyError, ValueError) as err:
+                # replaying onto a pre-seeded table: a record already
+                # reflected in the catalog is not a recovery failure
+                obs.event(
+                    "server.wal_replay_skip", node=self.config.name,
+                    seq=record.seq, error=f"{type(err).__name__}: {err}",
+                )
+                continue
+            replayed += 1
+        self.counters.wal_records_replayed += replayed
+        if replayed:
+            obs.event(
+                "server.wal_replayed", node=self.config.name,
+                records=replayed, path=str(self.config.wal_path),
+            )
+
     async def stop(self) -> None:
-        """Graceful drain: flush queued writes, then tear everything down."""
+        """Graceful drain, bounded: flush queued writes and finish
+        in-flight work, but only until ``drain_deadline_s`` — past the
+        deadline, still-queued writes are refused with a typed
+        ``shutting_down`` status and surviving connections are
+        force-closed, so one stalled client can never hang shutdown."""
         if self._server is None:  # never started: nothing to drain
             self._stopped.set()
             return
@@ -219,21 +281,44 @@ class CinderellaServer:
             await self._stopped.wait()
             return
         self._draining = True
+        deadline = time.monotonic() + self.config.drain_deadline_s
+        forced = False
         obs.event("server.draining", queued=self._write_queue.qsize())
         self._server.close()  # stop accepting
         await self._server.wait_closed()
         # flush: the batcher keeps applying while the queue drains
-        await self._write_queue.join()
+        try:
+            await asyncio.wait_for(
+                self._write_queue.join(),
+                timeout=max(0.0, deadline - time.monotonic()),
+            )
+        except asyncio.TimeoutError:
+            forced = True
         if self._batcher_task is not None:
             self._batcher_task.cancel()
             await asyncio.gather(self._batcher_task, return_exceptions=True)
+        if forced:
+            # past the deadline with writes still queued: answer each
+            # with a typed refusal instead of leaving futures hanging
+            while not self._write_queue.empty():
+                pending = self._write_queue.get_nowait()
+                self._resolve(pending, refusal=_OpRefused(
+                    protocol.SHUTTING_DOWN, "drain_deadline",
+                    "drain deadline reached before this write was applied",
+                ))
+                self._write_queue.task_done()
         if self._maintenance_task is not None:
             self._maintenance_task.cancel()
             await asyncio.gather(self._maintenance_task, return_exceptions=True)
         # in-flight reads hold the read lock; taking it exclusively once
         # means every reader has finished before connections die
-        async with self.lock.write_locked():
-            pass
+        try:
+            await asyncio.wait_for(
+                self._quiesce_reads(),
+                timeout=max(0.05, deadline - time.monotonic()),
+            )
+        except asyncio.TimeoutError:
+            forced = True
         for session in self.sessions.values():
             session.closing = True
         # handler tasks blocked in readline() only notice `closing` on
@@ -243,9 +328,83 @@ class CinderellaServer:
         for writer in list(self._writers.values()):
             writer.close()
         if self._conn_tasks:
-            await asyncio.wait(list(self._conn_tasks), timeout=2.0)
-        obs.event("server.stopped", sessions=len(self.sessions))
+            _done, survivors = await asyncio.wait(
+                list(self._conn_tasks),
+                timeout=max(0.05, deadline - time.monotonic()),
+            )
+            if survivors:
+                # a close() is graceful — it still waits for the kernel
+                # buffer to drain, which a client that stopped reading
+                # can stall forever.  The deadline's teeth: abort.
+                forced = True
+                self._force_close_connections()
+                await asyncio.wait(list(survivors), timeout=1.0)
+        if self._wal is not None:
+            self._wal.close()
+        obs.event(
+            "server.stopped", node=self.config.name,
+            sessions=len(self.sessions), forced=forced,
+        )
         self._stopped.set()
+
+    async def _quiesce_reads(self) -> None:
+        """Wait for every in-flight read by passing through the write lock."""
+        async with self.lock.write_locked():
+            pass
+
+    def _force_close_connections(self) -> None:
+        """Abort every surviving connection with a best-effort typed frame."""
+        for sid, writer in list(self._writers.items()):
+            try:
+                writer.write(protocol.encode_response(
+                    0, protocol.SHUTTING_DOWN,
+                    error=protocol.error_body(
+                        "drain_deadline",
+                        "connection force-closed at the drain deadline",
+                    ),
+                ))
+            except Exception:
+                pass  # transport already dying; the abort below settles it
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+            self.counters.connections_force_closed += 1
+            obs.event(
+                "server.force_close", sid=sid, node=self.config.name
+            )
+        for task in list(self._conn_tasks):
+            task.cancel()
+
+    async def abort(self) -> None:
+        """Crash the node: RST every connection, cancel every task, drop
+        queued-but-unacknowledged writes, keep only what the WAL already
+        holds.  The chaos suite's kill switch — the durability contract
+        is that acknowledged writes survive exactly this plus a restart
+        (:meth:`start` replays the journal before binding)."""
+        self._aborted = True
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        for task in (self._batcher_task, self._maintenance_task):
+            if task is not None:
+                task.cancel()
+        for writer in list(self._writers.values()):
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()  # RST, no drain: the crash on the wire
+        for task in list(self._conn_tasks):
+            task.cancel()
+        # writes admitted but never applied die silently, like a crash
+        while not self._write_queue.empty():
+            pending = self._write_queue.get_nowait()
+            if not pending.future.done():
+                pending.future.cancel()
+            self._write_queue.task_done()
+        if self._wal is not None:
+            self._wal.close()
+        obs.event("server.aborted", node=self.config.name)
+        self._stopped.set()
+        await asyncio.sleep(0)  # let cancellations propagate
 
     # ------------------------------------------------------------------
     # connection handling
@@ -292,6 +451,8 @@ class CinderellaServer:
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError):
             pass  # client vanished mid-response
+        except asyncio.CancelledError:
+            pass  # force-close/abort cancelled us: end the task quietly
         finally:
             self.sessions.pop(session.sid, None)
             self._writers.pop(session.sid, None)
@@ -457,10 +618,25 @@ class CinderellaServer:
                 and not self._write_queue.empty()
             ):
                 batch.append(self._write_queue.get_nowait())
+            applied: list[tuple[_PendingWrite, dict[str, Any]]] = []
             async with self.lock.write_locked():
                 with obs.span("server.batch", size=len(batch)):
                     for pending in batch:
-                        self._apply_one(pending)
+                        outcome = self._apply_one(pending)
+                        if outcome is not None:
+                            applied.append(outcome)
+            if self._wal is not None and applied:
+                # group commit: the whole batch is journaled, then one
+                # fsync (off the event loop) covers every record — no
+                # success below is acknowledged before it is durable
+                try:
+                    await asyncio.to_thread(self._wal.sync)
+                except (OSError, ValueError):
+                    # the journal vanished under us (abort mid-batch):
+                    # a write that is not durable must not be acked
+                    applied.clear()
+            for pending, fields in applied:
+                self._resolve(pending, fields=fields)
             self.counters.batches_flushed += 1
             self._writes_since_maintenance += len(batch)
             for _ in batch:
@@ -470,8 +646,16 @@ class CinderellaServer:
                 "Modifications queued behind the batcher",
             )
 
-    def _apply_one(self, pending: _PendingWrite) -> None:
-        """Apply one modification inside an undo-log transaction."""
+    def _apply_one(
+        self, pending: _PendingWrite
+    ) -> Optional[tuple[_PendingWrite, dict[str, Any]]]:
+        """Apply one modification inside an undo-log transaction.
+
+        Refusals resolve immediately (nothing to make durable).  A
+        success is journaled (unsynced) and *returned* instead of
+        resolved: the batcher acknowledges it only after the batch's
+        group-commit fsync, so an acked write survives a node kill.
+        """
         request = pending.request
         txn = self.table.catalog.begin_transaction()
         try:
@@ -495,7 +679,15 @@ class CinderellaServer:
         else:
             txn.commit()
             self.counters.writes_applied += 1
+            if self._wal is not None:
+                payload: dict[str, Any] = {"eid": fields["eid"]}
+                if request.op in ("insert", "update"):
+                    payload["attributes"] = request.get("attributes")
+                self._wal.append(request.op, payload, sync=False)
+                self.counters.wal_writes_logged += 1
+                return pending, fields
             self._resolve(pending, fields=fields)
+        return None
 
     def _apply_to_table(self, request: Request) -> dict[str, Any]:
         table = self.table
@@ -566,7 +758,10 @@ class CinderellaServer:
             raise _OpRefused(
                 protocol.BAD_REQUEST, "bad_query", str(err)
             ) from None
-        result = await self._read(self.table.execute, query)
+        eid_filter = self._shard_filter(request)
+        result = await self._read(
+            lambda: self.table.execute(query, eid_filter=eid_filter)
+        )
         stats = result.stats
         self.counters.queries_served += 1
         return protocol.OK, {
@@ -589,8 +784,11 @@ class CinderellaServer:
             )
         from repro.sql import SqlSyntaxError, execute
 
+        eid_filter = self._shard_filter(request)
         try:
-            result = await self._read(execute, text, self.table)
+            result = await self._read(
+                lambda: execute(text, self.table, eid_filter=eid_filter)
+            )
         except SqlSyntaxError as err:
             raise _OpRefused(
                 protocol.BAD_REQUEST, "sql_syntax", str(err)
@@ -608,6 +806,37 @@ class CinderellaServer:
         async with self._read_slots:
             async with self.lock.read_locked():
                 return await asyncio.to_thread(fn, *args)
+
+    @staticmethod
+    def _shard_filter(request: Request):
+        """Compile an optional ``shard_filter`` field into an eid filter.
+
+        The routing tier's shard-scoped reads: a node holding replicas
+        of several shards must answer for exactly the subset the router
+        assigned it, or scatter-gather over a replicated placement would
+        double-count rows.
+        """
+        spec = request.get("shard_filter")
+        if spec is None:
+            return None
+        if (
+            not isinstance(spec, dict)
+            or not isinstance(spec.get("n_shards"), int)
+            or isinstance(spec.get("n_shards"), bool)
+            or spec["n_shards"] <= 0
+            or not isinstance(spec.get("shards"), list)
+            or not all(
+                isinstance(s, int) and not isinstance(s, bool)
+                for s in spec["shards"]
+            )
+        ):
+            raise _OpRefused(
+                protocol.BAD_REQUEST, "bad_shard_filter",
+                "shard_filter needs {'n_shards': int > 0, 'shards': [int]}",
+            )
+        n_shards = spec["n_shards"]
+        shards = frozenset(spec["shards"])
+        return lambda eid: eid % n_shards in shards
 
     # ------------------------------------------------------------------
     # maintenance: cooperative, between batches
@@ -655,8 +884,17 @@ class CinderellaServer:
         """A point-in-time snapshot (event-loop-consistent: no await)."""
         table = self.table
         return {
+            "node": self.config.name,
             "uptime_s": round(time.monotonic() - self._started_monotonic, 3),
             "draining": self._draining,
+            "wal": (
+                None if self._wal is None else {
+                    "path": str(self._wal.path),
+                    "last_seq": self._wal.last_seq,
+                    "syncs": self._wal.syncs,
+                    "size_bytes": self._wal.size_bytes(),
+                }
+            ),
             "partitions": table.partition_count(),
             "entities": table.catalog.entity_count,
             "version_clock": table.catalog.version_clock,

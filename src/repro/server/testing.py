@@ -93,6 +93,23 @@ class ServerThread:
         self._thread = None
         self._loop = None
 
+    def kill(self, timeout_s: float = 10.0) -> None:
+        """Crash the node: no drain, connections get RSTs, queued writes
+        die unacknowledged.  The chaos suite uses this to test the
+        durability contract — only the WAL survives a :meth:`kill`."""
+        if self._thread is None or self._loop is None:
+            return
+        if self._thread.is_alive() and self._startup_error is None:
+            future = asyncio.run_coroutine_threadsafe(
+                self.server.abort(), self._loop
+            )
+            future.result(timeout=timeout_s)
+        self._thread.join(timeout=timeout_s)
+        if self._thread.is_alive():  # pragma: no cover - debugging aid
+            raise TimeoutError("server loop thread did not exit after kill")
+        self._thread = None
+        self._loop = None
+
     def __enter__(self) -> "ServerThread":
         return self.start()
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Union
+from typing import Any, Callable, Optional, Union
 
 from repro.query.executor import ExecutionStats
 from repro.sql.ast import OrderItem, SelectStatement
@@ -73,8 +73,17 @@ def _project(attributes: dict[str, Any], statement: SelectStatement) -> dict:
     return {name: attributes.get(name) for name in statement.columns}
 
 
-def execute_statement(statement: SelectStatement, table: Table) -> SqlResult:
-    """Execute a parsed statement against either table layout."""
+def execute_statement(
+    statement: SelectStatement,
+    table: Table,
+    eid_filter: Optional[Callable[[int], bool]] = None,
+) -> SqlResult:
+    """Execute a parsed statement against either table layout.
+
+    *eid_filter* restricts execution to entities it accepts — the
+    routing tier's shard-scoped reads (pruning still applies first; the
+    filter only gates deserialized records).
+    """
     predicate = (
         compile_predicate(statement.where) if statement.where is not None else None
     )
@@ -114,8 +123,10 @@ def execute_statement(statement: SelectStatement, table: Table) -> SqlResult:
             stats.union_branches += 1
             before = heap.io.snapshot()
             for _rid, record in heap.scan():
-                _eid, attributes = deserialize_record(record, table.dictionary)
+                eid, attributes = deserialize_record(record, table.dictionary)
                 stats.entities_read += 1
+                if eid_filter is not None and not eid_filter(eid):
+                    continue
                 if predicate is None or predicate(attributes):
                     rows.append(_project(attributes, statement))
                     stats.rows_returned += 1
@@ -128,8 +139,10 @@ def execute_statement(statement: SelectStatement, table: Table) -> SqlResult:
         heap = table.heap
         before = heap.io.snapshot()
         for _rid, record in heap.scan():
-            _eid, attributes = deserialize_record(record, table.dictionary)
+            eid, attributes = deserialize_record(record, table.dictionary)
             stats.entities_read += 1
+            if eid_filter is not None and not eid_filter(eid):
+                continue
             if predicate is None or predicate(attributes):
                 rows.append(_project(attributes, statement))
                 stats.rows_returned += 1
@@ -143,6 +156,10 @@ def execute_statement(statement: SelectStatement, table: Table) -> SqlResult:
     return SqlResult(rows, stats, statement, pruned)
 
 
-def execute(sql: str, table: Table) -> SqlResult:
+def execute(
+    sql: str,
+    table: Table,
+    eid_filter: Optional[Callable[[int], bool]] = None,
+) -> SqlResult:
     """Parse and execute one SELECT statement."""
-    return execute_statement(parse(sql), table)
+    return execute_statement(parse(sql), table, eid_filter=eid_filter)

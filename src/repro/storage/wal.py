@@ -292,6 +292,28 @@ class WriteAheadLog:
             self.compact()
         return seq
 
+    def sync(self) -> None:
+        """Force everything appended so far to stable storage.
+
+        The group-commit primitive: a batcher appends a whole batch with
+        ``sync=False`` and pays one fsync here before acknowledging any
+        of it — same durability as per-record ``sync=True`` at a
+        fraction of the fsync count.
+        """
+        fsync_started = perf_counter() if obs.is_enabled() else 0.0
+        os.fsync(self._handle.fileno())
+        self.syncs += 1
+        if obs.is_enabled():
+            obs.inc(
+                "repro_wal_fsyncs_total",
+                help_text="WAL fsync calls (commit-record durability)",
+            )
+            obs.observe(
+                "repro_wal_fsync_seconds",
+                perf_counter() - fsync_started,
+                help_text="Wall time of one WAL fsync",
+            )
+
     def size_bytes(self) -> int:
         """Current on-disk size of the log file."""
         return self.path.stat().st_size

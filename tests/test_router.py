@@ -1,0 +1,330 @@
+"""The routing tier end to end: placement, routed writes, scatter reads.
+
+The end-to-end tests drive a real :class:`ClusterHarness` — WAL-backed
+serving nodes behind a router, all over real sockets — through the same
+blocking client the single-node tests use: the router speaks the same
+protocol, so the client cannot tell the difference.  That transparency
+is itself under test.
+"""
+
+import time
+
+import pytest
+
+from repro.router import (
+    ROUTER_EID_BASE,
+    ClusterHarness,
+    NodeAddress,
+    PlacementMap,
+    RouterConfig,
+)
+from repro.server import ServerConfig, ServerThread
+from repro.server.client import ServerClient, ServerError
+
+
+def wait_until(predicate, timeout_s=10.0, interval_s=0.02):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval_s)
+    return predicate()
+
+
+def _nodes(count):
+    return [
+        NodeAddress(name=f"node{i}", host="127.0.0.1", port=9000 + i)
+        for i in range(count)
+    ]
+
+
+class TestPlacementMap:
+    def test_defaults_to_four_shards_per_node(self):
+        placement = PlacementMap(_nodes(3))
+        assert placement.n_shards == 12
+
+    def test_replication_factor_capped_at_node_count(self):
+        placement = PlacementMap(_nodes(2), replication_factor=5)
+        assert placement.replication_factor == 2
+
+    def test_replicas_rotate_primary_first(self):
+        placement = PlacementMap(_nodes(3), n_shards=6, replication_factor=2)
+        names = [node.name for node in placement.replicas(4)]
+        assert names == ["node1", "node2"]  # nodes[(4+j) % 3]
+
+    def test_every_node_carries_equal_primaries(self):
+        placement = PlacementMap(_nodes(3), n_shards=12, replication_factor=2)
+        primaries = [placement.replicas(s)[0].name for s in placement.shards]
+        assert all(primaries.count(f"node{i}") == 4 for i in range(3))
+
+    def test_shard_of_is_modulo(self):
+        placement = PlacementMap(_nodes(2), n_shards=8)
+        assert placement.shard_of(21) == 5
+        assert placement.replicas_of_eid(21) == placement.replicas(5)
+
+    def test_shards_on_covers_replicas_too(self):
+        placement = PlacementMap(_nodes(3), n_shards=6, replication_factor=2)
+        on_node1 = placement.shards_on("node1")
+        # primary of shards 1, 4; secondary of shards 0, 3
+        assert on_node1 == [0, 1, 3, 4]
+
+    def test_duplicate_names_rejected(self):
+        nodes = _nodes(2) + [_nodes(1)[0]]
+        with pytest.raises(ValueError, match="duplicate"):
+            PlacementMap(nodes)
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            PlacementMap([])
+        with pytest.raises(ValueError):
+            PlacementMap(_nodes(1), replication_factor=0)
+        with pytest.raises(ValueError):
+            PlacementMap(_nodes(1)).replicas(99)
+
+    def test_nodes_of_lookup(self):
+        placement = PlacementMap(_nodes(2))
+        assert placement.nodes_of("node1").port == 9001
+        with pytest.raises(KeyError):
+            placement.nodes_of("ghost")
+
+    def test_as_dict_is_plain_data(self):
+        document = PlacementMap(_nodes(2), n_shards=4).as_dict()
+        assert document["n_shards"] == 4
+        assert [n["name"] for n in document["nodes"]] == ["node0", "node1"]
+        assert document["shards"]["3"] == ["node1"]
+
+
+@pytest.fixture()
+def cluster(tmp_path):
+    with ClusterHarness(tmp_path, n_nodes=3, replication_factor=2) as harness:
+        yield harness
+
+
+@pytest.fixture()
+def client(cluster):
+    with cluster.client() as connected:
+        yield connected
+
+
+class TestRoutedBasics:
+    def test_ping_identifies_the_router(self, client):
+        response = client.ping(payload={"k": 1})
+        assert response.ok
+        assert response.get("payload") == {"k": 1}
+        assert response.get("router") == "router"
+
+    def test_insert_reports_shard_and_replicas(self, cluster, client):
+        response = client.insert({"a": 1}, eid=17)
+        assert response.status == "applied"
+        assert response.get("eid") == 17
+        assert response.get("shard") == cluster.placement.shard_of(17)
+        assert response.get("replicas_acked") == 2
+        assert response.get("replicas_missed") == 0
+
+    def test_router_assigned_eids_cannot_collide_with_client_ids(self, client):
+        first = client.insert({"a": 1}).get("eid")
+        second = client.insert({"a": 2}).get("eid")
+        assert first >= ROUTER_EID_BASE
+        assert second == first + 1
+
+    def test_bad_entity_id_refused(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.request("insert", attributes={"a": 1}, eid=-3)
+        assert excinfo.value.code == "invalid_entity_id"
+
+    def test_update_delete_cycle_through_the_router(self, client):
+        eid = client.insert({"name": "S120", "resolution": 12.1}).get("eid")
+        client.update(eid, {"name": "S120", "zoom": 5})
+        assert client.query(["zoom"]) == [{"zoom": 5}]
+        client.delete(eid)
+        assert client.query(["zoom"]) == []
+
+    def test_scatter_query_returns_each_row_exactly_once(self, client):
+        # rf=2: every row lives on two nodes; an unscoped scatter would
+        # double-count — the shard_filter scoping must not
+        for i in range(60):
+            client.insert({"a": i, "uid": f"u{i}"}, eid=i)
+        response = client.query_response(["uid"])
+        assert response.ok
+        assert response.get("row_count") == 60
+        uids = {row["uid"] for row in response.get("rows")}
+        assert len(uids) == 60
+        assert response.get("shards_answered") == response.get("shards_total")
+
+    def test_query_stats_are_summed_across_shards(self, client):
+        for i in range(20):
+            client.insert({"a": i}, eid=i)
+        response = client.query_response(["a"])
+        assert response.get("row_count") == 20
+        stats = response.get("stats")
+        # summed over the per-node answers: every replica's partitions
+        # were scanned at least once
+        assert stats["partitions_scanned"] >= 1
+        assert stats["partitions_total"] >= stats["partitions_scanned"]
+
+    def test_sql_scatter(self, client):
+        for i in range(30):
+            client.insert({"weight": i * 10, "name": f"p{i}"}, eid=i)
+        response = client.sql(
+            "SELECT name FROM universalTable WHERE weight > 250"
+        )
+        assert response.ok
+        assert response.get("row_count") == 4
+
+    def test_logical_rejection_propagates_untouched(self, client):
+        client.insert({"a": 1}, eid=5)
+        with pytest.raises(ServerError) as excinfo:
+            client.insert({"b": 2}, eid=5)
+        assert excinfo.value.status == "rejected"
+        assert excinfo.value.code == "duplicate_entity"
+
+    def test_sql_syntax_error_propagates_from_the_shards(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.sql("SELEKT nope")
+        assert excinfo.value.status == "bad_request"
+        assert excinfo.value.code == "sql_syntax"
+
+    def test_maintain_fans_out_to_every_node(self, client):
+        response = client.maintain()
+        assert response.ok
+        assert set(response.get("nodes")) == {"node0", "node1", "node2"}
+
+    def test_stats_snapshot_shape(self, client):
+        client.insert({"a": 1})
+        stats = client.stats()
+        assert stats["router"] == "router"
+        assert stats["placement"]["replication_factor"] == 2
+        assert set(stats["health"]) == {"node0", "node1", "node2"}
+        assert stats["counters"]["writes_routed"] == 1
+        assert stats["counters"]["availability"] == 1.0
+
+
+class TestFailover:
+    def test_write_survives_a_dead_replica(self, cluster, client):
+        for i in range(12):
+            client.insert({"a": i}, eid=i)
+        cluster.kill_node("node1")
+        response = client.retrying("insert", attributes={"a": 99}, eid=100)
+        assert response.status == "applied"
+        assert response.get("replicas_acked") >= 1
+
+    def test_reads_stay_complete_with_one_dead_node_at_rf2(
+        self, cluster, client
+    ):
+        for i in range(24):
+            client.insert({"a": i, "uid": f"u{i}"}, eid=i)
+        cluster.kill_node("node2")
+        response = client.request("query", attributes=["a"])
+        assert response.ok  # every shard still has a live replica
+        assert response.get("row_count") == 24
+        assert cluster.router.counters.failovers >= 1
+
+    def test_restart_restores_and_replays_catchup(self, cluster, client):
+        for i in range(12):
+            client.insert({"a": i}, eid=i)
+        cluster.kill_node("node1")
+        # shard_of(100) = 4, whose replicas are node1 (primary) and
+        # node2 — the write must fail over and buffer node1's copy
+        acked = client.retrying("insert", attributes={"a": 77}, eid=100)
+        assert acked.status == "applied"
+        assert acked.get("replicas_missed") >= 1
+        cluster.restart_node("node1")
+
+        def caught_up():
+            client.query(["a"])  # traffic is the probe
+            return cluster.router.counters.catchup_replayed >= 1
+
+        assert wait_until(caught_up)
+        assert len(cluster.router._catchup["node1"]) == 0  # buffer drained
+        # the replica that missed the write serves it after replay
+        with cluster.node_client("node1") as direct:
+            rows = direct.query(["a"])
+        assert {"a": 77} in rows
+
+
+class TestUnavailability:
+    def test_everything_down_is_typed_and_retryable(self, tmp_path):
+        with ClusterHarness(
+            tmp_path, n_nodes=1, replication_factor=1
+        ) as harness:
+            with harness.client(check=False) as client:
+                client.insert({"a": 1}, eid=1)
+                harness.kill_node("node0")
+                write = client.request("insert", attributes={"a": 2}, eid=2)
+                assert write.status == "node_unavailable"
+                assert write.retryable
+                assert write.error["code"] == "no_reachable_replica"
+                read = client.request("query", attributes=["a"])
+                assert read.status == "node_unavailable"
+                assert read.get("shards_answered") == 0
+
+    def test_degraded_partial_result_contract(self, tmp_path):
+        with ClusterHarness(
+            tmp_path, n_nodes=2, replication_factor=1
+        ) as harness:
+            with harness.client(check=False) as client:
+                for i in range(20):
+                    client.insert({"a": i, "uid": f"u{i}"}, eid=i)
+                harness.kill_node("node1")
+                response = client.request("query", attributes=["uid"])
+                assert response.status == "degraded"
+                assert response.degraded
+                assert response.error["code"] == "partial_result"
+                unreachable = response.get("unreachable_shards")
+                assert unreachable == harness.placement.shards_on("node1")
+                assert response.get("shards_answered") == (
+                    response.get("shards_total") - len(unreachable)
+                )
+                # the gathered rows are exactly the live shards' rows
+                live = {
+                    f"u{i}" for i in range(20)
+                    if harness.placement.shard_of(i) not in unreachable
+                }
+                assert {r["uid"] for r in response.get("rows")} == live
+                # a check=True client keeps the partial rows instead of
+                # raising (degraded is exempt)
+                with harness.client(check=True) as strict:
+                    degraded = strict.request("query", attributes=["a"])
+                    assert degraded.status == "degraded"
+
+
+class TestRetryingClient:
+    def test_retries_overloaded_until_budget_exhausted(self):
+        config = ServerConfig(max_pending=0, maintenance_interval_s=0)
+        with ServerThread(config=config) as harness:
+            with ServerClient(*harness.address, check=False) as client:
+                response = client.retrying(
+                    "insert", attributes={"a": 1},
+                    attempts=4, base_delay_s=0.001,
+                )
+                assert response.status == "overloaded"
+                stats = client.stats()
+                assert stats["counters"]["writes_shed_overloaded"] == 4
+
+    def test_wall_clock_budget_stops_the_loop(self):
+        config = ServerConfig(max_pending=0, maintenance_interval_s=0)
+        with ServerThread(config=config) as harness:
+            with ServerClient(*harness.address, check=False) as client:
+                started = time.monotonic()
+                client.retrying(
+                    "insert", attributes={"a": 1},
+                    attempts=10_000, base_delay_s=0.05, max_delay_s=0.05,
+                    budget_s=0.2,
+                )
+                assert time.monotonic() - started < 2.0
+
+    def test_check_mode_restored_and_nonretryable_raises(self):
+        with ServerThread(config=ServerConfig(maintenance_interval_s=0)) as h:
+            with ServerClient(*h.address) as client:
+                client.insert({"a": 1}, eid=1)
+                with pytest.raises(ServerError) as excinfo:
+                    client.retrying("insert", attributes={"b": 2}, eid=1)
+                assert excinfo.value.code == "duplicate_entity"
+                assert client.check is True
+
+    def test_deprecated_shim_warns_and_delegates(self):
+        with ServerThread(config=ServerConfig(maintenance_interval_s=0)) as h:
+            with ServerClient(*h.address) as client:
+                with pytest.warns(DeprecationWarning, match="retrying"):
+                    response = client.insert_with_backoff({"a": 1})
+                assert response.status == "applied"

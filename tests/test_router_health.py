@@ -1,0 +1,151 @@
+"""Unit tests of the router's per-node circuit breaker.
+
+The breaker is pure state-machine logic driven by an injectable clock
+and RNG, so every transition — including the jittered, exponentially
+growing ejection windows — is tested deterministically.
+"""
+
+import random
+
+import pytest
+
+from repro.router.health import (
+    EJECTED,
+    HEALTHY,
+    PROBING,
+    SUSPECT,
+    NodeHealth,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def health(clock):
+    return NodeHealth(
+        "node0",
+        failure_threshold=3,
+        eject_base_s=0.2,
+        eject_max_s=5.0,
+        rng=random.Random(7),
+        clock=clock,
+    )
+
+
+class TestTransitions:
+    def test_starts_healthy_and_available(self, health):
+        assert health.state == HEALTHY
+        assert health.available()
+
+    def test_first_failure_suspects_but_stays_routable(self, health):
+        assert health.record_failure() is False
+        assert health.state == SUSPECT
+        assert health.available()
+
+    def test_success_clears_suspicion(self, health):
+        health.record_failure()
+        assert health.record_success() is False  # not a *restore*
+        assert health.state == HEALTHY
+        assert health.consecutive_failures == 0
+
+    def test_threshold_failures_eject(self, health):
+        assert health.record_failure() is False
+        assert health.record_failure() is False
+        assert health.record_failure() is True  # tripped
+        assert health.state == EJECTED
+        assert not health.available()
+
+    def test_failure_while_ejected_does_not_retrip(self, health):
+        for _ in range(3):
+            health.record_failure()
+        assert health.record_failure() is False
+        assert health.ejections == 1
+
+    def test_window_expiry_flips_to_probing(self, health, clock):
+        for _ in range(3):
+            health.record_failure()
+        clock.advance(10.0)
+        assert health.available()  # the expiry check transitions
+        assert health.state == PROBING
+        assert health.probing
+
+    def test_probe_success_restores(self, health, clock):
+        for _ in range(3):
+            health.record_failure()
+        clock.advance(10.0)
+        health.available()
+        assert health.record_success() is True  # a restore
+        assert health.state == HEALTHY
+
+    def test_probe_failure_reejects_immediately(self, health, clock):
+        for _ in range(3):
+            health.record_failure()
+        clock.advance(10.0)
+        health.available()
+        assert health.record_failure() is True  # re-tripped by the probe
+        assert health.state == EJECTED
+        assert health.ejections == 2
+
+
+class TestEjectionWindows:
+    def test_window_is_jittered_within_bounds(self, clock):
+        for seed in range(20):
+            health = NodeHealth(
+                "n", failure_threshold=1, eject_base_s=0.2,
+                rng=random.Random(seed), clock=clock,
+            )
+            health.record_failure()
+            window = health.eject_until - clock.now
+            assert 0.2 * 0.5 <= window < 0.2
+
+    def test_windows_grow_exponentially_and_cap(self, health, clock):
+        windows = []
+        for _ in range(8):
+            for _ in range(3):
+                health.record_failure()
+            windows.append(health.eject_until - clock.now)
+            clock.advance(60.0)
+            health.available()  # -> PROBING, next failure re-ejects
+        # nominal windows: 0.2, 0.4, 0.8, ... capped at 5.0; jitter
+        # scales each by [0.5, 1.0), so compare against the envelope
+        for index, window in enumerate(windows):
+            nominal = min(5.0, 0.2 * 2 ** index)
+            assert nominal * 0.5 <= window < nominal
+        assert windows[-1] >= 5.0 * 0.5  # the cap is in force
+
+    def test_still_unavailable_inside_window(self, health, clock):
+        for _ in range(3):
+            health.record_failure()
+        clock.advance(0.01)
+        assert not health.available()
+        assert health.state == EJECTED
+
+
+class TestValidationAndIntrospection:
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            NodeHealth("n", failure_threshold=0)
+
+    def test_as_dict_reports_the_counters(self, health):
+        health.record_failure()
+        health.record_success()
+        snapshot = health.as_dict()
+        assert snapshot["name"] == "node0"
+        assert snapshot["state"] == HEALTHY
+        assert snapshot["failures"] == 1
+        assert snapshot["successes"] == 1
+        assert snapshot["ejections"] == 0
