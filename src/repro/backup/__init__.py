@@ -1,0 +1,31 @@
+"""Backup, checkpointing, and point-in-time recovery for serving nodes.
+
+See :mod:`repro.backup.checkpoint` for the checkpoint ordering contract
+and :mod:`repro.backup.archive` for the on-disk archive layout.
+"""
+
+from repro.backup.archive import (
+    ArchivedCheckpoint,
+    ArchivedSegment,
+    BackupArchive,
+    BackupError,
+)
+from repro.backup.checkpoint import (
+    CHECKPOINT_STEPS,
+    apply_record,
+    checkpoint_node,
+    replay_into_table,
+    restore_to_seq,
+)
+
+__all__ = [
+    "ArchivedCheckpoint",
+    "ArchivedSegment",
+    "BackupArchive",
+    "BackupError",
+    "CHECKPOINT_STEPS",
+    "apply_record",
+    "checkpoint_node",
+    "replay_into_table",
+    "restore_to_seq",
+]

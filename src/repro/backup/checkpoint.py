@@ -1,0 +1,199 @@
+"""Node checkpointing, deterministic replay, and point-in-time recovery.
+
+The checkpoint ordering — the invariant the crash matrix proves::
+
+    collect → archive segment → write snapshot → archive checkpoint → reset WAL
+
+The live WAL is truncated **last**, and only after the snapshot
+covering it is durably on disk (fsynced temp file + atomic rename) and
+its records are archived.  A crash anywhere in the sequence therefore
+leaves recovery with at least one complete basis: either the old
+snapshot plus the untruncated WAL, or the new snapshot plus an empty
+tail.  Replay is made exact (never applied-twice) by sequence skipping:
+a checkpoint records the ``wal_seq`` it covers and recovery replays
+only records with a strictly greater sequence.
+
+:func:`restore_to_seq` is the PITR entry point: pick the newest
+archived checkpoint at or below the target sequence, replay archived
+segment records up to the target, and verify the sequence run is
+gap-free — a missing stretch of history is an error, not a silent
+partial restore.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Callable, Iterable, Optional, Union
+
+from repro.backup.archive import BackupArchive, BackupError
+from repro.obs import runtime as obs
+from repro.storage.snapshot import _decode_value, save_node_checkpoint
+from repro.storage.wal import WALRecord, WriteAheadLog
+
+#: the ordered steps of one checkpoint, in crash-matrix order (the
+#: ``archive_*`` steps only run when an archive is configured)
+CHECKPOINT_STEPS = (
+    "collect", "archive_segment", "write_snapshot",
+    "archive_checkpoint", "reset_wal", "done",
+)
+
+
+def checkpoint_node(
+    table,
+    wal: WriteAheadLog,
+    snapshot_path: Union[str, Path],
+    archive: Optional[BackupArchive] = None,
+    crash_hook: Optional[Callable[[str], None]] = None,
+) -> dict[str, Any]:
+    """Checkpoint one serving node: snapshot the table, then reset the WAL.
+
+    Must run with the table quiesced (the server holds its write lock).
+    *crash_hook* is called with each step name before the step executes
+    — the crash matrix raises from it to kill the checkpoint at every
+    point and then proves recovery is exact.
+    """
+    hook = crash_hook if crash_hook is not None else lambda _step: None
+    checkpoint_seq = wal.last_seq
+    hook("collect")
+    records = wal.records()
+    if archive is not None:
+        hook("archive_segment")
+        archive.archive_segment(wal.basis_seq, records)
+    hook("write_snapshot")
+    save_node_checkpoint(table, checkpoint_seq, snapshot_path)
+    if archive is not None:
+        hook("archive_checkpoint")
+        archive.archive_checkpoint(snapshot_path, checkpoint_seq)
+    hook("reset_wal")
+    wal.reset(checkpoint_seq)
+    hook("done")
+    obs.event(
+        "backup.checkpoint", path=str(snapshot_path),
+        wal_seq=checkpoint_seq, records_truncated=len(records),
+        archived=archive is not None,
+    )
+    return {
+        "wal_seq": checkpoint_seq,
+        "records_truncated": len(records),
+        "snapshot_path": str(snapshot_path),
+    }
+
+
+def apply_record(table, record: WALRecord) -> bool:
+    """Apply one journaled operation to *table*; returns True when it
+    changed state.
+
+    Mirrors the serving node's replay semantics exactly: unknown record
+    kinds are skipped (forward compatibility), and a record already
+    reflected in the catalog (duplicate insert, unknown eid) is not a
+    recovery failure — sequence skipping makes genuine double-replay
+    impossible, this tolerance only covers replay onto pre-seeded
+    tables.
+    """
+    payload = record.payload
+    try:
+        if record.op == "insert":
+            table.insert(payload["attributes"], entity_id=payload["eid"])
+        elif record.op == "update":
+            table.update(payload["eid"], payload["attributes"])
+        elif record.op == "delete":
+            table.delete(payload["eid"])
+        elif record.op == "sync_put":
+            # resync upsert: the peer's copy replaces whatever is local.
+            # sync payloads carry snapshot-encoded values (they crossed
+            # the wire from another node's table), unlike client writes
+            # whose JSON attributes are stored verbatim
+            attributes = {
+                name: _decode_value(value)
+                for name, value in payload["attributes"].items()
+            }
+            if payload["eid"] in table:
+                table.update(payload["eid"], attributes)
+            else:
+                table.insert(attributes, entity_id=payload["eid"])
+        elif record.op == "sync_reset":
+            n_shards = payload["n_shards"]
+            shards = set(payload["shards"])
+            doomed = [
+                eid for eid in table.entity_ids()
+                if eid % n_shards in shards
+            ]
+            for eid in doomed:
+                table.delete(eid)
+        else:
+            return False
+        return True
+    except (KeyError, ValueError):
+        return False
+
+
+def replay_into_table(
+    table, records: Iterable[WALRecord], after_seq: int = 0
+) -> int:
+    """Replay *records* with ``seq > after_seq``; returns how many
+    applied.  The sequence skip is what makes checkpoint recovery exact:
+    records the snapshot already covers are never re-applied."""
+    replayed = 0
+    for record in records:
+        if record.seq <= after_seq:
+            continue
+        if apply_record(table, record):
+            replayed += 1
+    return replayed
+
+
+def restore_to_seq(
+    archive: BackupArchive,
+    to_seq: Optional[int] = None,
+    table_factory: Optional[Callable[[], Any]] = None,
+    result_cache=None,
+) -> tuple[Any, int]:
+    """Point-in-time recovery: rebuild the table state as of *to_seq*.
+
+    Loads the newest archived checkpoint at or below the target, then
+    replays archived segment records up to it.  ``to_seq=None`` restores
+    to the newest archived sequence.  Returns ``(table, restored_seq)``.
+
+    Raises :class:`BackupError` when the archive cannot reach the target
+    — no basis and no *table_factory* to start empty from, or a gap in
+    the archived sequence run (a missing backup), which would silently
+    drop writes if replayed through.
+    """
+    from repro.storage.snapshot import load_node_checkpoint
+
+    if to_seq is None:
+        to_seq = archive.last_archived_seq()
+    checkpoint = archive.checkpoint_for(to_seq)
+    if checkpoint is not None:
+        table, base_seq = load_node_checkpoint(
+            checkpoint.path, result_cache=result_cache
+        )
+    else:
+        if table_factory is not None:
+            table = table_factory()
+        else:
+            from repro.table.partitioned import CinderellaTable
+
+            table = CinderellaTable(result_cache=result_cache)
+        base_seq = 0
+    records = archive.records_through(to_seq=to_seq, after_seq=base_seq)
+    expected = base_seq
+    for record in records:
+        expected += 1
+        if record.seq != expected:
+            raise BackupError(
+                f"archive {archive.root} is missing sequences "
+                f"[{expected}, {record.seq}) — cannot restore to "
+                f"{to_seq} without losing writes"
+            )
+    if expected < to_seq:
+        raise BackupError(
+            f"archive {archive.root} ends at sequence {expected}; "
+            f"cannot restore to {to_seq}"
+        )
+    replay_into_table(table, records, after_seq=base_seq)
+    obs.event(
+        "backup.restored", root=str(archive.root), to_seq=to_seq,
+        basis_seq=base_seq, records_replayed=len(records),
+    )
+    return table, to_seq

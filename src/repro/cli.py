@@ -30,6 +30,13 @@ Commands:
   :mod:`repro.router` in front of running ``serve`` nodes: shard-hash
   write routing, scatter-gather reads with explicit partial results,
   and per-node circuit-breaker failover.
+* ``backup`` — archive a node's WAL segment (and its checkpoint, when
+  one exists) into a :mod:`repro.backup` archive.
+* ``recover`` — point-in-time recovery: rebuild node state as of an
+  exact WAL sequence from the archive and write it as a checkpoint a
+  fresh node can start from.
+* ``scrub`` — verify the checksums of every archived checkpoint and
+  WAL segment at rest (and optionally a node's live snapshot).
 """
 
 from __future__ import annotations
@@ -467,6 +474,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         merge_min_fill=args.merge_min_fill,
         reorganize_every=args.reorganize_every,
         wal_path=args.wal,
+        snapshot_path=args.snapshot,
+        checkpoint_every=args.checkpoint_every,
+        archive_dir=args.archive_dir,
     )
     table_config = CinderellaConfig(
         max_partition_size=args.partition_size,
@@ -637,6 +647,96 @@ def _cmd_verify_catalog(args: argparse.Namespace) -> int:
     return 1 if problems else 0
 
 
+def _cmd_backup(args: argparse.Namespace) -> int:
+    """Archive a node's WAL (and checkpoint, when present) offline."""
+    import json
+
+    from repro.backup import BackupArchive
+    from repro.storage.wal import WALFormatError, read_wal
+
+    archive = BackupArchive(args.archive)
+    try:
+        basis_seq, records, torn = read_wal(args.wal)
+    except (OSError, WALFormatError) as error:
+        print(f"error: cannot read WAL {args.wal}: {error}", file=sys.stderr)
+        return 1
+    if torn:
+        print(f"note: {args.wal} has a torn tail (ignored, as replay "
+              f"would)", file=sys.stderr)
+    segment_path = archive.archive_segment(basis_seq, records)
+    if segment_path is None:
+        print(f"WAL {args.wal} holds no records past its basis "
+              f"(seq {basis_seq}); nothing to archive")
+    else:
+        print(f"archived segment [{records[0].seq}, {records[-1].seq}] "
+              f"-> {segment_path}")
+    if args.snapshot:
+        try:
+            with open(args.snapshot, encoding="utf-8") as handle:
+                wal_seq = json.load(handle).get("wal_seq")
+        except (OSError, ValueError) as error:
+            print(f"error: cannot read snapshot {args.snapshot}: {error}",
+                  file=sys.stderr)
+            return 1
+        if not isinstance(wal_seq, int) or isinstance(wal_seq, bool):
+            print(f"error: {args.snapshot} is not a node checkpoint "
+                  f"(no wal_seq)", file=sys.stderr)
+            return 1
+        checkpoint_path = archive.archive_checkpoint(args.snapshot, wal_seq)
+        print(f"archived checkpoint wal_seq={wal_seq} -> {checkpoint_path}")
+    print(f"archive now reaches seq {archive.last_archived_seq()}")
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    """Point-in-time recovery: rebuild node state as of --to-seq."""
+    from repro.backup import BackupArchive, BackupError, restore_to_seq
+    from repro.storage.snapshot import save_node_checkpoint
+    from repro.storage.wal import WALFormatError
+
+    archive = BackupArchive(args.archive)
+    try:
+        table, restored_seq = restore_to_seq(archive, to_seq=args.to_seq)
+    except (BackupError, WALFormatError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    save_node_checkpoint(table, restored_seq, args.out)
+    print(f"restored state as of seq {restored_seq}: "
+          f"{table.catalog.entity_count} entities, "
+          f"{table.partition_count()} partitions")
+    print(f"checkpoint written to {args.out}")
+    print(f"start the node with --wal <fresh or matching WAL> "
+          f"--snapshot {args.out} to serve this state")
+    problems = table.check_consistency()
+    for problem in problems:
+        print(f"integrity problem: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+def _cmd_scrub(args: argparse.Namespace) -> int:
+    """Verify every archived checkpoint and WAL segment at rest."""
+    from repro.backup import BackupArchive
+    from repro.storage.snapshot import SnapshotFormatError, load_node_checkpoint
+
+    archive = BackupArchive(args.archive)
+    report = archive.scrub()
+    print(f"scrub of {report['root']}: "
+          f"{report['checkpoints_verified']} checkpoints, "
+          f"{report['segments_verified']} segments, "
+          f"{report['records_verified']} records verified")
+    problems = list(report["problems"])
+    if args.snapshot:
+        try:
+            _table, wal_seq = load_node_checkpoint(args.snapshot)
+            print(f"live snapshot {args.snapshot}: OK (wal_seq={wal_seq})")
+        except (OSError, SnapshotFormatError) as error:
+            problems.append(f"live snapshot {args.snapshot}: {error}")
+    for problem in problems:
+        print(f"scrub problem: {problem}", file=sys.stderr)
+    print("backup integrity: " + ("FAILED" if problems else "OK"))
+    return 1 if problems else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -728,6 +828,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--wal", metavar="PATH",
                        help="write-ahead log path: fsync acknowledged "
                             "writes and replay them on restart")
+    serve.add_argument("--snapshot", metavar="PATH",
+                       help="node checkpoint path: checkpoints snapshot "
+                            "the table here and reset the WAL, bounding "
+                            "restart replay")
+    serve.add_argument("--checkpoint-every", type=int, default=0,
+                       help="checkpoint after this many journaled writes "
+                            "(0: only on 'maintain' with checkpoint:true)")
+    serve.add_argument("--archive-dir", metavar="DIR",
+                       help="backup archive root: archive WAL segments "
+                            "and checkpoint copies for point-in-time "
+                            "recovery")
     serve.add_argument("--partition-size", type=float, default=500.0)
     serve.add_argument("--weight", type=float, default=0.3)
     serve.add_argument("--max-pending", type=int, default=256,
@@ -766,6 +877,38 @@ def build_parser() -> argparse.ArgumentParser:
     route.add_argument("--obs", action="store_true",
                        help="enable the observability layer for the run")
 
+    backup = commands.add_parser(
+        "backup",
+        help="archive a node's WAL (and checkpoint) for recovery",
+    )
+    backup.add_argument("--wal", required=True, metavar="PATH",
+                        help="the node's write-ahead log to archive")
+    backup.add_argument("--archive", required=True, metavar="DIR",
+                        help="backup archive root")
+    backup.add_argument("--snapshot", metavar="PATH",
+                        help="also archive this node checkpoint")
+
+    recover = commands.add_parser(
+        "recover",
+        help="point-in-time recovery from a backup archive",
+    )
+    recover.add_argument("--archive", required=True, metavar="DIR",
+                         help="backup archive root")
+    recover.add_argument("--to-seq", type=int, default=None, metavar="SEQ",
+                         help="restore state as of this WAL sequence "
+                              "(default: the newest archived)")
+    recover.add_argument("--out", required=True, metavar="PATH",
+                         help="write the restored node checkpoint here")
+
+    scrub = commands.add_parser(
+        "scrub",
+        help="verify checksums of archived checkpoints and WAL segments",
+    )
+    scrub.add_argument("--archive", required=True, metavar="DIR",
+                       help="backup archive root")
+    scrub.add_argument("--snapshot", metavar="PATH",
+                       help="also verify this live node checkpoint")
+
     return parser
 
 
@@ -781,6 +924,9 @@ _HANDLERS = {
     "obs": _cmd_obs,
     "serve": _cmd_serve,
     "route": _cmd_route,
+    "backup": _cmd_backup,
+    "recover": _cmd_recover,
+    "scrub": _cmd_scrub,
 }
 
 

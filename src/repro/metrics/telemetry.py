@@ -247,6 +247,11 @@ class ServerCounters(RegistryMirrorMixin):
     wal_writes_logged: int = 0
     wal_records_replayed: int = 0
     connections_force_closed: int = 0
+    checkpoints_taken: int = 0
+    checkpoint_records_truncated: int = 0
+    sync_pages_served: int = 0
+    sync_deltas_applied: int = 0
+    sync_entities_received: int = 0
 
     def shed_rate(self) -> float:
         """Shed modifications over all modification submissions."""
@@ -268,7 +273,9 @@ class ServerCounters(RegistryMirrorMixin):
                 "sql_served", "maintenance_passes", "partitions_merged",
                 "reorganizations", "queue_high_watermark",
                 "wal_writes_logged", "wal_records_replayed",
-                "connections_force_closed",
+                "connections_force_closed", "checkpoints_taken",
+                "checkpoint_records_truncated", "sync_pages_served",
+                "sync_deltas_applied", "sync_entities_received",
             )
         }
         result["shed_rate"] = self.shed_rate()
@@ -310,6 +317,11 @@ class RouterCounters(RegistryMirrorMixin):
     probes_sent: int = 0
     catchup_replayed: int = 0
     catchup_dropped: int = 0
+    nodes_diverged: int = 0
+    resyncs_started: int = 0
+    resyncs_completed: int = 0
+    resyncs_failed: int = 0
+    sync_entities_streamed: int = 0
 
     def availability(self) -> float:
         """Fraction of routed requests answered completely (1.0 when idle)."""
@@ -331,7 +343,9 @@ class RouterCounters(RegistryMirrorMixin):
                 "replies_complete", "replies_degraded", "replies_unavailable",
                 "upstream_retries", "failovers", "node_ejections",
                 "node_restores", "probes_sent", "catchup_replayed",
-                "catchup_dropped",
+                "catchup_dropped", "nodes_diverged", "resyncs_started",
+                "resyncs_completed", "resyncs_failed",
+                "sync_entities_streamed",
             )
         }
         result["availability"] = self.availability()

@@ -99,6 +99,13 @@ SERVER_METRICS: dict[str, tuple[str, str]] = {
         "repro_server_wal_records_replayed_total", COUNTER),
     "connections_force_closed": (
         "repro_server_connections_force_closed_total", COUNTER),
+    "checkpoints_taken": ("repro_server_checkpoints_taken_total", COUNTER),
+    "checkpoint_records_truncated": (
+        "repro_server_checkpoint_records_truncated_total", COUNTER),
+    "sync_pages_served": ("repro_server_sync_pages_served_total", COUNTER),
+    "sync_deltas_applied": ("repro_server_sync_deltas_applied_total", COUNTER),
+    "sync_entities_received": (
+        "repro_server_sync_entities_received_total", COUNTER),
 }
 
 #: RouterCounters field -> (metric name, kind)
@@ -119,6 +126,12 @@ ROUTER_METRICS: dict[str, tuple[str, str]] = {
     "probes_sent": ("repro_router_probes_sent_total", COUNTER),
     "catchup_replayed": ("repro_router_catchup_replayed_total", COUNTER),
     "catchup_dropped": ("repro_router_catchup_dropped_total", COUNTER),
+    "nodes_diverged": ("repro_router_nodes_diverged_total", COUNTER),
+    "resyncs_started": ("repro_router_resyncs_started_total", COUNTER),
+    "resyncs_completed": ("repro_router_resyncs_completed_total", COUNTER),
+    "resyncs_failed": ("repro_router_resyncs_failed_total", COUNTER),
+    "sync_entities_streamed": (
+        "repro_router_sync_entities_streamed_total", COUNTER),
 }
 
 #: RobustnessCounters field -> (metric name, kind)
@@ -260,6 +273,26 @@ METRIC_HELP: dict[str, str] = {
         "Buffered writes replayed to a restored node",
     "repro_router_catchup_dropped_total":
         "Buffered catch-up writes dropped (bounded buffer overflow)",
+    "repro_server_checkpoints_taken_total":
+        "Node checkpoints taken (snapshot written, WAL reset)",
+    "repro_server_checkpoint_records_truncated_total":
+        "WAL records truncated by node checkpoints",
+    "repro_server_sync_pages_served_total":
+        "sync_snapshot pages served to resyncing peers",
+    "repro_server_sync_deltas_applied_total":
+        "sync_delta chunks applied from the router",
+    "repro_server_sync_entities_received_total":
+        "Entities received through sync_delta chunks",
+    "repro_router_nodes_diverged_total":
+        "Replicas marked diverged after catch-up overflow",
+    "repro_router_resyncs_started_total":
+        "Replica resyncs started by the router",
+    "repro_router_resyncs_completed_total":
+        "Replica resyncs completed and re-admitted",
+    "repro_router_resyncs_failed_total":
+        "Replica resync attempts that failed (will retry)",
+    "repro_router_sync_entities_streamed_total":
+        "Entities streamed from healthy peers during resync",
 }
 
 

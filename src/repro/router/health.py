@@ -41,6 +41,13 @@ SUSPECT = "suspect"
 EJECTED = "ejected"
 PROBING = "probing"
 
+#: replica data-lifecycle states (orthogonal to the breaker: the breaker
+#: tracks *reachability*, the replica tracker tracks *data integrity*)
+REPLICA_HEALTHY = "healthy"
+REPLICA_LAGGING = "lagging"
+REPLICA_DIVERGED = "diverged"
+REPLICA_RESYNCING = "resyncing"
+
 
 class NodeHealth:
     """Breaker state for one upstream node (see module docstring)."""
@@ -149,4 +156,115 @@ class NodeHealth:
             "successes": self.successes,
             "failures": self.failures,
             "ejections": self.ejections,
+        }
+
+
+class ReplicaTracker:
+    """Data-lifecycle state of one replica, orthogonal to the breaker.
+
+    The breaker answers "can I reach this node right now?"; the tracker
+    answers "is this node's *copy of its shards* trustworthy?".  The
+    lifecycle::
+
+        HEALTHY ──missed a write (buffered)──▶ LAGGING
+           ▲                                      │ buffer replayed dry
+           │◀─────────────────────────────────────┘
+           │                                      │ buffer overflowed
+           │                                      ▼
+           │◀──resync verified────RESYNCING◀───DIVERGED
+                                      │  failure   ▲
+                                      └────────────┘
+
+    * ``LAGGING`` — the node missed fanned-out writes; they sit in the
+      router's bounded catch-up buffer and replay on the next successful
+      exchange.  Still serves reads (documented as slightly stale).
+    * ``DIVERGED`` — the catch-up budget overflowed: replaying the
+      buffer alone can no longer reconstruct the replica, so the router
+      stops pretending.  The node is excluded from write fan-out,
+      scatter reads, and catch-up replay until a resync rebuilds it.
+    * ``RESYNCING`` — the router is streaming a peer's copy onto the
+      node.  Write buffering resumes the moment this state is entered
+      (*before* the snapshot cut), so every live write is either in the
+      copied snapshot or in the buffer drained at the end — none fall
+      between.
+
+    Transitions are emitted as ``router.replica_state`` events so the
+    chaos suite can assert divergence was declared and repaired.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.state = REPLICA_HEALTHY
+        self.divergences = 0
+        self.resyncs = 0
+        self.last_reason: Optional[str] = None
+
+    @property
+    def in_write_set(self) -> bool:
+        """May writes be fanned out to (or buffered for) this replica?"""
+        return self.state in (REPLICA_HEALTHY, REPLICA_LAGGING)
+
+    @property
+    def is_queryable(self) -> bool:
+        """May scatter reads be served from this replica?"""
+        return self.state in (REPLICA_HEALTHY, REPLICA_LAGGING)
+
+    def mark_lagging(self) -> None:
+        if self.state == REPLICA_HEALTHY:
+            self._transition(REPLICA_LAGGING)
+
+    def mark_caught_up(self) -> None:
+        if self.state == REPLICA_LAGGING:
+            self._transition(REPLICA_HEALTHY)
+
+    def mark_diverged(self, reason: str) -> bool:
+        """Declare the replica's copy unreconstructable by replay alone;
+        returns True when this call newly diverged it (a resync in
+        flight is aborted by this: its completion check sees the state
+        changed under it)."""
+        if self.state == REPLICA_DIVERGED:
+            return False
+        self.divergences += 1
+        self.last_reason = reason
+        self._transition(REPLICA_DIVERGED, reason=reason)
+        return True
+
+    def begin_resync(self) -> None:
+        if self.state != REPLICA_DIVERGED:
+            raise RuntimeError(
+                f"cannot resync replica {self.name} from state {self.state}"
+            )
+        self.resyncs += 1
+        self._transition(REPLICA_RESYNCING)
+
+    def complete_resync(self, lagging: bool = False) -> None:
+        """Re-admit the replica; ``lagging=True`` when writes buffered
+        during verification still await replay."""
+        if self.state != REPLICA_RESYNCING:
+            raise RuntimeError(
+                f"cannot complete resync of replica {self.name} "
+                f"from state {self.state}"
+            )
+        self.last_reason = None
+        self._transition(REPLICA_LAGGING if lagging else REPLICA_HEALTHY)
+
+    def fail_resync(self, reason: str) -> None:
+        if self.state == REPLICA_RESYNCING:
+            self.last_reason = reason
+            self._transition(REPLICA_DIVERGED, reason=reason)
+
+    def _transition(self, to_state: str, **detail: object) -> None:
+        from_state, self.state = self.state, to_state
+        obs.event(
+            "router.replica_state", node=self.name,
+            from_state=from_state, to_state=to_state, **detail,
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "state": self.state,
+            "divergences": self.divergences,
+            "resyncs": self.resyncs,
+            "last_reason": self.last_reason,
         }

@@ -49,7 +49,12 @@ from typing import Any, Optional
 
 from repro.metrics.telemetry import RouterCounters
 from repro.obs import runtime as obs
-from repro.router.health import NodeHealth
+from repro.router.health import (
+    REPLICA_DIVERGED,
+    REPLICA_RESYNCING,
+    NodeHealth,
+    ReplicaTracker,
+)
 from repro.router.placement import ROUTER_EID_BASE, NodeAddress, PlacementMap
 from repro.router.pool import NodePool, UpstreamError
 from repro.server import protocol
@@ -84,12 +89,26 @@ class RouterConfig:
     #: ejection window growth: base · 2^(ejections−1), capped
     eject_base_s: float = 0.2
     eject_max_s: float = 5.0
-    #: buffered writes kept per unreachable node for catch-up replay
+    #: buffered writes kept per unreachable node for catch-up replay;
+    #: overflowing this budget marks the replica ``diverged`` (resync
+    #: rebuilds it) instead of silently dropping buffered writes
     catchup_limit: int = 512
     #: idle upstream connections kept warm per node
     pool_max_idle: int = 2
     #: graceful-drain bound (same contract as the serving nodes)
     drain_deadline_s: float = 5.0
+    #: how often the resync monitor looks for diverged replicas to
+    #: repair (seconds; 0 disables the monitor — resyncs then only run
+    #: when driven explicitly, which is what the tests want)
+    resync_interval_s: float = 0.25
+    #: entities copied per ``sync_snapshot``/``sync_delta`` page — the
+    #: 1 MiB frame bound is the real ceiling, this keeps each exchange
+    #: comfortably under it
+    sync_page_entities: int = 200
+    #: count/digest agreement attempts before a resync is abandoned
+    #: (live traffic can race the comparison; each retry re-drains the
+    #: buffered delta first)
+    resync_verify_attempts: int = 8
 
 
 class _Refused(Exception):
@@ -142,6 +161,16 @@ class CinderellaRouter:
         self._catchup_locks: dict[str, asyncio.Lock] = {
             node.name: asyncio.Lock() for node in placement.nodes
         }
+        #: data-lifecycle state per replica (healthy/lagging/diverged/
+        #: resyncing) — orthogonal to the reachability breaker above
+        self.replicas: dict[str, ReplicaTracker] = {
+            node.name: ReplicaTracker(node.name) for node in placement.nodes
+        }
+        self._catchup_dropped: dict[str, int] = {
+            node.name: 0 for node in placement.nodes
+        }
+        self._resyncing: set[str] = set()
+        self._monitor_task: Optional[asyncio.Task] = None
         self._next_eid = ROUTER_EID_BASE
         self.sessions: dict[int, Session] = {}
         self._next_sid = 1
@@ -174,6 +203,10 @@ class CinderellaRouter:
             limit=protocol.MAX_LINE_BYTES,
         )
         self._started_monotonic = time.monotonic()
+        if self.config.resync_interval_s > 0:
+            self._monitor_task = asyncio.get_running_loop().create_task(
+                self._resync_monitor()
+            )
         host, port = self.address
         obs.event(
             "router.started", host=host, port=port,
@@ -198,6 +231,13 @@ class CinderellaRouter:
         self._draining = True
         deadline = time.monotonic() + self.config.drain_deadline_s
         forced = False
+        if self._monitor_task is not None:
+            self._monitor_task.cancel()
+            try:
+                await self._monitor_task
+            except asyncio.CancelledError:
+                pass
+            self._monitor_task = None
         self._server.close()
         await self._server.wait_closed()
         for session in self.sessions.values():
@@ -355,7 +395,7 @@ class CinderellaRouter:
         if op == "stats":
             return protocol.OK, self._stats_snapshot(), None
         if op == "maintain":
-            return await self._fanout_maintain()
+            return await self._fanout_maintain(request)
         if op == "shutdown":
             session.closing = True
             self._stop_task = asyncio.get_running_loop().create_task(self.stop())
@@ -446,17 +486,48 @@ class CinderellaRouter:
     def _buffer_catchup(
         self, node_name: str, op: str, fields: dict[str, Any]
     ) -> None:
-        """Remember a write a replica missed, within the bounded budget."""
+        """Remember a write a replica missed, within the bounded budget.
+
+        Overflowing the budget does **not** drop the oldest buffered
+        write (that would silently lose the replica's copy of an acked
+        write): it declares the replica *diverged* — replay alone can no
+        longer reconstruct it — abandons the buffer, and hands the node
+        to the resync machinery, which rebuilds it from a healthy peer.
+        """
+        tracker = self.replicas[node_name]
+        if tracker.state == REPLICA_DIVERGED:
+            return  # a full resync rebuilds it; buffering is pointless
         buffer = self._catchup[node_name]
         if len(buffer) >= self.config.catchup_limit:
-            buffer.popleft()
-            self.counters.catchup_dropped += 1
-            obs.event("router.catchup_overflow", node=node_name)
+            abandoned = len(buffer) + 1
+            buffer.clear()
+            self._catchup_dropped[node_name] += abandoned
+            self.counters.catchup_dropped += abandoned
+            self._mark_diverged(node_name, reason="catchup_overflow")
+            obs.event(
+                "router.catchup_overflow", node=node_name,
+                abandoned=abandoned,
+            )
+            return
         buffer.append((op, dict(fields)))
+        tracker.mark_lagging()
 
-    async def _replay_catchup(self, node_name: str) -> int:
+    def _mark_diverged(self, node_name: str, reason: str) -> None:
+        if self.replicas[node_name].mark_diverged(reason):
+            self.counters.nodes_diverged += 1
+
+    async def _replay_catchup(self, node_name: str, force: bool = False) -> int:
         """Flush the buffered writes of a node that just came back;
-        returns how many were replayed."""
+        returns how many were replayed.
+
+        Skipped (unless *force*) while the replica is diverged or
+        resyncing: a diverged buffer was abandoned, and a drain landing
+        mid-resync would apply writes the snapshot cut is about to
+        erase — the resync task owns the drain ordering and passes
+        ``force=True`` at exactly the right point.
+        """
+        if not force and not self.replicas[node_name].in_write_set:
+            return 0
         buffer = self._catchup[node_name]
         lock = self._catchup_locks[node_name]
         if not buffer and not lock.locked():
@@ -468,13 +539,19 @@ class CinderellaRouter:
         # in-flight replay has finished (its caller re-reads after us)
         async with lock:
             while buffer:
-                op, fields = buffer[0]
+                entry = buffer[0]
+                op, fields = entry
                 try:
                     response = await pool.request(op, **fields)
                 except UpstreamError:
                     # gone again mid-replay: keep the rest buffered; the
                     # next successful exchange brings us back here
                     self.health[node_name].record_failure()
+                    break
+                if not buffer or buffer[0] is not entry:
+                    # the buffer was taken over while we awaited — a
+                    # divergence declaration emptied it, or a resync
+                    # claimed it; its contents are no longer ours to pop
                     break
                 if response.retryable:
                     # the node shed the replayed write (overloaded):
@@ -485,6 +562,8 @@ class CinderellaRouter:
                 # the node already had it): this record is settled
                 buffer.popleft()
                 replayed += 1
+            if not buffer:
+                self.replicas[node_name].mark_caught_up()
         self.counters.catchup_replayed += replayed
         if replayed:
             obs.event(
@@ -492,6 +571,206 @@ class CinderellaRouter:
                 records=replayed, remaining=len(buffer),
             )
         return replayed
+
+    # ------------------------------------------------------------------
+    # resync: rebuilding a diverged replica from a healthy peer
+    # ------------------------------------------------------------------
+    async def _resync_monitor(self) -> None:
+        """Background repair loop: probe diverged replicas and resync
+        the reachable ones."""
+        while True:
+            await asyncio.sleep(self.config.resync_interval_s)
+            for name, tracker in self.replicas.items():
+                if (
+                    tracker.state == REPLICA_DIVERGED
+                    and name not in self._resyncing
+                    and self.health[name].available()
+                ):
+                    await self.resync_node(name)
+
+    async def resync_node(self, node_name: str) -> bool:
+        """Rebuild one diverged replica from healthy shard peers.
+
+        The zero-lost-writes argument, in full: write buffering for the
+        node resumes the moment its tracker enters ``resyncing`` —
+        strictly before the first ``sync_snapshot`` page is cut on any
+        peer.  Every write acked after divergence is therefore either
+        (a) already applied on the peer and thus inside the copied
+        pages, or (b) sitting in the catch-up buffer drained (with
+        ``force=True``) after the final delta.  Writes in both sets
+        replay idempotently (``sync_put`` upserts; a replayed delete
+        refused with ``unknown_entity`` is a settled verdict, not a
+        loss).  Re-admission happens only after the node and its peers
+        agree on entity count and an order-independent digest per shard
+        group; live traffic can race that comparison, so it retries
+        with a fresh drain each time.
+        """
+        tracker = self.replicas[node_name]
+        if tracker.state != REPLICA_DIVERGED or node_name in self._resyncing:
+            return False
+        self._resyncing.add(node_name)
+        tracker.begin_resync()
+        self.counters.resyncs_started += 1
+        # entries buffered while diverged do not exist (buffering was
+        # off); anything stale from before the divergence is superseded
+        # by the copy about to land
+        self._catchup[node_name].clear()
+        started = time.perf_counter()
+        try:
+            ok = await self._run_resync(node_name)
+        except (UpstreamError, _Refused) as err:
+            obs.event(
+                "router.resync_failed", node=node_name, error=str(err),
+            )
+            ok = False
+        finally:
+            self._resyncing.discard(node_name)
+        if ok and tracker.state == REPLICA_RESYNCING:
+            lagging = bool(self._catchup[node_name])
+            tracker.complete_resync(lagging=lagging)
+            self.counters.resyncs_completed += 1
+            obs.event(
+                "router.resync_complete", node=node_name,
+                duration_s=round(time.perf_counter() - started, 4),
+                lagging=lagging,
+            )
+            return True
+        tracker.fail_resync("resync_failed")
+        self.counters.resyncs_failed += 1
+        return False
+
+    async def _run_resync(self, node_name: str) -> bool:
+        target = self._node_address(node_name)
+        shards = self.placement.shards_on(node_name)
+        n_shards = self.placement.n_shards
+        if not shards:
+            return True  # holds nothing: trivially consistent
+        peer_shards = self._pick_resync_peers(node_name, shards)
+        if peer_shards is None:
+            obs.event("router.resync_failed", node=node_name,
+                      error="no healthy peer for some shard")
+            return False
+        # 1. reset: clear the target's (diverged) copy of its shards in
+        #    one transaction, journaled on the target as sync_reset
+        await self._resync_request(target, "sync_delta", {
+            "reset": {"n_shards": n_shards, "shards": shards},
+            "entities": [],
+        })
+        # 2. stream each peer's consistent copy, page by page
+        for peer_name, peer_group in peer_shards.items():
+            peer = self._node_address(peer_name)
+            after_eid = -1
+            while True:
+                page = await self._resync_request(peer, "sync_snapshot", {
+                    "n_shards": n_shards, "shards": peer_group,
+                    "after_eid": after_eid,
+                    "limit": self.config.sync_page_entities,
+                })
+                entities = page.get("entities", [])
+                if entities:
+                    await self._resync_request(target, "sync_delta", {
+                        "entities": entities,
+                    })
+                    self.counters.sync_entities_streamed += len(entities)
+                if page.get("done", True):
+                    break
+                after_eid = page.get("next_after", after_eid)
+        # 3. final delta: ask the target to checkpoint so the resynced
+        #    state survives an immediate crash
+        await self._resync_request(target, "sync_delta", {
+            "entities": [], "final": True,
+        })
+        # 4. drain the writes buffered since the resync began, then
+        #    verify target and peers agree per shard group — retrying,
+        #    because live traffic keeps moving the goalposts
+        for attempt in range(1, self.config.resync_verify_attempts + 1):
+            if attempt > 1:
+                await asyncio.sleep(0.02)
+            await self._replay_catchup(node_name, force=True)
+            if self._catchup[node_name]:
+                continue  # drain bounced (node busy); try again
+            if await self._verify_resync(target, peer_shards, n_shards):
+                return True
+        obs.event(
+            "router.resync_failed", node=node_name,
+            error="count/digest verification never converged",
+        )
+        return False
+
+    async def _verify_resync(
+        self,
+        target: NodeAddress,
+        peer_shards: dict[str, list[int]],
+        n_shards: int,
+    ) -> bool:
+        for peer_name, peer_group in peer_shards.items():
+            peer = self._node_address(peer_name)
+            fields = {
+                "n_shards": n_shards, "shards": peer_group,
+                "count_only": True,
+            }
+            ours, theirs = await asyncio.gather(
+                self._resync_request(target, "sync_snapshot", fields),
+                self._resync_request(peer, "sync_snapshot", fields),
+            )
+            if (
+                ours.get("count") != theirs.get("count")
+                or ours.get("digest") != theirs.get("digest")
+            ):
+                return False
+        return True
+
+    def _pick_resync_peers(
+        self, node_name: str, shards: list[int]
+    ) -> Optional[dict[str, list[int]]]:
+        """Choose a healthy source replica per shard, grouped by peer so
+        each peer streams its shards in one paging run.  None when some
+        shard has no healthy reachable peer (resync would lose data)."""
+        peer_shards: dict[str, list[int]] = {}
+        for shard in shards:
+            peer = next(
+                (
+                    node for node in self.placement.replicas(shard)
+                    if node.name != node_name
+                    and self.replicas[node.name].state
+                    not in (REPLICA_DIVERGED, REPLICA_RESYNCING)
+                    and self.health[node.name].available()
+                ),
+                None,
+            )
+            if peer is None:
+                return None
+            peer_shards.setdefault(peer.name, []).append(shard)
+        return peer_shards
+
+    def _node_address(self, node_name: str) -> NodeAddress:
+        return next(
+            node for node in self.placement.nodes if node.name == node_name
+        )
+
+    async def _resync_request(
+        self, node: NodeAddress, op: str, fields: dict[str, Any]
+    ) -> dict[str, Any]:
+        """One repair exchange: plain request + breaker bookkeeping, no
+        catch-up replay (the resync task owns that ordering) and no
+        dedup (sync ops are idempotent by construction)."""
+        health = self.health[node.name]
+        try:
+            response = await self.pools[node.name].request(op, **fields)
+        except UpstreamError:
+            if health.record_failure():
+                self.counters.node_ejections += 1
+            raise
+        if health.record_success():
+            self.counters.node_restores += 1
+        if not response.ok:
+            error = response.error or {}
+            raise _Refused(
+                response.status, error.get("code", "sync_failed"),
+                f"{op} on {node.name}: "
+                f"{error.get('message', 'refused')}",
+            )
+        return dict(response.fields)
 
     # ------------------------------------------------------------------
     # writes: partition-aware fan-out to the owning shard's replicas
@@ -514,15 +793,34 @@ class CinderellaRouter:
         fields = dict(request.fields)
         fields["eid"] = eid
         self.counters.writes_routed += 1
+        # diverged/resyncing replicas are out of the write set entirely:
+        # fanning a write to a mid-resync node would race the snapshot
+        # cut (resyncing nodes get their live writes via the catch-up
+        # buffer instead, drained after the copy lands)
+        writable = [
+            node for node in replicas if self.replicas[node.name].in_write_set
+        ]
         candidates = [
-            node for node in replicas if self.health[node.name].available()
+            node for node in writable if self.health[node.name].available()
         ]
         if not candidates:
+            if not writable:
+                # every replica of the shard is being rebuilt: no node
+                # may take this write directly.  Retryable — the resync
+                # machinery re-admits replicas shortly
+                self.counters.replies_unavailable += 1
+                return protocol.NODE_UNAVAILABLE, {
+                    "shard": shard,
+                }, protocol.error_body(
+                    "no_writable_replica",
+                    f"every replica of shard {shard} is resyncing; "
+                    f"back off and retry",
+                )
             # last gasp: the breaker has every replica out, but refusing
             # outright would turn fast connect-refused failures into
-            # guaranteed downtime — force one attempt at the primary,
-            # which doubles as the probe
-            candidates = [replicas[0]]
+            # guaranteed downtime — force one attempt at the first
+            # writable replica, which doubles as the probe
+            candidates = [writable[0]]
             self.counters.probes_sent += 1
         outcomes = await asyncio.gather(
             *(self._node_exchange(node, op, fields) for node in candidates),
@@ -614,8 +912,13 @@ class CinderellaRouter:
             assignment: dict[NodeAddress, list[int]] = {}
             for shard in sorted(remaining):
                 replicas = self.placement.replicas(shard)
+                # diverged/resyncing replicas hold incomplete copies —
+                # serving a scatter slice from one would silently drop
+                # rows, so they are not even failover candidates
                 untried = [
-                    node for node in replicas if node.name not in tried[shard]
+                    node for node in replicas
+                    if node.name not in tried[shard]
+                    and self.replicas[node.name].is_queryable
                 ]
                 if not untried:
                     continue  # out of replicas: stays unreachable
@@ -719,11 +1022,15 @@ class CinderellaRouter:
     # admin ops
     # ------------------------------------------------------------------
     async def _fanout_maintain(
-        self,
+        self, request: Request
     ) -> tuple[str, dict[str, Any], Optional[dict[str, Any]]]:
+        fields: dict[str, Any] = {}
+        if request.get("checkpoint"):
+            fields["checkpoint"] = True
+
         async def one(node: NodeAddress) -> tuple[str, dict[str, Any]]:
             try:
-                response = await self._node_exchange(node, "maintain", {})
+                response = await self._node_exchange(node, "maintain", fields)
             except UpstreamError as err:
                 return node.name, {"error": str(err)}
             return node.name, dict(response.fields)
@@ -745,9 +1052,14 @@ class CinderellaRouter:
             "pools": {
                 name: pool.as_dict() for name, pool in self.pools.items()
             },
+            "replicas": {
+                name: tracker.as_dict()
+                for name, tracker in self.replicas.items()
+            },
             "catchup_buffered": {
                 name: len(buffer) for name, buffer in self._catchup.items()
             },
+            "catchup_dropped": dict(self._catchup_dropped),
             "sessions": [s.as_dict() for s in self.sessions.values()],
             "counters": self.counters.as_dict(),
         }

@@ -127,6 +127,8 @@ class ClusterHarness:
         replication_factor: int = 2,
         server_config: Optional[ServerConfig] = None,
         router_config: Optional[RouterConfig] = None,
+        checkpointing: bool = False,
+        archiving: bool = False,
     ) -> None:
         if n_nodes < 1:
             raise ValueError(f"need at least one node, got {n_nodes}")
@@ -136,6 +138,10 @@ class ClusterHarness:
         self._replication_factor = replication_factor
         self._server_config = server_config
         self._router_config = router_config
+        #: checkpointing stays opt-in: several chaos assertions count on
+        #: restart replaying the *full* WAL (wal_records_replayed > 0)
+        self._checkpointing = checkpointing
+        self._archiving = archiving
         self.nodes: dict[str, ServerThread] = {}
         self.addresses: dict[str, NodeAddress] = {}
         self.placement: Optional[PlacementMap] = None
@@ -151,9 +157,16 @@ class ClusterHarness:
             base = ServerConfig(maintenance_interval_s=0.05)
         from dataclasses import replace
 
+        extra: dict[str, object] = {}
+        if self._checkpointing:
+            extra["snapshot_path"] = self.wal_dir / f"{name}.snapshot"
+        if self._archiving:
+            extra["snapshot_path"] = self.wal_dir / f"{name}.snapshot"
+            extra["archive_dir"] = self.wal_dir / f"{name}-archive"
         return replace(
             base, name=name, port=port,
             wal_path=self.wal_dir / f"{name}.wal",
+            **extra,
         )
 
     def start(self) -> "ClusterHarness":

@@ -143,7 +143,9 @@ class ServerClient:
     def stats(self) -> dict[str, Any]:
         return self.request("stats").fields
 
-    def maintain(self) -> Response:
+    def maintain(self, checkpoint: bool = False) -> Response:
+        if checkpoint:
+            return self.request("maintain", checkpoint=True)
         return self.request("maintain")
 
     def shutdown(self) -> Response:

@@ -19,9 +19,26 @@ Supported operations:
 ``query``      ``{"attributes": [...], "mode": "any"|"all"}``
 ``sql``        ``{"sql": "SELECT ..."}`` — the SQL passthrough
 ``stats``      server/catalog/session statistics snapshot
-``maintain``   admin: run one maintenance pass now
+``maintain``   admin: run one maintenance pass now; ``{"checkpoint":
+               true}`` also forces a node checkpoint
 ``shutdown``   admin: drain and stop the server
 ========== ============================================================
+
+Two further operations speak the replica-repair protocol between the
+router and its serving nodes (clients may use them too — they are
+ordinary requests — but the router drives them during resync):
+
+``sync_snapshot``
+    read a consistent page of a node's entities for a set of shards:
+    ``{"n_shards": int, "shards": [int], "after_eid": int, "limit":
+    int}``; with ``"count_only": true`` it returns just the entity
+    count and an order-independent digest for end-of-resync agreement.
+``sync_delta``
+    bulk-apply copied entities on a resyncing node: ``{"entities":
+    [{"eid", "attributes"}], "reset": {"n_shards", "shards"}?,
+    "final": bool}``.  ``reset`` first clears the node's local copy of
+    the named shards (the diverged state being replaced); ``final``
+    asks the node to checkpoint so the resynced state is durable.
 
 The framing is deliberately trivial — ``readline()`` on both ends — so
 any language (or ``nc``) can speak it.  A line longer than
@@ -56,7 +73,7 @@ DEGRADED = "degraded"
 #: the operations a server understands (order = docs order)
 OPS = (
     "ping", "insert", "update", "delete", "query", "sql", "stats",
-    "maintain", "shutdown",
+    "maintain", "shutdown", "sync_snapshot", "sync_delta",
 )
 
 #: statuses a client should treat as success

@@ -41,10 +41,12 @@ from __future__ import annotations
 
 import asyncio
 import time
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Optional, Union
 
+from repro.backup import BackupArchive, apply_record, checkpoint_node
 from repro.core.config import CinderellaConfig
 from repro.metrics.telemetry import ServerCounters
 from repro.obs import runtime as obs
@@ -53,6 +55,12 @@ from repro.query.query import AttributeQuery
 from repro.server import protocol
 from repro.server.locks import AsyncReadWriteLock
 from repro.server.protocol import ProtocolError, Request
+from repro.storage.snapshot import (
+    SnapshotFormatError,
+    _decode_value,
+    _encode_value,
+    load_node_checkpoint,
+)
 from repro.storage.wal import WriteAheadLog
 from repro.table.partitioned import CinderellaTable
 
@@ -99,6 +107,19 @@ class ServerConfig:
     #: and :meth:`start` replays the log so a restarted node rejoins
     #: with every acknowledged write intact
     wal_path: Optional[Union[str, Path]] = None
+    #: node checkpoint file: when set (with ``wal_path``), checkpoints
+    #: snapshot the table here and reset the WAL, so restart replay is
+    #: bounded by the writes since the last checkpoint instead of the
+    #: node's whole history
+    snapshot_path: Optional[Union[str, Path]] = None
+    #: checkpoint cadence: after this many journaled writes the next
+    #: maintenance pass checkpoints (0 = only on ``maintain`` requests
+    #: with ``checkpoint: true`` and at the end of a resync)
+    checkpoint_every: int = 0
+    #: backup archive root: when set, every checkpoint first archives
+    #: the WAL segment it is about to truncate (and a copy of the
+    #: snapshot), enabling point-in-time recovery via ``repro recover``
+    archive_dir: Optional[Union[str, Path]] = None
 
 
 @dataclass
@@ -186,6 +207,12 @@ class CinderellaServer:
         self._maintenance_passes = 0
         self._started_monotonic = 0.0
         self._wal: Optional[WriteAheadLog] = None
+        self._archive: Optional[BackupArchive] = (
+            BackupArchive(self.config.archive_dir)
+            if self.config.archive_dir is not None else None
+        )
+        self._wal_writes_since_checkpoint = 0
+        self._last_checkpoint_seq = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -209,8 +236,7 @@ class CinderellaServer:
         """
         if self._server is not None:
             raise RuntimeError("server already started")
-        if self.config.wal_path is not None:
-            self._open_and_replay_wal()
+        self._recover_state()
         self._read_slots = asyncio.Semaphore(self.config.max_parallel_reads)
         self._server = await asyncio.start_server(
             self._handle_connection,
@@ -234,33 +260,58 @@ class CinderellaServer:
         """Block until :meth:`stop` (or a ``shutdown`` op) completes."""
         await self._stopped.wait()
 
-    def _open_and_replay_wal(self) -> None:
-        """Open the durability journal and re-apply its records."""
+    def _recover_state(self) -> None:
+        """Restore durable state before binding: checkpoint, then WAL tail.
+
+        With a checkpoint on disk the table is rebuilt from it and only
+        WAL records *after* the covered sequence replay on top — the
+        sequence skip is what makes recovery exact (a record is never
+        applied twice).  A checkpoint that fails its integrity check is
+        ignored in favor of full WAL replay, which is always correct as
+        long as the journal reaches back to sequence zero.
+        """
+        checkpoint_seq = 0
+        snapshot_path = self.config.snapshot_path
+        if snapshot_path is not None and Path(snapshot_path).exists():
+            try:
+                cache = self.table.result_cache
+                if cache is not None:
+                    cache.clear()
+                    cache.counters = None  # rewired by the fresh table
+                self.table, checkpoint_seq = load_node_checkpoint(
+                    snapshot_path, result_cache=cache
+                )
+            except SnapshotFormatError as err:
+                checkpoint_seq = 0
+                obs.event(
+                    "server.checkpoint_rejected", node=self.config.name,
+                    path=str(snapshot_path), error=str(err),
+                )
+            else:
+                self._last_checkpoint_seq = checkpoint_seq
+                obs.event(
+                    "server.checkpoint_loaded", node=self.config.name,
+                    path=str(snapshot_path), wal_seq=checkpoint_seq,
+                )
+        if self.config.wal_path is not None:
+            self._open_and_replay_wal(after_seq=checkpoint_seq)
+
+    def _open_and_replay_wal(self, after_seq: int = 0) -> None:
+        """Open the durability journal and re-apply its records, skipping
+        everything a loaded checkpoint already covers."""
         assert self.config.wal_path is not None
         self._wal = WriteAheadLog(self.config.wal_path)
         replayed = 0
         for record in self._wal.records():
-            payload = record.payload
-            try:
-                if record.op == "insert":
-                    self.table.insert(
-                        payload["attributes"], entity_id=payload["eid"]
-                    )
-                elif record.op == "update":
-                    self.table.update(payload["eid"], payload["attributes"])
-                elif record.op == "delete":
-                    self.table.delete(payload["eid"])
-                else:
-                    continue  # future record kinds: ignore, stay replayable
-            except (KeyError, ValueError) as err:
-                # replaying onto a pre-seeded table: a record already
-                # reflected in the catalog is not a recovery failure
+            if record.seq <= after_seq:
+                continue  # the checkpoint already holds this write
+            if apply_record(self.table, record):
+                replayed += 1
+            else:
                 obs.event(
                     "server.wal_replay_skip", node=self.config.name,
-                    seq=record.seq, error=f"{type(err).__name__}: {err}",
+                    seq=record.seq, op=record.op,
                 )
-                continue
-            replayed += 1
         self.counters.wal_records_replayed += replayed
         if replayed:
             obs.event(
@@ -527,7 +578,11 @@ class CinderellaServer:
         if op == "stats":
             return protocol.OK, self._stats_snapshot()
         if op == "maintain":
-            return await self._handle_maintain()
+            return await self._handle_maintain(request)
+        if op == "sync_snapshot":
+            return await self._handle_sync_snapshot(request)
+        if op == "sync_delta":
+            return await self._handle_sync_delta(request)
         if op == "shutdown":
             session.closing = True
             self._stop_task = asyncio.get_running_loop().create_task(self.stop())
@@ -685,6 +740,7 @@ class CinderellaServer:
                     payload["attributes"] = request.get("attributes")
                 self._wal.append(request.op, payload, sync=False)
                 self.counters.wal_writes_logged += 1
+                self._wal_writes_since_checkpoint += 1
                 return pending, fields
             self._resolve(pending, fields=fields)
         return None
@@ -848,8 +904,11 @@ class CinderellaServer:
                 continue  # nothing changed; stay off the write lock
             await self._maintenance_pass()
 
-    async def _maintenance_pass(self) -> dict[str, Any]:
-        """One merge pass (and every Nth time a reorganization)."""
+    async def _maintenance_pass(
+        self, force_checkpoint: bool = False
+    ) -> dict[str, Any]:
+        """One merge pass (and every Nth time a reorganization); also
+        takes the periodic node checkpoint when one is due."""
         async with self.lock.write_locked():
             with obs.span("server.maintenance") as span:
                 self._writes_since_maintenance = 0
@@ -871,11 +930,281 @@ class CinderellaServer:
                 if span.is_recording:
                     span.set("merged", merged)
                     span.set("reorganized", reorganized)
+            # checkpoint inside the write lock (the table is quiesced)
+            # but outside the span (fsyncs run on a worker thread and a
+            # span must not cross an await)
+            checkpoint = None
+            if force_checkpoint or self._checkpoint_due():
+                checkpoint = await asyncio.to_thread(self._checkpoint_locked)
         obs.event("server.maintenance", merged=merged, reorganized=reorganized)
-        return {"merged": merged, "reorganized": reorganized}
+        result = {"merged": merged, "reorganized": reorganized}
+        if checkpoint is not None:
+            result["checkpoint"] = checkpoint
+        return result
 
-    async def _handle_maintain(self) -> tuple[str, dict[str, Any]]:
-        return protocol.OK, await self._maintenance_pass()
+    def _checkpoint_due(self) -> bool:
+        return (
+            self.config.checkpoint_every > 0
+            and self._wal is not None
+            and self.config.snapshot_path is not None
+            and self._wal_writes_since_checkpoint >= self.config.checkpoint_every
+        )
+
+    def _checkpoint_locked(self) -> Optional[dict[str, Any]]:
+        """Take one node checkpoint; caller must hold the write lock.
+
+        Runs the crash-safe ordering of :func:`repro.backup.checkpoint_node`:
+        archive the WAL segment, write the snapshot durably, archive a
+        copy, and only then truncate the journal.
+        """
+        if self._wal is None or self.config.snapshot_path is None:
+            return None
+        report = checkpoint_node(
+            self.table, self._wal, self.config.snapshot_path,
+            archive=self._archive,
+        )
+        self._wal_writes_since_checkpoint = 0
+        self._last_checkpoint_seq = report["wal_seq"]
+        self.counters.checkpoints_taken += 1
+        self.counters.checkpoint_records_truncated += report["records_truncated"]
+        return report
+
+    async def _handle_maintain(self, request: Request) -> tuple[str, dict[str, Any]]:
+        force_checkpoint = bool(request.get("checkpoint"))
+        if force_checkpoint and (
+            self._wal is None or self.config.snapshot_path is None
+        ):
+            raise _OpRefused(
+                protocol.REJECTED, "checkpoint_unconfigured",
+                "this node has no wal_path/snapshot_path configured; "
+                "nothing to checkpoint",
+            )
+        return protocol.OK, await self._maintenance_pass(
+            force_checkpoint=force_checkpoint
+        )
+
+    # ------------------------------------------------------------------
+    # replica repair: sync_snapshot (read side) / sync_delta (write side)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _parse_shard_spec(request: Request) -> tuple[int, frozenset[int]]:
+        """Validate the ``n_shards``/``shards`` pair both sync ops carry."""
+        n_shards = request.get("n_shards")
+        shards = request.get("shards")
+        if (
+            isinstance(n_shards, bool)
+            or not isinstance(n_shards, int)
+            or n_shards <= 0
+            or not isinstance(shards, list)
+            or not shards
+            or not all(
+                isinstance(s, int) and not isinstance(s, bool) for s in shards
+            )
+        ):
+            raise _OpRefused(
+                protocol.BAD_REQUEST, "bad_shard_spec",
+                "sync ops need {'n_shards': int > 0, 'shards': [int, ...]}",
+            )
+        return n_shards, frozenset(shards)
+
+    async def _handle_sync_snapshot(
+        self, request: Request
+    ) -> tuple[str, dict[str, Any]]:
+        """Serve one page of this node's entities for a set of shards.
+
+        The router pages a resync from a healthy peer with this op.  The
+        read runs under the shared lock like any query, so each page is
+        a consistent cut; cross-page drift is the router's problem (it
+        replays the delta it buffered while copying).
+        """
+        n_shards, shards = self._parse_shard_spec(request)
+        after_eid = request.get("after_eid", -1)
+        limit = request.get("limit", 200)
+        if (
+            isinstance(after_eid, bool) or not isinstance(after_eid, int)
+            or isinstance(limit, bool) or not isinstance(limit, int)
+            or limit <= 0
+        ):
+            raise _OpRefused(
+                protocol.BAD_REQUEST, "bad_sync_page",
+                "'after_eid' must be an int and 'limit' a positive int",
+            )
+        count_only = bool(request.get("count_only"))
+        fields = await self._read(
+            self._collect_sync_page, n_shards, shards, after_eid, limit,
+            count_only,
+        )
+        self.counters.sync_pages_served += 1
+        return protocol.OK, fields
+
+    def _collect_sync_page(
+        self,
+        n_shards: int,
+        shards: frozenset[int],
+        after_eid: int,
+        limit: int,
+        count_only: bool,
+    ) -> dict[str, Any]:
+        table = self.table
+        eids = [
+            eid for eid in table.entity_ids() if eid % n_shards in shards
+        ]
+        if count_only:
+            # order-independent identity of the shard contents: the
+            # router compares count+digest across replicas to decide a
+            # resynced node agrees with its healthy peer
+            digest = zlib.crc32(",".join(map(str, eids)).encode())
+            return {
+                "count": len(eids),
+                "digest": f"{digest:08x}",
+                "version_clock": table.catalog.version_clock,
+            }
+        page = [eid for eid in eids if eid > after_eid][:limit]
+        entities = []
+        for eid in page:
+            entity = table.get(eid)
+            entities.append({
+                "eid": eid,
+                "attributes": {
+                    name: _encode_value(value)
+                    for name, value in entity.attributes.items()
+                },
+            })
+        done = not page or page[-1] == eids[-1]
+        return {
+            "entities": entities,
+            "next_after": page[-1] if page else after_eid,
+            "done": done,
+            "count": len(eids),
+        }
+
+    async def _handle_sync_delta(
+        self, request: Request
+    ) -> tuple[str, dict[str, Any]]:
+        """Bulk-apply copied entities on this (resyncing) node.
+
+        Deliberately bypasses the admission queue: this op is
+        router-driven repair traffic, rare and must not be shed by the
+        same backpressure that protects against client floods.  It still
+        takes the exclusive lock and journals + fsyncs before acking, so
+        a crash mid-resync replays exactly what was acknowledged.
+        """
+        if self._draining:
+            raise _OpRefused(
+                protocol.SHUTTING_DOWN, "draining",
+                "server is draining; no new modifications",
+            )
+        entities = request.get("entities", [])
+        if not isinstance(entities, list) or not all(
+            isinstance(e, dict)
+            and isinstance(e.get("eid"), int)
+            and not isinstance(e.get("eid"), bool)
+            and isinstance(e.get("attributes"), dict)
+            for e in entities
+        ):
+            raise _OpRefused(
+                protocol.BAD_REQUEST, "bad_sync_delta",
+                "'entities' must be a list of {'eid': int, 'attributes': {}}",
+            )
+        reset = None
+        if request.get("reset") is not None:
+            spec = request.get("reset")
+            if not isinstance(spec, dict):
+                raise _OpRefused(
+                    protocol.BAD_REQUEST, "bad_sync_delta",
+                    "'reset' must be a {'n_shards', 'shards'} object",
+                )
+            reset = self._parse_shard_spec(
+                Request(op=request.op, id=request.id, fields=spec)
+            )
+        async with self.lock.write_locked():
+            outcome = await asyncio.to_thread(
+                self._apply_sync_delta, reset, entities
+            )
+            if self._wal is not None:
+                try:
+                    await asyncio.to_thread(self._wal.sync)
+                except OSError as err:
+                    raise _OpRefused(
+                        protocol.ERROR, "wal_sync_failed",
+                        f"could not make the sync delta durable: {err}",
+                    ) from None
+            if bool(request.get("final")) and (
+                self._wal is not None
+                and self.config.snapshot_path is not None
+            ):
+                checkpoint = await asyncio.to_thread(self._checkpoint_locked)
+                if checkpoint is not None:
+                    outcome["checkpoint_seq"] = checkpoint["wal_seq"]
+        self.counters.sync_deltas_applied += 1
+        self.counters.sync_entities_received += len(entities)
+        obs.event(
+            "server.sync_delta", entities=len(entities),
+            removed=outcome["removed"], reset=reset is not None,
+            final=bool(request.get("final")),
+        )
+        return protocol.OK, outcome
+
+    def _apply_sync_delta(
+        self,
+        reset: Optional[tuple[int, frozenset[int]]],
+        entities: list[dict[str, Any]],
+    ) -> dict[str, Any]:
+        """Apply a reset + upsert batch in one transaction (worker thread).
+
+        Journal entries are collected during application but appended to
+        the WAL only after the transaction commits — a rollback must not
+        leave journal records describing writes that never happened.
+        """
+        table = self.table
+        journal: list[tuple[str, dict[str, Any]]] = []
+        removed = 0
+        txn = table.catalog.begin_transaction()
+        try:
+            if reset is not None:
+                n_shards, shards = reset
+                doomed = [
+                    eid for eid in table.entity_ids()
+                    if eid % n_shards in shards
+                ]
+                for eid in doomed:
+                    table.delete(eid)
+                removed = len(doomed)
+                journal.append((
+                    "sync_reset",
+                    {"n_shards": n_shards, "shards": sorted(shards)},
+                ))
+            for entity in entities:
+                eid = entity["eid"]
+                attributes = {
+                    name: _decode_value(value)
+                    for name, value in entity["attributes"].items()
+                }
+                if eid in table:
+                    table.update(eid, attributes)
+                else:
+                    table.insert(attributes, entity_id=eid)
+                journal.append(("sync_put", {
+                    "eid": eid, "attributes": entity["attributes"],
+                }))
+        except Exception as err:
+            txn.rollback()
+            raise _OpRefused(
+                protocol.ERROR, "sync_delta_failed",
+                f"{type(err).__name__}: {err}",
+            ) from None
+        txn.commit()
+        if self._wal is not None:
+            for op, payload in journal:
+                self._wal.append(op, payload, sync=False)
+                self.counters.wal_writes_logged += 1
+                self._wal_writes_since_checkpoint += 1
+        return {
+            "applied": len(entities),
+            "removed": removed,
+            "entities": table.catalog.entity_count,
+            "version_clock": table.catalog.version_clock,
+        }
 
     # ------------------------------------------------------------------
     # stats
@@ -890,9 +1219,23 @@ class CinderellaServer:
             "wal": (
                 None if self._wal is None else {
                     "path": str(self._wal.path),
+                    "basis_seq": self._wal.basis_seq,
                     "last_seq": self._wal.last_seq,
                     "syncs": self._wal.syncs,
                     "size_bytes": self._wal.size_bytes(),
+                }
+            ),
+            "checkpoint": (
+                None if self.config.snapshot_path is None else {
+                    "snapshot_path": str(self.config.snapshot_path),
+                    "last_checkpoint_seq": self._last_checkpoint_seq,
+                    "wal_writes_since_checkpoint": (
+                        self._wal_writes_since_checkpoint
+                    ),
+                    "archive": (
+                        None if self._archive is None
+                        else str(self._archive.root)
+                    ),
                 }
             ),
             "partitions": table.partition_count(),

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import base64
 import json
+import os
 import zlib
 from pathlib import Path
 from typing import Any, Union
@@ -43,6 +44,8 @@ from repro.core.sizes import (
 
 FORMAT_VERSION = 2
 STORE_FORMAT_VERSION = 1
+NODE_CHECKPOINT_FORMAT = "repro-cinderella-node-checkpoint"
+NODE_CHECKPOINT_VERSION = 1
 
 _SIZE_MODELS: dict[str, type[SizeModel]] = {
     "UniformSizeModel": UniformSizeModel,
@@ -77,11 +80,21 @@ def _payload_checksum(document: dict) -> str:
 
 
 def _write_document(document: dict, path: Union[str, Path]) -> None:
-    """Stamp the checksum and write atomically via a temp file."""
+    """Stamp the checksum and write atomically via a temp file.
+
+    The temp file is fsynced before the rename, so a crash anywhere in
+    this function leaves either the previous snapshot or the complete
+    new one under the final name — never a torn file.  Checkpoint
+    ordering rests on this: the WAL may only be truncated once the
+    snapshot covering it has *returned* from here.
+    """
     document["checksum"] = _payload_checksum(document)
     target = Path(path)
     temporary = target.with_suffix(target.suffix + ".tmp")
-    temporary.write_text(json.dumps(document), encoding="utf-8")
+    with temporary.open("w", encoding="utf-8") as handle:
+        handle.write(json.dumps(document))
+        handle.flush()
+        os.fsync(handle.fileno())
     temporary.replace(target)
 
 
@@ -107,8 +120,9 @@ def _verify_checksum(document: dict, path: Union[str, Path]) -> None:
         )
 
 
-def save_table(table, path: Union[str, Path]) -> None:
-    """Write a snapshot of *table* to *path* (JSON, atomic via temp file)."""
+def _table_document(table) -> dict:
+    """The snapshot body shared by table snapshots and node checkpoints:
+    config, dictionary, and exact partition membership with payloads."""
     config = table.config
     size_model_name = type(config.size_model).__name__
     if size_model_name not in _SIZE_MODELS:
@@ -130,9 +144,7 @@ def save_table(table, path: Union[str, Path]) -> None:
                 }
             )
         partitions.append({"members": members})
-    document = {
-        "format": "repro-cinderella-snapshot",
-        "version": FORMAT_VERSION,
+    return {
         "config": {
             "max_partition_size": config.max_partition_size,
             "weight": config.weight,
@@ -145,24 +157,13 @@ def save_table(table, path: Union[str, Path]) -> None:
         "dictionary": list(table.dictionary.names()),
         "partitions": partitions,
     }
-    _write_document(document, path)
 
 
-def load_table(path: Union[str, Path]):
-    """Restore a :class:`CinderellaTable` from a snapshot file.
-
-    Partition membership is restored exactly (partition ids are freshly
-    assigned); no rating or splitting runs during the load.
-    """
+def _table_from_document(document: dict, path, result_cache=None):
+    """Rebuild a :class:`CinderellaTable` from a snapshot body."""
     from repro.catalog.dictionary import AttributeDictionary
     from repro.table.partitioned import CinderellaTable
 
-    document = _read_document(path, "repro-cinderella-snapshot")
-    if document.get("version") != FORMAT_VERSION:
-        raise SnapshotFormatError(
-            f"unsupported snapshot version {document.get('version')!r}"
-        )
-    _verify_checksum(document, path)
     try:
         config_doc = document["config"]
         size_model_cls = _SIZE_MODELS[config_doc["size_model"]]
@@ -176,7 +177,10 @@ def load_table(path: Union[str, Path]):
         )
         dictionary = AttributeDictionary(document["dictionary"])
         table = CinderellaTable(
-            config=config, dictionary=dictionary, page_size=document["page_size"]
+            config=config,
+            dictionary=dictionary,
+            page_size=document["page_size"],
+            result_cache=result_cache,
         )
         for partition_doc in document["partitions"]:
             table._restore_partition(
@@ -194,6 +198,68 @@ def load_table(path: Union[str, Path]):
     except (KeyError, TypeError) as error:
         raise SnapshotFormatError(f"malformed snapshot {path}: {error}") from error
     return table
+
+
+def save_table(table, path: Union[str, Path]) -> None:
+    """Write a snapshot of *table* to *path* (JSON, atomic via temp file)."""
+    document = {
+        "format": "repro-cinderella-snapshot",
+        "version": FORMAT_VERSION,
+        **_table_document(table),
+    }
+    _write_document(document, path)
+
+
+def load_table(path: Union[str, Path]):
+    """Restore a :class:`CinderellaTable` from a snapshot file.
+
+    Partition membership is restored exactly (partition ids are freshly
+    assigned); no rating or splitting runs during the load.
+    """
+    document = _read_document(path, "repro-cinderella-snapshot")
+    if document.get("version") != FORMAT_VERSION:
+        raise SnapshotFormatError(
+            f"unsupported snapshot version {document.get('version')!r}"
+        )
+    _verify_checksum(document, path)
+    return _table_from_document(document, path)
+
+
+def save_node_checkpoint(table, wal_seq: int, path: Union[str, Path]) -> None:
+    """Checkpoint a serving node's table to *path*.
+
+    A node checkpoint is a table snapshot plus ``wal_seq`` — the journal
+    position it covers.  Recovery loads the checkpoint and replays only
+    WAL records with a later sequence number, so replay work is bounded
+    by the writes since the last checkpoint instead of the node's whole
+    history.
+    """
+    document = {
+        "format": NODE_CHECKPOINT_FORMAT,
+        "version": NODE_CHECKPOINT_VERSION,
+        "wal_seq": wal_seq,
+        **_table_document(table),
+    }
+    _write_document(document, path)
+
+
+def load_node_checkpoint(path: Union[str, Path], result_cache=None):
+    """Restore a node checkpoint; returns ``(table, wal_seq)``.
+
+    ``wal_seq`` is the journal position the checkpoint covers; the
+    caller must skip WAL records at or below it when replaying.
+    """
+    document = _read_document(path, NODE_CHECKPOINT_FORMAT)
+    if document.get("version") != NODE_CHECKPOINT_VERSION:
+        raise SnapshotFormatError(
+            f"unsupported node checkpoint version {document.get('version')!r}"
+        )
+    _verify_checksum(document, path)
+    wal_seq = document.get("wal_seq")
+    if not isinstance(wal_seq, int):
+        raise SnapshotFormatError(f"node checkpoint {path} lacks a wal_seq")
+    table = _table_from_document(document, path, result_cache=result_cache)
+    return table, wal_seq
 
 
 # ----------------------------------------------------------------------

@@ -64,6 +64,17 @@ class WALFormatError(ValueError):
     """Raised when a write-ahead log cannot be interpreted."""
 
 
+class WALClosedError(ValueError):
+    """Raised when a closed write-ahead log is asked to do journal work.
+
+    Subclasses :class:`ValueError` so callers that treated the raw
+    ``ValueError: I/O operation on closed file`` as "the journal went
+    away under us" (the serving node's abort-mid-batch path) keep
+    working — they just get a message that names the log and the
+    operation instead of a file-object traceback.
+    """
+
+
 @dataclass(frozen=True)
 class WALRecord:
     """One journaled operation."""
@@ -216,6 +227,7 @@ class WriteAheadLog:
             raise ValueError(f"max_bytes must be positive, got {max_bytes}")
         self.path = Path(path)
         self.max_bytes = max_bytes
+        self._closed = False
         self.torn_records_dropped = 0
         #: fsync calls performed (commit-record durability)
         self.syncs = 0
@@ -254,6 +266,12 @@ class WriteAheadLog:
             os.fsync(handle.fileno())
         temporary.replace(self.path)
 
+    def _check_open(self, operation: str) -> None:
+        if self._closed:
+            raise WALClosedError(
+                f"cannot {operation}: write-ahead log {self.path} is closed"
+            )
+
     def append(self, op: str, payload: dict[str, Any], sync: bool = False) -> int:
         """Journal one operation; returns its sequence number.
 
@@ -261,6 +279,7 @@ class WriteAheadLog:
         returning — required for operation-journal intent and commit
         records, whose durability the atomicity guarantee rests on.
         """
+        self._check_open("append")
         seq = self.last_seq + 1
         self._handle.write(_encode_line(seq, op, payload))
         self._handle.flush()
@@ -300,6 +319,7 @@ class WriteAheadLog:
         of it — same durability as per-record ``sync=True`` at a
         fraction of the fsync count.
         """
+        self._check_open("sync")
         fsync_started = perf_counter() if obs.is_enabled() else 0.0
         os.fsync(self._handle.fileno())
         self.syncs += 1
@@ -334,6 +354,7 @@ class WriteAheadLog:
         ``last_seq`` so appends continue from the right position), so a
         companion snapshot's journal position stays valid.
         """
+        self._check_open("compact")
         with obs.span("wal.compact", path=str(self.path)) as span:
             records = self.records()
             predicate = (
@@ -365,6 +386,7 @@ class WriteAheadLog:
     def reset(self, basis_seq: int) -> None:
         """Checkpoint truncation: drop all records, remember that the
         companion snapshot covers everything up to *basis_seq*."""
+        self._check_open("reset")
         self._handle.close()
         self.compactions = 0
         self.last_seq = basis_seq
@@ -373,6 +395,12 @@ class WriteAheadLog:
         self._handle = self.path.open("a", encoding="utf-8")
 
     def close(self) -> None:
+        """Close the log handle; idempotent.  Further journal calls
+        raise :class:`WALClosedError` instead of a raw file-object
+        ``ValueError``."""
+        if self._closed:
+            return
+        self._closed = True
         self._handle.close()
 
     def __enter__(self) -> "WriteAheadLog":

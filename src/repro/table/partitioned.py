@@ -83,6 +83,10 @@ class CinderellaTable:
     def __contains__(self, eid: int) -> bool:
         return eid in self._rids
 
+    def entity_ids(self) -> list[int]:
+        """Stored entity ids in ascending order (resync paging, audits)."""
+        return sorted(self._rids)
+
     def insert(
         self, attributes: Mapping[str, Any], entity_id: Optional[int] = None
     ) -> ModificationOutcome:

@@ -6,7 +6,12 @@ from repro.core.config import CinderellaConfig
 from repro.core.partitioner import CinderellaPartitioner
 from repro.distributed.store import DistributedUniversalStore
 from repro.storage.snapshot import SnapshotFormatError, load_store, save_store
-from repro.storage.wal import WALFormatError, WriteAheadLog, read_wal
+from repro.storage.wal import (
+    WALClosedError,
+    WALFormatError,
+    WriteAheadLog,
+    read_wal,
+)
 
 
 def make_store(tmp_path, rf=2, nodes=3, b=6):
@@ -92,6 +97,52 @@ class TestWriteAheadLog:
         assert wal.basis_seq == 2
         seq = wal.append("insert", {"eid": 3, "mask": 1})
         assert seq == 3  # sequence numbers continue across checkpoints
+
+
+class TestClosedLog:
+    """Using a closed WAL is a clear, typed error — not a bare
+    ``ValueError: I/O operation on closed file`` from the file object."""
+
+    def closed_wal(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.append("insert", {"eid": 1, "mask": 1})
+        wal.close()
+        return wal
+
+    def test_append_after_close(self, tmp_path):
+        wal = self.closed_wal(tmp_path)
+        with pytest.raises(WALClosedError, match="append"):
+            wal.append("insert", {"eid": 2, "mask": 1})
+
+    def test_sync_after_close(self, tmp_path):
+        wal = self.closed_wal(tmp_path)
+        with pytest.raises(WALClosedError, match="sync"):
+            wal.sync()
+
+    def test_compact_and_reset_after_close(self, tmp_path):
+        wal = self.closed_wal(tmp_path)
+        with pytest.raises(WALClosedError):
+            wal.compact()
+        with pytest.raises(WALClosedError):
+            wal.reset(basis_seq=1)
+
+    def test_error_names_the_log(self, tmp_path):
+        wal = self.closed_wal(tmp_path)
+        with pytest.raises(WALClosedError) as caught:
+            wal.append("insert", {"eid": 2, "mask": 1})
+        assert str(wal.path) in str(caught.value)
+
+    def test_is_a_value_error(self, tmp_path):
+        """The serving node's abort-mid-batch path catches ``(OSError,
+        ValueError)`` to un-ack queued writes when the journal goes
+        away — the typed error must stay inside that net."""
+        assert issubclass(WALClosedError, ValueError)
+
+    def test_close_is_idempotent(self, tmp_path):
+        wal = self.closed_wal(tmp_path)
+        wal.close()  # no error the second time
+        # reads never needed the handle: the file is still consultable
+        assert [r.seq for r in wal.records()] == [1]
 
 
 class TestCompactionAndRotation:
