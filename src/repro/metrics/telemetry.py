@@ -252,6 +252,11 @@ class ServerCounters(RegistryMirrorMixin):
     sync_pages_served: int = 0
     sync_deltas_applied: int = 0
     sync_entities_received: int = 0
+    snapshots_published: int = 0
+    snapshots_retired: int = 0
+    snapshot_reads: int = 0
+    snapshot_response_cache_hits: int = 0
+    admission_window: int = 0
 
     def shed_rate(self) -> float:
         """Shed modifications over all modification submissions."""
@@ -276,6 +281,8 @@ class ServerCounters(RegistryMirrorMixin):
                 "connections_force_closed", "checkpoints_taken",
                 "checkpoint_records_truncated", "sync_pages_served",
                 "sync_deltas_applied", "sync_entities_received",
+                "snapshots_published", "snapshots_retired", "snapshot_reads",
+                "snapshot_response_cache_hits", "admission_window",
             )
         }
         result["shed_rate"] = self.shed_rate()

@@ -106,6 +106,12 @@ SERVER_METRICS: dict[str, tuple[str, str]] = {
     "sync_deltas_applied": ("repro_server_sync_deltas_applied_total", COUNTER),
     "sync_entities_received": (
         "repro_server_sync_entities_received_total", COUNTER),
+    "snapshots_published": ("repro_server_snapshots_published_total", COUNTER),
+    "snapshots_retired": ("repro_server_snapshots_retired_total", COUNTER),
+    "snapshot_reads": ("repro_server_snapshot_reads_total", COUNTER),
+    "snapshot_response_cache_hits": (
+        "repro_server_snapshot_response_cache_hits_total", COUNTER),
+    "admission_window": ("repro_server_admission_window", GAUGE),
 }
 
 #: RouterCounters field -> (metric name, kind)
@@ -283,6 +289,20 @@ METRIC_HELP: dict[str, str] = {
         "sync_delta chunks applied from the router",
     "repro_server_sync_entities_received_total":
         "Entities received through sync_delta chunks",
+    "repro_server_snapshots_published_total":
+        "MVCC snapshots published by writers",
+    "repro_server_snapshots_retired_total":
+        "MVCC snapshots garbage-collected past retention",
+    "repro_server_snapshot_reads_total":
+        "Reads served lock-free from MVCC snapshots",
+    "repro_server_snapshot_response_cache_hits_total":
+        "Queries answered from a snapshot's pre-serialized response cache",
+    "repro_server_admission_window":
+        "Adaptive write-admission window (queued writes admitted)",
+    "repro_server_snapshot_age_seconds":
+        "Seconds since the latest snapshot was published",
+    "repro_server_snapshots_retained":
+        "MVCC snapshots currently retained",
     "repro_router_nodes_diverged_total":
         "Replicas marked diverged after catch-up overflow",
     "repro_router_resyncs_started_total":

@@ -85,10 +85,14 @@ class QueryResultCache:
     ) -> Optional[list[dict[str, Any]]]:
         """The cached rows for ``(query, pid)`` at exactly *version*.
 
-        Returns ``None`` on a miss.  An entry stored under an older
-        version is dropped on sight (it can never validate again — the
-        clock is monotonic) and counted as a stale drop.  Served rows
-        are copies: callers may mutate them freely.
+        Returns ``None`` on a miss.  An entry stored under an *older*
+        version than the one requested is dropped on sight (it can
+        never validate again — the clock is monotonic) and counted as a
+        stale drop.  An entry stored under a *newer* version misses
+        without dropping: MVCC snapshot readers ask for historical
+        versions, and an entry that is current for the live table must
+        survive a pinned old snapshot passing through.  Served rows are
+        copies: callers may mutate them freely.
         """
         if self._lock is None:
             return self._lookup(query, pid, version)
@@ -105,8 +109,9 @@ class QueryResultCache:
             return None
         stored_version, rows = entry
         if stored_version != version:
-            del self._entries[key]
-            self._count("cache_stale_drops")
+            if stored_version < version:
+                del self._entries[key]
+                self._count("cache_stale_drops")
             self._count("cache_misses")
             return None
         self._entries.move_to_end(key)

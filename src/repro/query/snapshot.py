@@ -1,0 +1,524 @@
+"""MVCC-style immutable table snapshots pinned to the version clock.
+
+The serving layer's writer-preferring lock made every query wait for
+the batcher (and vice versa); this module removes the read side of that
+barrier.  A :class:`TableSnapshot` is an immutable view of one
+:class:`~repro.table.partitioned.CinderellaTable` at one value of the
+catalog's monotonic version clock (the same clock the query result
+cache keys by).  Writers publish a fresh snapshot after every committed
+batch; readers grab the latest snapshot and serve from it without any
+locking at all — a query can never block on a writer, and never
+observes a half-applied batch.
+
+Three layers keep publication cheap enough to run once per group
+commit:
+
+* ``_PartitionState`` holds one partition's raw records in heap-scan
+  order, decoded lazily on first read.  States are *shared across
+  snapshots*: when a publish finds a partition whose new contents are a
+  strict append of the old (the common case — inserts into an existing
+  partition), it extends the state in place and every older snapshot
+  keeps addressing its shorter prefix.  Any other change (delete,
+  in-place update, split/merge move) builds a fresh state object, so
+  snapshots taken before the change keep the old one alive untouched.
+* per-state **match caches** remember which rows a query matched up to
+  a prefix length, so repeated queries over a growing partition pay
+  only for the appended suffix.
+* per-snapshot **response caches** remember the fully serialized wire
+  fragment of a query's answer; within one snapshot's lifetime a
+  repeated query costs a dict lookup and a splice.
+
+Retention is bounded: a :class:`SnapshotManager` keeps the most recent
+``retain`` snapshots and garbage-collects older ones — but never the
+latest and never one a caller has pinned.  Pins are how longer-lived
+readers (tests, cursors, time travel) keep a version alive across
+publishes; the isolation battery's GC invariant pins exactly this.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Iterator, Optional, TYPE_CHECKING
+
+from repro.query.executor import ExecutionResult, ExecutionStats
+from repro.query.query import AttributeQuery
+from repro.storage.record import deserialize_record
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.catalog.dictionary import AttributeDictionary
+    from repro.table.partitioned import CinderellaTable
+
+#: query identity — the same pair the result cache keys by
+QuerySig = tuple[tuple[str, ...], str]
+
+#: distinct query shapes remembered per partition state / per snapshot;
+#: overflow clears the cache (simple and safe — it only costs a rescan)
+_MATCH_CACHE_SIGS = 128
+_RESPONSE_CACHE_SIGS = 256
+
+
+def query_sig(query: AttributeQuery) -> QuerySig:
+    return (query.attributes, query.mode)
+
+
+class _PartitionState:
+    """One partition's records, decoded lazily, shared across snapshots.
+
+    ``raw`` is the heap-scan order ``(rid, record_bytes)`` list; it may
+    be *extended* in place by a later publish (append-only growth), so
+    every reader must address it through a snapshot's fixed ``count``
+    prefix and never through ``len(raw)``.
+    """
+
+    __slots__ = ("pid", "version", "raw", "eids", "attrs",
+                 "match_cache", "chunk_cache", "dictionary",
+                 "heap_id", "seen_clock")
+
+    def __init__(
+        self, pid: int, version: int, raw: list, dictionary: "AttributeDictionary"
+    ) -> None:
+        self.pid = pid
+        #: version of the newest publish this state is current for
+        self.version = version
+        self.raw = raw
+        #: which physical heap (``HeapFile.file_id``) and how much of its
+        #: mutation history this state has observed; publish uses the
+        #: pair to detect append-only growth in O(1) via the heap's
+        #: structural clock instead of rescanning and prefix-comparing
+        self.heap_id = -1
+        self.seen_clock = -1
+        self.eids: list[int] = []
+        self.attrs: list[dict[str, Any]] = []
+        #: sig -> (prefix length considered, matched projected rows)
+        self.match_cache: dict[QuerySig, tuple[int, list[dict[str, Any]]]] = {}
+        #: sig -> (prefix length, row count, serialized row chunk) — the
+        #: matched rows pre-rendered as comma-joined JSON objects, so a
+        #: fresh snapshot's first serve of a known shape only serializes
+        #: rows appended since the previous snapshot
+        self.chunk_cache: dict[QuerySig, tuple[int, int, str]] = {}
+        self.dictionary = dictionary
+
+    def ensure_decoded(self, n: int) -> None:
+        """Decode records until the first *n* are available."""
+        attrs = self.attrs
+        eids = self.eids
+        raw = self.raw
+        dictionary = self.dictionary
+        while len(attrs) < n:
+            eid, attributes = deserialize_record(raw[len(attrs)][1], dictionary)
+            eids.append(eid)
+            attrs.append(attributes)
+
+    def matched_rows(
+        self, query: AttributeQuery, sig: QuerySig, n: int
+    ) -> list[dict[str, Any]]:
+        """Projected rows matching *query* among the first *n* records.
+
+        The returned list is shared and must not be mutated by callers.
+        A cached prefix shorter than *n* is extended monotonically (the
+        append-only fast path); a request for a prefix *shorter* than
+        the cached one — an older pinned snapshot — recomputes without
+        storing, so the cache always tracks the newest snapshot.
+        """
+        entry = self.match_cache.get(sig)
+        if entry is not None:
+            cached_n, cached_rows = entry
+            if cached_n == n:
+                return cached_rows
+            if cached_n < n:
+                self.ensure_decoded(n)
+                matches = query.matches
+                project = query.project
+                rows = cached_rows + [
+                    project(a) for a in self.attrs[cached_n:n] if matches(a)
+                ]
+                self.match_cache[sig] = (n, rows)
+                return rows
+            return [
+                query.project(a) for a in self.attrs[:n] if query.matches(a)
+            ]
+        self.ensure_decoded(n)
+        rows = [query.project(a) for a in self.attrs[:n] if query.matches(a)]
+        if len(self.match_cache) >= _MATCH_CACHE_SIGS:
+            self.match_cache.clear()
+        self.match_cache[sig] = (n, rows)
+        return rows
+
+    def matched_chunk(
+        self, query: AttributeQuery, sig: QuerySig, n: int
+    ) -> tuple[str, int]:
+        """The matched rows of the first *n* records, serialized.
+
+        Returns ``(chunk, row_count)`` where *chunk* is the rows as
+        comma-joined JSON objects (no enclosing brackets).  Like
+        :meth:`matched_rows` the cache extends monotonically: growth
+        serializes only the appended rows, and an older pinned
+        snapshot's shorter prefix recomputes without storing.
+        """
+        entry = self.chunk_cache.get(sig)
+        if entry is not None:
+            cached_n, count, chunk = entry
+            if cached_n == n:
+                return chunk, count
+            if cached_n < n:
+                rows = self.matched_rows(query, sig, n)
+                new = rows[count:]
+                if new:
+                    tail = ",".join(
+                        json.dumps(row, separators=(",", ":")) for row in new
+                    )
+                    chunk = f"{chunk},{tail}" if chunk else tail
+                self.chunk_cache[sig] = (n, len(rows), chunk)
+                return chunk, len(rows)
+        rows = self.matched_rows(query, sig, n)
+        chunk = ",".join(
+            json.dumps(row, separators=(",", ":")) for row in rows
+        )
+        if entry is not None:  # shorter prefix: serve without storing
+            return chunk, len(rows)
+        if len(self.chunk_cache) >= _MATCH_CACHE_SIGS:
+            self.chunk_cache.clear()
+        self.chunk_cache[sig] = (n, len(rows), chunk)
+        return chunk, len(rows)
+
+
+class PartitionView:
+    """One partition as one snapshot saw it: mask, version, record count."""
+
+    __slots__ = ("pid", "mask", "version", "count", "_state")
+
+    def __init__(
+        self, pid: int, mask: int, version: int, count: int,
+        state: _PartitionState,
+    ) -> None:
+        self.pid = pid
+        self.mask = mask
+        self.version = version
+        self.count = count
+        self._state = state
+
+    def rows(self, query: AttributeQuery, sig: QuerySig) -> list[dict[str, Any]]:
+        return self._state.matched_rows(query, sig, self.count)
+
+    def chunk(self, query: AttributeQuery, sig: QuerySig) -> tuple[str, int]:
+        return self._state.matched_chunk(query, sig, self.count)
+
+    def entities(self) -> Iterator[tuple[int, dict[str, Any]]]:
+        """``(eid, attributes)`` pairs in heap-scan order.
+
+        The attribute dicts are the shared decoded objects — callers
+        must not mutate them.
+        """
+        state = self._state
+        state.ensure_decoded(self.count)
+        return zip(state.eids[: self.count], state.attrs[: self.count])
+
+
+class TableSnapshot:
+    """An immutable view of the whole table at one version-clock value."""
+
+    def __init__(
+        self,
+        snapshot_id: int,
+        version_clock: int,
+        views: tuple[PartitionView, ...],
+        dictionary: "AttributeDictionary",
+        created_monotonic: float,
+    ) -> None:
+        self.snapshot_id = snapshot_id
+        self.version_clock = version_clock
+        self.views = views  # ascending pid — plan order of the executor
+        self.dictionary = dictionary
+        self.created_monotonic = created_monotonic
+        #: pin count — the manager's GC skips pinned snapshots
+        self.pins = 0
+        self._by_pid = {view.pid: view for view in views}
+        #: sig -> (surviving views, pruned count)
+        self._plan_cache: dict[QuerySig, tuple[tuple[PartitionView, ...], int]] = {}
+        #: sig -> (wire fragment, row count) for repeat queries
+        self._response_cache: dict[QuerySig, tuple[bytes, int]] = {}
+
+    # ------------------------------------------------------------------
+    # metadata
+    # ------------------------------------------------------------------
+    @property
+    def partition_count(self) -> int:
+        return len(self.views)
+
+    @property
+    def entity_count(self) -> int:
+        return sum(view.count for view in self.views)
+
+    def version_of(self, pid: int) -> int:
+        return self._by_pid[pid].version
+
+    def entities(self) -> Iterator[tuple[int, dict[str, Any]]]:
+        """Every ``(eid, attributes)`` pair (ascending pid, heap order)."""
+        for view in self.views:
+            yield from view.entities()
+
+    def entity_ids(self) -> list[int]:
+        """Stored entity ids in ascending order (resync paging)."""
+        return sorted(eid for view in self.views for eid, _ in view.entities())
+
+    # ------------------------------------------------------------------
+    # planning (the pruning math of repro.query.pruning over the views)
+    # ------------------------------------------------------------------
+    def _branches(
+        self, query: AttributeQuery, sig: QuerySig
+    ) -> tuple[tuple[PartitionView, ...], int]:
+        cached = self._plan_cache.get(sig)
+        if cached is not None:
+            return cached
+        query_mask = query.synopsis_mask(self.dictionary)
+        if query.mode == "any":
+            branches = (
+                tuple(v for v in self.views if v.mask & query_mask)
+                if query_mask else ()
+            )
+        elif query_mask and len(query.attributes) == query_mask.bit_count():
+            branches = tuple(
+                v for v in self.views if (v.mask & query_mask) == query_mask
+            )
+        else:  # `all` over an attribute no entity ever had matches nothing
+            branches = ()
+        plan = (branches, len(self.views) - len(branches))
+        if len(self._plan_cache) >= _RESPONSE_CACHE_SIGS:
+            self._plan_cache.clear()
+        self._plan_cache[sig] = plan
+        return plan
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def serve_query(self, query: AttributeQuery) -> tuple[bytes, int, bool]:
+        """Answer one query as a pre-serialized wire fragment.
+
+        Returns ``(fragment, row_count, from_cache)``.  The fragment is
+        everything of the response line after the request id — the
+        server splices ``{"id":N`` in front — so a repeated query costs
+        no JSON serialization at all.  The first serve of a query shape
+        reports its scan in the stats object; cache hits report
+        ``cache_hits`` instead, mirroring the result cache's accounting.
+        """
+        sig = (query.attributes, query.mode)
+        cached = self._response_cache.get(sig)
+        if cached is not None:
+            return cached[0], cached[1], True
+        branches, pruned = self._branches(query, sig)
+        parts: list[str] = []
+        row_count = 0
+        for view in branches:
+            chunk, count = view.chunk(query, sig)
+            if chunk:
+                parts.append(chunk)
+            row_count += count
+        rows_json = f"[{','.join(parts)}]"
+        total = len(self.views)
+        scanned = len(branches)
+        first = (
+            ',"ok":true,"status":"ok","rows":%s,"row_count":%d,'
+            '"stats":{"partitions_total":%d,"partitions_scanned":%d,'
+            '"partitions_pruned":%d,"cache_hits":0,"cache_misses":%d}}\n'
+            % (rows_json, row_count, total, scanned, pruned, scanned)
+        ).encode()
+        repeat = (
+            ',"ok":true,"status":"ok","rows":%s,"row_count":%d,'
+            '"stats":{"partitions_total":%d,"partitions_scanned":0,'
+            '"partitions_pruned":%d,"cache_hits":%d,"cache_misses":0}}\n'
+            % (rows_json, row_count, total, pruned, scanned)
+        ).encode()
+        if len(self._response_cache) >= _RESPONSE_CACHE_SIGS:
+            self._response_cache.clear()
+        self._response_cache[sig] = (repeat, row_count)
+        return first, row_count, False
+
+    def execute(
+        self,
+        query: AttributeQuery,
+        eid_filter: Optional[Callable[[int], bool]] = None,
+    ) -> ExecutionResult:
+        """Execute with the executor's result/accounting types.
+
+        Row order is identical to
+        :func:`repro.query.executor.execute_union_all` over the same
+        state (views ascend by pid, records in heap-scan order), which
+        is what the differential oracle compares against.  Rows are
+        fresh dicts — callers may mutate them.
+        """
+        sig = (query.attributes, query.mode)
+        branches, pruned = self._branches(query, sig)
+        stats = ExecutionStats(
+            partitions_total=len(self.views),
+            partitions_scanned=len(branches),
+            partitions_pruned=pruned,
+            union_branches=len(branches),
+        )
+        rows: list[dict[str, Any]] = []
+        if eid_filter is None:
+            for view in branches:
+                rows.extend(dict(row) for row in view.rows(query, sig))
+        else:
+            matches = query.matches
+            project = query.project
+            for view in branches:
+                for eid, attributes in view.entities():
+                    stats.entities_read += 1
+                    if not eid_filter(eid):
+                        continue
+                    if matches(attributes):
+                        rows.append(project(attributes))
+        stats.rows_returned = len(rows)
+        return ExecutionResult(rows=rows, stats=stats)
+
+
+class SnapshotManager:
+    """Publishes and retains snapshots; thread-safe on both sides.
+
+    The writer side (``publish``) runs on the batcher's worker thread;
+    the reader side (``latest``/``pin``/``release``) runs on the event
+    loop and in tests.  One plain lock covers the retention structures;
+    snapshots themselves are immutable after publication, so readers
+    never need it once they hold one.
+    """
+
+    def __init__(self, retain: int = 8) -> None:
+        if retain < 1:
+            raise ValueError(f"retain must be at least 1, got {retain}")
+        self.retain = retain
+        self._lock = threading.Lock()
+        self._states: dict[int, _PartitionState] = {}
+        self._retained: "OrderedDict[int, TableSnapshot]" = OrderedDict()
+        self._latest: Optional[TableSnapshot] = None
+        self._next_snapshot_id = 0
+        #: monotonic counters, mirrored into ServerCounters by the server
+        self.published = 0
+        self.retired = 0
+        self.last_publish_monotonic = 0.0
+
+    @property
+    def latest(self) -> Optional[TableSnapshot]:
+        return self._latest
+
+    def retained_count(self) -> int:
+        return len(self._retained)
+
+    def retained_ids(self) -> list[int]:
+        return list(self._retained)
+
+    # ------------------------------------------------------------------
+    # publication
+    # ------------------------------------------------------------------
+    def publish(self, table: "CinderellaTable") -> TableSnapshot:
+        """Snapshot the table's current committed state.
+
+        Must be called from the single writer (batch apply, maintenance,
+        sync delta) *after* its transaction committed — the snapshot is
+        what readers will see, so publishing mid-mutation would leak a
+        torn state.
+        """
+        with self._lock:
+            return self._publish_locked(table)
+
+    def _publish_locked(self, table: "CinderellaTable") -> TableSnapshot:
+        catalog = table.catalog
+        dictionary = table.dictionary
+        states = self._states
+        views: list[PartitionView] = []
+        live_pids = set()
+        for partition in catalog:
+            pid = partition.pid
+            live_pids.add(pid)
+            version = catalog.version_of(pid)
+            state = states.get(pid)
+            if state is None or state.version != version:
+                heap = table.heap_of(pid)
+                if (
+                    state is not None
+                    and state.heap_id == heap.file_id
+                    and heap.structural_clock <= state.seen_clock
+                ):
+                    # append-only growth, detected in O(1) from the
+                    # heap's clocks: extend in place with just the new
+                    # tail records; older snapshots keep addressing
+                    # their shorter prefix
+                    if heap.mutation_clock != state.seen_clock:
+                        tail = state.raw[-1][0] if state.raw else None
+                        state.raw.extend(heap.scan_suffix(tail))
+                        state.seen_clock = heap.mutation_clock
+                    state.version = version
+                else:
+                    # anything else (delete, in-place update, move):
+                    # a fresh state — old snapshots keep the old object
+                    state = states[pid] = _PartitionState(
+                        pid, version, list(heap.scan()), dictionary
+                    )
+                    state.heap_id = heap.file_id
+                    state.seen_clock = heap.mutation_clock
+            views.append(
+                PartitionView(pid, partition.mask, version, len(state.raw), state)
+            )
+        for pid in list(states):
+            if pid not in live_pids:
+                del states[pid]
+        views.sort(key=lambda view: view.pid)
+        snapshot = TableSnapshot(
+            self._next_snapshot_id,
+            catalog.version_clock,
+            tuple(views),
+            dictionary,
+            time.monotonic(),
+        )
+        self._next_snapshot_id += 1
+        self._retained[snapshot.snapshot_id] = snapshot
+        self._latest = snapshot
+        self.published += 1
+        self.last_publish_monotonic = snapshot.created_monotonic
+        self._gc_locked()
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # pinning and retention
+    # ------------------------------------------------------------------
+    def pin_latest(self) -> TableSnapshot:
+        with self._lock:
+            snapshot = self._latest
+            if snapshot is None:
+                raise RuntimeError("no snapshot published yet")
+            snapshot.pins += 1
+            return snapshot
+
+    def pin(self, snapshot: TableSnapshot) -> TableSnapshot:
+        with self._lock:
+            snapshot.pins += 1
+            return snapshot
+
+    def release(self, snapshot: TableSnapshot) -> None:
+        with self._lock:
+            if snapshot.pins <= 0:
+                raise RuntimeError(
+                    f"snapshot {snapshot.snapshot_id} released more than pinned"
+                )
+            snapshot.pins -= 1
+            self._gc_locked()
+
+    def _gc_locked(self) -> None:
+        """Drop the oldest unpinned non-latest snapshots beyond ``retain``.
+
+        The invariants the isolation battery pins: the latest snapshot
+        and every pinned snapshot are never collected, no matter how far
+        past the retention bound they push the retained set.
+        """
+        while len(self._retained) > self.retain:
+            victim = None
+            for snapshot in self._retained.values():
+                if snapshot.pins == 0 and snapshot is not self._latest:
+                    victim = snapshot
+                    break
+            if victim is None:
+                return  # everything old is pinned: retention grows, GC waits
+            del self._retained[victim.snapshot_id]
+            self.retired += 1

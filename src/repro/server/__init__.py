@@ -7,14 +7,18 @@ concurrent front door that makes "online" literal:
 
 * :mod:`repro.server.server` — an asyncio TCP server speaking the
   line-delimited JSON protocol of :mod:`repro.server.protocol`:
-  per-connection sessions, a bounded write queue with explicit
-  ``OVERLOADED`` shedding (the ingest pipeline's admission semantics),
-  write batching through :mod:`repro.txn` undo-log transactions, and
+  per-connection sessions, lock-free snapshot-isolated reads (queries
+  serve from the latest :class:`~repro.query.snapshot.TableSnapshot`,
+  never blocking on writers), an adaptive write-admission window with
+  explicit ``OVERLOADED`` shedding
+  (:mod:`repro.server.admission` — queue-based load leveling), write
+  batching group-committed through one :mod:`repro.txn` undo-log
+  transaction (per-op savepoints) and one WAL fsync per batch, and
   cooperative background maintenance (merge / reorganize) running
   between batches;
-* :mod:`repro.server.locks` — the reader–writer lock that lets many
-  queries proceed in parallel (worker threads) while mutations stay
-  serialized on the event loop;
+* :mod:`repro.server.locks` — the reader–writer lock that serializes
+  the batcher, maintenance, and sync deltas against each other (reads
+  no longer take it);
 * :mod:`repro.server.client` — the small blocking client used by the
   tests, the soak suite, and ``benchmarks/bench_server.py``;
 * :mod:`repro.server.testing` — :class:`ServerThread`, an in-process
@@ -23,6 +27,7 @@ concurrent front door that makes "online" literal:
 Start one with ``python -m repro serve``; see ``docs/SERVER.md``.
 """
 
+from repro.server.admission import AdaptiveAdmission
 from repro.server.client import ServerClient, ServerError
 from repro.server.locks import AsyncReadWriteLock
 from repro.server.protocol import (
@@ -43,6 +48,7 @@ from repro.server.server import CinderellaServer, ServerConfig
 from repro.server.testing import ServerThread
 
 __all__ = [
+    "AdaptiveAdmission",
     "AsyncReadWriteLock",
     "CinderellaServer",
     "DEGRADED",

@@ -28,6 +28,11 @@ from repro.server.protocol import (
 )
 
 
+#: one deprecation warning per process for insert_with_backoff (tests
+#: reset this to re-observe the warning)
+_BACKOFF_WARNED = False
+
+
 class ServerError(RuntimeError):
     """A response the caller asked to be raised (non-ok, non-retryable)."""
 
@@ -220,14 +225,20 @@ class ServerClient:
 
         Kept as a thin shim over :meth:`retrying` for older callers; the
         one-off helper predates the uniform wrapper and covered only
-        ``overloaded``.
+        ``overloaded``.  The deprecation warning fires once per process
+        (hot retry loops call this thousands of times; the default
+        warnings filter dedups per call site, which is not enough when
+        many sites migrate one at a time).
         """
-        warnings.warn(
-            "insert_with_backoff is deprecated; use "
-            "client.retrying('insert', ...) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
+        global _BACKOFF_WARNED
+        if not _BACKOFF_WARNED:
+            _BACKOFF_WARNED = True
+            warnings.warn(
+                "insert_with_backoff is deprecated; use "
+                "client.retrying('insert', ...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         fields: dict[str, Any] = {"attributes": attributes}
         if eid is not None:
             fields["eid"] = eid

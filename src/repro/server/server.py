@@ -9,37 +9,45 @@ paragraph:
 * every **connection** gets a :class:`Session` and an independent
   request loop; requests on one connection are answered in order,
   requests on different connections interleave freely;
-* every **query** (attribute query or SQL) takes the catalog
-  :class:`~repro.server.locks.AsyncReadWriteLock` *shared* and runs its
-  scan in a worker thread (``asyncio.to_thread``), so slow scans never
-  stall the event loop and many queries proceed in parallel;
-* every **modification** goes through admission control first — a
-  bounded write queue; submissions past ``max_pending`` are shed with
-  the explicit ``overloaded`` status (the ingest pipeline's
-  backpressure semantics) instead of queueing unboundedly — and is then
-  applied by the single **batcher** task, which drains up to
-  ``batch_max`` queued writes per *exclusive* lock acquisition, each
-  write wrapped in a :class:`~repro.txn.transaction.CatalogTransaction`
-  so a failed one rolls back exactly and the rest of the batch
-  proceeds;
+* every **query** (attribute query or SQL) is served from the latest
+  :class:`~repro.query.snapshot.TableSnapshot` — an immutable MVCC view
+  the writer publishes after every committed batch — directly on the
+  event loop, with *no locking at all*: a read can never block on a
+  writer and never observes a half-applied batch (snapshot isolation);
+* every **modification** goes through *adaptive admission* first
+  (:class:`~repro.server.admission.AdaptiveAdmission` — queue-based
+  load leveling: the window tracks the batcher's measured drain rate
+  under a target latency, bounded by ``max_pending``); submissions past
+  the window are shed with the explicit ``overloaded`` status (the
+  ingest pipeline's backpressure semantics) instead of queueing
+  unboundedly — admitted writes are applied by the single **batcher**
+  task, which drains up to ``batch_max`` queued writes and **group
+  commits** them on a worker thread: one
+  :class:`~repro.txn.transaction.CatalogTransaction` for the whole
+  batch (per-op savepoints roll a refused write back exactly while the
+  rest proceed), one WAL fsync covering every record, one snapshot
+  publish before any ack leaves the server (read-your-writes);
 * **maintenance** (merge passes, optional reorganizations) runs as a
-  cooperative background task between batches, under the same exclusive
-  lock, so the catalog keeps adapting while traffic flows — the paper's
-  online setting made literal;
+  cooperative background task between batches, under the exclusive
+  side of the :class:`~repro.server.locks.AsyncReadWriteLock` that
+  serializes it against the batcher, so the catalog keeps adapting
+  while traffic flows — the paper's online setting made literal;
 * **shutdown** is a drain: stop accepting, shed new work with
-  ``shutting_down``, flush the write queue, finish in-flight reads,
-  then close every connection.
+  ``shutting_down``, flush the write queue, then close every
+  connection (reads are non-blocking, so there is nothing to quiesce).
 
-The result cache stays coherent under all of this because cache lookups
-happen inside the read lock (no writer can move the version clock
-mid-query) and every mutation bumps partition versions before the write
-lock is released; ``tests/test_server_soak.py`` checks exactly that
-after a concurrent mixed workload.
+The result cache stays coherent under all of this because snapshots are
+published only after a batch's transaction commits (every mutation has
+bumped its partition versions by then), and snapshot match caches are
+keyed by the immutable per-snapshot record-count prefix;
+``tests/test_server_soak.py`` and ``tests/test_isolation.py`` check
+exactly that after a concurrent mixed workload.
 """
 
 from __future__ import annotations
 
 import asyncio
+import json
 import time
 import zlib
 from dataclasses import dataclass, field
@@ -52,7 +60,9 @@ from repro.metrics.telemetry import ServerCounters
 from repro.obs import runtime as obs
 from repro.query.cache import QueryResultCache
 from repro.query.query import AttributeQuery
+from repro.query.snapshot import SnapshotManager, TableSnapshot
 from repro.server import protocol
+from repro.server.admission import AdaptiveAdmission
 from repro.server.locks import AsyncReadWriteLock
 from repro.server.protocol import ProtocolError, Request
 from repro.storage.snapshot import (
@@ -84,13 +94,24 @@ class ServerConfig:
     #: node name — labels metrics/events when several servers share a
     #: process (one per cluster node behind the router)
     name: str = "node"
-    #: write-admission bound: queued modifications past this are shed
+    #: write-admission hard ceiling: the adaptive window never exceeds
+    #: this many queued modifications (0 = admit nothing)
     max_pending: int = 256
-    #: modifications applied per exclusive-lock acquisition
+    #: adaptive admission: the window is sized so a full queue drains
+    #: within this latency at the batcher's measured rate
+    admission_target_latency_s: float = 0.05
+    #: adaptive admission: the window never shrinks below this (keeps a
+    #: transient stall from collapsing admission entirely)
+    admission_min_window: int = 8
+    #: modifications applied per group commit
     batch_max: int = 32
     #: how long the batcher lingers for a batch to fill (seconds)
     batch_linger_s: float = 0.002
-    #: concurrent query scans dispatched to worker threads
+    #: MVCC snapshots retained beyond the latest (pinned snapshots are
+    #: always kept regardless)
+    snapshot_retain: int = 8
+    #: unused since reads went lock-free via snapshots; kept so existing
+    #: deployment configs keep constructing
     max_parallel_reads: int = 8
     #: cooperative maintenance cadence (seconds; 0 disables the task)
     maintenance_interval_s: float = 0.25
@@ -168,6 +189,21 @@ class _PendingWrite:
     future: asyncio.Future
 
 
+class _Raw:
+    """A pre-serialized response fragment from the snapshot fast path.
+
+    Holds everything of the wire line after the request id; the
+    dispatcher splices ``{"id":N`` in front instead of re-encoding the
+    rows through ``json.dumps`` — repeat queries cost no serialization.
+    """
+
+    __slots__ = ("status", "fragment")
+
+    def __init__(self, status: str, fragment: bytes) -> None:
+        self.status = status
+        self.fragment = fragment
+
+
 class CinderellaServer:
     """A Cinderella table behind a TCP socket (see the module docstring)."""
 
@@ -193,7 +229,12 @@ class CinderellaServer:
         self.sessions: dict[int, Session] = {}
         self._next_sid = 1
         self._write_queue: asyncio.Queue[_PendingWrite] = asyncio.Queue()
-        self._read_slots: Optional[asyncio.Semaphore] = None
+        self._snapshots = SnapshotManager(retain=self.config.snapshot_retain)
+        self._admission = AdaptiveAdmission(
+            self.config.max_pending,
+            target_latency_s=self.config.admission_target_latency_s,
+            min_window=self.config.admission_min_window,
+        )
         self._server: Optional[asyncio.AbstractServer] = None
         self._batcher_task: Optional[asyncio.Task] = None
         self._maintenance_task: Optional[asyncio.Task] = None
@@ -237,7 +278,9 @@ class CinderellaServer:
         if self._server is not None:
             raise RuntimeError("server already started")
         self._recover_state()
-        self._read_slots = asyncio.Semaphore(self.config.max_parallel_reads)
+        # first snapshot before the socket binds: a query can never find
+        # no published state to serve from
+        self._publish()
         self._server = await asyncio.start_server(
             self._handle_connection,
             host=self.config.host,
@@ -361,15 +404,8 @@ class CinderellaServer:
         if self._maintenance_task is not None:
             self._maintenance_task.cancel()
             await asyncio.gather(self._maintenance_task, return_exceptions=True)
-        # in-flight reads hold the read lock; taking it exclusively once
-        # means every reader has finished before connections die
-        try:
-            await asyncio.wait_for(
-                self._quiesce_reads(),
-                timeout=max(0.05, deadline - time.monotonic()),
-            )
-        except asyncio.TimeoutError:
-            forced = True
+        # reads never block: they serve from an immutable snapshot on
+        # the event loop, so there is no in-flight scan to quiesce
         for session in self.sessions.values():
             session.closing = True
         # handler tasks blocked in readline() only notice `closing` on
@@ -397,11 +433,6 @@ class CinderellaServer:
             sessions=len(self.sessions), forced=forced,
         )
         self._stopped.set()
-
-    async def _quiesce_reads(self) -> None:
-        """Wait for every in-flight read by passing through the write lock."""
-        async with self.lock.write_locked():
-            pass
 
     def _force_close_connections(self) -> None:
         """Abort every surviving connection with a best-effort typed frame."""
@@ -476,6 +507,7 @@ class CinderellaServer:
             self._conn_tasks.add(task)
         self.counters.connections_opened += 1
         obs.event("server.connect", sid=session.sid, peer=peer)
+        out: list[bytes] = []  # responses accumulated for one flush
         try:
             while not session.closing:
                 try:
@@ -484,21 +516,35 @@ class CinderellaServer:
                     # an over-long frame: answer once, then give up on the
                     # stream (framing can no longer be trusted)
                     self.counters.bad_requests += 1
-                    writer.write(protocol.encode_response(
+                    out.append(protocol.encode_response(
                         0, protocol.BAD_REQUEST,
                         error=protocol.error_body(
                             "frame_too_long",
                             f"frame exceeds {protocol.MAX_LINE_BYTES} bytes",
                         ),
                     ))
+                    writer.write(b"".join(out))
+                    out.clear()
                     await writer.drain()
                     break
                 if not line:
                     break  # EOF
                 if not line.strip():
                     continue
-                payload = await self._dispatch(line.strip(), session)
-                writer.write(payload)
+                out.append(await self._dispatch(line.strip(), session))
+                # pipelined clients batch many requests per segment;
+                # answering each with its own send syscall dominates the
+                # loop at high concurrency, so hold responses until the
+                # read buffer has no complete frame left (or the batch
+                # grows past a bound), then flush them in one write
+                if (
+                    len(out) < 128
+                    and not session.closing
+                    and b"\n" in getattr(reader, "_buffer", b"")
+                ):
+                    continue
+                writer.write(out[0] if len(out) == 1 else b"".join(out))
+                out.clear()
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError):
             pass  # client vanished mid-response
@@ -533,8 +579,15 @@ class CinderellaServer:
             )
         self.counters.requests_total += 1
         started = time.perf_counter()
+        raw: Optional[_Raw] = None
         try:
-            status, fields = await self._route(request, session)
+            outcome = await self._route(request, session)
+            if isinstance(outcome, _Raw):
+                raw = outcome
+                status = outcome.status
+                fields = {}
+            else:
+                status, fields = outcome
             error = None
         except _OpRefused as refusal:
             status = refusal.status
@@ -559,6 +612,8 @@ class CinderellaServer:
         session.observe(request.op, ok=ok)
         if not ok:
             self.counters.requests_failed += 1
+        if raw is not None:
+            return b'{"id":' + str(request.id).encode() + raw.fragment
         return protocol.encode_response(
             request.id, status, error=error, **fields
         )
@@ -594,7 +649,7 @@ class CinderellaServer:
     # ------------------------------------------------------------------
     # writes: admission → queue → batcher
     # ------------------------------------------------------------------
-    async def _handle_write(self, request: Request) -> tuple[str, dict[str, Any]]:
+    async def _handle_write(self, request: Request) -> "_Raw":
         if self._draining:
             self.counters.writes_shed_shutdown += 1
             raise _OpRefused(
@@ -602,18 +657,19 @@ class CinderellaServer:
                 "server is draining; no new modifications",
             )
         self._validate_write(request)
-        if self._write_queue.qsize() >= self.config.max_pending:
+        if not self._admission.admit(self._write_queue.qsize()):
             # explicit shedding, the ingest pipeline's OVERLOADED contract:
             # nothing is enqueued, the client backs off and resubmits
             self.counters.writes_shed_overloaded += 1
             obs.event(
                 "server.shed", op=request.op,
                 pending=self._write_queue.qsize(),
+                window=self._admission.window,
             )
             raise _OpRefused(
                 protocol.OVERLOADED, "overloaded",
-                f"write queue full ({self.config.max_pending} pending); "
-                f"back off and resubmit",
+                f"write queue full ({self._write_queue.qsize()} pending, "
+                f"window {self._admission.window}); back off and resubmit",
             )
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._write_queue.put_nowait(_PendingWrite(request, future))
@@ -660,7 +716,7 @@ class CinderellaServer:
                 )
 
     async def _batcher(self) -> None:
-        """Drain queued writes in batches, one lock hold per batch."""
+        """Drain queued writes in group-committed batches."""
         while True:
             first = await self._write_queue.get()
             if self.config.batch_linger_s > 0 and (
@@ -673,25 +729,33 @@ class CinderellaServer:
                 and not self._write_queue.empty()
             ):
                 batch.append(self._write_queue.get_nowait())
-            applied: list[tuple[_PendingWrite, dict[str, Any]]] = []
+            started = time.perf_counter()
+            # the write lock only serializes against maintenance and
+            # sync deltas now — readers never take it
             async with self.lock.write_locked():
-                with obs.span("server.batch", size=len(batch)):
-                    for pending in batch:
-                        outcome = self._apply_one(pending)
-                        if outcome is not None:
-                            applied.append(outcome)
-            if self._wal is not None and applied:
-                # group commit: the whole batch is journaled, then one
-                # fsync (off the event loop) covers every record — no
-                # success below is acknowledged before it is durable
-                try:
-                    await asyncio.to_thread(self._wal.sync)
-                except (OSError, ValueError):
-                    # the journal vanished under us (abort mid-batch):
-                    # a write that is not durable must not be acked
-                    applied.clear()
-            for pending, fields in applied:
-                self._resolve(pending, fields=fields)
+                acked, refused = await asyncio.to_thread(
+                    self._apply_batch, batch
+                )
+            # asyncio futures are not thread-safe: verdicts come back
+            # from the worker thread and resolve here, on the loop —
+            # and only after the publish inside _apply_batch, so every
+            # acked client immediately reads its own write
+            for pending, refusal in refused:
+                self._resolve(pending, refusal=refusal)
+            for pending, _fields, raw in acked:
+                self._resolve(pending, raw=raw)
+            self._admission.observe_batch(
+                len(batch), time.perf_counter() - started
+            )
+            self.counters.admission_window = self._admission.window
+            obs.gauge_set(
+                "repro_server_admission_window", self._admission.window,
+                "Adaptive write-admission window",
+            )
+            obs.observe(
+                "repro_server_batch_size", len(batch),
+                "Writes drained per group commit",
+            )
             self.counters.batches_flushed += 1
             self._writes_since_maintenance += len(batch)
             for _ in batch:
@@ -701,49 +765,101 @@ class CinderellaServer:
                 "Modifications queued behind the batcher",
             )
 
-    def _apply_one(
-        self, pending: _PendingWrite
-    ) -> Optional[tuple[_PendingWrite, dict[str, Any]]]:
-        """Apply one modification inside an undo-log transaction.
+    def _apply_batch(
+        self, batch: list[_PendingWrite]
+    ) -> tuple[
+        list[tuple[_PendingWrite, dict[str, Any]]],
+        list[tuple[_PendingWrite, _OpRefused]],
+    ]:
+        """Group-commit one batch on a worker thread.
 
-        Refusals resolve immediately (nothing to make durable).  A
-        success is journaled (unsynced) and *returned* instead of
-        resolved: the batcher acknowledges it only after the batch's
-        group-commit fsync, so an acked write survives a node kill.
+        One undo-log transaction covers the whole batch; a savepoint
+        before each operation rolls a refused write back exactly while
+        the batch's earlier successes stand.  After the commit the new
+        state is published as a snapshot, every success is journaled,
+        and one fsync — the group commit — makes them all durable.
+        Nothing here touches futures (asyncio futures are not
+        thread-safe): verdicts return to the batcher for resolution.
         """
-        request = pending.request
+        acked: list[tuple[_PendingWrite, dict[str, Any], _Raw]] = []
+        refused: list[tuple[_PendingWrite, _OpRefused]] = []
         txn = self.table.catalog.begin_transaction()
         try:
-            fields = self._apply_to_table(request)
-        except _OpRefused as refusal:
+            with obs.span("server.batch", size=len(batch)):
+                for pending in batch:
+                    request = pending.request
+                    savepoint = txn.savepoint()
+                    try:
+                        fields = self._apply_to_table(request)
+                    except _OpRefused as refusal:
+                        txn.rollback_to(savepoint)
+                        self.counters.writes_rejected += 1
+                        refused.append((pending, refusal))
+                    except Exception as err:
+                        # unexpected — the savepoint restores the exact
+                        # pre-op catalog, so one poisoned request cannot
+                        # corrupt the batch
+                        txn.rollback_to(savepoint)
+                        self.counters.writes_rejected += 1
+                        obs.event(
+                            "server.write_rollback", op=request.op,
+                            error=f"{type(err).__name__}: {err}",
+                        )
+                        refused.append((pending, _OpRefused(
+                            protocol.ERROR, "internal",
+                            f"{type(err).__name__}: {err}",
+                        )))
+                    else:
+                        self.counters.writes_applied += 1
+                        # pre-serialize the ack on the worker thread:
+                        # the loop splices the request id in front of
+                        # this fragment instead of re-encoding JSON
+                        acked.append((pending, fields, _Raw(
+                            protocol.APPLIED,
+                            (
+                                f',"ok":true,"status":"applied"'
+                                f',"eid":{fields["eid"]}'
+                                ',"partition":'
+                                f'{json.dumps(fields["partition"])}'
+                                f',"splits":{fields["splits"]}'
+                                f',"moves":{fields["moves"]}'
+                                f',"in_place":'
+                                f'{"true" if fields["in_place"] else "false"}'
+                                "}\n"
+                            ).encode(),
+                        )))
+        except BaseException:
             txn.rollback()
-            self.counters.writes_rejected += 1
-            self._resolve(pending, refusal=refusal)
-        except Exception as err:
-            # unexpected — the undo log restores the exact pre-op catalog,
-            # so one poisoned request cannot corrupt the batch
-            txn.rollback()
-            self.counters.writes_rejected += 1
-            obs.event(
-                "server.write_rollback", op=request.op,
-                error=f"{type(err).__name__}: {err}",
-            )
-            self._resolve(pending, refusal=_OpRefused(
-                protocol.ERROR, "internal", f"{type(err).__name__}: {err}"
-            ))
-        else:
-            txn.commit()
-            self.counters.writes_applied += 1
-            if self._wal is not None:
+            raise
+        txn.commit()
+        if acked:
+            self._publish()
+        if self._wal is not None and acked:
+            for pending, fields, _raw in acked:
+                request = pending.request
                 payload: dict[str, Any] = {"eid": fields["eid"]}
                 if request.op in ("insert", "update"):
                     payload["attributes"] = request.get("attributes")
                 self._wal.append(request.op, payload, sync=False)
                 self.counters.wal_writes_logged += 1
                 self._wal_writes_since_checkpoint += 1
-                return pending, fields
-            self._resolve(pending, fields=fields)
-        return None
+            try:
+                with obs.span("server.group_commit", records=len(acked)):
+                    self._wal.sync()
+            except (OSError, ValueError):
+                # the journal vanished under us (abort mid-batch): a
+                # write that is not durable must not be acked — every
+                # would-be ack becomes a typed refusal so no client
+                # hangs on an unresolved future
+                refused.extend(
+                    (pending, _OpRefused(
+                        protocol.ERROR, "not_durable",
+                        "write applied but could not be made durable",
+                    ))
+                    for pending, _fields, _raw in acked
+                )
+                return [], refused
+        return acked, refused
 
     def _apply_to_table(self, request: Request) -> dict[str, Any]:
         table = self.table
@@ -782,7 +898,7 @@ class CinderellaServer:
     def _resolve(
         self,
         pending: _PendingWrite,
-        fields: Optional[dict[str, Any]] = None,
+        raw: Optional[_Raw] = None,
         refusal: Optional[_OpRefused] = None,
     ) -> None:
         """Hand the batcher's verdict back to the waiting connection."""
@@ -791,12 +907,48 @@ class CinderellaServer:
         if refusal is not None:
             pending.future.set_exception(refusal)
         else:
-            pending.future.set_result((protocol.APPLIED, fields or {}))
+            pending.future.set_result(raw)
 
     # ------------------------------------------------------------------
-    # reads: shared lock, scans on worker threads
+    # reads: lock-free, from the latest MVCC snapshot
     # ------------------------------------------------------------------
-    async def _handle_query(self, request: Request) -> tuple[str, dict[str, Any]]:
+    def _publish(self) -> TableSnapshot:
+        """Publish the table's committed state as the latest snapshot.
+
+        Called by every writer after its transaction commits (batch
+        apply and sync deltas on the worker thread, maintenance after a
+        merge/reorganize, :meth:`start` after recovery); the manager's
+        own lock makes it safe from any thread.
+        """
+        snapshot = self._snapshots.publish(self.table)
+        self.counters.snapshots_published = self._snapshots.published
+        self.counters.snapshots_retired = self._snapshots.retired
+        obs.gauge_set(
+            "repro_server_snapshot_age_seconds", 0.0,
+            "Seconds since the latest snapshot was published",
+        )
+        obs.gauge_set(
+            "repro_server_snapshots_retained",
+            self._snapshots.retained_count(),
+            "MVCC snapshots currently retained",
+        )
+        return snapshot
+
+    def _latest_snapshot(self) -> TableSnapshot:
+        """The snapshot reads serve from; never ``None`` once started.
+
+        No pin is needed on the event-loop read path: there is no await
+        between grabbing the snapshot and serving from it, and the
+        manager never collects the latest snapshot.
+        """
+        snapshot = self._snapshots.latest
+        if snapshot is None:  # handler exercised without start() (tests)
+            snapshot = self._publish()
+        return snapshot
+
+    async def _handle_query(
+        self, request: Request
+    ) -> Union[_Raw, tuple[str, dict[str, Any]]]:
         attributes = request.get("attributes")
         mode = request.get("mode", "any")
         if (
@@ -815,11 +967,18 @@ class CinderellaServer:
                 protocol.BAD_REQUEST, "bad_query", str(err)
             ) from None
         eid_filter = self._shard_filter(request)
-        result = await self._read(
-            lambda: self.table.execute(query, eid_filter=eid_filter)
-        )
-        stats = result.stats
+        snapshot = self._latest_snapshot()
         self.counters.queries_served += 1
+        self.counters.snapshot_reads += 1
+        if eid_filter is None:
+            # the hot path: a pre-serialized fragment straight from the
+            # snapshot's response cache (or built once and cached)
+            fragment, _row_count, from_cache = snapshot.serve_query(query)
+            if from_cache:
+                self.counters.snapshot_response_cache_hits += 1
+            return _Raw(protocol.OK, fragment)
+        result = snapshot.execute(query, eid_filter=eid_filter)
+        stats = result.stats
         return protocol.OK, {
             "rows": result.rows,
             "row_count": len(result.rows),
@@ -841,27 +1000,20 @@ class CinderellaServer:
         from repro.sql import SqlSyntaxError, execute
 
         eid_filter = self._shard_filter(request)
+        snapshot = self._latest_snapshot()
         try:
-            result = await self._read(
-                lambda: execute(text, self.table, eid_filter=eid_filter)
-            )
+            result = execute(text, snapshot, eid_filter=eid_filter)
         except SqlSyntaxError as err:
             raise _OpRefused(
                 protocol.BAD_REQUEST, "sql_syntax", str(err)
             ) from None
         self.counters.sql_served += 1
+        self.counters.snapshot_reads += 1
         return protocol.OK, {
             "rows": result.rows,
             "row_count": len(result.rows),
             "pruned_partitions": len(result.pruned_pids),
         }
-
-    async def _read(self, fn, *args):
-        """Run one read on a worker thread under the shared lock."""
-        assert self._read_slots is not None
-        async with self._read_slots:
-            async with self.lock.read_locked():
-                return await asyncio.to_thread(fn, *args)
 
     @staticmethod
     def _shard_filter(request: Request):
@@ -910,26 +1062,11 @@ class CinderellaServer:
         """One merge pass (and every Nth time a reorganization); also
         takes the periodic node checkpoint when one is due."""
         async with self.lock.write_locked():
-            with obs.span("server.maintenance") as span:
-                self._writes_since_maintenance = 0
-                report = self.table.merge_small_partitions(
-                    min_fill=self.config.merge_min_fill
-                )
-                merged = report.merge_count
-                self._maintenance_passes += 1
-                self.counters.maintenance_passes += 1
-                self.counters.partitions_merged += merged
-                reorganized = False
-                if (
-                    self.config.reorganize_every > 0
-                    and self._maintenance_passes % self.config.reorganize_every == 0
-                ):
-                    self.table.reorganize()
-                    self.counters.reorganizations += 1
-                    reorganized = True
-                if span.is_recording:
-                    span.set("merged", merged)
-                    span.set("reorganized", reorganized)
+            # all catalog mutation runs on a worker thread; readers keep
+            # serving the pre-maintenance snapshot until the publish
+            merged, reorganized = await asyncio.to_thread(
+                self._maintain_locked
+            )
             # checkpoint inside the write lock (the table is quiesced)
             # but outside the span (fsyncs run on a worker thread and a
             # span must not cross an await)
@@ -941,6 +1078,33 @@ class CinderellaServer:
         if checkpoint is not None:
             result["checkpoint"] = checkpoint
         return result
+
+    def _maintain_locked(self) -> tuple[int, bool]:
+        """Merge (and maybe reorganize) on a worker thread; publishes a
+        fresh snapshot when anything moved.  Caller holds the write lock."""
+        with obs.span("server.maintenance") as span:
+            self._writes_since_maintenance = 0
+            report = self.table.merge_small_partitions(
+                min_fill=self.config.merge_min_fill
+            )
+            merged = report.merge_count
+            self._maintenance_passes += 1
+            self.counters.maintenance_passes += 1
+            self.counters.partitions_merged += merged
+            reorganized = False
+            if (
+                self.config.reorganize_every > 0
+                and self._maintenance_passes % self.config.reorganize_every == 0
+            ):
+                self.table.reorganize()
+                self.counters.reorganizations += 1
+                reorganized = True
+            if span.is_recording:
+                span.set("merged", merged)
+                span.set("reorganized", reorganized)
+        if merged or reorganized:
+            self._publish()
+        return merged, reorganized
 
     def _checkpoint_due(self) -> bool:
         return (
@@ -1013,9 +1177,9 @@ class CinderellaServer:
         """Serve one page of this node's entities for a set of shards.
 
         The router pages a resync from a healthy peer with this op.  The
-        read runs under the shared lock like any query, so each page is
-        a consistent cut; cross-page drift is the router's problem (it
-        replays the delta it buffered while copying).
+        read serves from the latest MVCC snapshot like any query, so
+        each page is a consistent cut; cross-page drift is the router's
+        problem (it replays the delta it buffered while copying).
         """
         n_shards, shards = self._parse_shard_spec(request)
         after_eid = request.get("after_eid", -1)
@@ -1030,24 +1194,24 @@ class CinderellaServer:
                 "'after_eid' must be an int and 'limit' a positive int",
             )
         count_only = bool(request.get("count_only"))
-        fields = await self._read(
-            self._collect_sync_page, n_shards, shards, after_eid, limit,
+        fields = self._collect_sync_page(
+            self._latest_snapshot(), n_shards, shards, after_eid, limit,
             count_only,
         )
         self.counters.sync_pages_served += 1
         return protocol.OK, fields
 
+    @staticmethod
     def _collect_sync_page(
-        self,
+        snapshot: TableSnapshot,
         n_shards: int,
         shards: frozenset[int],
         after_eid: int,
         limit: int,
         count_only: bool,
     ) -> dict[str, Any]:
-        table = self.table
         eids = [
-            eid for eid in table.entity_ids() if eid % n_shards in shards
+            eid for eid in snapshot.entity_ids() if eid % n_shards in shards
         ]
         if count_only:
             # order-independent identity of the shard contents: the
@@ -1057,19 +1221,24 @@ class CinderellaServer:
             return {
                 "count": len(eids),
                 "digest": f"{digest:08x}",
-                "version_clock": table.catalog.version_clock,
+                "version_clock": snapshot.version_clock,
             }
         page = [eid for eid in eids if eid > after_eid][:limit]
-        entities = []
-        for eid in page:
-            entity = table.get(eid)
-            entities.append({
+        wanted = set(page)
+        attributes_of: dict[int, dict[str, Any]] = {}
+        for eid, attributes in snapshot.entities():
+            if eid in wanted:
+                attributes_of[eid] = attributes
+        entities = [
+            {
                 "eid": eid,
                 "attributes": {
                     name: _encode_value(value)
-                    for name, value in entity.attributes.items()
+                    for name, value in attributes_of[eid].items()
                 },
-            })
+            }
+            for eid in page
+        ]
         done = not page or page[-1] == eids[-1]
         return {
             "entities": entities,
@@ -1194,6 +1363,7 @@ class CinderellaServer:
                 f"{type(err).__name__}: {err}",
             ) from None
         txn.commit()
+        self._publish()
         if self._wal is not None:
             for op, payload in journal:
                 self._wal.append(op, payload, sync=False)
@@ -1210,8 +1380,15 @@ class CinderellaServer:
     # stats
     # ------------------------------------------------------------------
     def _stats_snapshot(self) -> dict[str, Any]:
-        """A point-in-time snapshot (event-loop-consistent: no await)."""
-        table = self.table
+        """A point-in-time view (no await; table state comes from the
+        latest MVCC snapshot — the live table belongs to the batcher's
+        worker thread)."""
+        snapshot = self._latest_snapshot()
+        age_s = round(time.monotonic() - snapshot.created_monotonic, 3)
+        obs.gauge_set(
+            "repro_server_snapshot_age_seconds", age_s,
+            "Seconds since the latest snapshot was published",
+        )
         return {
             "node": self.config.name,
             "uptime_s": round(time.monotonic() - self._started_monotonic, 3),
@@ -1238,13 +1415,28 @@ class CinderellaServer:
                     ),
                 }
             ),
-            "partitions": table.partition_count(),
-            "entities": table.catalog.entity_count,
-            "version_clock": table.catalog.version_clock,
-            "split_count": table.partitioner.split_count,
+            "partitions": snapshot.partition_count,
+            "entities": snapshot.entity_count,
+            "version_clock": snapshot.version_clock,
+            "split_count": self.table.partitioner.split_count,
             "queue_depth": self._write_queue.qsize(),
             "sessions": [s.as_dict() for s in self.sessions.values()],
             "counters": self.counters.as_dict(),
+            "snapshots": {
+                "latest_id": snapshot.snapshot_id,
+                "version_clock": snapshot.version_clock,
+                "age_s": age_s,
+                "retained": self._snapshots.retained_count(),
+                "pins": snapshot.pins,
+                "published": self._snapshots.published,
+                "retired": self._snapshots.retired,
+            },
+            "admission": {
+                "window": self._admission.window,
+                "max_pending": self.config.max_pending,
+                "rate_ewma": round(self._admission.rate_ewma, 1),
+                "target_latency_s": self._admission.target_latency_s,
+            },
             "lock": {
                 "readers": self.lock.readers,
                 "writer_active": self.lock.writer_active,

@@ -1,10 +1,14 @@
 """Execution of parsed SELECT statements against universal tables.
 
-Works with both table layouts:
+Works with all three table layouts:
 
 * on a :class:`~repro.table.partitioned.CinderellaTable`, the WHERE
   clause's pruning clauses eliminate partitions before any data is
   touched (the SQL-level generalisation of the prototype's rewrite);
+* on a :class:`~repro.query.snapshot.TableSnapshot`, the same pruning
+  runs over the snapshot's immutable partition views — records are
+  already decoded, so no pages or bytes are read (the serving layer's
+  lock-free read path);
 * on a :class:`~repro.table.universal.UniversalTable`, the statement is a
   plain filtered full scan.
 
@@ -19,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Union
 
 from repro.query.executor import ExecutionStats
+from repro.query.snapshot import TableSnapshot
 from repro.sql.ast import OrderItem, SelectStatement
 from repro.sql.compiler import compile_predicate, pruning_clauses
 from repro.sql.parser import parse
@@ -26,7 +31,7 @@ from repro.storage.record import deserialize_record
 from repro.table.partitioned import CinderellaTable
 from repro.table.universal import UniversalTable
 
-Table = Union[CinderellaTable, UniversalTable]
+Table = Union[CinderellaTable, TableSnapshot, UniversalTable]
 
 
 @dataclass
@@ -92,7 +97,41 @@ def execute_statement(
     pruned: tuple[int, ...] = ()
     started = time.perf_counter()
 
-    if isinstance(table, CinderellaTable):
+    if isinstance(table, TableSnapshot):
+        clauses = (
+            pruning_clauses(statement.where) if statement.where is not None else []
+        )
+        clause_masks = [
+            table.dictionary.encode_known(clause) for clause in clauses
+        ]
+        # a clause none of whose attributes exist anywhere ⇒ empty result
+        if any(clause and mask == 0 for clause, mask in zip(clauses, clause_masks)):
+            stats.partitions_total = len(table.views)
+            stats.partitions_pruned = len(table.views)
+            stats.wall_time_s = time.perf_counter() - started
+            return SqlResult(
+                [], stats, statement, tuple(v.pid for v in table.views)
+            )
+        pruned_list = []
+        stats.partitions_total = len(table.views)
+        for view in table.views:
+            if any(view.mask & mask == 0 for mask in clause_masks if mask):
+                pruned_list.append(view.pid)
+                continue
+            stats.partitions_scanned += 1
+            stats.union_branches += 1
+            # records are already decoded in the snapshot: no pages or
+            # bytes are read on this path
+            for eid, attributes in view.entities():
+                stats.entities_read += 1
+                if eid_filter is not None and not eid_filter(eid):
+                    continue
+                if predicate is None or predicate(attributes):
+                    rows.append(_project(attributes, statement))
+                    stats.rows_returned += 1
+        stats.partitions_pruned = len(pruned_list)
+        pruned = tuple(pruned_list)
+    elif isinstance(table, CinderellaTable):
         clauses = (
             pruning_clauses(statement.where) if statement.where is not None else []
         )

@@ -46,6 +46,13 @@ class HeapFile:
         self._record_count = 0
         # page numbers that regained free space through deletions
         self._free_hints: list[int] = []
+        #: bumped on every mutation; lets observers detect change in O(1)
+        self.mutation_clock = 0
+        #: last clock value at which a *non-tail-append* mutation happened
+        #: (delete, replace, free, or an insert into a reclaimed page).
+        #: While this stays put, physical scan order only ever grows at
+        #: the tail — the contract behind :meth:`scan_suffix`.
+        self.structural_clock = 0
 
     # ------------------------------------------------------------------
     # properties
@@ -88,8 +95,14 @@ class HeapFile:
         if page_number < 0:
             self._pages.append(Page(self.page_size))
             page_number = len(self._pages) - 1
-        slot = self._pages[page_number].insert(record)
+        page = self._pages[page_number]
+        slot = page.insert(record)
         self._record_count += 1
+        self.mutation_clock += 1
+        if page_number != len(self._pages) - 1 or not page.is_tail_slot(slot):
+            # landed in a reclaimed page or a reused tombstone slot:
+            # scan order grew in the middle, not at the tail
+            self.structural_clock = self.mutation_clock
         self.io.records_written += 1
         self.io.bytes_written += len(record)
         self.io.pages_written += 1
@@ -105,6 +118,8 @@ class HeapFile:
     def delete(self, rid: RecordId) -> bytes:
         record = self._pages[rid.page].delete(rid.slot)
         self._record_count -= 1
+        self.mutation_clock += 1
+        self.structural_clock = self.mutation_clock
         self.io.records_deleted += 1
         if len(self._free_hints) < 64:
             self._free_hints.append(rid.page)
@@ -118,7 +133,11 @@ class HeapFile:
         except PageFullError:
             page.delete(rid.slot)
             self._record_count -= 1
+            self.mutation_clock += 1
+            self.structural_clock = self.mutation_clock
             return self.insert(record)
+        self.mutation_clock += 1
+        self.structural_clock = self.mutation_clock
         self.io.records_written += 1
         self.io.bytes_written += len(record)
         self.io.pages_written += 1
@@ -132,6 +151,32 @@ class HeapFile:
         for page_number, page in enumerate(self._pages):
             charged_page = False
             for slot, record in page.records():
+                if not charged_page:
+                    self._charge_page_read(page_number, page.used_bytes)
+                    charged_page = True
+                self.io.records_read += 1
+                yield RecordId(page_number, slot), record
+
+    def scan_suffix(self, after: Optional[RecordId]) -> Iterator[tuple[RecordId, bytes]]:
+        """Scan records strictly after *after* in physical order.
+
+        Only meaningful while ``structural_clock`` has not advanced past
+        the observation that produced *after*: under that contract every
+        newer record sits at a strictly greater (page, slot) address, so
+        the suffix is exactly the records this yields.  ``None`` scans
+        everything (the empty-heap observation).
+        """
+        start_page = after.page if after is not None else 0
+        for page_number in range(start_page, len(self._pages)):
+            page = self._pages[page_number]
+            charged_page = False
+            for slot, record in page.records():
+                if (
+                    after is not None
+                    and page_number == after.page
+                    and slot <= after.slot
+                ):
+                    continue
                 if not charged_page:
                     self._charge_page_read(page_number, page.used_bytes)
                     charged_page = True
@@ -152,5 +197,7 @@ class HeapFile:
         self._pages.clear()
         self._record_count = 0
         self._free_hints.clear()
+        self.mutation_clock += 1
+        self.structural_clock = self.mutation_clock
         if self.buffer_pool is not None:
             self.buffer_pool.invalidate_file(self.file_id)

@@ -91,6 +91,16 @@ class Page:
         self._slots[slot] = record
         self._used = new_used
 
+    def is_tail_slot(self, slot: int) -> bool:
+        """Whether *slot* is the page's highest-numbered slot.
+
+        A freshly inserted record in the tail slot of the tail page is
+        the only placement that keeps physical scan order append-only —
+        the heap's structural clock relies on this distinction, since
+        :meth:`insert` may also fill an earlier tombstone.
+        """
+        return slot == len(self._slots) - 1
+
     def records(self) -> Iterator[tuple[int, bytes]]:
         """Yield ``(slot, record)`` for every live record."""
         for slot, record in enumerate(self._slots):

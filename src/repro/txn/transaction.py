@@ -24,6 +24,7 @@ single row lost or duplicated.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -36,6 +37,21 @@ class TransactionError(RuntimeError):
 
 #: before-image of one partition's split-starter pair
 _StarterImage = tuple[Optional[int], int, Optional[int], int]
+
+
+@dataclass(frozen=True)
+class Savepoint:
+    """A point inside an open transaction to roll back to.
+
+    Captures the undo-log length plus the split-starter state of every
+    partition the transaction had touched so far — starters are the one
+    thing the log does not cover per-mutation (they are restored from
+    first-touch images on full rollback), so a partial rollback needs
+    their at-savepoint values explicitly.
+    """
+
+    log_len: int
+    starter_images: dict[int, _StarterImage]
 
 
 class CatalogTransaction:
@@ -121,31 +137,100 @@ class CatalogTransaction:
         self._close()
         catalog = self.catalog
         for entry in reversed(self._log):
-            tag = entry[0]
-            if tag == "add":
-                _tag, _pid, eid = entry
-                catalog.remove_entity(eid, repair_starters=False)
-            elif tag == "remove":
-                _tag, pid, eid, mask, size = entry
-                catalog.add_entity(pid, eid, mask, size, observe_starters=False)
-            elif tag == "update":
-                _tag, _pid, eid, old_mask, old_size = entry
-                catalog.update_entity(eid, old_mask, old_size)
-            elif tag == "create":
-                _tag, pid, previous_next_pid = entry
-                catalog.drop_partition(pid)
-                catalog._next_pid = previous_next_pid
-            else:  # "drop"
-                _tag, pid = entry
-                catalog.create_partition_with_id(pid)
+            self._reverse(entry)
         for pid, image in self._starter_images.items():
             if pid not in catalog:
                 continue  # created inside the transaction, now gone again
-            starters = catalog.get(pid).starters
-            (starters.eid_a, starters.mask_a,
-             starters.eid_b, starters.mask_b) = image
+            self._restore_starters(pid, image)
         self._log.clear()
         self._starter_images.clear()
+
+    def _reverse(self, entry: tuple) -> None:
+        """Apply the inverse of one recorded mutation."""
+        catalog = self.catalog
+        tag = entry[0]
+        if tag == "add":
+            _tag, _pid, eid = entry
+            catalog.remove_entity(eid, repair_starters=False)
+        elif tag == "remove":
+            _tag, pid, eid, mask, size = entry
+            catalog.add_entity(pid, eid, mask, size, observe_starters=False)
+        elif tag == "update":
+            _tag, _pid, eid, old_mask, old_size = entry
+            catalog.update_entity(eid, old_mask, old_size)
+        elif tag == "create":
+            _tag, pid, previous_next_pid = entry
+            catalog.drop_partition(pid)
+            catalog._next_pid = previous_next_pid
+        else:  # "drop"
+            _tag, pid = entry
+            catalog.create_partition_with_id(pid)
+
+    def _restore_starters(self, pid: int, image: _StarterImage) -> None:
+        starters = self.catalog.get(pid).starters
+        (starters.eid_a, starters.mask_a,
+         starters.eid_b, starters.mask_b) = image
+
+    # ------------------------------------------------------------------
+    # savepoints (group commit: per-op rollback inside one transaction)
+    # ------------------------------------------------------------------
+    def savepoint(self) -> Savepoint:
+        """Mark the current state for a possible partial rollback.
+
+        The serving layer's group commit wraps a whole write batch in
+        one transaction and takes a savepoint before each operation, so
+        a refused operation rolls back alone while the batch's earlier
+        successes stand.
+        """
+        if not self.active:
+            raise TransactionError("transaction already closed")
+        images: dict[int, _StarterImage] = {}
+        for pid in self._starter_images:
+            if pid not in self.catalog:
+                continue  # dropped inside the transaction before this point
+            starters = self.catalog.get(pid).starters
+            images[pid] = (
+                starters.eid_a, starters.mask_a,
+                starters.eid_b, starters.mask_b,
+            )
+        return Savepoint(log_len=len(self._log), starter_images=images)
+
+    def rollback_to(self, savepoint: Savepoint) -> None:
+        """Reverse every mutation recorded after *savepoint*.
+
+        The transaction stays open and keeps recording.  Hooks are
+        detached while the suffix replays (as in :meth:`rollback`), so
+        reversing mutations are not re-recorded.
+        """
+        if not self.active:
+            raise TransactionError("transaction already closed")
+        if savepoint.log_len > len(self._log):
+            raise TransactionError(
+                f"savepoint at log position {savepoint.log_len} is ahead of "
+                f"the log ({len(self._log)} entries)"
+            )
+        catalog = self.catalog
+        catalog._txn = None
+        try:
+            for entry in reversed(self._log[savepoint.log_len:]):
+                self._reverse(entry)
+        finally:
+            catalog._txn = self
+        # starters: a pid first touched after the savepoint restores its
+        # first-touch image (== its at-savepoint state) and leaves the
+        # image set; a pid touched before it restores the state captured
+        # at savepoint time and keeps its transaction-start image for a
+        # later full rollback
+        for pid in list(self._starter_images):
+            if pid in savepoint.starter_images:
+                continue
+            image = self._starter_images.pop(pid)
+            if pid in catalog:
+                self._restore_starters(pid, image)
+        for pid, image in savepoint.starter_images.items():
+            if pid in catalog:
+                self._restore_starters(pid, image)
+        del self._log[savepoint.log_len:]
 
     # ------------------------------------------------------------------
     # context manager

@@ -63,6 +63,7 @@ class ChaosWorker(threading.Thread):
         self.live: dict[str, int] = {}
         self.applied = 0
         self.retried_away = 0
+        self.steps = 0  # read by the conductor to pace the kills
         self.failures: list[str] = []
 
     def _writable(self, response, what: str) -> bool:
@@ -83,6 +84,7 @@ class ChaosWorker(threading.Thread):
         try:
             with ServerClient(*self.address, check=False) as client:
                 for step in range(self.ops):
+                    self.steps = step
                     choice = rng.random()
                     if choice < 0.60 or not self.live:
                         uid = f"w{self.index}-{step}"
@@ -153,11 +155,25 @@ def run_cluster_chaos(tmp_path, workers: int, ops: int, victims) -> None:
         ]
         for worker in pool:
             worker.start()
-        # the conductor: kill and restart live nodes mid-traffic
-        for victim in victims:
-            time.sleep(0.4)
+
+        # the conductor: kill and restart live nodes mid-traffic.  The
+        # kills are paced by workload *progress*, not wall-clock sleeps
+        # — a fast server could finish the whole workload inside a fixed
+        # sleep, leaving no traffic to trip the breaker on
+        def progress() -> int:
+            return sum(worker.steps for worker in pool)
+
+        stride = max(1, (workers * ops) // (2 * len(victims) + 1))
+        for number, victim in enumerate(victims):
+            wait_until(
+                lambda: progress() >= (2 * number + 1) * stride,
+                timeout_s=120,
+            )
             cluster.kill_node(victim)
-            time.sleep(0.6)
+            mark = progress()
+            # a stride of traffic against the dead node: failures must
+            # actually flow for the breaker to eject and fail over
+            wait_until(lambda: progress() >= mark + stride, timeout_s=120)
             cluster.restart_node(victim)
         for worker in pool:
             worker.join(timeout=180)

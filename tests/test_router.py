@@ -322,9 +322,29 @@ class TestRetryingClient:
                 assert excinfo.value.code == "duplicate_entity"
                 assert client.check is True
 
-    def test_deprecated_shim_warns_and_delegates(self):
+    def test_deprecated_shim_warns_exactly_once_and_delegates(
+        self, monkeypatch
+    ):
+        import warnings
+
+        from repro.server import client as client_module
+
+        # reset the once-per-process latch so this test observes the
+        # first call no matter what ran before it
+        monkeypatch.setattr(client_module, "_BACKOFF_WARNED", False)
         with ServerThread(config=ServerConfig(maintenance_interval_s=0)) as h:
             with ServerClient(*h.address) as client:
-                with pytest.warns(DeprecationWarning, match="retrying"):
-                    response = client.insert_with_backoff({"a": 1})
-                assert response.status == "applied"
+                with warnings.catch_warnings(record=True) as caught:
+                    warnings.simplefilter("always")
+                    first = client.insert_with_backoff({"a": 1})
+                    second = client.insert_with_backoff({"a": 2})
+                assert first.status == "applied"
+                assert second.status == "applied"
+                deprecations = [
+                    w for w in caught
+                    if issubclass(w.category, DeprecationWarning)
+                    and "retrying" in str(w.message)
+                ]
+                # hot retry loops call the shim thousands of times; the
+                # warning must fire on the first call and only the first
+                assert len(deprecations) == 1

@@ -164,9 +164,11 @@ class TestWireRobustness:
 
     def test_internal_errors_do_not_kill_the_connection(self, harness, client,
                                                         monkeypatch):
+        from repro.query.snapshot import TableSnapshot
+
         monkeypatch.setattr(
-            harness.server.table, "execute",
-            lambda _query: (_ for _ in ()).throw(RuntimeError("boom")),
+            TableSnapshot, "serve_query",
+            lambda _self, _query: (_ for _ in ()).throw(RuntimeError("boom")),
         )
         with pytest.raises(ServerError) as excinfo:
             client.query_response(["a"])

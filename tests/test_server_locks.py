@@ -98,6 +98,81 @@ class TestWriterPreference:
         run(scenario())
 
 
+class TestStarvation:
+    """Regressions for the lock's liveness properties.
+
+    Since reads went lock-free the write lock only serializes the
+    batcher, maintenance, and sync deltas against each other — but the
+    preference invariants still guard those three: a hypothetical
+    reader stream must not starve a writer, and a writer burst must
+    drain into any waiting reader.
+    """
+
+    def test_reader_stream_cannot_starve_a_writer(self):
+        async def scenario():
+            lock = AsyncReadWriteLock()
+            writer_done = asyncio.Event()
+            readers_completed = 0
+
+            async def reader_stream():
+                nonlocal readers_completed
+                while not writer_done.is_set():
+                    async with lock.read_locked():
+                        await asyncio.sleep(0)
+                    readers_completed += 1
+                    await asyncio.sleep(0)
+
+            streams = [
+                asyncio.create_task(reader_stream()) for _ in range(4)
+            ]
+            await asyncio.sleep(0.01)  # the stream is flowing
+            baseline = readers_completed
+
+            async def writer():
+                async with lock.write_locked():
+                    pass
+                writer_done.set()
+
+            writer_task = asyncio.create_task(writer())
+            await asyncio.wait_for(writer_done.wait(), 5)
+            overtakers = readers_completed - baseline
+            # writer preference: only readers already in flight (plus
+            # one scheduling turn per stream) may finish ahead of the
+            # queued writer; an unbounded stream must not starve it
+            assert overtakers <= 3 * len(streams), (
+                f"{overtakers} readers overtook the queued writer"
+            )
+            await asyncio.gather(*streams, writer_task)
+
+        run(scenario())
+
+    def test_writer_burst_drains_into_a_waiting_reader(self):
+        async def scenario():
+            lock = AsyncReadWriteLock()
+            order: list[str] = []
+
+            async def writer(i):
+                async with lock.write_locked():
+                    order.append(f"w{i}")
+                    await asyncio.sleep(0)
+
+            async def reader():
+                async with lock.read_locked():
+                    order.append("r")
+
+            writers = [asyncio.create_task(writer(i)) for i in range(10)]
+            reader_task = asyncio.create_task(reader())
+            # liveness: the reader gets through once the burst drains —
+            # the wait_for is the regression (a starved reader hangs)
+            await asyncio.wait_for(
+                asyncio.gather(*writers, reader_task), 5
+            )
+            assert order.count("r") == 1
+            assert len(order) == 11
+
+        run(scenario())
+
+
 class TestMisuse:
     def test_unbalanced_releases_raise(self):
         async def scenario():
