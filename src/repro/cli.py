@@ -21,7 +21,13 @@ Commands:
 * ``obs`` — run a built-in mixed workload (inserts with splits,
   queries, maintenance, WAL-backed distributed faults, ingest) under
   the observability layer and report metrics, top spans, slow ops, and
-  events — as a summary, Prometheus text, or JSON.
+  events — as a summary, Prometheus text, or JSON.  With ``--cluster
+  HOST:PORT`` it instead scrapes a running router's ``obs`` verb and
+  renders the federated cluster view (``--listen`` serves it as a
+  fleet-wide Prometheus endpoint).
+* ``top`` — live terminal dashboard over a running router: request
+  rates and latency quantiles per node and verb, shed rate, replica
+  lifecycle states, catch-up depth, and SLO burn-rate alerts.
 * ``serve`` — run the online serving layer: a TCP server speaking the
   line-delimited JSON protocol of :mod:`repro.server`, with admission
   control, write batching, and cooperative background maintenance.
@@ -410,6 +416,184 @@ def _run_obs_workload(args: argparse.Namespace) -> None:
     pipeline.ingest(IngestRequest("update", 999, 0b1))    # unknown entity
 
 
+def _parse_address(address: str) -> tuple[str, int]:
+    """Parse a ``host:port`` argument (for --cluster and ``top``)."""
+    host, _, port_text = address.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        port = -1
+    if not host or not 0 < port < 65536:
+        raise SystemExit(f"error: bad address {address!r} (want host:port)")
+    return host, port
+
+
+def _scrape_cluster_view(address: str, stale_after_s: float):
+    """One federated scrape through a running router's ``obs`` verb."""
+    from repro.obs.federation import FederatedView
+    from repro.server.client import ServerClient
+
+    host, port = _parse_address(address)
+    client = ServerClient(host, port)
+    try:
+        document = client.request("obs").fields.get("cluster")
+    finally:
+        client.close()
+    if not isinstance(document, dict):
+        raise SystemExit(
+            f"error: {address} answered the obs verb without a cluster "
+            f"document (is it a router?)"
+        )
+    return FederatedView.from_json_obj(document, stale_after_s=stale_after_s)
+
+
+def _format_cluster_summary(view, address: str) -> str:
+    """Human summary of a federated view: sources, verbs, objectives."""
+    from repro.obs.slo import DEFAULT_OBJECTIVES
+    from repro.reporting.tables import format_table
+
+    blocks: list[str] = []
+    source_rows = []
+    for source in view.sources:
+        if source["unreachable"]:
+            status = "UNREACHABLE"
+        elif source["stale"]:
+            status = "STALE"
+        elif not source["enabled"]:
+            status = "obs disabled"
+        else:
+            status = "up"
+        source_rows.append([
+            source["name"], source["tier"], status,
+            "-" if source["age_s"] is None else f"{source['age_s']:.1f}s",
+            source.get("error", ""),
+        ])
+    blocks.append(format_table(
+        ["node", "tier", "status", "age", "error"], source_rows,
+        title=f"Cluster observability via {address}",
+    ))
+
+    for family, title in (
+        ("repro_server_request_seconds", "Node request latency by verb"),
+        ("repro_router_request_seconds", "Router request latency by verb"),
+    ):
+        ops = sorted({
+            sample["labels"].get("op")
+            for sample in view.families.get(family, {}).get("samples", ())
+            if sample["labels"].get("op")
+        })
+        rows = []
+        for op in ops:
+            merged = view.merged_histogram(family, op=op)
+            if merged is None or not merged["count"]:
+                continue
+            p50 = view.quantile(family, 0.5, op=op)
+            p99 = view.quantile(family, 0.99, op=op)
+            rows.append([
+                op, int(merged["count"]),
+                f"{p50 * 1e3:.2f}" if p50 is not None else "-",
+                f"{p99 * 1e3:.2f}" if p99 is not None else "-",
+            ])
+        if rows:
+            blocks.append(format_table(
+                ["verb", "requests", "p50 ms", "p99 ms"], rows, title=title,
+            ))
+
+    slo_rows = []
+    for objective in DEFAULT_OBJECTIVES:
+        good, total = objective.counts(view)
+        if total <= 0:
+            continue
+        compliance = good / total
+        slo_rows.append([
+            objective.name, f"{objective.objective:.3f}",
+            f"{compliance:.4f}",
+            "MET" if compliance >= objective.objective else "VIOLATED",
+        ])
+    if slo_rows:
+        blocks.append(format_table(
+            ["objective", "target", "compliance", "status"], slo_rows,
+            title="Service-level objectives (lifetime compliance)",
+        ))
+    if view.mixed_bucket_families:
+        blocks.append(
+            "note: sources disagree on bucket bounds for: "
+            + ", ".join(sorted(view.mixed_bucket_families))
+        )
+    return "\n\n".join(blocks)
+
+
+def _serve_cluster_prometheus(args: argparse.Namespace) -> int:
+    """Serve the federated Prometheus exposition over HTTP.
+
+    Every GET triggers a fresh scrape through the router, so the answer
+    is always current; scrape failures surface as HTTP 503, never as a
+    stale page.
+    """
+    from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+    address = args.cluster
+
+    class _Handler(BaseHTTPRequestHandler):
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            try:
+                view = _scrape_cluster_view(address, args.stale_after)
+                body = view.to_prometheus().encode()
+                code = 200
+            except (SystemExit, OSError) as err:
+                body = f"# scrape of {address} failed: {err}\n".encode()
+                code = 503
+            self.send_response(code)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, *_args: object) -> None:
+            pass
+
+    class _Server(ThreadingHTTPServer):
+        # handle_request() returns once the handler *thread* is
+        # dispatched; with daemon threads a bounded --max-requests run
+        # would exit the process mid-response. Non-daemon threads make
+        # server_close() join in-flight responses first.
+        daemon_threads = False
+
+    server = _Server(("127.0.0.1", args.listen), _Handler)
+    host, port = server.server_address[:2]
+    print(f"cluster Prometheus endpoint on http://{host}:{port}/metrics "
+          f"(federating {address})", flush=True)
+    try:
+        if args.max_requests > 0:
+            for _ in range(args.max_requests):
+                server.handle_request()
+        else:
+            server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def _cmd_obs_cluster(args: argparse.Namespace) -> int:
+    """Scrape a running router and render the federated view."""
+    import json
+
+    if args.listen is not None:
+        return _serve_cluster_prometheus(args)
+    view = _scrape_cluster_view(args.cluster, args.stale_after)
+    if args.format == "prometheus":
+        print(view.to_prometheus(), end="")
+    elif args.format == "json":
+        print(json.dumps(view.to_json_obj(), indent=2))
+    else:
+        print(_format_cluster_summary(view, args.cluster))
+    return 1 if view.unreachable else 0
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     """Run the built-in workload under observability and report it."""
     import json
@@ -420,6 +604,9 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         format_span_tree,
     )
 
+    if args.cluster:
+        return _cmd_obs_cluster(args)
+
     state = obs.enable(
         slow_op_threshold_s=args.slow_ms / 1e3,
         trace_jsonl_path=args.trace_jsonl,
@@ -427,6 +614,10 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     try:
         _run_obs_workload(args)
     finally:
+        # flush the deferred legacy-counter mirrors while the state is
+        # still enabled — the exposition below reads the registry, and
+        # an unflushed mirror would understate every shimmed counter
+        obs.flush_mirrors()
         obs.disable()
 
     if args.format == "prometheus":
@@ -452,6 +643,166 @@ def _cmd_obs(args: argparse.Namespace) -> int:
             if split_trace is not None:
                 print("\nMost recent insert trace:")
                 print(format_span_tree(split_trace))
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live cluster dashboard over the router's obs + stats verbs.
+
+    Each tick scrapes the federation once and differences the cumulative
+    counters against the previous tick for rates; quantiles come from
+    the per-node latency histograms.  ``--iterations`` bounds the run
+    (CI smoke); the default runs until Ctrl-C.
+    """
+    import time as _time
+
+    from repro.obs.federation import quantile_from_buckets
+    from repro.obs.slo import SloMonitor
+    from repro.reporting.tables import format_table
+    from repro.server.client import ServerClient
+
+    host, port = _parse_address(args.router)
+    monitor = SloMonitor()
+    previous: dict[tuple[str, str], float] = {}
+    previous_at: Optional[float] = None
+    iteration = 0
+    try:
+        while args.iterations <= 0 or iteration < args.iterations:
+            iteration += 1
+            now = _time.monotonic()
+            try:
+                view = _scrape_cluster_view(args.router, args.stale_after)
+                client = ServerClient(host, port)
+                try:
+                    stats = client.request("stats").fields
+                finally:
+                    client.close()
+            except (SystemExit, OSError) as err:
+                print(f"scrape failed: {err}", file=sys.stderr)
+                _time.sleep(args.interval)
+                continue
+            monitor.observe(view)
+            statuses = monitor.evaluate()
+
+            blocks: list[str] = []
+            up = sum(1 for s in view.sources if not s["unreachable"])
+            blocks.append(
+                f"repro top — {args.router} — tick {iteration} — "
+                f"{up}/{len(view.sources)} sources up"
+                + (f", unreachable: {', '.join(view.unreachable)}"
+                   if view.unreachable else "")
+            )
+
+            # per-node per-verb rates and latency quantiles ------------
+            family = view.families.get("repro_server_request_seconds")
+            rows = []
+            current: dict[tuple[str, str], float] = {}
+            elapsed = (
+                now - previous_at if previous_at is not None else None
+            )
+            for sample in (family or {}).get("samples", ()):
+                labels = sample["labels"]
+                op, node = labels.get("op"), labels.get("node")
+                if not op or not node or "buckets" not in sample:
+                    continue
+                count = float(sample.get("count", 0))
+                current[(node, op)] = count
+                if elapsed and elapsed > 0:
+                    rps = (count - previous.get((node, op), 0.0)) / elapsed
+                    rps_text = f"{max(0.0, rps):.1f}"
+                else:
+                    rps_text = "-"
+                pairs = [
+                    (float("inf") if le in ("+Inf", None) else float(le), c)
+                    for le, c in sample["buckets"]
+                ]
+                p50 = quantile_from_buckets(pairs, 0.5)
+                p99 = quantile_from_buckets(pairs, 0.99)
+                rows.append([
+                    node, op, int(count), rps_text,
+                    f"{p50 * 1e3:.2f}" if p50 is not None else "-",
+                    f"{p99 * 1e3:.2f}" if p99 is not None else "-",
+                ])
+            previous, previous_at = current, now
+            if rows:
+                rows.sort(key=lambda row: (row[0], row[1]))
+                blocks.append(format_table(
+                    ["node", "verb", "requests", "rps", "p50 ms", "p99 ms"],
+                    rows, title="Requests by node and verb",
+                ))
+
+            # shed rate across the fleet -------------------------------
+            shed = (
+                view.counter_total(
+                    "repro_server_writes_shed_overloaded_total"
+                )
+                + view.counter_total(
+                    "repro_server_writes_shed_shutdown_total"
+                )
+            )
+            handled = view.counter_total(
+                "repro_server_requests_handled_total"
+            )
+            shed_rate = shed / handled if handled else 0.0
+            blocks.append(
+                f"writes shed: {int(shed)} "
+                f"(shed rate {shed_rate:.4f} over {int(handled)} requests)"
+            )
+
+            # replica lifecycle + catch-up from the router's stats -----
+            replicas = stats.get("replicas") or {}
+            health = stats.get("health") or {}
+            catchup = stats.get("catchup_buffered") or {}
+            if replicas or health:
+                names = sorted(set(replicas) | set(health))
+                blocks.append(format_table(
+                    ["node", "breaker", "replica", "catch-up depth"],
+                    [
+                        [
+                            name,
+                            (health.get(name) or {}).get("state", "-"),
+                            (replicas.get(name) or {}).get("state", "-"),
+                            catchup.get(name, 0),
+                        ]
+                        for name in names
+                    ],
+                    title="Replica health",
+                ))
+
+            # SLO burn-rate alerts -------------------------------------
+            alert_rows = []
+            for status in statuses:
+                compliance = status.compliance
+                if compliance is None:
+                    continue
+                if status.firing:
+                    for alert in status.alerts:
+                        alert_rows.append([
+                            status.objective.name, alert["severity"],
+                            f"{alert['long_burn']:.1f}x",
+                            f"{alert['short_burn']:.1f}x",
+                            f"{compliance:.4f}",
+                        ])
+                else:
+                    alert_rows.append([
+                        status.objective.name, "ok", "-", "-",
+                        f"{compliance:.4f}",
+                    ])
+            if alert_rows:
+                blocks.append(format_table(
+                    ["objective", "alert", "long burn", "short burn",
+                     "compliance"],
+                    alert_rows, title="SLO burn rates",
+                ))
+
+            output = "\n\n".join(blocks)
+            if not args.no_clear:
+                print("\x1b[2J\x1b[H", end="")
+            print(output, flush=True)
+            if args.iterations <= 0 or iteration < args.iterations:
+                _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -518,7 +869,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 1 if problems else 0
 
     if args.obs:
-        obs_runtime.enable()
+        # propagate=True: accept and emit wire trace contexts so this
+        # process's spans join cluster-wide traces
+        obs_runtime.enable(propagate=True)
     try:
         return asyncio.run(_serve())
     finally:
@@ -597,7 +950,9 @@ def _cmd_route(args: argparse.Namespace) -> int:
         return 0
 
     if args.obs:
-        obs_runtime.enable()
+        # propagate=True: accept and emit wire trace contexts so this
+        # process's spans join cluster-wide traces
+        obs_runtime.enable(propagate=True)
     try:
         return asyncio.run(_route())
     finally:
@@ -815,6 +1170,36 @@ def build_parser() -> argparse.ArgumentParser:
                      help="slow-op log threshold in milliseconds")
     obs.add_argument("--trace-jsonl", metavar="PATH",
                      help="also export finished traces as JSON lines")
+    obs.add_argument("--cluster", metavar="HOST:PORT",
+                     help="instead of the built-in workload, scrape a "
+                          "running router's obs verb and render the "
+                          "federated cluster view")
+    obs.add_argument("--listen", type=int, metavar="PORT",
+                     help="with --cluster: serve the fleet Prometheus "
+                          "exposition on this HTTP port (0 picks one)")
+    obs.add_argument("--max-requests", type=int, default=0,
+                     help="with --listen: exit after this many scrapes "
+                          "(0: serve until Ctrl-C)")
+    obs.add_argument("--stale-after", type=float, default=60.0,
+                     help="with --cluster: mark documents older than "
+                          "this many seconds as stale")
+
+    top = commands.add_parser(
+        "top",
+        help="live cluster dashboard (rates, latency quantiles, "
+             "replica health, SLO burn rates)",
+    )
+    top.add_argument("router", metavar="HOST:PORT",
+                     help="address of a running route tier")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between scrapes")
+    top.add_argument("--iterations", type=int, default=0,
+                     help="stop after this many ticks (0: until Ctrl-C)")
+    top.add_argument("--stale-after", type=float, default=60.0,
+                     help="staleness threshold for scraped documents")
+    top.add_argument("--no-clear", action="store_true",
+                     help="append ticks instead of clearing the screen "
+                          "(CI, logs)")
 
     serve = commands.add_parser(
         "serve",
@@ -922,6 +1307,7 @@ _HANDLERS = {
     "query-path": _cmd_query_path,
     "verify-catalog": _cmd_verify_catalog,
     "obs": _cmd_obs,
+    "top": _cmd_top,
     "serve": _cmd_serve,
     "route": _cmd_route,
     "backup": _cmd_backup,

@@ -329,6 +329,7 @@ class RouterCounters(RegistryMirrorMixin):
     resyncs_completed: int = 0
     resyncs_failed: int = 0
     sync_entities_streamed: int = 0
+    obs_scrapes: int = 0
 
     def availability(self) -> float:
         """Fraction of routed requests answered completely (1.0 when idle)."""

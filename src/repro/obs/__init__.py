@@ -15,7 +15,12 @@ runtime instead of ad-hoc dataclasses):
 * :mod:`repro.obs.runtime` — the global on/off switch and the
   zero-cost-when-disabled helpers instrumented code calls;
 * :mod:`repro.obs.shims` — compatibility mirrors that keep the legacy
-  ``*Counters`` dataclasses working while feeding the registry.
+  ``*Counters`` dataclasses working while feeding the registry;
+* :mod:`repro.obs.federation` — per-process observability documents
+  (the ``obs`` wire verb's payload) merged into a cluster-level
+  :class:`~repro.obs.federation.FederatedView`;
+* :mod:`repro.obs.slo` — per-verb latency/availability objectives with
+  multi-window burn-rate alerting over federated scrapes.
 
 Typical use::
 
@@ -34,8 +39,17 @@ catalog, and ``python -m repro obs`` for the CLI surface.
 
 from repro.obs.events import Event, EventLog
 from repro.obs.export import JsonlSpanExporter, read_jsonl_traces
+from repro.obs.federation import (
+    FederatedView,
+    local_obs_document,
+    merge_documents,
+    quantile_from_buckets,
+    scrape_cluster,
+    unreachable_document,
+)
 from repro.obs.registry import (
     DEFAULT_BUCKETS,
+    SERVER_LATENCY_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -45,6 +59,7 @@ from repro.obs.registry import (
 )
 from repro.obs.runtime import (
     ObservabilityState,
+    adopt_wire_trace,
     bind_span_histogram,
     disable,
     enable,
@@ -53,19 +68,35 @@ from repro.obs.runtime import (
     inc,
     is_enabled,
     observe,
+    record_remote_span,
     registry,
     span,
     state,
+    trace_scope,
+    wire_trace,
 )
 from repro.obs.shims import flush_mirrors
-from repro.obs.tracing import NOOP_SPAN, Span, Tracer
+from repro.obs.slo import (
+    DEFAULT_ALERTS,
+    DEFAULT_OBJECTIVES,
+    BurnAlert,
+    SloMonitor,
+    SloObjective,
+    SloStatus,
+)
+from repro.obs.tracing import NOOP_SPAN, Span, TraceContext, Tracer
 
 __all__ = [
+    "DEFAULT_ALERTS",
     "DEFAULT_BUCKETS",
+    "DEFAULT_OBJECTIVES",
     "NOOP_SPAN",
+    "SERVER_LATENCY_BUCKETS",
+    "BurnAlert",
     "Counter",
     "Event",
     "EventLog",
+    "FederatedView",
     "Gauge",
     "Histogram",
     "JsonlSpanExporter",
@@ -73,8 +104,13 @@ __all__ = [
     "MetricFamily",
     "MetricsRegistry",
     "ObservabilityState",
+    "SloMonitor",
+    "SloObjective",
+    "SloStatus",
     "Span",
+    "TraceContext",
     "Tracer",
+    "adopt_wire_trace",
     "bind_span_histogram",
     "disable",
     "enable",
@@ -83,9 +119,17 @@ __all__ = [
     "gauge_set",
     "inc",
     "is_enabled",
+    "local_obs_document",
+    "merge_documents",
     "observe",
+    "quantile_from_buckets",
     "read_jsonl_traces",
+    "record_remote_span",
     "registry",
+    "scrape_cluster",
     "span",
     "state",
+    "trace_scope",
+    "unreachable_document",
+    "wire_trace",
 ]

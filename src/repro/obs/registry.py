@@ -45,6 +45,17 @@ DEFAULT_BUCKETS: tuple[float, ...] = (
     0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
 )
 
+#: server-path latency bounds (seconds): log-spaced ×2 from 50µs to
+#: ~6.5s.  Wire requests cluster in the 100µs–10ms band where the
+#: default bounds leave whole decades covered by one bucket; a federated
+#: p99 interpolated inside a ×2 bucket is wrong by at most ×2, which is
+#: what the SLO layer's burn rates can tolerate
+SERVER_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.00005, 0.0001, 0.0002, 0.0004, 0.0008, 0.0016, 0.0032, 0.0064,
+    0.0128, 0.0256, 0.0512, 0.1024, 0.2048, 0.4096, 0.8192, 1.6384,
+    3.2768, 6.5536,
+)
+
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
 
@@ -179,11 +190,17 @@ class MetricFamily:
         self._default: Optional[Any] = None
 
     def _make_child(self, labelvalues: tuple[str, ...]):
+        # every child gets its own lock: update paths run on the event
+        # loop, the batcher, and executor workers at once, and funneling
+        # them all through one registry-wide lock serializes unrelated
+        # metrics against each other (exposition never needs more than
+        # per-child consistency — each child's fields are read whole)
+        child_lock = threading.Lock()
         if self.kind == COUNTER:
-            return Counter(labelvalues, self._lock)
+            return Counter(labelvalues, child_lock)
         if self.kind == GAUGE:
-            return Gauge(labelvalues, self._lock)
-        return Histogram(labelvalues, self.buckets, self._lock)
+            return Gauge(labelvalues, child_lock)
+        return Histogram(labelvalues, self.buckets, child_lock)
 
     def labels(self, **labels: Any):
         """The child for one label-value combination (created on demand)."""
@@ -257,6 +274,9 @@ class MetricsRegistry:
         self._fast_counters: dict[str, Counter] = {}
         self._fast_gauges: dict[str, Gauge] = {}
         self._fast_histograms: dict[str, Histogram] = {}
+        #: labeled children memoized by (name, *sorted label items) —
+        #: the runtime facade's hot path skips family + child resolution
+        self._fast_labeled: dict[tuple, Any] = {}
 
     def _family(
         self,
@@ -335,6 +355,7 @@ class MetricsRegistry:
             self._fast_counters.clear()
             self._fast_gauges.clear()
             self._fast_histograms.clear()
+            self._fast_labeled.clear()
 
     # exposition ----------------------------------------------------------
     @staticmethod

@@ -18,14 +18,23 @@ per process, like a logging root handler.
 
 from __future__ import annotations
 
+import random as _random
+from contextlib import nullcontext
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Optional, Union
+from typing import Any, ContextManager, Optional, Sequence, Union
 
 from repro.obs.events import EventLog
 from repro.obs.export import JsonlSpanExporter
 from repro.obs.registry import MetricsRegistry
-from repro.obs.tracing import NOOP_SPAN, Span, Tracer
+from repro.obs.tracing import (
+    NOOP_SPAN,
+    Span,
+    TraceContext,
+    Tracer,
+    new_span_id,
+    new_trace_id,
+)
 
 
 @dataclass
@@ -36,6 +45,13 @@ class ObservabilityState:
     tracer: Optional[Tracer]
     events: EventLog
     exporter: Optional[JsonlSpanExporter] = None
+    #: trace-context propagation: when True, clients stamp a ``trace``
+    #: field on every outgoing wire request and servers adopt incoming
+    #: ones (see wire_trace / adopt_wire_trace)
+    propagate: bool = False
+    #: fraction of client-originated traces marked sampled (the flag
+    #: still crosses the wire when 0; receivers just don't record)
+    sample_rate: float = 1.0
 
     def close(self) -> None:
         if self.exporter is not None:
@@ -48,14 +64,25 @@ _STATE: Optional[ObservabilityState] = None
 #: one module global instead of chasing attributes on every call
 _TRACER: Optional[Tracer] = None
 _REGISTRY: Optional[MetricsRegistry] = None
+#: mirror of ``_STATE.propagate`` — wire_trace() is called per client
+#: request and must stay one global read when propagation is off
+_PROPAGATE: bool = False
 
-#: span name -> (histogram name, help text): declared once at import
-#: time, wired into every tracer that ``enable`` installs
-_SPAN_HISTOGRAMS: dict[str, tuple[str, str]] = {}
+#: span name -> (histogram name, help text, buckets): declared once at
+#: import time, wired into every tracer that ``enable`` installs
+_SPAN_HISTOGRAMS: dict[
+    str, tuple[str, str, Optional[tuple[float, ...]]]
+] = {}
+
+#: shared reusable no-op scope for trace_scope() while disabled
+_NULL_SCOPE: ContextManager[None] = nullcontext()
 
 
 def bind_span_histogram(
-    span_name: str, metric_name: str, help_text: str = ""
+    span_name: str,
+    metric_name: str,
+    help_text: str = "",
+    buckets: Optional[Sequence[float]] = None,
 ) -> None:
     """Feed every ``span_name`` span's duration into a histogram.
 
@@ -64,12 +91,14 @@ def bind_span_histogram(
     so a hot call site pays for a single span and nothing else.  Call
     at module import time, next to the instrumented code; the binding
     applies to the current observability session (if tracing) and to
-    every later :func:`enable`.
+    every later :func:`enable`.  ``buckets`` overrides the histogram's
+    bounds (only honored when this binding creates the family).
     """
-    _SPAN_HISTOGRAMS[span_name] = (metric_name, help_text)
+    bounds = tuple(buckets) if buckets is not None else None
+    _SPAN_HISTOGRAMS[span_name] = (metric_name, help_text, bounds)
     if _STATE is not None and _STATE.tracer is not None:
         _STATE.tracer.span_histograms[span_name] = _STATE.registry.histogram(
-            metric_name, help_text
+            metric_name, help_text, buckets=bounds
         )._unlabeled()
 
 
@@ -78,8 +107,10 @@ def enable(
     slow_op_threshold_s: Optional[float] = 0.05,
     trace_jsonl_path: Optional[Union[str, Path]] = None,
     event_capacity: int = 1024,
-    max_finished_traces: int = 256,
+    max_finished_traces: int = 32,
     registry: Optional[MetricsRegistry] = None,
+    propagate: bool = False,
+    sample_rate: float = 1.0,
 ) -> ObservabilityState:
     """Turn observability on; returns the installed state.
 
@@ -90,10 +121,21 @@ def enable(
         trace_jsonl_path: when set, finished traces are appended there
             as JSON lines.
         event_capacity: ring-buffer size of the event log.
-        max_finished_traces: ring size of kept root-span trees.
+        max_finished_traces: ring size of kept root-span trees.  The
+            ring is also a GC dial: every retained tree is an object
+            graph the young-generation collector must traverse while it
+            lives, so a busy server pays for capacity it never reads.
+            32 keeps several full request fan-outs inspectable; raise
+            it for interactive debugging, not in steady state.
         registry: reuse an existing registry (tests; default: fresh).
+        propagate: stamp/adopt wire trace contexts (distributed traces;
+            requires ``trace``).  Off by default — a client of an
+            uninstrumented server gains nothing from the extra field.
+        sample_rate: fraction of client-originated traces marked
+            sampled; unsampled contexts still cross the wire but no
+            hop records spans for them.
     """
-    global _STATE, _TRACER, _REGISTRY
+    global _STATE, _TRACER, _REGISTRY, _PROPAGATE
     if _STATE is not None:
         disable()
     exporter = (
@@ -115,20 +157,23 @@ def enable(
         tracer=tracer,
         events=EventLog(capacity=event_capacity),
         exporter=exporter,
+        propagate=propagate and tracer is not None,
+        sample_rate=max(0.0, min(1.0, sample_rate)),
     )
     if tracer is not None:
-        for span_name, (metric, help_text) in _SPAN_HISTOGRAMS.items():
+        for span_name, (metric, help_text, bounds) in _SPAN_HISTOGRAMS.items():
             tracer.span_histograms[span_name] = _STATE.registry.histogram(
-                metric, help_text
+                metric, help_text, buckets=bounds
             )._unlabeled()
     _TRACER = _STATE.tracer
     _REGISTRY = _STATE.registry
+    _PROPAGATE = _STATE.propagate
     return _STATE
 
 
 def disable() -> Optional[ObservabilityState]:
     """Turn observability off; returns the state that was active."""
-    global _STATE, _TRACER, _REGISTRY
+    global _STATE, _TRACER, _REGISTRY, _PROPAGATE
     if _STATE is not None:
         # deferred-mirror shims flush on disable so the returned state's
         # registry is complete (import here: shims imports runtime)
@@ -139,6 +184,7 @@ def disable() -> Optional[ObservabilityState]:
     _STATE = None
     _TRACER = None
     _REGISTRY = None
+    _PROPAGATE = False
     if state is not None:
         state.close()
     return state
@@ -187,8 +233,12 @@ def inc(name: str, amount: float = 1.0, help_text: str = "",
     if registry is None:
         return
     if labels:
-        family = registry.counter(name, help_text, tuple(sorted(labels)))
-        family.labels(**labels).inc(amount)
+        key = (name,) + tuple(sorted(labels.items()))
+        child = registry._fast_labeled.get(key)
+        if child is None:
+            family = registry.counter(name, help_text, tuple(sorted(labels)))
+            child = registry._fast_labeled[key] = family.labels(**labels)
+        child.inc(amount)
         return
     child = registry._fast_counters.get(name)
     if child is None:
@@ -198,18 +248,31 @@ def inc(name: str, amount: float = 1.0, help_text: str = "",
 
 
 def observe(name: str, value: float, help_text: str = "",
+            buckets: Optional[Sequence[float]] = None,
             **labels: Any) -> None:
-    """Observe a value into a histogram family (created on first use)."""
+    """Observe a value into a histogram family (created on first use).
+
+    ``buckets`` sets the family's bounds when this call creates it
+    (registry semantics: bounds are fixed at family creation).
+    """
     registry = _REGISTRY
     if registry is None:
         return
     if labels:
-        family = registry.histogram(name, help_text, tuple(sorted(labels)))
-        family.labels(**labels).observe(value)
+        key = (name,) + tuple(sorted(labels.items()))
+        child = registry._fast_labeled.get(key)
+        if child is None:
+            family = registry.histogram(
+                name, help_text, tuple(sorted(labels)), buckets=buckets
+            )
+            child = registry._fast_labeled[key] = family.labels(**labels)
+        child.observe(value)
         return
     child = registry._fast_histograms.get(name)
     if child is None:
-        child = registry.histogram(name, help_text)._unlabeled()
+        child = registry.histogram(
+            name, help_text, buckets=buckets
+        )._unlabeled()
         registry._fast_histograms[name] = child
     child.observe(value)
 
@@ -221,11 +284,108 @@ def gauge_set(name: str, value: float, help_text: str = "",
     if registry is None:
         return
     if labels:
-        family = registry.gauge(name, help_text, tuple(sorted(labels)))
-        family.labels(**labels).set(value)
+        key = (name,) + tuple(sorted(labels.items()))
+        child = registry._fast_labeled.get(key)
+        if child is None:
+            family = registry.gauge(name, help_text, tuple(sorted(labels)))
+            child = registry._fast_labeled[key] = family.labels(**labels)
+        child.set(value)
         return
     child = registry._fast_gauges.get(name)
     if child is None:
         child = registry.gauge(name, help_text)._unlabeled()
         registry._fast_gauges[name] = child
     child.set(value)
+
+
+# ---------------------------------------------------------------------------
+# distributed-trace helpers: how a trace context crosses the wire.  All
+# four are one-or-two global reads and an early return unless tracing
+# *and* propagation are enabled — a client or server running with
+# observability off pays nothing for them.
+# ---------------------------------------------------------------------------
+def wire_trace() -> Optional[str]:
+    """The ``trace`` field for an outgoing request, or None.
+
+    Inside an open span (or an adopted remote context) the current
+    position in the trace is stamped, so the receiver's spans become
+    children of the caller's.  Outside any span a fresh root context is
+    minted — the originating client starts the trace — honoring the
+    session's ``sample_rate``.  Either way the value is the flat
+    traceparent string of :meth:`TraceContext.to_wire`.
+    """
+    tracer = _TRACER
+    if tracer is None or not _PROPAGATE:
+        return None
+    context = tracer.current_context()
+    if context is not None:
+        return context.to_wire()
+    state = _STATE
+    sampled = True
+    if state is not None and state.sample_rate < 1.0:
+        sampled = _random.random() < state.sample_rate
+    # fresh root minted straight into wire form: this runs per client
+    # request, and the intermediate TraceContext would be garbage
+    return (
+        "00-" + new_trace_id() + "-" + new_span_id()
+        + ("-01" if sampled else "-00")
+    )
+
+
+def adopt_wire_trace(wire: Any) -> Optional[TraceContext]:
+    """Parse an incoming ``trace`` field into this hop's own context.
+
+    Returns a *child* context (fresh span id, parented on the sender's
+    span) ready to stamp on the span this hop records for the request —
+    or None when propagation is off or the field is absent/malformed.
+    """
+    tracer = _TRACER
+    if tracer is None or not _PROPAGATE or wire is None:
+        return None
+    # parse + child fused into one construction: this runs per served
+    # request, so the intermediate parent context is skipped.  Shape
+    # checks mirror TraceContext.from_wire (see its docstring for why
+    # validation stops there)
+    if (
+        not isinstance(wire, str)
+        or len(wire) != 55
+        or not wire.startswith("00-")
+        or wire[35] != "-"
+        or wire[52] != "-"
+    ):
+        return None
+    return TraceContext(
+        wire[3:35], new_span_id(), wire[36:52], wire[53:55] != "00",
+    )
+
+
+def trace_scope(context: Optional[TraceContext]) -> ContextManager[Any]:
+    """Activate *context* as the ambient parent for local root spans.
+
+    Wrap only synchronous regions (no ``await`` inside): the ambient
+    slot is thread-local and would bleed into interleaved event-loop
+    tasks.  A None or unsampled context yields a shared no-op scope.
+    """
+    tracer = _TRACER
+    if tracer is None or context is None or not context.sampled:
+        return _NULL_SCOPE
+    return tracer.activate_context(context)
+
+
+def record_remote_span(
+    name: str,
+    started_s: float,
+    ended_s: float,
+    context: Optional[TraceContext],
+    error: Optional[str] = None,
+    **attributes: Any,
+) -> None:
+    """Record one externally timed span under *context* (see
+    :meth:`Tracer.record_span`); dropped when tracing is off or the
+    context is absent/unsampled."""
+    tracer = _TRACER
+    if tracer is None or context is None or not context.sampled:
+        return
+    tracer.record_span(
+        name, started_s, ended_s, context=context, error=error, **attributes
+    )

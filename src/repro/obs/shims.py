@@ -138,6 +138,7 @@ ROUTER_METRICS: dict[str, tuple[str, str]] = {
     "resyncs_failed": ("repro_router_resyncs_failed_total", COUNTER),
     "sync_entities_streamed": (
         "repro_router_sync_entities_streamed_total", COUNTER),
+    "obs_scrapes": ("repro_router_obs_scrapes_total", COUNTER),
 }
 
 #: RobustnessCounters field -> (metric name, kind)
@@ -313,6 +314,8 @@ METRIC_HELP: dict[str, str] = {
         "Replica resync attempts that failed (will retry)",
     "repro_router_sync_entities_streamed_total":
         "Entities streamed from healthy peers during resync",
+    "repro_router_obs_scrapes_total":
+        "Cluster observability scrapes federated by the router",
 }
 
 

@@ -1,0 +1,306 @@
+"""Service-level objectives over federated metrics: burn-rate alerts.
+
+An :class:`SloObjective` states what "good" means for one verb —
+either **latency** ("99% of ``query`` requests complete within 25ms")
+or **availability** ("99.9% of ``insert`` requests succeed") — and the
+:class:`SloMonitor` evaluates a set of them against successive
+:class:`~repro.obs.federation.FederatedView` scrapes.
+
+The alerting model is the multi-window, multi-burn-rate scheme from the
+Google SRE workbook.  With error budget ``1 − objective``, the **burn
+rate** over a window is ``error_rate / budget`` — burn 1 spends the
+budget exactly over the SLO period, burn 14.4 exhausts a 30-day budget
+in 2 days.  Each alert pairs a long window (is the burn sustained?)
+with a short one (is it *still* happening?), both of which must exceed
+the threshold:
+
+* **page** — burn ≥ 14.4 over 1h *and* over the last 5m;
+* **ticket** — burn ≥ 6 over 6h *and* over the last 1h.
+
+Counters are cumulative, so windowed rates come from differencing the
+ring of retained samples; the clock is injectable, which is how the
+test battery replays hours of traffic in milliseconds.  Until a window
+has history spanning it, the rate uses what history there is (an alert
+can fire early under a hard regression — preferable to staying silent
+during the first hour of a launch).
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_right
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.obs.federation import FederatedView
+
+LATENCY = "latency"
+AVAILABILITY = "availability"
+
+#: statuses that count as "good" for availability objectives — the
+#: protocol's success vocabulary plus ``degraded`` (a partial result is
+#: an answered request; shards missing rows show up on the latency and
+#: reachability signals instead)
+GOOD_STATUSES = frozenset({"ok", "applied", "degraded"})
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One objective: what fraction of a verb's requests must be good."""
+
+    name: str
+    #: the wire verb this objective watches (the ``op`` metric label)
+    verb: str
+    #: target good fraction, e.g. 0.999
+    objective: float
+    #: ``latency`` or ``availability``
+    kind: str = LATENCY
+    #: latency objectives: a request is good when it completed within
+    #: this bound (evaluated against the federated latency histogram)
+    threshold_s: float = 0.025
+    #: the histogram (latency) or counter (availability) family read
+    metric: str = "repro_server_request_seconds"
+
+    def __post_init__(self) -> None:
+        if self.kind not in (LATENCY, AVAILABILITY):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(
+                f"objective must be in (0, 1), got {self.objective}"
+            )
+
+    @property
+    def budget(self) -> float:
+        """The error budget: the tolerated bad fraction."""
+        return 1.0 - self.objective
+
+    def counts(self, view: FederatedView) -> tuple[float, float]:
+        """``(good, total)`` cumulative counts from one federated view."""
+        if self.kind == LATENCY:
+            return view.histogram_counts(
+                self.metric, self.threshold_s, op=self.verb
+            )
+        total = view.counter_total(self.metric, op=self.verb)
+        good = sum(
+            view.counter_total(self.metric, op=self.verb, status=status)
+            for status in GOOD_STATUSES
+        )
+        return good, total
+
+
+#: the default objectives the CLI (``repro obs --cluster``, ``repro
+#: top``) evaluates: latency on the read verbs, availability on writes
+DEFAULT_OBJECTIVES: tuple[SloObjective, ...] = (
+    SloObjective(
+        name="query-latency", verb="query", objective=0.99,
+        kind=LATENCY, threshold_s=0.025,
+    ),
+    SloObjective(
+        name="sql-latency", verb="sql", objective=0.99,
+        kind=LATENCY, threshold_s=0.05,
+    ),
+    SloObjective(
+        name="insert-availability", verb="insert", objective=0.999,
+        kind=AVAILABILITY, metric="repro_server_requests_total",
+    ),
+    SloObjective(
+        name="query-availability", verb="query", objective=0.999,
+        kind=AVAILABILITY, metric="repro_server_requests_total",
+    ),
+)
+
+
+@dataclass(frozen=True)
+class BurnAlert:
+    """One multi-window burn-rate alert rule."""
+
+    severity: str
+    #: both windows must burn at least this fast
+    threshold: float
+    long_window_s: float
+    short_window_s: float
+
+
+#: the SRE-workbook pairs (30-day SLO period): page on 14.4× over
+#: 1h+5m, ticket on 6× over 6h+1h
+DEFAULT_ALERTS: tuple[BurnAlert, ...] = (
+    BurnAlert(
+        severity="page", threshold=14.4,
+        long_window_s=3600.0, short_window_s=300.0,
+    ),
+    BurnAlert(
+        severity="ticket", threshold=6.0,
+        long_window_s=21600.0, short_window_s=3600.0,
+    ),
+)
+
+
+@dataclass
+class SloStatus:
+    """One objective's evaluated state at a point in time."""
+
+    objective: SloObjective
+    #: cumulative counts at the latest sample
+    good: float = 0.0
+    total: float = 0.0
+    #: burn rate per alert window, keyed by window seconds
+    burn_rates: dict[float, Optional[float]] = field(default_factory=dict)
+    #: alerts whose window pair both crossed threshold
+    alerts: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def compliance(self) -> Optional[float]:
+        """Lifetime good fraction (None before any traffic)."""
+        if self.total <= 0:
+            return None
+        return self.good / self.total
+
+    @property
+    def firing(self) -> bool:
+        return bool(self.alerts)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.objective.name,
+            "verb": self.objective.verb,
+            "kind": self.objective.kind,
+            "objective": self.objective.objective,
+            "threshold_s": (
+                self.objective.threshold_s
+                if self.objective.kind == LATENCY else None
+            ),
+            "good": self.good,
+            "total": self.total,
+            "compliance": self.compliance,
+            "burn_rates": {
+                str(int(window)): rate
+                for window, rate in self.burn_rates.items()
+            },
+            "alerts": list(self.alerts),
+        }
+
+
+class _SampleRing:
+    """Timestamped cumulative ``(good, total)`` samples, bounded."""
+
+    def __init__(self, max_samples: int) -> None:
+        self.times: deque[float] = deque(maxlen=max_samples)
+        self.good: deque[float] = deque(maxlen=max_samples)
+        self.total: deque[float] = deque(maxlen=max_samples)
+
+    def append(self, when: float, good: float, total: float) -> None:
+        self.times.append(when)
+        self.good.append(good)
+        self.total.append(total)
+
+    def window_error_rate(
+        self, now: float, window_s: float
+    ) -> Optional[float]:
+        """Bad fraction of the traffic inside ``[now − window_s, now]``.
+
+        The baseline is the newest sample at or before the window start
+        (counts are cumulative, so the difference is exactly the
+        window's traffic); with no sample that old yet, the oldest
+        available stands in.  None until two samples exist or when the
+        window saw no traffic.
+        """
+        if len(self.times) < 2:
+            return None
+        times = list(self.times)
+        index = bisect_right(times, now - window_s) - 1
+        if index < 0:
+            index = 0
+        good = list(self.good)
+        total = list(self.total)
+        delta_total = total[-1] - total[index]
+        if delta_total <= 0:
+            return None
+        delta_bad = delta_total - (good[-1] - good[index])
+        return max(0.0, delta_bad) / delta_total
+
+
+class SloMonitor:
+    """Evaluates objectives against successive federated scrapes.
+
+    >>> monitor = SloMonitor(clock=fake.now)          # doctest: +SKIP
+    >>> monitor.observe(view)     # after every scrape
+    >>> for status in monitor.evaluate():
+    ...     if status.firing:
+    ...         print(status.alerts)
+    """
+
+    def __init__(
+        self,
+        objectives: Sequence[SloObjective] = DEFAULT_OBJECTIVES,
+        alerts: Sequence[BurnAlert] = DEFAULT_ALERTS,
+        clock: Callable[[], float] = time.monotonic,
+        max_samples: int = 4096,
+    ) -> None:
+        self.objectives = tuple(objectives)
+        self.alerts = tuple(alerts)
+        self.clock = clock
+        self._rings = {
+            objective.name: _SampleRing(max_samples)
+            for objective in self.objectives
+        }
+        self._latest: dict[str, tuple[float, float]] = {}
+
+    def observe(self, view: FederatedView) -> None:
+        """Ingest one federated scrape (reads each objective's counts)."""
+        now = self.clock()
+        for objective in self.objectives:
+            good, total = objective.counts(view)
+            self.observe_counts(objective.name, good, total, now=now)
+
+    def observe_counts(
+        self,
+        name: str,
+        good: float,
+        total: float,
+        now: Optional[float] = None,
+    ) -> None:
+        """Ingest one cumulative sample directly (tests, custom feeds)."""
+        ring = self._rings.get(name)
+        if ring is None:
+            raise KeyError(f"unknown objective {name!r}")
+        ring.append(now if now is not None else self.clock(), good, total)
+        self._latest[name] = (good, total)
+
+    def evaluate(self) -> list[SloStatus]:
+        """Every objective's current burn rates and firing alerts."""
+        now = self.clock()
+        statuses: list[SloStatus] = []
+        for objective in self.objectives:
+            ring = self._rings[objective.name]
+            good, total = self._latest.get(objective.name, (0.0, 0.0))
+            status = SloStatus(objective=objective, good=good, total=total)
+            budget = objective.budget
+            windows = sorted({
+                window
+                for alert in self.alerts
+                for window in (alert.long_window_s, alert.short_window_s)
+            })
+            for window in windows:
+                rate = ring.window_error_rate(now, window)
+                status.burn_rates[window] = (
+                    rate / budget if rate is not None else None
+                )
+            for alert in self.alerts:
+                long_burn = status.burn_rates.get(alert.long_window_s)
+                short_burn = status.burn_rates.get(alert.short_window_s)
+                if (
+                    long_burn is not None and short_burn is not None
+                    and long_burn >= alert.threshold
+                    and short_burn >= alert.threshold
+                ):
+                    status.alerts.append({
+                        "severity": alert.severity,
+                        "threshold": alert.threshold,
+                        "long_window_s": alert.long_window_s,
+                        "short_window_s": alert.short_window_s,
+                        "long_burn": round(long_burn, 3),
+                        "short_burn": round(short_burn, 3),
+                    })
+            statuses.append(status)
+        return statuses

@@ -27,17 +27,116 @@ whose methods do nothing (see :mod:`repro.obs.runtime`).
 
 from __future__ import annotations
 
+import random as _random
 import threading
 from collections import deque
 from time import perf_counter
 from typing import Any, Callable, Optional, Sequence
+
+#: process-local id source for trace/span ids.  Mersenne state is only
+#: touched under the GIL (getrandbits is one C call), and collisions
+#: across processes are astronomically unlikely at these widths
+#: (128-bit trace ids, 64-bit span ids — the W3C traceparent widths).
+_IDS = _random.Random()
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-digit trace id."""
+    return f"{_IDS.getrandbits(128):032x}"
+
+
+def new_span_id() -> str:
+    """A fresh 16-hex-digit span id."""
+    return f"{_IDS.getrandbits(64):016x}"
+
+
+class TraceContext:
+    """One hop's position in a distributed trace.
+
+    ``trace_id`` names the whole cross-process tree; ``span_id`` is the
+    id of *this* hop's span; ``parent_span_id`` links it to the hop one
+    wire crossing upstream (None at the originating client).  The wire
+    form (:meth:`to_wire`) carries only ``trace_id``, the sender's
+    ``span_id``, and the ``sampled`` flag — the receiver derives its own
+    context with :meth:`child`, so parent/child edges are implied by the
+    request flow rather than shipped explicitly.
+    """
+
+    __slots__ = ("trace_id", "span_id", "parent_span_id", "sampled")
+
+    def __init__(
+        self,
+        trace_id: str,
+        span_id: str,
+        parent_span_id: Optional[str] = None,
+        sampled: bool = True,
+    ) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_span_id = parent_span_id
+        self.sampled = sampled
+
+    @classmethod
+    def new(cls, sampled: bool = True) -> "TraceContext":
+        """A fresh root context (the originating client's hop)."""
+        return cls(new_trace_id(), new_span_id(), None, sampled)
+
+    def child(self) -> "TraceContext":
+        """A context one hop below this one (fresh span id)."""
+        return TraceContext(
+            self.trace_id, new_span_id(), self.span_id, self.sampled
+        )
+
+    def to_wire(self) -> str:
+        """The ``trace`` request field: what crosses the wire.
+
+        The W3C ``traceparent`` form —
+        ``00-<32 hex trace id>-<16 hex span id>-<2 hex flags>`` — a flat
+        55-character string.  A string encodes and decodes in a fraction
+        of a nested object's time, and every request pays that cost on
+        both sides of the wire.
+        """
+        return (
+            "00-" + self.trace_id + "-" + self.span_id
+            + ("-01" if self.sampled else "-00")
+        )
+
+    @classmethod
+    def from_wire(cls, document: Any) -> Optional["TraceContext"]:
+        """Parse a ``trace`` request field; None when malformed.
+
+        Robustness over strictness: a garbled trace field must never
+        fail the request it rode in on, so anything that does not look
+        like a traceparent string is simply ignored.  Validation is
+        shape-only (version prefix, length, dash positions) — per-digit
+        hex checks would tax every request to reject inputs that only a
+        broken client can produce, and a wrong-but-well-shaped id still
+        correlates consistently.
+        """
+        if (
+            not isinstance(document, str)
+            or len(document) != 55
+            or not document.startswith("00-")
+            or document[35] != "-"
+            or document[52] != "-"
+        ):
+            return None
+        return cls(
+            document[3:35], document[36:52], None, document[53:55] != "00"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraceContext({self.trace_id[:8]}…, span={self.span_id}, "
+            f"parent={self.parent_span_id}, sampled={self.sampled})"
+        )
 
 
 class Span:
     """One timed, attributed region, possibly nested under a parent."""
 
     __slots__ = ("name", "attributes", "_children", "started_s", "ended_s",
-                 "error", "_tracer")
+                 "error", "_tracer", "trace_id", "span_id", "parent_span_id")
 
     def __init__(self, tracer: "Tracer", name: str,
                  attributes: dict[str, Any]) -> None:
@@ -50,6 +149,11 @@ class Span:
         self.started_s = 0.0
         self.ended_s = 0.0
         self.error: Optional[str] = None
+        # distributed-trace ids stay None (and cost three stores) unless
+        # this span is part of a propagated trace — see __enter__
+        self.trace_id: Optional[str] = None
+        self.span_id: Optional[str] = None
+        self.parent_span_id: Optional[str] = None
 
     is_recording = True
 
@@ -79,6 +183,25 @@ class Span:
                 parent._children = [self]
             else:
                 parent._children.append(self)
+            if parent.trace_id is not None:
+                # inside a propagated trace: adopt the lineage.  The
+                # parent's id is minted here on first child; this span's
+                # own id stays None until something needs it (a wire
+                # crossing or export) — most spans are leaves that are
+                # never referenced, and id formatting is pure overhead
+                self.trace_id = parent.trace_id
+                parent_id = parent.span_id
+                if parent_id is None:
+                    parent_id = parent.span_id = new_span_id()
+                self.parent_span_id = parent_id
+        else:
+            context = getattr(self._tracer._local, "context", None)
+            if context is not None:
+                # a remote parent is active on this thread (the server
+                # adopted an incoming wire context): this root adopts
+                # it; its own id is minted lazily (see above)
+                self.trace_id = context.trace_id
+                self.parent_span_id = context.span_id
         stack.append(self)
         self.started_s = perf_counter()
         return self
@@ -128,6 +251,14 @@ class Span:
             "duration_ms": round(self.duration_s * 1e3, 4),
             "attributes": dict(self.attributes),
         }
+        if self.trace_id is not None:
+            if self.span_id is None:
+                # leaf span exported before anything forced an id
+                self.span_id = new_span_id()
+            document["trace_id"] = self.trace_id
+            document["span_id"] = self.span_id
+            if self.parent_span_id is not None:
+                document["parent_span_id"] = self.parent_span_id
         if self.error is not None:
             document["error"] = self.error
         if self._children:
@@ -163,6 +294,9 @@ class _NoopSpan:
     duration_s = 0.0
     attributes: dict[str, Any] = {}
     children: list["Span"] = []
+    trace_id = None
+    span_id = None
+    parent_span_id = None
 
     def set(self, key: str, value: Any) -> None:
         pass
@@ -177,12 +311,41 @@ class _NoopSpan:
 NOOP_SPAN = _NoopSpan()
 
 
+class _ContextScope:
+    """``with tracer.activate_context(ctx):`` — ambient remote parent.
+
+    While active on a thread, any *root* span opened there adopts the
+    context's trace id and treats the context's span as its parent —
+    how an adopted wire context reaches the synchronous spans a request
+    handler opens.  Scopes restore the previous context on exit, so they
+    nest; they must wrap only synchronous regions (the ambient slot is
+    thread-local, and an ``await`` would leak it to interleaved tasks).
+    """
+
+    __slots__ = ("_tracer", "_context", "_previous")
+
+    def __init__(self, tracer: "Tracer", context: TraceContext) -> None:
+        self._tracer = tracer
+        self._context = context
+        self._previous: Optional[TraceContext] = None
+
+    def __enter__(self) -> TraceContext:
+        local = self._tracer._local
+        self._previous = getattr(local, "context", None)
+        local.context = self._context
+        return self._context
+
+    def __exit__(self, *_exc: object) -> bool:
+        self._tracer._local.context = self._previous
+        return False
+
+
 class Tracer:
     """Creates spans, tracks nesting, and keeps the bounded digests."""
 
     def __init__(
         self,
-        max_finished: int = 256,
+        max_finished: int = 32,
         slow_threshold_s: Optional[float] = None,
         max_slow_ops: int = 128,
         exporter: Optional[Callable[[Span], None]] = None,
@@ -226,6 +389,82 @@ class Tracer:
     def span(self, name: str, **attributes: Any) -> Span:
         """A new span; nest it with ``with tracer.span("name"): ...``."""
         return Span(self, name, attributes)
+
+    # distributed-trace context -------------------------------------------
+    def activate_context(self, context: TraceContext) -> _ContextScope:
+        """Adopt *context* as this thread's ambient remote parent."""
+        return _ContextScope(self, context)
+
+    def current_context(self) -> Optional[TraceContext]:
+        """This thread's position in a trace, if it has one.
+
+        The innermost open span wins (allocating ids for it on demand so
+        the caller can cross a wire from inside any span); with no span
+        open, the ambient context installed by :meth:`activate_context`
+        answers; otherwise None.
+        """
+        stack = getattr(self._local, "stack", None)
+        if stack:
+            span = stack[-1]
+            if span.trace_id is None:
+                # a local-only trace crossing the wire for the first
+                # time: mint ids lazily so purely local spans never pay
+                span.trace_id = new_trace_id()
+                span.span_id = new_span_id()
+            elif span.span_id is None:
+                # propagated trace, id deferred at __enter__: the wire
+                # crossing is the moment it becomes observable
+                span.span_id = new_span_id()
+            return TraceContext(
+                span.trace_id, span.span_id, span.parent_span_id
+            )
+        return getattr(self._local, "context", None)
+
+    def record_span(
+        self,
+        name: str,
+        started_s: float,
+        ended_s: float,
+        context: Optional[TraceContext] = None,
+        error: Optional[str] = None,
+        **attributes: Any,
+    ) -> Span:
+        """Record an externally timed span without touching the stack.
+
+        The escape hatch for event-loop code: a request handler that
+        awaits cannot hold a stack-based span open (the per-thread stack
+        would interleave across tasks), so it measures start/end itself
+        and records the finished span here.  The span lands in every
+        digest exactly as a stack root would — aggregates, the slow-op
+        log, the finished ring, bound histograms, and the exporter —
+        and carries *context*'s ids so it threads into the distributed
+        trace.
+        """
+        span = Span(self, name, attributes)
+        span.started_s = started_s
+        span.ended_s = ended_s
+        span.error = error
+        if context is not None:
+            span.trace_id = context.trace_id
+            span.span_id = context.span_id
+            span.parent_span_id = context.parent_span_id
+        duration = ended_s - started_s
+        histogram = self.span_histograms.get(name)
+        if histogram is not None:
+            histogram.observe(duration)
+        aggregate = self.aggregates.get(name)
+        if aggregate is None:
+            self.aggregates[name] = [1, duration]
+        else:
+            aggregate[0] += 1
+            aggregate[1] += duration
+        if duration >= self._slow_cutoff:
+            self._record_slow(span, duration)
+        self.roots_finished += 1
+        self.finished.append(span)
+        if self.exporter is not None:
+            self.exporter(span)
+        return span
 
     def _record_slow(self, span: Span, duration: float) -> None:
         """Log one span that crossed the slow threshold."""

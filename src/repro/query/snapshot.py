@@ -43,6 +43,7 @@ import time
 from collections import OrderedDict
 from typing import Any, Callable, Iterator, Optional, TYPE_CHECKING
 
+from repro.obs import runtime as obs
 from repro.query.executor import ExecutionResult, ExecutionStats
 from repro.query.query import AttributeQuery
 from repro.storage.record import deserialize_record
@@ -273,19 +274,21 @@ class TableSnapshot:
         cached = self._plan_cache.get(sig)
         if cached is not None:
             return cached
-        query_mask = query.synopsis_mask(self.dictionary)
-        if query.mode == "any":
-            branches = (
-                tuple(v for v in self.views if v.mask & query_mask)
-                if query_mask else ()
-            )
-        elif query_mask and len(query.attributes) == query_mask.bit_count():
-            branches = tuple(
-                v for v in self.views if (v.mask & query_mask) == query_mask
-            )
-        else:  # `all` over an attribute no entity ever had matches nothing
-            branches = ()
-        plan = (branches, len(self.views) - len(branches))
+        with obs.span("query.index_prune", partitions=len(self.views)) as span:
+            query_mask = query.synopsis_mask(self.dictionary)
+            if query.mode == "any":
+                branches = (
+                    tuple(v for v in self.views if v.mask & query_mask)
+                    if query_mask else ()
+                )
+            elif query_mask and len(query.attributes) == query_mask.bit_count():
+                branches = tuple(
+                    v for v in self.views if (v.mask & query_mask) == query_mask
+                )
+            else:  # `all` over an attribute no entity ever had matches nothing
+                branches = ()
+            plan = (branches, len(self.views) - len(branches))
+            span.set("pruned", plan[1])
         if len(self._plan_cache) >= _RESPONSE_CACHE_SIGS:
             self._plan_cache.clear()
         self._plan_cache[sig] = plan
@@ -311,11 +314,12 @@ class TableSnapshot:
         branches, pruned = self._branches(query, sig)
         parts: list[str] = []
         row_count = 0
-        for view in branches:
-            chunk, count = view.chunk(query, sig)
-            if chunk:
-                parts.append(chunk)
-            row_count += count
+        with obs.span("query.snapshot_scan", branches=len(branches)):
+            for view in branches:
+                chunk, count = view.chunk(query, sig)
+                if chunk:
+                    parts.append(chunk)
+                row_count += count
         rows_json = f"[{','.join(parts)}]"
         total = len(self.views)
         scanned = len(branches)
@@ -358,19 +362,23 @@ class TableSnapshot:
             union_branches=len(branches),
         )
         rows: list[dict[str, Any]] = []
-        if eid_filter is None:
-            for view in branches:
-                rows.extend(dict(row) for row in view.rows(query, sig))
-        else:
-            matches = query.matches
-            project = query.project
-            for view in branches:
-                for eid, attributes in view.entities():
-                    stats.entities_read += 1
-                    if not eid_filter(eid):
-                        continue
-                    if matches(attributes):
-                        rows.append(project(attributes))
+        with obs.span(
+            "query.snapshot_scan",
+            branches=len(branches), filtered=eid_filter is not None,
+        ):
+            if eid_filter is None:
+                for view in branches:
+                    rows.extend(dict(row) for row in view.rows(query, sig))
+            else:
+                matches = query.matches
+                project = query.project
+                for view in branches:
+                    for eid, attributes in view.entities():
+                        stats.entities_read += 1
+                        if not eid_filter(eid):
+                            continue
+                        if matches(attributes):
+                            rows.append(project(attributes))
         stats.rows_returned = len(rows)
         return ExecutionResult(rows=rows, stats=stats)
 

@@ -49,6 +49,13 @@ from typing import Any, Optional
 
 from repro.metrics.telemetry import RouterCounters
 from repro.obs import runtime as obs
+from repro.obs.federation import (
+    local_obs_document,
+    merge_documents,
+    unreachable_document,
+)
+from repro.obs.registry import SERVER_LATENCY_BUCKETS
+from repro.obs.tracing import TraceContext
 from repro.router.health import (
     REPLICA_DIVERGED,
     REPLICA_RESYNCING,
@@ -67,6 +74,13 @@ _REQUESTS_BY_OP = "repro_router_requests_by_op_total"
 #: refusal codes that mean "the write actually landed, the ack was
 #: lost" when they follow a transport failure on the same exchange
 _DEDUP_CODES = {"insert": "duplicate_entity", "delete": "unknown_entity"}
+
+
+def _request_trace_context(request: Request) -> Optional[TraceContext]:
+    """The adopted trace context _dispatch stashed on the request (the
+    isinstance check also drops a wire-supplied impostor field)."""
+    context = request.fields.get("_trace_context")
+    return context if isinstance(context, TraceContext) else None
 
 
 @dataclass
@@ -348,6 +362,16 @@ class CinderellaRouter:
             )
         self.counters.requests_total += 1
         started = time.perf_counter()
+        trace_context: Optional[TraceContext] = None
+        wire = request.fields.pop("trace", None)
+        if wire is not None:
+            # adopt the caller's trace context; it rides on the request
+            # object (handlers run concurrently on the loop, so a
+            # thread-local would bleed across tasks) and every upstream
+            # exchange below stamps its own child context on the wire
+            trace_context = obs.adopt_wire_trace(wire)
+            if trace_context is not None:
+                request.fields["_trace_context"] = trace_context
         try:
             status, fields, error = await self._route(request, session)
         except _Refused as refusal:
@@ -360,9 +384,11 @@ class CinderellaRouter:
             error = protocol.error_body(
                 "internal", f"{type(err).__name__}: {err}"
             )
+        ended = time.perf_counter()
         obs.observe(
-            _REQUEST_SECONDS, time.perf_counter() - started,
-            "Router request latency (fan-out included)",
+            _REQUEST_SECONDS, ended - started,
+            "Router request latency by op (fan-out included)",
+            buckets=SERVER_LATENCY_BUCKETS, op=request.op,
         )
         obs.inc(
             _REQUESTS_BY_OP,
@@ -371,6 +397,16 @@ class CinderellaRouter:
         )
         ok = status in protocol.SUCCESS_STATUSES
         session.observe(request.op, ok=ok)
+        if trace_context is not None:
+            # the router's hop in the distributed trace (recorded after
+            # the fact: this coroutine awaited, so a stack-held span
+            # would mis-parent interleaved tasks)
+            obs.record_remote_span(
+                "router.request", started, ended, trace_context,
+                error=None if ok or status in protocol.PARTIAL_STATUSES
+                else status,
+                op=request.op, router=self.config.name, status=status,
+            )
         return protocol.encode_response(
             request.id, status, error=error, **fields
         )
@@ -379,7 +415,7 @@ class CinderellaRouter:
         self, request: Request, session: Session
     ) -> tuple[str, dict[str, Any], Optional[dict[str, Any]]]:
         op = request.op
-        if self._draining and op not in ("ping", "stats"):
+        if self._draining and op not in ("ping", "stats", "obs"):
             raise _Refused(
                 protocol.SHUTTING_DOWN, "draining",
                 "router is draining; no new work",
@@ -394,6 +430,8 @@ class CinderellaRouter:
             return await self._scatter(request)
         if op == "stats":
             return protocol.OK, self._stats_snapshot(), None
+        if op == "obs":
+            return await self._fanout_obs(request)
         if op == "maintain":
             return await self._fanout_maintain(request)
         if op == "shutdown":
@@ -408,13 +446,44 @@ class CinderellaRouter:
     # one upstream node: retry loop + breaker + dedup
     # ------------------------------------------------------------------
     async def _node_exchange(
-        self, node: NodeAddress, op: str, fields: dict[str, Any]
+        self,
+        node: NodeAddress,
+        op: str,
+        fields: dict[str, Any],
+        context: Optional[TraceContext] = None,
     ) -> Response:
         """Exchange with one node: bounded same-node retries with
         jittered backoff, breaker bookkeeping, and lost-ack dedup.
 
+        With a trace *context*, the exchange gets its own child span —
+        ``router.exchange`` with the node's name — whose context crosses
+        the wire on the request's ``trace`` field, so the node's span
+        nests under this exchange.  A fully failed exchange records the
+        transport error on that span: in a degraded scatter, the
+        unreachable shard's hop is marked, not silently absent.
+
         Raises :class:`UpstreamError` when every attempt transport-failed.
         """
+        if context is None:
+            return await self._exchange_attempts(node, op, fields)
+        exchange_context = context.child()
+        fields = {**fields, "trace": exchange_context.to_wire()}
+        started = time.perf_counter()
+        error: Optional[str] = None
+        try:
+            return await self._exchange_attempts(node, op, fields)
+        except UpstreamError as err:
+            error = f"UpstreamError: {err}"
+            raise
+        finally:
+            obs.record_remote_span(
+                "router.exchange", started, time.perf_counter(),
+                exchange_context, error=error, node=node.name, op=op,
+            )
+
+    async def _exchange_attempts(
+        self, node: NodeAddress, op: str, fields: dict[str, Any]
+    ) -> Response:
         health = self.health[node.name]
         pool = self.pools[node.name]
         if health.probing:
@@ -791,6 +860,8 @@ class CinderellaRouter:
         shard = self.placement.shard_of(eid)
         replicas = self.placement.replicas(shard)
         fields = dict(request.fields)
+        fields.pop("_trace_context", None)  # router-internal, not wire
+        context = _request_trace_context(request)
         fields["eid"] = eid
         self.counters.writes_routed += 1
         # diverged/resyncing replicas are out of the write set entirely:
@@ -823,7 +894,10 @@ class CinderellaRouter:
             candidates = [writable[0]]
             self.counters.probes_sent += 1
         outcomes = await asyncio.gather(
-            *(self._node_exchange(node, op, fields) for node in candidates),
+            *(
+                self._node_exchange(node, op, fields, context=context)
+                for node in candidates
+            ),
             return_exceptions=True,
         )
         acked: list[tuple[NodeAddress, Response]] = []
@@ -902,6 +976,8 @@ class CinderellaRouter:
         self.counters.queries_scattered += 1
         base_fields = dict(request.fields)
         base_fields.pop("shard_filter", None)  # router-owned field
+        base_fields.pop("_trace_context", None)  # router-internal
+        context = _request_trace_context(request)
         n_shards = self.placement.n_shards
         remaining: set[int] = set(self.placement.shards)
         tried: dict[int, set[str]] = {shard: set() for shard in remaining}
@@ -943,7 +1019,7 @@ class CinderellaRouter:
                         "shard_filter": {
                             "n_shards": n_shards, "shards": shards,
                         },
-                    })
+                    }, context=context)
                     for node, shards in assignment.items()
                 ),
                 return_exceptions=True,
@@ -964,7 +1040,9 @@ class CinderellaRouter:
         if refusal is not None:
             return refusal.status, dict(refusal.fields), refusal.error
         self.counters.failovers += len(failed_over - remaining)
-        with obs.span(
+        # the merge is synchronous, so a stack span is safe here; the
+        # trace scope parents it under this request's router hop
+        with obs.trace_scope(context), obs.span(
             "router.gather_merge", op=request.op, shards=n_shards,
             unreachable=len(remaining),
         ):
@@ -1027,10 +1105,13 @@ class CinderellaRouter:
         fields: dict[str, Any] = {}
         if request.get("checkpoint"):
             fields["checkpoint"] = True
+        context = _request_trace_context(request)
 
         async def one(node: NodeAddress) -> tuple[str, dict[str, Any]]:
             try:
-                response = await self._node_exchange(node, "maintain", fields)
+                response = await self._node_exchange(
+                    node, "maintain", fields, context=context
+                )
             except UpstreamError as err:
                 return node.name, {"error": str(err)}
             return node.name, dict(response.fields)
@@ -1039,6 +1120,49 @@ class CinderellaRouter:
             *(one(node) for node in self.placement.nodes)
         )
         return protocol.OK, {"nodes": dict(outcomes)}, None
+
+    async def _fanout_obs(
+        self, request: Request
+    ) -> tuple[str, dict[str, Any], Optional[dict[str, Any]]]:
+        """Metrics federation: scatter ``obs`` to every node, merge.
+
+        Every node's observability document (flushed registry + trace
+        digests) is gathered concurrently; a node that cannot be
+        scraped contributes an explicit *unreachable* marker instead of
+        vanishing.  The router's own document joins the set (labeled
+        ``tier="router"``), and the merged cluster view — per-node
+        labeled samples, bucket-merged histograms, staleness marks —
+        is returned under ``cluster``.
+        """
+        context = _request_trace_context(request)
+        started = time.perf_counter()
+
+        async def one(node: NodeAddress) -> dict[str, Any]:
+            try:
+                response = await self._node_exchange(
+                    node, "obs", {}, context=context
+                )
+            except UpstreamError as err:
+                return unreachable_document(node.name, str(err))
+            document = dict(response.fields)
+            document.setdefault("name", node.name)
+            return document
+
+        documents = list(await asyncio.gather(
+            *(one(node) for node in self.placement.nodes)
+        ))
+        documents.append(
+            local_obs_document(self.config.name, tier="router")
+        )
+        view = merge_documents(documents)
+        self.counters.obs_scrapes += 1
+        obs.observe(
+            "repro_router_obs_scrape_seconds",
+            time.perf_counter() - started,
+            "Cluster observability scrape latency (fan-out + merge)",
+            buckets=SERVER_LATENCY_BUCKETS,
+        )
+        return protocol.OK, {"cluster": view.to_json_obj()}, None
 
     def _stats_snapshot(self) -> dict[str, Any]:
         return {

@@ -20,6 +20,7 @@ import time
 import warnings
 from typing import Any, Iterable, Optional
 
+from repro.obs.runtime import wire_trace
 from repro.server.protocol import (
     MAX_LINE_BYTES,
     Response,
@@ -75,9 +76,21 @@ class ServerClient:
     # plumbing
     # ------------------------------------------------------------------
     def request(self, op: str, **fields: Any) -> Response:
-        """Send one request and block for its response."""
+        """Send one request and block for its response.
+
+        With trace propagation enabled (``obs.enable(propagate=True)``)
+        every frame is stamped with a ``trace`` context — the current
+        span's position when the caller is inside one, else a fresh
+        trace rooted at this request — so the receiving tier's spans
+        correlate back to this call site.  Disabled, this is one global
+        read.
+        """
         self._next_id += 1
         request_id = self._next_id
+        if "trace" not in fields:
+            trace = wire_trace()
+            if trace is not None:
+                fields["trace"] = trace
         self._sock.sendall(encode_request(op, request_id, **fields))
         line = self._file.readline(MAX_LINE_BYTES + 2)
         if not line:
@@ -147,6 +160,11 @@ class ServerClient:
 
     def stats(self) -> dict[str, Any]:
         return self.request("stats").fields
+
+    def obs(self) -> dict[str, Any]:
+        """The observability snapshot (per-node, or federated from a
+        router — see ``docs/OBSERVABILITY.md``)."""
+        return self.request("obs").fields
 
     def maintain(self, checkpoint: bool = False) -> Response:
         if checkpoint:

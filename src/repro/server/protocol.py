@@ -19,10 +19,23 @@ Supported operations:
 ``query``      ``{"attributes": [...], "mode": "any"|"all"}``
 ``sql``        ``{"sql": "SELECT ..."}`` — the SQL passthrough
 ``stats``      server/catalog/session statistics snapshot
+``obs``        observability snapshot: the node's metric registry (JSON
+               exposition) plus finished-trace / slow-op digests; the
+               router federates these into the cluster view
 ``maintain``   admin: run one maintenance pass now; ``{"checkpoint":
                true}`` also forces a node checkpoint
 ``shutdown``   admin: drain and stop the server
 ========== ============================================================
+
+Any request may additionally carry a ``trace`` field — a W3C
+traceparent string, ``00-<32 hex trace id>-<16 hex span id>-<2 hex
+flags>`` — the distributed-trace context
+(:class:`repro.obs.tracing.TraceContext`).  Receivers with trace
+propagation enabled record their spans under it (the sender's
+``span_id`` becomes the parent) and stamp fresh child contexts on any
+upstream requests the op fans out to; everyone else ignores the field.
+A malformed ``trace`` is dropped, never an error: telemetry must not
+fail the request it rode in on.
 
 Two further operations speak the replica-repair protocol between the
 router and its serving nodes (clients may use them too — they are
@@ -72,7 +85,7 @@ DEGRADED = "degraded"
 
 #: the operations a server understands (order = docs order)
 OPS = (
-    "ping", "insert", "update", "delete", "query", "sql", "stats",
+    "ping", "insert", "update", "delete", "query", "sql", "stats", "obs",
     "maintain", "shutdown", "sync_snapshot", "sync_delta",
 )
 

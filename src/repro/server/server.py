@@ -58,6 +58,10 @@ from repro.backup import BackupArchive, apply_record, checkpoint_node
 from repro.core.config import CinderellaConfig
 from repro.metrics.telemetry import ServerCounters
 from repro.obs import runtime as obs
+from repro.obs.federation import local_obs_document
+from repro.obs.registry import SERVER_LATENCY_BUCKETS
+from repro.obs.shims import flush_mirrors
+from repro.obs.tracing import TraceContext
 from repro.query.cache import QueryResultCache
 from repro.query.query import AttributeQuery
 from repro.query.snapshot import SnapshotManager, TableSnapshot
@@ -82,6 +86,25 @@ from repro.table.partitioned import CinderellaTable
 # maintenance passes) or inside worker threads (query scans).
 _REQUEST_SECONDS = "repro_server_request_seconds"
 _REQUESTS_TOTAL = "repro_server_requests_total"
+
+# the batch-apply and group-commit (WAL fsync) spans double as latency
+# histograms on the server-latency bucket preset — the default bounds
+# leave the sub-10ms band where both live almost entirely in one bucket
+obs.bind_span_histogram(
+    "server.batch", "repro_server_batch_seconds",
+    "Group-commit batch apply latency", buckets=SERVER_LATENCY_BUCKETS,
+)
+obs.bind_span_histogram(
+    "server.group_commit", "repro_server_fsync_seconds",
+    "Group-commit WAL fsync latency", buckets=SERVER_LATENCY_BUCKETS,
+)
+
+
+def _request_trace_context(request: Request) -> Optional[TraceContext]:
+    """The adopted trace context _dispatch stashed on the request (the
+    isinstance check also drops a wire-supplied impostor field)."""
+    context = request.fields.get("_trace_context")
+    return context if isinstance(context, TraceContext) else None
 
 
 @dataclass
@@ -254,6 +277,14 @@ class CinderellaServer:
         )
         self._wal_writes_since_checkpoint = 0
         self._last_checkpoint_seq = 0
+        # per-dispatch metric children, pre-resolved per (op)/(op, status)
+        # and keyed on the registry's identity so an obs.enable() cycle
+        # (which swaps the registry) invalidates the cache.  _dispatch
+        # runs for every request; going through the runtime facade there
+        # costs a label-key build per call that this skips entirely
+        self._dispatch_metrics: Optional[
+            tuple[Any, dict[str, Any], dict[tuple[str, str], Any]]
+        ] = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -579,6 +610,16 @@ class CinderellaServer:
             )
         self.counters.requests_total += 1
         started = time.perf_counter()
+        trace_context: Optional[TraceContext] = None
+        wire = request.fields.pop("trace", None)
+        if wire is not None:
+            # adopt the caller's trace context: this request's span
+            # becomes a child of the caller's span.  The context rides
+            # on the request object because handlers run concurrently
+            # on the loop — a thread-local would bleed across tasks
+            trace_context = obs.adopt_wire_trace(wire)
+            if trace_context is not None:
+                request.fields["_trace_context"] = trace_context
         raw: Optional[_Raw] = None
         try:
             outcome = await self._route(request, session)
@@ -599,19 +640,45 @@ class CinderellaServer:
             error = protocol.error_body(
                 "internal", f"{type(err).__name__}: {err}"
             )
-        obs.observe(
-            _REQUEST_SECONDS, time.perf_counter() - started,
-            "Server request latency (admission wait included)",
-        )
-        obs.inc(
-            _REQUESTS_TOTAL,
-            help_text="Server requests by op and status",
-            op=request.op, status=status,
-        )
+        ended = time.perf_counter()
+        registry = obs.registry()
+        if registry is not None:
+            cache = self._dispatch_metrics
+            if cache is None or cache[0] is not registry:
+                cache = self._dispatch_metrics = (registry, {}, {})
+            op = request.op
+            histogram = cache[1].get(op)
+            if histogram is None:
+                histogram = cache[1][op] = registry.histogram(
+                    _REQUEST_SECONDS,
+                    "Server request latency by op "
+                    "(admission wait included)",
+                    ("op",), buckets=SERVER_LATENCY_BUCKETS,
+                ).labels(op=op)
+            histogram.observe(ended - started)
+            counter = cache[2].get((op, status))
+            if counter is None:
+                counter = cache[2][(op, status)] = registry.counter(
+                    _REQUESTS_TOTAL,
+                    "Server requests by op and status",
+                    ("op", "status"),
+                ).labels(op=op, status=status)
+            counter.inc()
         ok = status in protocol.SUCCESS_STATUSES
         session.observe(request.op, ok=ok)
         if not ok:
             self.counters.requests_failed += 1
+        if trace_context is not None:
+            # the node's hop in the distributed trace.  Recorded after
+            # the fact (record_remote_span) because this coroutine
+            # awaited — a stack-held span would mis-parent interleaved
+            # tasks; synchronous children (query execution) already
+            # nested under this context via trace_scope
+            obs.record_remote_span(
+                "node.request", started, ended, trace_context,
+                error=None if ok else status,
+                op=request.op, node=self.config.name, status=status,
+            )
         if raw is not None:
             return b'{"id":' + str(request.id).encode() + raw.fragment
         return protocol.encode_response(
@@ -632,6 +699,8 @@ class CinderellaServer:
             return await self._handle_sql(request)
         if op == "stats":
             return protocol.OK, self._stats_snapshot()
+        if op == "obs":
+            return protocol.OK, self._obs_snapshot()
         if op == "maintain":
             return await self._handle_maintain(request)
         if op == "sync_snapshot":
@@ -970,14 +1039,20 @@ class CinderellaServer:
         snapshot = self._latest_snapshot()
         self.counters.queries_served += 1
         self.counters.snapshot_reads += 1
+        context = _request_trace_context(request)
         if eid_filter is None:
             # the hot path: a pre-serialized fragment straight from the
-            # snapshot's response cache (or built once and cached)
-            fragment, _row_count, from_cache = snapshot.serve_query(query)
+            # snapshot's response cache (or built once and cached).
+            # trace_scope is safe here — serve_query is synchronous —
+            # and parents any execution spans (index prune, scan) under
+            # this request's hop in the distributed trace
+            with obs.trace_scope(context):
+                fragment, _row_count, from_cache = snapshot.serve_query(query)
             if from_cache:
                 self.counters.snapshot_response_cache_hits += 1
             return _Raw(protocol.OK, fragment)
-        result = snapshot.execute(query, eid_filter=eid_filter)
+        with obs.trace_scope(context):
+            result = snapshot.execute(query, eid_filter=eid_filter)
         stats = result.stats
         return protocol.OK, {
             "rows": result.rows,
@@ -1002,7 +1077,8 @@ class CinderellaServer:
         eid_filter = self._shard_filter(request)
         snapshot = self._latest_snapshot()
         try:
-            result = execute(text, snapshot, eid_filter=eid_filter)
+            with obs.trace_scope(_request_trace_context(request)):
+                result = execute(text, snapshot, eid_filter=eid_filter)
         except SqlSyntaxError as err:
             raise _OpRefused(
                 protocol.BAD_REQUEST, "sql_syntax", str(err)
@@ -1379,10 +1455,20 @@ class CinderellaServer:
     # ------------------------------------------------------------------
     # stats
     # ------------------------------------------------------------------
+    def _obs_snapshot(self) -> dict[str, Any]:
+        """The ``obs`` verb: this node's observability document —
+        flushed registry exposition plus trace digests — for the router
+        (or any client) to federate."""
+        return local_obs_document(self.config.name, tier="node")
+
     def _stats_snapshot(self) -> dict[str, Any]:
         """A point-in-time view (no await; table state comes from the
         latest MVCC snapshot — the live table belongs to the batcher's
         worker thread)."""
+        # wire-visible counters mirrored from the legacy *Counters
+        # dataclasses are flushed lazily; without this a stats reader
+        # would see registry values stale by up to one flush interval
+        flush_mirrors()
         snapshot = self._latest_snapshot()
         age_s = round(time.monotonic() - snapshot.created_monotonic, 3)
         obs.gauge_set(

@@ -39,6 +39,10 @@ if TYPE_CHECKING:  # pragma: no cover
 
 CrashHook = Callable[[str], None]
 
+#: memoized span names — ``f"txn.{kind}"`` would allocate per write on
+#: the group-commit path
+_SPAN_NAMES: dict[str, str] = {}
+
 
 def _run_atomic(
     partitioner: "CinderellaPartitioner",
@@ -66,7 +70,10 @@ def _run_atomic(
             crash_hook(label)
 
     txn = partitioner.catalog.begin_transaction()
-    with obs.span(f"txn.{kind}", journaled=journal is not None) as span:
+    span_name = _SPAN_NAMES.get(kind)
+    if span_name is None:
+        span_name = _SPAN_NAMES.setdefault(kind, f"txn.{kind}")
+    with obs.span(span_name, journaled=journal is not None) as span:
         try:
             result = operation(hook)
         except BaseException as error:

@@ -13,6 +13,7 @@ import pytest
 
 from repro.obs.registry import (
     DEFAULT_BUCKETS,
+    SERVER_LATENCY_BUCKETS,
     MetricError,
     MetricsRegistry,
 )
@@ -151,6 +152,26 @@ class TestHistograms:
         assert DEFAULT_BUCKETS[-1] >= 5.0, "reorganizations take seconds"
         assert list(DEFAULT_BUCKETS) == sorted(set(DEFAULT_BUCKETS))
 
+    def test_server_latency_buckets_span_wire_latencies(self):
+        """The server-path preset must resolve both tails: sub-ms hits
+        (cache, index prune) and multi-second stalls (admission waits,
+        group commits under load)."""
+        assert SERVER_LATENCY_BUCKETS[0] <= 1e-4, \
+            "cached queries answer in tens of microseconds"
+        assert SERVER_LATENCY_BUCKETS[-1] >= 5.0, \
+            "an admission-queue stall can reach seconds"
+        assert list(SERVER_LATENCY_BUCKETS) == sorted(set(SERVER_LATENCY_BUCKETS))
+
+    def test_server_latency_buckets_are_log_spaced(self):
+        """Doubling bounds: constant relative error for quantile
+        estimates across four orders of magnitude."""
+        for lower, upper in zip(
+            SERVER_LATENCY_BUCKETS, SERVER_LATENCY_BUCKETS[1:]
+        ):
+            assert upper == pytest.approx(2 * lower), (
+                f"bucket {upper} is not 2x {lower}"
+            )
+
 
 class TestExposition:
     def _populated(self) -> MetricsRegistry:
@@ -211,3 +232,114 @@ class TestExposition:
         registry.reset()
         assert registry.families() == []
         assert registry.get_value("ops_total") is None
+
+
+class TestConcurrencyBattery:
+    """Hammer the registry from many threads: writes must never be lost
+    and exposition must never tear (a scrape racing writers must still
+    produce well-formed, monotonically consistent output)."""
+
+    SAMPLE_RE = re.compile(
+        r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9+.eInf]+$'
+    )
+
+    def test_concurrent_labeled_increments_lose_nothing(self):
+        """Threads racing on the same child AND on child creation."""
+        registry = MetricsRegistry()
+        family = registry.counter("ops_total", "ops", labelnames=("worker",))
+        per_thread = 2_000
+        n_threads = 8
+
+        def hammer(index: int) -> None:
+            mine = family.labels(worker=index)
+            shared = family.labels(worker="shared")
+            for _ in range(per_thread):
+                mine.inc()
+                shared.inc()
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,))
+            for i in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for index in range(n_threads):
+            assert registry.get_value("ops_total", worker=index) == per_thread
+        assert registry.get_value(
+            "ops_total", worker="shared"
+        ) == n_threads * per_thread
+
+    def test_concurrent_histogram_observes_lose_nothing(self):
+        registry = MetricsRegistry()
+        family = registry.histogram("lat", "latency", buckets=(0.1, 1.0))
+        per_thread = 2_000
+        n_threads = 8
+
+        def hammer() -> None:
+            child = family._unlabeled()
+            for i in range(per_thread):
+                child.observe(0.05 if i % 2 else 0.5)
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        child = family._unlabeled()
+        expected = n_threads * per_thread
+        assert child.count == expected
+        assert child.cumulative_buckets()[-1] == (float("inf"), expected)
+        assert child.sum == pytest.approx(
+            n_threads * (per_thread // 2 * 0.05 + per_thread // 2 * 0.5)
+        )
+
+    def test_exposition_never_tears_under_write_load(self):
+        """Scrape both formats while writers hammer the same families.
+
+        Every scrape must be well-formed, histogram buckets must stay
+        cumulative within one sample, and counter values must never go
+        backwards between successive scrapes."""
+        registry = MetricsRegistry()
+        counter = registry.counter("ops_total", "ops")
+        hist = registry.histogram("lat", "latency", buckets=(0.1, 1.0))
+        stop = threading.Event()
+
+        def writer() -> None:
+            child = hist._unlabeled()
+            while not stop.is_set():
+                counter.inc()
+                child.observe(0.05)
+                child.observe(0.5)
+
+        writers = [threading.Thread(target=writer) for _ in range(4)]
+        for thread in writers:
+            thread.start()
+        try:
+            last_total = 0.0
+            last_count = 0.0
+            for _ in range(200):
+                text = registry.to_prometheus()
+                for line in text.strip().splitlines():
+                    if not line.startswith("#"):
+                        assert self.SAMPLE_RE.match(line), (
+                            f"torn sample line: {line!r}"
+                        )
+                document = registry.to_json_obj()
+                by_name = {m["name"]: m for m in document["metrics"]}
+                total = by_name["ops_total"]["samples"][0]["value"]
+                assert total >= last_total, "counter went backwards"
+                last_total = total
+                sample = by_name["lat"]["samples"][0]
+                counts = [count for _le, count in sample["buckets"]]
+                assert counts == sorted(counts), (
+                    f"non-cumulative buckets in one sample: {counts}"
+                )
+                assert sample["count"] >= last_count
+                last_count = sample["count"]
+        finally:
+            stop.set()
+            for thread in writers:
+                thread.join()
+        assert last_total > 0 and last_count > 0

@@ -1,0 +1,287 @@
+"""SLO battery: objectives, burn-rate windows, and alert pairing.
+
+Everything runs on an injected fake clock — hours of scrape history
+replay in milliseconds.  The scenarios mirror the multi-window
+multi-burn-rate discipline the module implements: a hard latency
+regression must page (fast pair), a slow leak must open a ticket
+without paging (slow pair), and recovery must clear the page as soon
+as the short window drains.
+"""
+
+import pytest
+
+from repro import obs
+from repro.obs.federation import merge_documents
+from repro.obs.registry import MetricsRegistry
+from repro.obs.slo import (
+    AVAILABILITY,
+    DEFAULT_ALERTS,
+    DEFAULT_OBJECTIVES,
+    LATENCY,
+    BurnAlert,
+    SloMonitor,
+    SloObjective,
+)
+
+
+class FakeClock:
+    def __init__(self, start: float = 0.0) -> None:
+        self.now_s = start
+
+    def now(self) -> float:
+        return self.now_s
+
+    def advance(self, seconds: float) -> None:
+        self.now_s += seconds
+
+
+@pytest.fixture(autouse=True)
+def _always_disable():
+    yield
+    obs.disable()
+
+
+class TestObjective:
+    def test_kind_and_objective_validation(self):
+        with pytest.raises(ValueError, match="unknown SLO kind"):
+            SloObjective(name="x", verb="query", objective=0.99, kind="weird")
+        with pytest.raises(ValueError, match="objective must be"):
+            SloObjective(name="x", verb="query", objective=1.0)
+        with pytest.raises(ValueError, match="objective must be"):
+            SloObjective(name="x", verb="query", objective=0.0)
+
+    def test_budget_is_complement(self):
+        objective = SloObjective(name="x", verb="query", objective=0.999)
+        assert objective.budget == pytest.approx(0.001)
+
+    def _view(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "repro_server_request_seconds", labelnames=("op",),
+            buckets=(0.025, 0.1),
+        )
+        for value in (0.01, 0.02, 0.09, 0.09):
+            hist.labels(op="query").observe(value)
+        counter = registry.counter(
+            "repro_server_requests_total", labelnames=("op", "status"),
+        )
+        counter.labels(op="insert", status="applied").inc(90)
+        counter.labels(op="insert", status="degraded").inc(5)
+        counter.labels(op="insert", status="overloaded").inc(5)
+        return merge_documents([{
+            "name": "n0", "tier": "node", "collected_at": 0.0,
+            "enabled": True, "registry": registry.to_json_obj(),
+        }], now=0.0)
+
+    def test_latency_counts_read_the_threshold_bucket(self):
+        objective = SloObjective(
+            name="q", verb="query", objective=0.99,
+            kind=LATENCY, threshold_s=0.025,
+        )
+        assert objective.counts(self._view()) == (2.0, 4.0)
+
+    def test_availability_counts_good_statuses(self):
+        """applied + degraded count as answered; overloaded does not."""
+        objective = SloObjective(
+            name="w", verb="insert", objective=0.999,
+            kind=AVAILABILITY, metric="repro_server_requests_total",
+        )
+        assert objective.counts(self._view()) == (95.0, 100.0)
+
+    def test_default_objectives_cover_reads_and_writes(self):
+        kinds = {(o.verb, o.kind) for o in DEFAULT_OBJECTIVES}
+        assert ("query", LATENCY) in kinds
+        assert ("insert", AVAILABILITY) in kinds
+
+    def test_default_alert_pairs_are_the_sre_workbook(self):
+        by_severity = {a.severity: a for a in DEFAULT_ALERTS}
+        page = by_severity["page"]
+        assert (page.threshold, page.long_window_s, page.short_window_s) == (
+            14.4, 3600.0, 300.0
+        )
+        ticket = by_severity["ticket"]
+        assert (
+            ticket.threshold, ticket.long_window_s, ticket.short_window_s
+        ) == (6.0, 21600.0, 3600.0)
+
+
+def _feed(
+    monitor: SloMonitor,
+    clock: FakeClock,
+    minutes: int,
+    rps: float,
+    error_rate: float,
+    state: dict,
+) -> None:
+    """Advance scrape-by-scrape (one per minute) at a given error rate."""
+    for _ in range(minutes):
+        clock.advance(60.0)
+        state["total"] += rps * 60.0
+        state["good"] += rps * 60.0 * (1.0 - error_rate)
+        monitor.observe_counts("obj", state["good"], state["total"])
+
+
+def _monitor(clock: FakeClock) -> SloMonitor:
+    return SloMonitor(
+        objectives=[SloObjective(name="obj", verb="query", objective=0.999)],
+        clock=clock.now,
+    )
+
+
+class TestBurnRates:
+    def test_no_alerts_before_history_exists(self):
+        clock = FakeClock()
+        monitor = _monitor(clock)
+        statuses = monitor.evaluate()
+        assert statuses[0].compliance is None
+        assert all(rate is None for rate in statuses[0].burn_rates.values())
+        assert not statuses[0].firing
+
+    def test_healthy_traffic_never_alerts(self):
+        clock = FakeClock()
+        monitor = _monitor(clock)
+        state = {"good": 0.0, "total": 0.0}
+        _feed(monitor, clock, 7 * 60, rps=10, error_rate=0.0005, state=state)
+        (status,) = monitor.evaluate()
+        # burning half the budget: burn rate 0.5 in every window
+        assert status.burn_rates[300.0] == pytest.approx(0.5, rel=0.05)
+        assert status.burn_rates[21600.0] == pytest.approx(0.5, rel=0.05)
+        assert not status.firing
+        assert status.compliance == pytest.approx(0.9995)
+
+    def test_hard_regression_pages_on_the_fast_pair(self):
+        """10% errors against a 0.1% budget: burn 100 in the short
+        window; the 1h window crosses 14.4x after ~10 bad minutes."""
+        clock = FakeClock()
+        monitor = _monitor(clock)
+        state = {"good": 0.0, "total": 0.0}
+        _feed(monitor, clock, 7 * 60, rps=10, error_rate=0.0, state=state)
+        _feed(monitor, clock, 12, rps=10, error_rate=0.10, state=state)
+        (status,) = monitor.evaluate()
+        severities = {a["severity"] for a in status.alerts}
+        assert "page" in severities
+        assert status.burn_rates[300.0] == pytest.approx(100.0, rel=0.05)
+        # the slow pair must NOT ticket yet: 12 bad minutes barely move
+        # the 6h window (burn ~3.3, under the 6x threshold)
+        assert "ticket" not in severities
+
+    def test_slow_leak_tickets_without_paging(self):
+        """1% errors (burn 10): above the ticket threshold of 6, below
+        the page threshold of 14.4 — sustained for 7h so both slow
+        windows see it."""
+        clock = FakeClock()
+        monitor = _monitor(clock)
+        state = {"good": 0.0, "total": 0.0}
+        _feed(monitor, clock, 7 * 60, rps=10, error_rate=0.01, state=state)
+        (status,) = monitor.evaluate()
+        severities = {a["severity"] for a in status.alerts}
+        assert severities == {"ticket"}
+        assert status.burn_rates[3600.0] == pytest.approx(10.0, rel=0.05)
+
+    def test_recovery_clears_the_page_when_the_short_window_drains(self):
+        clock = FakeClock()
+        monitor = _monitor(clock)
+        state = {"good": 0.0, "total": 0.0}
+        _feed(monitor, clock, 60, rps=10, error_rate=0.0, state=state)
+        _feed(monitor, clock, 30, rps=10, error_rate=0.10, state=state)
+        (burning,) = monitor.evaluate()
+        assert {a["severity"] for a in burning.alerts} >= {"page"}
+        # fix ships: 10 clean minutes drain the 5m window below 14.4x
+        # even though the 1h window still burns hot
+        _feed(monitor, clock, 10, rps=10, error_rate=0.0, state=state)
+        (recovered,) = monitor.evaluate()
+        assert recovered.burn_rates[3600.0] > 14.4
+        assert recovered.burn_rates[300.0] < 14.4
+        assert "page" not in {a["severity"] for a in recovered.alerts}
+
+    def test_windows_with_no_traffic_stay_silent(self):
+        clock = FakeClock()
+        monitor = _monitor(clock)
+        state = {"good": 0.0, "total": 0.0}
+        _feed(monitor, clock, 10, rps=10, error_rate=0.0, state=state)
+        # the cluster goes idle: counters stop moving for an hour
+        for _ in range(60):
+            clock.advance(60.0)
+            monitor.observe_counts("obj", state["good"], state["total"])
+        (status,) = monitor.evaluate()
+        assert status.burn_rates[300.0] is None
+        assert not status.firing
+
+    def test_unknown_objective_name_raises(self):
+        monitor = _monitor(FakeClock())
+        with pytest.raises(KeyError, match="nope"):
+            monitor.observe_counts("nope", 1.0, 1.0)
+
+    def test_status_as_dict_is_json_ready(self):
+        import json
+
+        clock = FakeClock()
+        monitor = _monitor(clock)
+        state = {"good": 0.0, "total": 0.0}
+        _feed(monitor, clock, 120, rps=10, error_rate=0.10, state=state)
+        (status,) = monitor.evaluate()
+        document = json.loads(json.dumps(status.as_dict()))
+        assert document["name"] == "obj"
+        assert document["burn_rates"]["300"] == pytest.approx(100.0, rel=0.05)
+        assert document["alerts"][0]["severity"] in ("page", "ticket")
+
+    def test_custom_alert_rules_are_respected(self):
+        clock = FakeClock()
+        monitor = SloMonitor(
+            objectives=[
+                SloObjective(name="obj", verb="query", objective=0.99)
+            ],
+            alerts=[BurnAlert(
+                severity="nag", threshold=2.0,
+                long_window_s=600.0, short_window_s=300.0,
+            )],
+            clock=clock.now,
+        )
+        state = {"good": 0.0, "total": 0.0}
+        _feed(monitor, clock, 20, rps=10, error_rate=0.05, state=state)
+        (status,) = monitor.evaluate()
+        assert {a["severity"] for a in status.alerts} == {"nag"}
+        assert set(status.burn_rates) == {300.0, 600.0}
+
+    def test_ring_is_bounded(self):
+        clock = FakeClock()
+        monitor = SloMonitor(
+            objectives=[
+                SloObjective(name="obj", verb="query", objective=0.999)
+            ],
+            clock=clock.now,
+            max_samples=16,
+        )
+        state = {"good": 0.0, "total": 0.0}
+        _feed(monitor, clock, 100, rps=10, error_rate=0.0, state=state)
+        ring = monitor._rings["obj"]
+        assert len(ring.times) == 16
+
+
+class TestMonitorOverFederation:
+    def test_observe_reads_counts_through_the_view(self):
+        registry = MetricsRegistry()
+        counter = registry.counter(
+            "repro_server_requests_total", labelnames=("op", "status"),
+        )
+        counter.labels(op="query", status="ok").inc(99)
+        counter.labels(op="query", status="error").inc(1)
+        view = merge_documents([{
+            "name": "n0", "tier": "node", "collected_at": 0.0,
+            "enabled": True, "registry": registry.to_json_obj(),
+        }], now=0.0)
+        clock = FakeClock()
+        monitor = SloMonitor(
+            objectives=[SloObjective(
+                name="avail", verb="query", objective=0.999,
+                kind=AVAILABILITY, metric="repro_server_requests_total",
+            )],
+            clock=clock.now,
+        )
+        monitor.observe(view)
+        clock.advance(60.0)
+        monitor.observe(view)
+        (status,) = monitor.evaluate()
+        assert status.good == 99.0
+        assert status.total == 100.0
+        assert status.compliance == pytest.approx(0.99)
