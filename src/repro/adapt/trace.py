@@ -1,0 +1,206 @@
+"""Workload trace store — the *observe* stage of the adaptation loop.
+
+The store samples live traffic into two compact structures:
+
+* a **query profile**: decayed weights per distinct query synopsis mask,
+  bounded to ``max_query_shapes`` distinct shapes (the lightest shape is
+  evicted on overflow).  Every ``decay_every`` observed queries all
+  weights are multiplied by ``decay``, so the profile tracks the recent
+  workload instead of the whole history — exactly what the advisor
+  should optimize for.  One exemplar ``(attributes, mode)`` pair is kept
+  per mask so the calibrator can replay a shape as a real query.
+* per-partition **heat**: read/write counts and the version clock at the
+  last touch, exposed through the server's ``stats`` verb and ``repro
+  top`` so operators can see what the advisor sees.
+
+Workload *shift* is measured as the total-variation distance between two
+normalized profiles (0.0 = identical mix, 1.0 = disjoint) — the
+controller blesses a reference profile and only wakes the advisor when
+the live profile drifts past its threshold.
+
+All mutators take one plain lock: queries are observed on the server's
+event loop, writes on the batcher's worker thread, and the controller
+reads from the maintenance thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional
+
+#: weights below this are dropped outright after a decay pass
+_WEIGHT_FLOOR = 1e-3
+
+
+@dataclass
+class PartitionHeat:
+    """Access counts of one partition (operator-facing)."""
+
+    reads: int = 0
+    writes: int = 0
+    last_version: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "last_version": self.last_version,
+        }
+
+
+def profile_shift(
+    reference: Mapping[int, float], current: Mapping[int, float]
+) -> float:
+    """Total-variation distance between two normalized mask profiles.
+
+    Both inputs are mask -> weight maps (not necessarily normalized);
+    the result is in ``[0, 1]``: 0.0 for an identical mix, 1.0 for
+    disjoint workloads.  An empty side counts as maximally shifted
+    against a non-empty one, and 0.0 against another empty one.
+    """
+    ref_total = sum(reference.values())
+    cur_total = sum(current.values())
+    if ref_total <= 0.0 and cur_total <= 0.0:
+        return 0.0
+    if ref_total <= 0.0 or cur_total <= 0.0:
+        return 1.0
+    distance = 0.0
+    for mask in reference.keys() | current.keys():
+        p = reference.get(mask, 0.0) / ref_total
+        q = current.get(mask, 0.0) / cur_total
+        distance += abs(p - q)
+    return min(1.0, 0.5 * distance)
+
+
+class WorkloadTraceStore:
+    """Bounded, decayed sampling of query/insert traffic (thread-safe)."""
+
+    def __init__(
+        self,
+        max_query_shapes: int = 128,
+        decay: float = 0.5,
+        decay_every: int = 512,
+    ) -> None:
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        if max_query_shapes < 1:
+            raise ValueError("need room for at least one query shape")
+        self.max_query_shapes = max_query_shapes
+        self.decay = decay
+        self.decay_every = max(1, decay_every)
+        #: monotonic totals (never decayed)
+        self.queries_observed = 0
+        self.writes_observed = 0
+        self.shapes_evicted = 0
+        self._lock = threading.Lock()
+        self._weights: dict[int, float] = {}
+        #: mask -> (attributes, mode) of one real query with that mask
+        self._exemplars: dict[int, tuple[tuple[str, ...], str]] = {}
+        self._heat: dict[int, PartitionHeat] = {}
+        self._since_decay = 0
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+    def observe_query(
+        self,
+        mask: int,
+        scanned_pids: Iterable[int] = (),
+        version: int = 0,
+        exemplar: Optional[tuple[tuple[str, ...], str]] = None,
+    ) -> None:
+        """Record one query: its mask, and which partitions it touched."""
+        with self._lock:
+            self.queries_observed += 1
+            self._weights[mask] = self._weights.get(mask, 0.0) + 1.0
+            if exemplar is not None and mask not in self._exemplars:
+                self._exemplars[mask] = exemplar
+            for pid in scanned_pids:
+                heat = self._heat.get(pid)
+                if heat is None:
+                    heat = self._heat[pid] = PartitionHeat()
+                heat.reads += 1
+                heat.last_version = max(heat.last_version, version)
+            self._bound_locked()
+
+    def observe_write(self, pid: int, version: int = 0) -> None:
+        """Record one modification landing in partition *pid*."""
+        with self._lock:
+            self.writes_observed += 1
+            heat = self._heat.get(pid)
+            if heat is None:
+                heat = self._heat[pid] = PartitionHeat()
+            heat.writes += 1
+            heat.last_version = max(heat.last_version, version)
+
+    def _bound_locked(self) -> None:
+        self._since_decay += 1
+        if self._since_decay >= self.decay_every:
+            self._since_decay = 0
+            decayed = {}
+            for mask, weight in self._weights.items():
+                weight *= self.decay
+                if weight >= _WEIGHT_FLOOR:
+                    decayed[mask] = weight
+            self._weights = decayed
+        while len(self._weights) > self.max_query_shapes:
+            lightest = min(self._weights, key=self._weights.get)
+            del self._weights[lightest]
+            self._exemplars.pop(lightest, None)
+            self.shapes_evicted += 1
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def profile(self) -> dict[int, float]:
+        """The current mask -> decayed-weight profile (a copy)."""
+        with self._lock:
+            return dict(self._weights)
+
+    def exemplars(self) -> dict[int, tuple[tuple[str, ...], str]]:
+        """mask -> (attributes, mode) exemplars for calibration probes."""
+        with self._lock:
+            return dict(self._exemplars)
+
+    def total_weight(self) -> float:
+        with self._lock:
+            return sum(self._weights.values())
+
+    def heat(self) -> dict[int, PartitionHeat]:
+        """Per-partition heat (a copy of the records, not the dict)."""
+        with self._lock:
+            return {
+                pid: PartitionHeat(h.reads, h.writes, h.last_version)
+                for pid, h in self._heat.items()
+            }
+
+    def heat_as_dict(self) -> dict[str, dict[str, int]]:
+        """Heat keyed by stringified pid — the ``stats`` wire shape."""
+        with self._lock:
+            return {
+                str(pid): h.as_dict() for pid, h in sorted(self._heat.items())
+            }
+
+    def shift_from(self, reference: Mapping[int, float]) -> float:
+        """Shift of the live profile away from a blessed *reference*."""
+        return profile_shift(reference, self.profile())
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def clear_heat(self) -> None:
+        """Forget per-partition heat (pids change on reorganization)."""
+        with self._lock:
+            self._heat.clear()
+
+    def status(self) -> dict[str, float]:
+        with self._lock:
+            return {
+                "queries_observed": self.queries_observed,
+                "writes_observed": self.writes_observed,
+                "distinct_shapes": len(self._weights),
+                "shapes_evicted": self.shapes_evicted,
+                "profile_weight": round(sum(self._weights.values()), 3),
+                "hot_partitions": len(self._heat),
+            }

@@ -10,6 +10,11 @@ Commands:
 * ``tpch`` — load TPC-H into a Cinderella universal table, verify the
   schema recovery, and optionally run one of the 22 queries.
 * ``advise`` — recommend B and w for a generated data sample.
+* ``adapt`` — run the closed adaptation loop on a scripted workload
+  shift: a fine layout serves selective per-group queries (the
+  controller blesses the baseline and quiesces), the mix shifts to
+  broad scans, and the controller answers with one bounded
+  reorganization to a coarser layout before quiescing again.
 * ``inspect`` — print the partitioning statistics of a saved snapshot.
 * ``chaos`` — run a mixed workload on the simulated cluster under a
   seeded node-failure schedule and report fault-tolerance counters.
@@ -136,8 +141,8 @@ def _cmd_tpch(args: argparse.Namespace) -> int:
 
 
 def _cmd_advise(args: argparse.Namespace) -> int:
+    from repro.adapt.advisor import advise
     from repro.reporting.tables import format_table
-    from repro.tuning.advisor import advise
     from repro.workloads.dbpedia import generate_dbpedia_persons
 
     dataset = generate_dbpedia_persons(n_entities=args.entities, seed=args.seed)
@@ -158,6 +163,96 @@ def _cmd_advise(args: argparse.Namespace) -> int:
           f"w={recommended.weight}")
     print(f"rationale: {report.rationale}")
     return 0
+
+
+def _cmd_adapt(args: argparse.Namespace) -> int:
+    """Run the closed adaptation loop on a scripted workload shift.
+
+    Loads a grouped dataset under a deliberately fine layout, drives a
+    selective per-group query phase (the controller blesses it as the
+    baseline and quiesces), then shifts to broad scans of the shared
+    attribute — the shift the controller must detect, answer with one
+    bounded reorganization to a coarser layout, and then quiesce again.
+    """
+    from repro.adapt import AdaptationConfig, AdaptationController
+    from repro.query.query import AttributeQuery
+    from repro.table.partitioned import CinderellaTable
+
+    groups = max(1, args.groups)
+    table = CinderellaTable(CinderellaConfig(
+        max_partition_size=args.partition_size,
+        weight=args.weight,
+        use_synopsis_index=True,
+    ))
+    controller = AdaptationController(config=AdaptationConfig(
+        min_observations=args.min_observations,
+        cooldown_s=0.0,  # the demo is seconds long; rounds gate actions
+        horizon_queries=args.horizon,
+    ))
+    controller.bind_table(table)
+
+    for i in range(args.entities):
+        group = i % groups
+        attributes = {"common": i}
+        for suffix in ("a", "b", "c"):
+            attributes[f"g{group}_{suffix}"] = i
+        table.insert(attributes, entity_id=i)
+    initial_partitions = table.partition_count()
+    print(f"loaded {len(table)} entities in {groups} groups under "
+          f"B={args.partition_size:g} w={args.weight} "
+          f"-> {initial_partitions} partitions")
+
+    selective = [
+        AttributeQuery((f"g{group}_{suffix}",), "any")
+        for group in range(groups) for suffix in ("a", "b", "c")
+    ]
+    broad = [AttributeQuery(("common",), "any")] * len(selective)
+    phases = [("A selective per-group", selective),
+              ("B broad shared-attribute", broad)]
+    round_no = 0
+    for phase_name, queries in phases:
+        print(f"\nphase {phase_name} queries")
+        for _ in range(args.rounds):
+            round_no += 1
+            for query in queries:
+                table.execute(query)
+            decision = (controller.evaluate(table) if args.dry_run
+                        else controller.maybe_adapt(table))
+            line = (f"  round {round_no}: {decision.action} "
+                    f"({decision.reason})  shift={decision.shift:.2f}  "
+                    f"queries={decision.queries_observed}")
+            if decision.plan is not None:
+                line += (f"  win={decision.plan.win_fraction:.0%}  "
+                         f"B={decision.plan.config.max_partition_size:g} "
+                         f"w={decision.plan.config.weight}")
+            if decision.acted:
+                line += f"  partitions -> {table.partition_count()}"
+            print(line)
+
+    status = controller.status()
+    calibration = status["calibration"]
+    print(f"\nactions taken: {controller.actions_taken} "
+          f"(partitions {initial_partitions} -> {table.partition_count()})")
+    print(f"calibration: {calibration['samples']} samples, "
+          f"{calibration['refits']} refits")
+    oracle = table.execute_naive(AttributeQuery(("common",), "any"))
+    pruned = table.execute(AttributeQuery(("common",), "any"))
+
+    def _canon(rows):
+        return sorted(tuple(sorted(row.items())) for row in rows)
+
+    rows_match = _canon(pruned.rows) == _canon(oracle.rows)
+    problems = table.check_consistency()
+    for problem in problems:
+        print(f"integrity problem: {problem}", file=sys.stderr)
+    if not rows_match:
+        print("integrity problem: pruned rows diverge from naive scan",
+              file=sys.stderr)
+    closed = args.dry_run or controller.actions_taken >= 1
+    if not closed:
+        print("loop did not close: no adaptation action taken",
+              file=sys.stderr)
+    return 0 if (closed and rows_match and not problems) else 1
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
@@ -674,7 +769,7 @@ def _cmd_top(args: argparse.Namespace) -> int:
                 view = _scrape_cluster_view(args.router, args.stale_after)
                 client = ServerClient(host, port)
                 try:
-                    stats = client.request("stats").fields
+                    stats = client.request("stats", heat=True).fields
                 finally:
                     client.close()
             except (SystemExit, OSError) as err:
@@ -769,6 +864,24 @@ def _cmd_top(args: argparse.Namespace) -> int:
                     title="Replica health",
                 ))
 
+            # partition heat (serve nodes expose it when adapting) -----
+            heat = stats.get("heat") or {}
+            if heat:
+                hottest = sorted(
+                    heat.items(),
+                    key=lambda kv: kv[1]["reads"] + kv[1]["writes"],
+                    reverse=True,
+                )[:args.heat_rows]
+                blocks.append(format_table(
+                    ["partition", "reads", "writes", "last version"],
+                    [
+                        [pid, h["reads"], h["writes"], h["last_version"]]
+                        for pid, h in hottest
+                    ],
+                    title=f"Partition heat (top {len(hottest)} "
+                          f"of {len(heat)})",
+                ))
+
             # SLO burn-rate alerts -------------------------------------
             alert_rows = []
             for status in statuses:
@@ -812,8 +925,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
 
     from repro import obs as obs_runtime
+    from repro.adapt.controller import AdaptationConfig
     from repro.server.server import CinderellaServer, ServerConfig
 
+    adaptation = (
+        AdaptationConfig(cooldown_s=args.adapt_cooldown)
+        if args.adapt_every > 0 else None
+    )
     config = ServerConfig(
         host=args.host,
         port=args.port,
@@ -824,6 +942,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         maintenance_interval_s=args.maintenance_interval,
         merge_min_fill=args.merge_min_fill,
         reorganize_every=args.reorganize_every,
+        adapt_every=args.adapt_every,
+        adaptation=adaptation,
         wal_path=args.wal,
         snapshot_path=args.snapshot,
         checkpoint_every=args.checkpoint_every,
@@ -1119,6 +1239,26 @@ def build_parser() -> argparse.ArgumentParser:
     advise.add_argument("--entities", type=int, default=2_000)
     advise.add_argument("--seed", type=int, default=42)
 
+    adapt = commands.add_parser(
+        "adapt",
+        help="run the closed adaptation loop on a scripted workload shift",
+    )
+    adapt.add_argument("--entities", type=int, default=900)
+    adapt.add_argument("--groups", type=int, default=6,
+                       help="disjoint attribute groups in the dataset")
+    adapt.add_argument("--partition-size", type=float, default=30.0,
+                       help="initial B (deliberately fine)")
+    adapt.add_argument("--weight", type=float, default=0.3,
+                       help="initial w")
+    adapt.add_argument("--rounds", type=int, default=4,
+                       help="query rounds per phase (one decision each)")
+    adapt.add_argument("--min-observations", type=int, default=32,
+                       help="controller traffic gate before any decision")
+    adapt.add_argument("--horizon", type=float, default=500.0,
+                       help="queries the action cost is amortized over")
+    adapt.add_argument("--dry-run", action="store_true",
+                       help="evaluate decisions without acting")
+
     inspect = commands.add_parser("inspect", help="inspect a snapshot file")
     inspect.add_argument("snapshot")
 
@@ -1200,6 +1340,9 @@ def build_parser() -> argparse.ArgumentParser:
     top.add_argument("--no-clear", action="store_true",
                      help="append ticks instead of clearing the screen "
                           "(CI, logs)")
+    top.add_argument("--heat-rows", type=int, default=10,
+                     help="partitions shown in the heat table (when the "
+                          "scraped node reports adaptation heat)")
 
     serve = commands.add_parser(
         "serve",
@@ -1238,6 +1381,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fill threshold for background merges")
     serve.add_argument("--reorganize-every", type=int, default=0,
                        help="reorganize every Nth maintenance pass (0: never)")
+    serve.add_argument("--adapt-every", type=int, default=0,
+                       help="consult the adaptation controller every Nth "
+                            "maintenance pass (0: disabled)")
+    serve.add_argument("--adapt-cooldown", type=float, default=30.0,
+                       help="seconds between adaptation actions")
     serve.add_argument("--obs", action="store_true",
                        help="enable the observability layer for the run")
 
@@ -1302,6 +1450,7 @@ _HANDLERS = {
     "dbpedia": _cmd_dbpedia,
     "tpch": _cmd_tpch,
     "advise": _cmd_advise,
+    "adapt": _cmd_adapt,
     "inspect": _cmd_inspect,
     "chaos": _cmd_chaos,
     "query-path": _cmd_query_path,

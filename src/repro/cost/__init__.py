@@ -1,5 +1,23 @@
-"""Cost model translating I/O accounting into simulated execution time."""
+"""Cost model translating I/O accounting into simulated execution time.
 
+:mod:`repro.cost.model` defines the constants; :mod:`repro.cost.calibrate`
+fits the scan-side ones to latencies observed on the running host, so
+the adaptation loop ranks candidate layouts with a model that matches
+this machine instead of the paper prototype's.
+"""
+
+from repro.cost.calibrate import (
+    CalibrationReport,
+    CalibrationSample,
+    OnlineCalibrator,
+    fit_cost_model,
+)
 from repro.cost.model import CostModel
 
-__all__ = ["CostModel"]
+__all__ = [
+    "CalibrationReport",
+    "CalibrationSample",
+    "CostModel",
+    "OnlineCalibrator",
+    "fit_cost_model",
+]

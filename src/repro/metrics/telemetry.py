@@ -19,6 +19,7 @@ from typing import Optional, Sequence, TYPE_CHECKING
 
 from repro.core.efficiency import catalog_efficiency
 from repro.obs.shims import (
+    ADAPT_METRICS,
     FAULT_TOLERANCE_METRICS,
     QUERY_PATH_METRICS,
     ROBUSTNESS_METRICS,
@@ -257,6 +258,8 @@ class ServerCounters(RegistryMirrorMixin):
     snapshot_reads: int = 0
     snapshot_response_cache_hits: int = 0
     admission_window: int = 0
+    adapt_decisions: int = 0
+    adapt_actions: int = 0
 
     def shed_rate(self) -> float:
         """Shed modifications over all modification submissions."""
@@ -283,10 +286,55 @@ class ServerCounters(RegistryMirrorMixin):
                 "sync_deltas_applied", "sync_entities_received",
                 "snapshots_published", "snapshots_retired", "snapshot_reads",
                 "snapshot_response_cache_hits", "admission_window",
+                "adapt_decisions", "adapt_actions",
             )
         }
         result["shed_rate"] = self.shed_rate()
         return result
+
+
+@dataclass
+class AdaptationCounters(RegistryMirrorMixin):
+    """Decision counts of the adaptation controller (:mod:`repro.adapt`).
+
+    Every decision the controller makes increments ``decisions_total``
+    plus exactly one outcome counter: an ``acted_*`` counter when a plan
+    was applied, or a ``declined_*`` counter naming the gate that
+    stopped the pipeline.  The split makes the headline properties
+    checkable from metrics alone — a stationary workload shows only
+    ``declined_*`` growth, and the number of physical reorganizations
+    during a shift is ``acted_reorganize``.
+
+    While observability is enabled these counters additionally feed the
+    :mod:`repro.obs` registry as ``repro_adapt_*`` metrics (deferred;
+    see :class:`repro.obs.shims.RegistryMirrorMixin`).
+    """
+
+    _OBS_METRICS = ADAPT_METRICS
+
+    decisions_total: int = 0
+    acted_reorganize: int = 0
+    acted_merge: int = 0
+    declined_insufficient_traffic: int = 0
+    declined_budget_exhausted: int = 0
+    declined_cooldown: int = 0
+    declined_baseline_established: int = 0
+    declined_no_shift: int = 0
+    declined_below_threshold: int = 0
+    calibration_refits: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """All counters, for reports and CLIs."""
+        return {
+            name: getattr(self, name)
+            for name in (
+                "decisions_total", "acted_reorganize", "acted_merge",
+                "declined_insufficient_traffic", "declined_budget_exhausted",
+                "declined_cooldown", "declined_baseline_established",
+                "declined_no_shift", "declined_below_threshold",
+                "calibration_refits",
+            )
+        }
 
 
 @dataclass

@@ -112,6 +112,26 @@ SERVER_METRICS: dict[str, tuple[str, str]] = {
     "snapshot_response_cache_hits": (
         "repro_server_snapshot_response_cache_hits_total", COUNTER),
     "admission_window": ("repro_server_admission_window", GAUGE),
+    "adapt_decisions": ("repro_server_adapt_decisions_total", COUNTER),
+    "adapt_actions": ("repro_server_adapt_actions_total", COUNTER),
+}
+
+#: AdaptationCounters field -> (metric name, kind)
+ADAPT_METRICS: dict[str, tuple[str, str]] = {
+    "decisions_total": ("repro_adapt_decisions_total", COUNTER),
+    "acted_reorganize": ("repro_adapt_acted_reorganize_total", COUNTER),
+    "acted_merge": ("repro_adapt_acted_merge_total", COUNTER),
+    "declined_insufficient_traffic": (
+        "repro_adapt_declined_insufficient_traffic_total", COUNTER),
+    "declined_budget_exhausted": (
+        "repro_adapt_declined_budget_exhausted_total", COUNTER),
+    "declined_cooldown": ("repro_adapt_declined_cooldown_total", COUNTER),
+    "declined_baseline_established": (
+        "repro_adapt_declined_baseline_established_total", COUNTER),
+    "declined_no_shift": ("repro_adapt_declined_no_shift_total", COUNTER),
+    "declined_below_threshold": (
+        "repro_adapt_declined_below_threshold_total", COUNTER),
+    "calibration_refits": ("repro_adapt_calibration_refits_total", COUNTER),
 }
 
 #: RouterCounters field -> (metric name, kind)
@@ -316,6 +336,32 @@ METRIC_HELP: dict[str, str] = {
         "Entities streamed from healthy peers during resync",
     "repro_router_obs_scrapes_total":
         "Cluster observability scrapes federated by the router",
+    "repro_server_adapt_decisions_total":
+        "Adaptation decisions evaluated by the serving node",
+    "repro_server_adapt_actions_total":
+        "Adaptation actions (reorganize/merge) applied by the serving node",
+    "repro_adapt_decisions_total":
+        "Adaptation decisions made by the controller",
+    "repro_adapt_acted_reorganize_total":
+        "Adaptation decisions that reorganized the catalog",
+    "repro_adapt_acted_merge_total":
+        "Adaptation decisions that merged small partitions",
+    "repro_adapt_declined_insufficient_traffic_total":
+        "Decisions declined: too few observed queries",
+    "repro_adapt_declined_budget_exhausted_total":
+        "Decisions declined: bounded action budget spent",
+    "repro_adapt_declined_cooldown_total":
+        "Decisions declined: within the cooldown window",
+    "repro_adapt_declined_baseline_established_total":
+        "Decisions declined while blessing the reference profile",
+    "repro_adapt_declined_no_shift_total":
+        "Decisions declined: workload shift below threshold",
+    "repro_adapt_declined_below_threshold_total":
+        "Decisions declined: predicted win below hysteresis",
+    "repro_adapt_calibration_refits_total":
+        "Cost-model refits adopted by the controller",
+    "repro_adapt_shift_score":
+        "Workload shift vs the blessed reference profile (TV distance)",
 }
 
 

@@ -294,6 +294,16 @@ class TableSnapshot:
         self._plan_cache[sig] = plan
         return plan
 
+    def surviving_pids(self, query: AttributeQuery) -> tuple[int, ...]:
+        """Partition ids the query would scan (the pruning survivors).
+
+        The workload trace feed uses this on the serve path; it shares
+        the per-sig plan cache with :meth:`serve_query`, so a repeated
+        shape costs one dict lookup.
+        """
+        branches, _pruned = self._branches(query, (query.attributes, query.mode))
+        return tuple(view.pid for view in branches)
+
     # ------------------------------------------------------------------
     # serving
     # ------------------------------------------------------------------

@@ -429,7 +429,10 @@ class CinderellaRouter:
         if op in ("query", "sql"):
             return await self._scatter(request)
         if op == "stats":
-            return protocol.OK, self._stats_snapshot(), None
+            snapshot = self._stats_snapshot()
+            if request.get("heat"):
+                snapshot["heat"] = await self._gather_heat(request)
+            return protocol.OK, snapshot, None
         if op == "obs":
             return await self._fanout_obs(request)
         if op == "maintain":
@@ -1120,6 +1123,33 @@ class CinderellaRouter:
             *(one(node) for node in self.placement.nodes)
         )
         return protocol.OK, {"nodes": dict(outcomes)}, None
+
+    async def _gather_heat(self, request: Request) -> dict[str, Any]:
+        """Partition heat federated from every node's ``stats``.
+
+        Opt-in (``stats`` with ``heat: true``) so the plain stats verb
+        stays a synchronous local snapshot.  Keys are ``node/pid``; a
+        node that cannot be scraped — or that serves with adaptation
+        disabled — simply contributes nothing.
+        """
+        context = _request_trace_context(request)
+
+        async def one(node: NodeAddress) -> tuple[str, dict[str, Any]]:
+            try:
+                response = await self._node_exchange(
+                    node, "stats", {}, context=context
+                )
+            except UpstreamError:
+                return node.name, {}
+            return node.name, response.get("heat") or {}
+
+        outcomes = await asyncio.gather(
+            *(one(node) for node in self.placement.nodes)
+        )
+        return {
+            f"{name}/{pid}": doc
+            for name, heat in outcomes for pid, doc in heat.items()
+        }
 
     async def _fanout_obs(
         self, request: Request

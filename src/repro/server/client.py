@@ -17,7 +17,6 @@ from __future__ import annotations
 import random
 import socket
 import time
-import warnings
 from typing import Any, Iterable, Optional
 
 from repro.obs.runtime import wire_trace
@@ -27,11 +26,6 @@ from repro.server.protocol import (
     decode_response,
     encode_request,
 )
-
-
-#: one deprecation warning per process for insert_with_backoff (tests
-#: reset this to re-observe the warning)
-_BACKOFF_WARNED = False
 
 
 class ServerError(RuntimeError):
@@ -231,35 +225,3 @@ class ServerClient:
         ):
             raise ServerError(response)
         return response
-
-    def insert_with_backoff(
-        self,
-        attributes: dict[str, Any],
-        eid: Optional[int] = None,
-        attempts: int = 8,
-        base_delay_s: float = 0.005,
-    ) -> Response:
-        """Deprecated: use ``retrying("insert", ...)`` instead.
-
-        Kept as a thin shim over :meth:`retrying` for older callers; the
-        one-off helper predates the uniform wrapper and covered only
-        ``overloaded``.  The deprecation warning fires once per process
-        (hot retry loops call this thousands of times; the default
-        warnings filter dedups per call site, which is not enough when
-        many sites migrate one at a time).
-        """
-        global _BACKOFF_WARNED
-        if not _BACKOFF_WARNED:
-            _BACKOFF_WARNED = True
-            warnings.warn(
-                "insert_with_backoff is deprecated; use "
-                "client.retrying('insert', ...) instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-        fields: dict[str, Any] = {"attributes": attributes}
-        if eid is not None:
-            fields["eid"] = eid
-        return self.retrying(
-            "insert", attempts=attempts, base_delay_s=base_delay_s, **fields
-        )

@@ -54,6 +54,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Optional, Union
 
+from repro.adapt.controller import AdaptationConfig, AdaptationController
 from repro.backup import BackupArchive, apply_record, checkpoint_node
 from repro.core.config import CinderellaConfig
 from repro.metrics.telemetry import ServerCounters
@@ -164,6 +165,12 @@ class ServerConfig:
     #: the WAL segment it is about to truncate (and a copy of the
     #: snapshot), enabling point-in-time recovery via ``repro recover``
     archive_dir: Optional[Union[str, Path]] = None
+    #: every Nth maintenance pass also consults the adaptation
+    #: controller (0 disables the closed loop entirely)
+    adapt_every: int = 0
+    #: decision-pipeline tunables of the controller (defaults apply
+    #: when ``adapt_every`` is set and this is left ``None``)
+    adaptation: Optional[AdaptationConfig] = None
 
 
 @dataclass
@@ -248,6 +255,12 @@ class CinderellaServer:
         self.table = table
         self.config = config if config is not None else ServerConfig()
         self.counters = ServerCounters()
+        #: the closed adaptation loop, consulted from the maintenance
+        #: slot every ``adapt_every`` passes (None while disabled)
+        self.adapt: Optional[AdaptationController] = None
+        if self.config.adapt_every > 0:
+            self.adapt = AdaptationController(self.config.adaptation)
+            self.adapt.bind_table(self.table)
         self.lock = AsyncReadWriteLock()
         self.sessions: dict[int, Session] = {}
         self._next_sid = 1
@@ -369,6 +382,9 @@ class CinderellaServer:
                 )
         if self.config.wal_path is not None:
             self._open_and_replay_wal(after_seq=checkpoint_seq)
+        if self.adapt is not None:
+            # checkpoint load may have replaced the table object
+            self.adapt.bind_table(self.table)
 
     def _open_and_replay_wal(self, after_seq: int = 0) -> None:
         """Open the durability journal and re-apply its records, skipping
@@ -1039,6 +1055,16 @@ class CinderellaServer:
         snapshot = self._latest_snapshot()
         self.counters.queries_served += 1
         self.counters.snapshot_reads += 1
+        if self.adapt is not None:
+            # feed the workload trace from the serve path: the mask, the
+            # partitions this shape would scan (shared plan cache), and
+            # an exemplar so the calibrator can replay the shape
+            self.adapt.observe_query(
+                query.synopsis_mask(snapshot.dictionary),
+                snapshot.surviving_pids(query),
+                version=snapshot.version_clock,
+                exemplar=(query.attributes, query.mode),
+            )
         context = _request_trace_context(request)
         if eid_filter is None:
             # the hot path: a pre-serialized fragment straight from the
@@ -1175,6 +1201,17 @@ class CinderellaServer:
                 self.table.reorganize()
                 self.counters.reorganizations += 1
                 reorganized = True
+            if (
+                self.adapt is not None
+                and self._maintenance_passes % self.config.adapt_every == 0
+            ):
+                decision = self.adapt.maybe_adapt(self.table)
+                self.counters.adapt_decisions += 1
+                if decision.acted:
+                    self.counters.adapt_actions += 1
+                    if decision.action == "reorganize":
+                        self.counters.reorganizations += 1
+                    reorganized = True
             if span.is_recording:
                 span.set("merged", merged)
                 span.set("reorganized", reorganized)
@@ -1531,4 +1568,11 @@ class CinderellaServer:
                 "write_acquisitions": self.lock.write_acquisitions,
             },
             "query_counters": self.table.query_counters.as_dict(),
+            "heat": (
+                None if self.adapt is None
+                else self.adapt.trace.heat_as_dict()
+            ),
+            "adaptation": (
+                None if self.adapt is None else self.adapt.status()
+            ),
         }

@@ -62,6 +62,11 @@ class CinderellaTable:
         self.result_cache = result_cache
         if result_cache is not None and result_cache.counters is None:
             result_cache.counters = self.query_counters
+        #: optional adaptation hook (an
+        #: :class:`~repro.adapt.controller.AdaptationController` installs
+        #: itself here via ``bind_table``); when set, every executed query
+        #: and applied modification feeds its workload trace
+        self.adapt = None
         self._heaps: dict[int, HeapFile] = {}
         self._rids: dict[int, RecordId] = {}
         self._next_eid = 0
@@ -96,6 +101,7 @@ class CinderellaTable:
         mask = self.dictionary.encode(attributes)
         outcome = self.partitioner.insert(eid, mask, payload_bytes=len(record))
         self._apply(outcome, fresh_records={eid: record})
+        self._observe_write(outcome)
         return outcome
 
     def delete(self, eid: int) -> ModificationOutcome:
@@ -107,6 +113,8 @@ class CinderellaTable:
         heap = self._heaps[pid]
         heap.delete(self._rids.pop(eid))
         self._drop_heaps(outcome)
+        if self.adapt is not None:
+            self.adapt.observe_write(pid, version=self.catalog.version_clock)
         return outcome
 
     def update(self, eid: int, attributes: Mapping[str, Any]) -> ModificationOutcome:
@@ -125,7 +133,14 @@ class CinderellaTable:
             # new record, the old one is discarded here
             self._heaps[old_pid].delete(self._rids.pop(eid))
             self._apply(outcome, fresh_records={eid: record})
+        self._observe_write(outcome)
         return outcome
+
+    def _observe_write(self, outcome: ModificationOutcome) -> None:
+        if self.adapt is not None and outcome.partition_id is not None:
+            self.adapt.observe_write(
+                outcome.partition_id, version=self.catalog.version_clock
+            )
 
     def _claim_eid(self, entity_id: Optional[int]) -> int:
         if entity_id is None:
@@ -297,7 +312,7 @@ class CinderellaTable:
             self.query_counters.index_resolutions += 1
         else:
             self.query_counters.catalog_scan_resolutions += 1
-        return execute_union_all(
+        result = execute_union_all(
             self.plan(query),
             self._heaps,
             self.dictionary,
@@ -306,6 +321,9 @@ class CinderellaTable:
             counters=self.query_counters,
             eid_filter=eid_filter,
         )
+        if self.adapt is not None:
+            self.adapt.observe_execution(query, result, self)
+        return result
 
     def execute_naive(self, query: AttributeQuery) -> ExecutionResult:
         """Execute with no pruning, no index, no cache (the oracle path)."""

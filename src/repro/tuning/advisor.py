@@ -1,140 +1,26 @@
-"""Parameter advisor for Cinderella's two knobs, B and w.
+"""Offline B/w grid advisor — now a re-export of :mod:`repro.adapt.advisor`.
 
-The paper gives qualitative guidance: "the partition size limit should be
-set lower for very selective workloads and higher for less selective
-workloads" (Section V-B) and "the optimal weight depends more on the
-irregularity of the data set than on the workload", with 0.2–0.5 a
-reasonable band.  This module turns that guidance into an automated
-recommendation: it runs small trial partitionings over a sample of the
-data and scores each candidate configuration by Definition 1 efficiency
-minus a partition-count penalty representing the catalog/union overhead.
-
-The advisor is an offline helper — exactly the kind of tool a DBA would
-run once before enabling online partitioning — and is deliberately cheap:
-trials run on a bounded sample with the plain logical partitioner.
+The grid advisor grew a closed-loop sibling (the cost-model-driven
+online advisor of :mod:`repro.adapt`), and the two share the candidate
+machinery, so the implementation lives there now.  This module keeps the
+historical import path working: ``from repro.tuning.advisor import
+advise`` behaves exactly as before.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Sequence
+from repro.adapt.advisor import (
+    DEFAULT_SIZE_FRACTIONS,
+    DEFAULT_WEIGHTS,
+    AdvisorReport,
+    Trial,
+    advise,
+)
 
-from repro.core.config import CinderellaConfig
-from repro.core.efficiency import catalog_efficiency
-from repro.core.partitioner import CinderellaPartitioner
-
-#: default candidate grids, spanning the paper's studied ranges
-DEFAULT_WEIGHTS = (0.1, 0.2, 0.3, 0.4, 0.5)
-DEFAULT_SIZE_FRACTIONS = (0.01, 0.025, 0.05, 0.25)
-
-
-@dataclass(frozen=True)
-class Trial:
-    """One evaluated candidate configuration."""
-
-    weight: float
-    max_partition_size: float
-    efficiency: float
-    partition_count: int
-    score: float
-
-
-@dataclass(frozen=True)
-class AdvisorReport:
-    """The recommendation plus every trial behind it."""
-
-    recommended: CinderellaConfig
-    trials: tuple[Trial, ...]
-    sample_size: int
-    rationale: str
-
-    def best_trial(self) -> Trial:
-        return max(self.trials, key=lambda t: t.score)
-
-
-def advise(
-    entity_masks: Sequence[int],
-    query_masks: Optional[Sequence[int]] = None,
-    weights: Sequence[float] = DEFAULT_WEIGHTS,
-    size_fractions: Sequence[float] = DEFAULT_SIZE_FRACTIONS,
-    sample_limit: int = 5_000,
-    partition_penalty: float = 0.5,
-) -> AdvisorReport:
-    """Recommend a :class:`CinderellaConfig` for a data set.
-
-    Args:
-        entity_masks: synopsis masks of the (sampled) entities.
-        query_masks: the workload, when known; without one, every
-            instantiated attribute becomes a single-attribute probe query
-            (the workload-agnostic reading of Definition 1).
-        weights: candidate ``w`` values.
-        size_fractions: candidate ``B`` values as fractions of the data
-            set size (so the advice scales with the table).
-        sample_limit: trials run on at most this many entities.
-        partition_penalty: score deduction proportional to the
-            partition-to-entity ratio — the stand-in for catalog scan and
-            UNION ALL overhead that pure efficiency ignores (the paper:
-            smaller partitions always raise efficiency but "increase the
-            total number of partitions and thereby the overhead").
-
-    Returns:
-        An :class:`AdvisorReport` with the winning configuration and all
-        trial scores, highest first.
-    """
-    if not entity_masks:
-        raise ValueError("cannot advise on an empty data set")
-    if not weights or not size_fractions:
-        raise ValueError("need at least one candidate weight and size")
-    sample = list(entity_masks[:sample_limit])
-
-    if query_masks is None:
-        universe = 0
-        for mask in sample:
-            universe |= mask
-        probes = []
-        remaining = universe
-        while remaining:
-            low = remaining & -remaining
-            probes.append(low)
-            remaining ^= low
-        query_masks = probes
-
-    trials: list[Trial] = []
-    total = len(entity_masks)
-    for weight in weights:
-        for fraction in size_fractions:
-            max_size = max(2.0, round(fraction * total))
-            trial_size = max(2.0, round(fraction * len(sample)))
-            partitioner = CinderellaPartitioner(
-                CinderellaConfig(max_partition_size=trial_size, weight=weight)
-            )
-            for eid, mask in enumerate(sample):
-                partitioner.insert(eid, mask)
-            efficiency = catalog_efficiency(partitioner.catalog, query_masks)
-            count = len(partitioner.catalog)
-            score = efficiency - partition_penalty * count / len(sample)
-            trials.append(
-                Trial(
-                    weight=weight,
-                    max_partition_size=max_size,
-                    efficiency=efficiency,
-                    partition_count=count,
-                    score=score,
-                )
-            )
-    trials.sort(key=lambda t: (-t.score, t.max_partition_size, t.weight))
-    best = trials[0]
-    rationale = (
-        f"best of {len(trials)} trials on a {len(sample)}-entity sample: "
-        f"efficiency {best.efficiency:.3f} with {best.partition_count} "
-        f"partitions (score {best.score:.3f}); paper guidance: weights "
-        f"0.2-0.5 are reasonable, lower B favours selective workloads"
-    )
-    return AdvisorReport(
-        recommended=CinderellaConfig(
-            max_partition_size=best.max_partition_size, weight=best.weight
-        ),
-        trials=tuple(trials),
-        sample_size=len(sample),
-        rationale=rationale,
-    )
+__all__ = [
+    "DEFAULT_SIZE_FRACTIONS",
+    "DEFAULT_WEIGHTS",
+    "AdvisorReport",
+    "Trial",
+    "advise",
+]

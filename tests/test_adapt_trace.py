@@ -1,0 +1,145 @@
+"""Tests of the workload trace store and the shift metric."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.adapt.trace import WorkloadTraceStore, profile_shift
+
+profiles = st.dictionaries(
+    st.integers(min_value=1, max_value=1 << 12),
+    st.floats(min_value=0.0, max_value=100.0,
+              allow_nan=False, allow_infinity=False),
+    max_size=12,
+)
+
+
+class TestProfileShift:
+    def test_identical_profiles_have_zero_shift(self):
+        profile = {0b01: 3.0, 0b10: 1.0}
+        assert profile_shift(profile, profile) == 0.0
+
+    def test_scaling_does_not_count_as_shift(self):
+        """TV distance compares normalized mixes, not raw volumes."""
+        reference = {0b01: 3.0, 0b10: 1.0}
+        doubled = {mask: 2.0 * w for mask, w in reference.items()}
+        assert profile_shift(reference, doubled) == pytest.approx(0.0)
+
+    def test_disjoint_profiles_are_maximally_shifted(self):
+        assert profile_shift({0b01: 5.0}, {0b10: 5.0}) == 1.0
+
+    def test_empty_sides(self):
+        assert profile_shift({}, {}) == 0.0
+        assert profile_shift({}, {0b1: 1.0}) == 1.0
+        assert profile_shift({0b1: 1.0}, {}) == 1.0
+
+    def test_half_replaced_mix_shifts_by_half(self):
+        reference = {0b01: 1.0, 0b10: 1.0}
+        current = {0b01: 1.0, 0b100: 1.0}
+        assert profile_shift(reference, current) == pytest.approx(0.5)
+
+    @given(profiles, profiles)
+    def test_bounded_and_symmetric(self, reference, current):
+        shift = profile_shift(reference, current)
+        assert 0.0 <= shift <= 1.0
+        assert shift == pytest.approx(profile_shift(current, reference))
+
+    @given(profiles)
+    def test_self_shift_is_zero(self, profile):
+        assert profile_shift(profile, profile) == pytest.approx(0.0)
+
+
+class TestTraceStore:
+    def test_observe_query_accumulates_weights_and_heat(self):
+        store = WorkloadTraceStore()
+        store.observe_query(0b01, (1, 2), version=3,
+                            exemplar=(("a",), "any"))
+        store.observe_query(0b01, (1,), version=5)
+        assert store.profile() == {0b01: 2.0}
+        assert store.queries_observed == 2
+        heat = store.heat()
+        assert heat[1].reads == 2
+        assert heat[1].last_version == 5
+        assert heat[2].reads == 1
+        assert store.exemplars() == {0b01: (("a",), "any")}
+
+    def test_first_exemplar_per_mask_is_kept(self):
+        store = WorkloadTraceStore()
+        store.observe_query(0b01, exemplar=(("a",), "any"))
+        store.observe_query(0b01, exemplar=(("b",), "all"))
+        assert store.exemplars() == {0b01: (("a",), "any")}
+
+    def test_observe_write_heats_the_partition(self):
+        store = WorkloadTraceStore()
+        store.observe_write(7, version=2)
+        store.observe_write(7, version=9)
+        heat = store.heat()
+        assert heat[7].writes == 2
+        assert heat[7].last_version == 9
+        assert store.writes_observed == 2
+
+    def test_decay_halves_weights_and_drops_dust(self):
+        store = WorkloadTraceStore(decay=0.5, decay_every=8)
+        store.observe_query(0b01)  # will decay to 0.5 ** k and vanish
+        for _ in range(7):
+            store.observe_query(0b10)
+        # decay fired at the 8th observation: both weights halved
+        profile = store.profile()
+        assert profile[0b01] == pytest.approx(0.5)
+        assert profile[0b10] == pytest.approx(3.5)
+        for _ in range(9 * 8):
+            store.observe_query(0b10)
+        assert 0b01 not in store.profile()  # decayed below the floor
+
+    def test_shape_bound_evicts_the_lightest(self):
+        store = WorkloadTraceStore(max_query_shapes=2)
+        for _ in range(5):
+            store.observe_query(0b001, exemplar=(("a",), "any"))
+        for _ in range(3):
+            store.observe_query(0b010, exemplar=(("b",), "any"))
+        store.observe_query(0b100, exemplar=(("c",), "any"))
+        profile = store.profile()
+        assert set(profile) == {0b001, 0b010}
+        assert store.shapes_evicted == 1
+        assert 0b100 not in store.exemplars()
+
+    def test_clear_heat_keeps_the_profile(self):
+        store = WorkloadTraceStore()
+        store.observe_query(0b01, (1, 2))
+        store.clear_heat()
+        assert store.heat() == {}
+        assert store.profile() == {0b01: 1.0}
+
+    def test_heat_as_dict_is_wire_shaped(self):
+        store = WorkloadTraceStore()
+        store.observe_query(0b01, (3,), version=4)
+        store.observe_write(3, version=6)
+        assert store.heat_as_dict() == {
+            "3": {"reads": 1, "writes": 1, "last_version": 6}
+        }
+
+    def test_shift_from_reference(self):
+        store = WorkloadTraceStore()
+        for _ in range(4):
+            store.observe_query(0b01)
+        reference = store.profile()
+        assert store.shift_from(reference) == pytest.approx(0.0)
+        for _ in range(4):
+            store.observe_query(0b10)
+        assert store.shift_from(reference) == pytest.approx(0.5)
+
+    def test_status_counts(self):
+        store = WorkloadTraceStore()
+        store.observe_query(0b01, (1,))
+        store.observe_write(1)
+        status = store.status()
+        assert status["queries_observed"] == 1
+        assert status["writes_observed"] == 1
+        assert status["distinct_shapes"] == 1
+        assert status["hot_partitions"] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadTraceStore(decay=0.0)
+        with pytest.raises(ValueError):
+            WorkloadTraceStore(max_query_shapes=0)

@@ -33,6 +33,7 @@ class TestPublicApi:
             "repro.reporting",
             "repro.maintenance",
             "repro.tuning",
+            "repro.adapt",
         ],
     )
     def test_subpackage_all_exports_resolve(self, module_name):

@@ -1,0 +1,232 @@
+"""Tests of the cost-model calibration layer.
+
+The fit's job in the adaptation loop is not absolute accuracy — it is
+*ranking*: a calibrated model must order query shapes the same way the
+measured wall clock does on this host.  The differential tests pin
+exactly that.
+"""
+
+import random
+
+import pytest
+
+from repro.cost.calibrate import (
+    MIN_FIT_SAMPLES,
+    CalibrationSample,
+    OnlineCalibrator,
+    _predict_ms,
+    fit_cost_model,
+)
+from repro.cost.model import CostModel
+
+
+def synthesize(truth, shapes, noise=0.0, rng=None):
+    """Samples whose wall time follows *truth* over the given shapes."""
+    samples = []
+    for pages, entities, branches, rows in shapes:
+        time_ms = (
+            truth.page_read_ms * pages
+            + truth.record_scan_ms * entities
+            + truth.row_output_ms * rows
+        )
+        if branches:
+            time_ms += truth.branch_overhead_ms * branches
+            time_ms += truth.union_project_ms * entities
+        if noise and rng is not None:
+            time_ms *= 1.0 + rng.uniform(-noise, noise)
+        samples.append(CalibrationSample(
+            pages_read=pages, entities_read=entities,
+            union_branches=branches, rows_returned=rows,
+            wall_time_ms=time_ms,
+        ))
+    return samples
+
+
+def diverse_shapes(n=40, seed=7):
+    rng = random.Random(seed)
+    return [
+        (
+            rng.randint(1, 200),        # pages
+            rng.randint(10, 20_000),    # entities
+            rng.randint(0, 40),         # branches
+            rng.randint(0, 2_000),      # rows
+        )
+        for _ in range(n)
+    ]
+
+
+class TestFit:
+    def test_recovers_known_coefficients(self):
+        truth = CostModel(
+            page_read_ms=0.2, record_scan_ms=0.004,
+            branch_overhead_ms=0.5, row_output_ms=0.002,
+            union_project_ms=0.0,
+        )
+        samples = synthesize(truth, diverse_shapes())
+        report = fit_cost_model(samples, ridge=1e-6)
+        assert report.fitted
+        model = report.model
+        assert model.page_read_ms == pytest.approx(0.2, rel=0.05)
+        assert model.record_scan_ms == pytest.approx(0.004, rel=0.05)
+        assert model.branch_overhead_ms == pytest.approx(0.5, rel=0.05)
+        assert model.row_output_ms == pytest.approx(0.002, rel=0.05)
+        assert report.r2 > 0.999
+        assert report.mean_abs_error_ms < 0.1
+
+    def test_fitted_model_zeroes_the_collinear_union_term(self):
+        """record_scan absorbs union projection; keeping both would
+        double-count every entity read inside a UNION ALL."""
+        truth = CostModel()
+        samples = synthesize(truth, diverse_shapes())
+        report = fit_cost_model(samples)
+        assert report.fitted
+        assert report.model.union_project_ms == 0.0
+
+    def test_write_side_constants_are_untouched(self):
+        base = CostModel(record_move_ms=9.9, partition_create_ms=7.7)
+        samples = synthesize(base, diverse_shapes())
+        report = fit_cost_model(samples, base=base)
+        assert report.model.record_move_ms == 9.9
+        assert report.model.partition_create_ms == 7.7
+
+    def test_too_few_samples_falls_back_to_the_prior(self):
+        base = CostModel()
+        samples = synthesize(base, diverse_shapes(n=MIN_FIT_SAMPLES - 1))
+        report = fit_cost_model(samples, base=base)
+        assert not report.fitted
+        assert report.model is base
+
+    def test_degenerate_samples_do_not_explode(self):
+        """Identical shapes make the system rank-deficient; the ridge
+        pulls the solution toward the prior instead of blowing up."""
+        base = CostModel()
+        shape = [(10, 100, 2, 10)] * 20
+        samples = synthesize(base, shape)
+        report = fit_cost_model(samples, base=base)
+        for sample in samples:
+            assert _predict_ms(report.model, sample) == pytest.approx(
+                sample.wall_time_ms, rel=0.2
+            )
+
+    def test_negative_solutions_are_clamped(self):
+        # wall times *decreasing* in pages: the unconstrained solution
+        # would go negative; the model must clamp to zero
+        samples = [
+            CalibrationSample(pages_read=pages, entities_read=10_000 - pages,
+                              union_branches=0, rows_returned=0,
+                              wall_time_ms=float(10_000 - pages))
+            for pages in range(0, 4_000, 100)
+        ]
+        report = fit_cost_model(samples, ridge=1e-6)
+        assert report.fitted
+        assert report.model.page_read_ms >= 0.0
+
+    def test_noisy_fit_preserves_rank_order(self):
+        """The differential contract: under measurement noise the fitted
+        model must still rank shapes by their true cost."""
+        truth = CostModel(
+            page_read_ms=0.1, record_scan_ms=0.002,
+            branch_overhead_ms=0.3, row_output_ms=0.001,
+            union_project_ms=0.0,
+        )
+        rng = random.Random(13)
+        samples = synthesize(truth, diverse_shapes(n=80), noise=0.2, rng=rng)
+        report = fit_cost_model(samples, ridge=1e-3)
+        assert report.fitted
+        probes = synthesize(truth, diverse_shapes(n=30, seed=99))
+        ranked_true = sorted(probes, key=lambda s: s.wall_time_ms)
+        for cheap, costly in zip(ranked_true, ranked_true[5:]):
+            # compare pairs separated by 5 ranks — adjacent pairs can
+            # legitimately flip inside the noise band
+            assert (_predict_ms(report.model, cheap)
+                    < _predict_ms(report.model, costly))
+
+
+class TestMeasuredRankOrder:
+    def test_calibrated_model_ranks_real_executions(self):
+        """Fit from real measured executions, then check the model ranks
+        a full scan above a selective pruned scan — the one ordering the
+        advisor's decisions hinge on."""
+        from repro.core.config import CinderellaConfig
+        from repro.query.query import AttributeQuery
+        from repro.table.partitioned import CinderellaTable
+
+        table = CinderellaTable(CinderellaConfig(
+            max_partition_size=50.0, weight=0.3, use_synopsis_index=True
+        ))
+        for i in range(600):
+            table.insert(
+                {"common": i, f"g{i % 6}": i, f"h{i % 6}": i}, entity_id=i
+            )
+        calibrator = OnlineCalibrator()
+        broad = AttributeQuery(("common",), "any")
+        selective = AttributeQuery(("g0",), "any")
+        for _ in range(12):
+            calibrator.observe(table.execute_naive(broad).stats)
+            calibrator.observe(table.execute(selective).stats)
+        assert calibrator.maybe_refit()
+        model = calibrator.model
+        full_ms = model.query_time_ms(table.execute_naive(broad).stats)
+        pruned_ms = model.query_time_ms(table.execute(selective).stats)
+        assert pruned_ms < full_ms
+
+
+class TestOnlineCalibrator:
+    def test_refits_at_startup_once_the_window_fills(self):
+        calibrator = OnlineCalibrator(min_samples=16)
+        truth = CostModel()
+        samples = synthesize(truth, diverse_shapes(n=15))
+        for sample in samples:
+            calibrator.observe_sample(sample)
+        assert not calibrator.needs_refit()  # window not full yet
+        calibrator.observe_sample(synthesize(truth, diverse_shapes(n=1))[0])
+        assert calibrator.needs_refit()  # never fitted: startup refit
+        assert calibrator.maybe_refit()
+        assert calibrator.refits == 1
+        assert not calibrator.needs_refit()  # fitted and accurate: settled
+
+    def test_drift_triggers_a_refit(self):
+        calibrator = OnlineCalibrator(min_samples=16, refit_rel_error=0.5)
+        truth = CostModel()
+        for sample in synthesize(truth, diverse_shapes(n=32)):
+            calibrator.observe_sample(sample)
+        assert calibrator.maybe_refit()
+        # the host "slows down" 4x: the old fit misses badly
+        slower = CostModel(
+            page_read_ms=truth.page_read_ms * 4,
+            record_scan_ms=truth.record_scan_ms * 4,
+            branch_overhead_ms=truth.branch_overhead_ms * 4,
+            row_output_ms=truth.row_output_ms * 4,
+        )
+        for sample in synthesize(slower, diverse_shapes(n=128, seed=11)):
+            calibrator.observe_sample(sample)
+        assert calibrator.prediction_error() > 0.5
+        assert calibrator.needs_refit()
+        assert calibrator.maybe_refit()
+        assert calibrator.refits == 2
+        assert calibrator.model.page_read_ms == pytest.approx(
+            slower.page_read_ms, rel=0.3
+        )
+
+    def test_pure_cache_hits_carry_no_signal(self):
+        from repro.query.executor import ExecutionStats
+
+        calibrator = OnlineCalibrator()
+        calibrator.observe(ExecutionStats())  # zero-work: ignored
+        assert calibrator.sample_count == 0
+
+    def test_window_is_bounded(self):
+        calibrator = OnlineCalibrator(window=8)
+        for sample in synthesize(CostModel(), diverse_shapes(n=20)):
+            calibrator.observe_sample(sample)
+        assert calibrator.sample_count == 8
+
+    def test_status_is_wire_shaped(self):
+        import json
+
+        calibrator = OnlineCalibrator()
+        status = json.loads(json.dumps(calibrator.status()))
+        assert status == {
+            "samples": 0, "refits": 0,
+            "prediction_error": 0.0, "fitted": False,
+        }

@@ -197,6 +197,30 @@ class TestRoutedBasics:
         assert set(stats["health"]) == {"node0", "node1", "node2"}
         assert stats["counters"]["writes_routed"] == 1
         assert stats["counters"]["availability"] == 1.0
+        assert "heat" not in stats  # federation is opt-in
+
+    def test_stats_heat_federates_from_adapting_nodes(self, tmp_path):
+        from repro.adapt import AdaptationConfig
+
+        config = ServerConfig(
+            maintenance_interval_s=0.05, adapt_every=1,
+            adaptation=AdaptationConfig(min_observations=4, cooldown_s=0.0),
+        )
+        with ClusterHarness(
+            tmp_path, n_nodes=2, replication_factor=1, server_config=config
+        ) as harness:
+            with harness.client() as client:
+                for i in range(16):
+                    client.insert({"a": i}, eid=i)
+                client.query(["a"])
+                heat = client.request("stats", heat=True).fields["heat"]
+                assert heat  # every node saw writes
+                assert {key.split("/")[0] for key in heat} <= {
+                    "node0", "node1"
+                }
+                for doc in heat.values():
+                    assert set(doc) == {"reads", "writes", "last_version"}
+                assert sum(d["writes"] for d in heat.values()) >= 16
 
 
 class TestFailover:
@@ -322,29 +346,8 @@ class TestRetryingClient:
                 assert excinfo.value.code == "duplicate_entity"
                 assert client.check is True
 
-    def test_deprecated_shim_warns_exactly_once_and_delegates(
-        self, monkeypatch
-    ):
-        import warnings
-
-        from repro.server import client as client_module
-
-        # reset the once-per-process latch so this test observes the
-        # first call no matter what ran before it
-        monkeypatch.setattr(client_module, "_BACKOFF_WARNED", False)
-        with ServerThread(config=ServerConfig(maintenance_interval_s=0)) as h:
-            with ServerClient(*h.address) as client:
-                with warnings.catch_warnings(record=True) as caught:
-                    warnings.simplefilter("always")
-                    first = client.insert_with_backoff({"a": 1})
-                    second = client.insert_with_backoff({"a": 2})
-                assert first.status == "applied"
-                assert second.status == "applied"
-                deprecations = [
-                    w for w in caught
-                    if issubclass(w.category, DeprecationWarning)
-                    and "retrying" in str(w.message)
-                ]
-                # hot retry loops call the shim thousands of times; the
-                # warning must fire on the first call and only the first
-                assert len(deprecations) == 1
+    def test_backoff_shim_is_gone(self):
+        # insert_with_backoff was deprecated in favor of retrying(...)
+        # and has been removed; this pins the removal so it cannot
+        # silently come back
+        assert not hasattr(ServerClient, "insert_with_backoff")

@@ -186,8 +186,9 @@ class TestAdmissionControl:
                 assert response.status == "overloaded"
                 assert response.retryable
                 assert "back off" in response.error["message"]
-                response = client.insert_with_backoff(
-                    {"a": 1}, attempts=3, base_delay_s=0.001
+                response = client.retrying(
+                    "insert", attributes={"a": 1},
+                    attempts=3, base_delay_s=0.001,
                 )
                 assert response.status == "overloaded"
                 stats = client.stats()
